@@ -1,0 +1,321 @@
+//! Statistics used by the experiment harnesses: exact percentiles over
+//! collected samples, empirical CDFs, fixed-bucket histograms, and online
+//! (streaming) mean/variance.
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of `f64` samples supporting exact order statistics.
+///
+/// Samples are stored raw and sorted lazily on first query; this is the
+/// right trade-off for experiment harnesses that record everything then
+/// report at the end.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Summary {
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = f64>) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact p-quantile (`0.0 ..= 1.0`) using the nearest-rank method, which
+    /// matches how tail latency is conventionally reported ("the 99th
+    /// percentile request"). Returns `None` on an empty summary.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+    pub fn p999(&mut self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    pub fn frac_above(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&v| v > threshold).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical CDF sampled at `points` evenly spaced quantiles
+    /// (plus the max), suitable for plotting.
+    pub fn cdf(&mut self, points: usize) -> Cdf {
+        assert!(points >= 2, "need at least two CDF points");
+        self.ensure_sorted();
+        let mut pts = Vec::with_capacity(points);
+        if self.samples.is_empty() {
+            return Cdf { points: pts };
+        }
+        for i in 0..points {
+            let p = i as f64 / (points - 1) as f64;
+            let n = self.samples.len();
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            pts.push((self.samples[rank - 1], p));
+        }
+        Cdf { points: pts }
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// An empirical CDF: `(value, cumulative probability)` pairs sorted by value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Probability that a sample is `<= v` (step interpolation).
+    pub fn prob_le(&self, v: f64) -> f64 {
+        let mut p = 0.0;
+        for &(x, q) in &self.points {
+            if x <= v {
+                p = q;
+            } else {
+                break;
+            }
+        }
+        p
+    }
+}
+
+/// A fixed-width-bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets, used for utilization and occupancy traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Histogram {
+        assert!(hi > lo && nbuckets > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; nbuckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+}
+
+/// Streaming mean/variance (Welford's algorithm) for metrics too voluminous
+/// to store, e.g. per-packet queueing delays in long simulations.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(|i| i as f64));
+        assert_eq!(s.quantile(0.99), Some(99.0));
+        assert_eq!(s.quantile(0.50), Some(50.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_empty() {
+        let mut s = Summary::new();
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn frac_above_counts_strictly() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.frac_above(2.0), 0.5);
+        assert_eq!(s.frac_above(0.0), 1.0);
+        assert_eq!(s.frac_above(4.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut s = Summary::new();
+        s.extend([5.0, 1.0, 3.0, 2.0, 4.0]);
+        let cdf = s.cdf(11);
+        for w in cdf.points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.prob_le(5.0), 1.0);
+        assert_eq!(cdf.prob_le(0.5), 0.0);
+    }
+
+    #[test]
+    fn online_stats_match_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.record(x);
+        }
+        assert!((o.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((o.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(o.min(), 2.0);
+        assert_eq!(o.max(), 9.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(42.0);
+        assert_eq!(h.total(), 12);
+        assert!(h.buckets().iter().all(|&b| b == 1));
+        assert_eq!(h.bucket_bounds(3), (3.0, 4.0));
+    }
+}

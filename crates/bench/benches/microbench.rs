@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for the performance-sensitive substrates:
+//! placement admission at datacenter scale (§5's 1.15 s budget), the
+//! pacer datapath, network-calculus curve operations, and max-min
+//! waterfilling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use silo_base::{seeded_rng, Bytes, Dur, Rate, Time};
+use silo_flowsim::{waterfill, Allocator};
+use silo_netcalc::{backlog_bound, Curve, ServiceCurve};
+use silo_pacer::{BucketChain, PacedBatcher, TokenBucket};
+use silo_placement::{Guarantee, Placer, SiloPlacer, TenantRequest};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn placement_topo(hosts_scale: usize) -> Topology {
+    Topology::build(TreeParams {
+        pods: hosts_scale,
+        racks_per_pod: 25,
+        servers_per_rack: 40,
+        vm_slots_per_server: 8,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 5.0,
+        agg_oversub: 5.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+fn bench_placement(c: &mut Criterion) {
+    // 10 pods x 25 racks x 40 servers = 10 K hosts (a tenth of the
+    // paper's microbenchmark, to keep bench wall time sane).
+    let topo = placement_topo(10);
+    let mut placer = SiloPlacer::new(topo);
+    // Pre-fill to ~50% with tenant shapes admission accepts (large
+    // class-A tenants are *correctly* rejected by C1, but every rejection
+    // scans the whole datacenter — that cost belongs in the measured
+    // loop, not the setup).
+    let mut rng = seeded_rng(1);
+    let mut filled = 0usize;
+    let total = placer.topology().params().num_vm_slots();
+    let mut toggle = false;
+    while filled < total / 2 {
+        toggle = !toggle;
+        let (n, g) = if toggle {
+            (
+                (silo_base::exponential(&mut rng, 1.0 / 12.0) as usize).clamp(2, 24),
+                Guarantee::class_a(),
+            )
+        } else {
+            (
+                (silo_base::exponential(&mut rng, 1.0 / 30.0) as usize).clamp(2, 60),
+                Guarantee::class_b(),
+            )
+        };
+        if placer.try_place(&TenantRequest::new(n, g)).is_ok() {
+            filled += n;
+        }
+    }
+    c.bench_function("placement/admit_49vm_tenant_10k_hosts", |b| {
+        b.iter_batched(
+            || TenantRequest::new(49, Guarantee::class_a()),
+            |req| {
+                if let Ok(p) = placer.try_place(&req) {
+                    placer.remove(p.tenant);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pacer(c: &mut Criterion) {
+    c.bench_function("pacer/stamp_packet", |b| {
+        let mut chain = BucketChain::new(vec![
+            TokenBucket::new(Rate::from_gbps(1), Bytes::from_kb(15)),
+            TokenBucket::new(Rate::from_gbps(10), Bytes(1500)),
+        ]);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let t = chain.stamp(now, Bytes(1500));
+            now = t;
+            t
+        })
+    });
+
+    c.bench_function("pacer/batch_assembly_50us", |b| {
+        b.iter_batched(
+            || {
+                let mut batcher: PacedBatcher<u32> =
+                    PacedBatcher::new(Rate::from_gbps(10), Dur::from_us(50), Bytes(1500));
+                // 2 Gbps pacing: 8 data packets + voids per 50 us batch.
+                for i in 0..8u32 {
+                    batcher.enqueue(Time::from_us(6 * i as u64), Bytes(1500), i);
+                }
+                batcher
+            },
+            |mut batcher| batcher.next_batch(Time::ZERO),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_netcalc(c: &mut Criterion) {
+    let a = Curve::dual_slope(
+        Rate::from_gbps(1),
+        Bytes::from_kb(100),
+        Rate::from_gbps(10),
+        Bytes(1500),
+    );
+    let svc = ServiceCurve::constant_rate(Rate::from_gbps(10));
+    c.bench_function("netcalc/add_dual_slope", |b| {
+        b.iter(|| a.add(std::hint::black_box(&a)))
+    });
+    c.bench_function("netcalc/backlog_bound", |b| {
+        let agg = a.scale(6.0);
+        b.iter(|| backlog_bound(std::hint::black_box(&agg), &svc))
+    });
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let topo = Topology::build(TreeParams::ns2_paper());
+    let mut rng = seeded_rng(7);
+    let flows: Vec<silo_flowsim::AllocFlow> = (0..1000)
+        .map(|_| {
+            let s = HostId((silo_base::exponential(&mut rng, 1.0) * 100.0) as u32 % 400);
+            let d = HostId((silo_base::exponential(&mut rng, 1.0) * 173.0) as u32 % 400);
+            silo_flowsim::AllocFlow {
+                path: topo.path_ports(s, d),
+                src_hose: Rate::from_gbps(1),
+                out_deg: 1,
+                dst_hose: Rate::from_gbps(1),
+                in_deg: 1,
+            }
+        })
+        .collect();
+    c.bench_function("flowsim/waterfill_1000_flows", |b| {
+        b.iter(|| waterfill(&topo, std::hint::black_box(&flows)))
+    });
+    let _ = Allocator::FairShare;
+}
+
+criterion_group! {
+    name = benches;
+    // Plots disabled (headless boxes lack gnuplot) and a small sample
+    // count: the placement bench's iterations are seconds-scale worst-case
+    // datacenter scans, where 10 samples already give stable estimates.
+    config = Criterion::default().without_plots().sample_size(10);
+    targets = bench_placement, bench_pacer, bench_netcalc, bench_waterfill
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Minimal CLI parsing (no external crates).
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub scale: f64,
+    pub seed: u64,
+    pub duration_ms: u64,
+    pub runs: usize,
+    pub occupancy: f64,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            scale: 0.25,
+            seed: 1,
+            duration_ms: 100,
+            runs: 3,
+            occupancy: 0.9,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `--key value` pairs from `std::env::args`; unknown keys
+    /// panic with a usage hint.
+    pub fn parse() -> Args {
+        let mut a = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let val = argv.get(i + 1).unwrap_or_else(|| {
+                panic!("missing value for {key}");
+            });
+            match key {
+                "--scale" => a.scale = val.parse().expect("--scale takes a float"),
+                "--seed" => a.seed = val.parse().expect("--seed takes an integer"),
+                "--duration-ms" => {
+                    a.duration_ms = val.parse().expect("--duration-ms takes an integer")
+                }
+                "--runs" => a.runs = val.parse().expect("--runs takes an integer"),
+                "--occupancy" => a.occupancy = val.parse().expect("--occupancy takes a float"),
+                other => panic!(
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy"
+                ),
+            }
+            i += 2;
+        }
+        a
+    }
+}

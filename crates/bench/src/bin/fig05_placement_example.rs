@@ -1,0 +1,108 @@
+//! Figure 5: why bandwidth-aware placement is insufficient.
+//!
+//! Three 10 G servers under one switch with 300 KB/port; a tenant wants 9
+//! VMs with {1 Gbps, 100 KB burst, 1 ms, Bmax 10 G}. We evaluate both of
+//! the figure's placements with (a) the paper's simplified burst
+//! arithmetic and (b) our exact network-calculus bound, then show what
+//! each placer actually chooses.
+
+use silo_base::{Bytes, Dur, Rate};
+use silo_netcalc::{backlog_bound, Curve, ServiceCurve};
+use silo_placement::{Guarantee, OktopusPlacer, Placer, SiloPlacer, TenantRequest};
+use silo_topology::{Topology, TreeParams};
+
+fn exact_backlog(senders_per_server: &[usize], total_vms: usize) -> f64 {
+    // Per-server curves capped by the 10 G NIC, summed, capped by the
+    // tenant hose; receiver port drains at 10 G.
+    let link = Curve::token_bucket(Rate::from_gbps(10), Bytes(1500));
+    let per_server = |k: usize| {
+        Curve::dual_slope(
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(10),
+            Bytes(1500),
+        )
+        .scale(k as f64)
+        .min_with(&link)
+    };
+    let m: usize = senders_per_server.iter().sum();
+    let hose = Curve::token_bucket(
+        Rate::from_gbps(1) * m.min(total_vms - m) as u64,
+        Bytes::from_kb(100) * m as u64,
+    );
+    let mut agg = Curve::zero();
+    for &k in senders_per_server {
+        agg = agg.add(&per_server(k));
+    }
+    let agg = agg.min_with(&hose);
+    backlog_bound(&agg, &ServiceCurve::constant_rate(Rate::from_gbps(10))).expect("stable")
+}
+
+fn paper_arithmetic(senders: usize, servers: usize) -> f64 {
+    // "m×100 KB arrives at servers×10 G, drains at 10 G".
+    let burst = senders as f64 * 100_000.0;
+    let arrival = servers as f64 * 10.0;
+    burst * (1.0 - 10.0 / arrival)
+}
+
+fn main() {
+    println!("== Fig 5: worst-case queue at the port toward the receiver ==");
+    println!("placement\tpaper-arith\texact-bound\tfits 300KB?");
+    for (name, split) in [
+        ("(a) 3+5 senders", vec![3usize, 5]),
+        ("(b) 3+3 senders", vec![3usize, 3]),
+    ] {
+        let senders: usize = split.iter().sum();
+        let paper = paper_arithmetic(senders, split.len());
+        let exact = exact_backlog(&split, 9);
+        println!(
+            "{name}\t{:.0} KB\t{:.0} KB\t{}",
+            paper / 1e3,
+            exact / 1e3,
+            if exact <= 300_000.0 { "yes" } else { "no" },
+        );
+    }
+    println!("(paper quotes 400 KB vs 300 KB; the exact bound also counts");
+    println!(" token refill during the burst, hence slightly larger values)");
+
+    // What the placers actually do, with 4 slots per server so dense
+    // packing is possible but invalid.
+    let topo = Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 1,
+        servers_per_rack: 3,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(360),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    });
+    let req = TenantRequest::new(
+        9,
+        Guarantee {
+            b: Rate::from_gbps(1),
+            s: Bytes::from_kb(100),
+            bmax: Rate::from_gbps(10),
+            delay: Some(Dur::from_ms(1)),
+        },
+    );
+    println!("\n== What each placer chooses (3 servers x 4 slots) ==");
+    let mut okto = OktopusPlacer::new(topo.clone());
+    match okto.try_place(&req) {
+        Ok(p) => println!(
+            "Oktopus (bandwidth-aware): {:?}  <- dense, would overflow on a burst",
+            p.hosts.iter().map(|&(_, k)| k).collect::<Vec<_>>()
+        ),
+        Err(e) => println!("Oktopus rejected: {e:?}"),
+    }
+    let mut silo = SiloPlacer::new(topo);
+    match silo.try_place(&req) {
+        Ok(p) => println!(
+            "Silo (burst-aware):        {:?}  <- balanced so buffers absorb the worst burst",
+            p.hosts.iter().map(|&(_, k)| k).collect::<Vec<_>>()
+        ),
+        Err(e) => println!("Silo rejected: {e:?}"),
+    }
+}

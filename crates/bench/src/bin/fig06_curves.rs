@@ -1,0 +1,43 @@
+//! Figure 6: arrival/service curve geometry.
+//!
+//! Prints (a) the token-bucket curve `A_{B,S}` and the dual-slope `A'`
+//! with `Bmax`, and (b) the queue bound `q` (max horizontal deviation) and
+//! drain point `p` of `A'` against a constant-rate service curve — the
+//! two quantities the placement manager is built on.
+
+use silo_base::{Bytes, Rate};
+use silo_netcalc::{backlog_bound, drain_time, queue_delay_bound, Curve, ServiceCurve};
+
+fn main() {
+    let b = Rate::from_gbps(1);
+    let s = Bytes::from_kb(100);
+    let bmax = Rate::from_gbps(10);
+    let mtu = Bytes(1500);
+    let a = Curve::token_bucket(b, s);
+    let a_prime = Curve::dual_slope(b, s, bmax, mtu);
+
+    println!("== Fig 6(a): arrival curves (t in us, bytes) ==");
+    println!("t_us\tA(t)=Bt+S\tA'(t) with Bmax");
+    for i in 0..=20 {
+        let t = i as f64 * 10e-6;
+        println!("{:.0}\t{:.0}\t{:.0}", t * 1e6, a.eval(t), a_prime.eval(t));
+    }
+
+    println!("\n== Fig 6(b): deviations vs a 2 Gbps service curve ==");
+    let svc = ServiceCurve::constant_rate(Rate::from_gbps(2));
+    let q = queue_delay_bound(&a_prime, &svc).expect("stable");
+    let p = drain_time(&a_prime, &svc).expect("drains");
+    let backlog = backlog_bound(&a_prime, &svc).expect("stable");
+    println!("queue bound q      = {:.1} us", q * 1e6);
+    println!("drain point p      = {:.1} us", p * 1e6);
+    println!("backlog bound      = {:.0} bytes", backlog);
+    assert!(p >= q, "the queue must drain after the worst backlog");
+
+    println!("\n== same source into a 10 Gbps port (Silo's placement case) ==");
+    let svc10 = ServiceCurve::constant_rate(Rate::from_gbps(10));
+    let q10 = queue_delay_bound(&a_prime, &svc10).expect("stable");
+    println!(
+        "queue bound q      = {:.2} us (burst absorbed at line rate)",
+        q10 * 1e6
+    );
+}

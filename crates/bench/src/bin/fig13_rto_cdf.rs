@@ -1,0 +1,39 @@
+//! Figure 13: CDF over class-A tenants of the fraction of their messages
+//! that suffered a retransmission timeout (§6.2).
+
+use silo_bench::ns2::run_ns2;
+use silo_bench::scenario::NsClass;
+use silo_bench::{print_cdf, Args};
+use silo_simnet::TransportMode;
+
+fn main() {
+    let args = Args::parse();
+    println!("== Fig 13: class-A tenants' messages with RTOs ==");
+    for mode in [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Hull,
+        TransportMode::Okto,
+    ] {
+        let out = run_ns2(mode, &args);
+        let mut per_tenant = silo_base::Summary::new();
+        for (run, m) in out.metrics.iter().enumerate() {
+            for (ti, t) in out.tenants[run].iter().enumerate() {
+                if t.class != NsClass::A {
+                    continue;
+                }
+                let stats = m.tenant_stats(ti as u16);
+                if stats.messages > 0 {
+                    per_tenant.record(stats.rto_fraction() * 100.0);
+                }
+            }
+        }
+        let frac_with_rtos = per_tenant.frac_above(1.0);
+        println!(
+            "{}: tenants with >1% RTO-hit messages: {:.1}%  (paper: TCP 21%, HULL 14%, Silo 0%)",
+            mode.label(),
+            frac_with_rtos * 100.0
+        );
+        print_cdf(&format!("{} % messages with RTOs", mode.label()), &mut per_tenant, 11);
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 14: CDF over class-B tenants of average message latency
+//! normalized to the latency estimate (§6.2). Guaranteed-bandwidth
+//! schemes finish by the estimate (ratio ≤ 1); fair-sharing schemes
+//! spread — some tenants luck into extra bandwidth, a long tail starves.
+
+use silo_bench::ns2::run_ns2;
+use silo_bench::scenario::NsClass;
+use silo_bench::{print_cdf, Args};
+use silo_simnet::TransportMode;
+
+fn main() {
+    let args = Args::parse();
+    println!("== Fig 14: class-B mean latency / estimate ==");
+    for mode in [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Hull,
+        TransportMode::Okto,
+    ] {
+        let out = run_ns2(mode, &args);
+        let mut per_tenant = silo_base::Summary::new();
+        for (run, m) in out.metrics.iter().enumerate() {
+            for (ti, t) in out.tenants[run].iter().enumerate() {
+                if t.class != NsClass::B {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                // Same-host messages ride the vswitch, not the network.
+                for msg in m
+                    .messages
+                    .iter()
+                    .filter(|x| x.tenant == ti as u16 && !x.same_host)
+                {
+                    let est = out.estimate_us(run, ti as u16, msg.size);
+                    sum += msg.latency.as_us_f64() / est;
+                    n += 1;
+                }
+                if n > 0 {
+                    per_tenant.record(sum / n as f64);
+                }
+            }
+        }
+        println!(
+            "{}: tenants={} median ratio={:.2} p95={:.2}",
+            mode.label(),
+            per_tenant.len(),
+            per_tenant.median().unwrap_or(f64::NAN),
+            per_tenant.p95().unwrap_or(f64::NAN)
+        );
+        print_cdf(
+            &format!("{} class-B latency/estimate", mode.label()),
+            &mut per_tenant,
+            11,
+        );
+    }
+    println!("\npaper shape: Silo/Okto a step at <= 1 (guarantees met); TCP/HULL spread");
+    println!("around 1 with 65% of tenants faster but a long starved tail.");
+}

@@ -1,0 +1,70 @@
+//! Figure 15: fraction of tenant requests admitted at 75% and 90% target
+//! occupancy for Locality, Oktopus and Silo (flow-level, §6.3).
+
+use silo_bench::Args;
+use silo_flowsim::{Allocator, FlowSim, FlowSimConfig};
+use silo_placement::{LocalityPlacer, OktopusPlacer, SiloPlacer};
+use silo_topology::{Topology, TreeParams};
+use silo_base::{Bytes, Dur, Rate};
+
+pub fn flow_topo(scale: f64) -> Topology {
+    // Full scale (1.0): 16 pods x 40 racks x 50 servers = 32 K servers.
+    let pods = ((16.0 * scale).round() as usize).max(2);
+    let racks = ((40.0 * scale).round() as usize).max(2);
+    Topology::build(TreeParams {
+        pods,
+        racks_per_pod: racks,
+        servers_per_rack: 50,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 5.0,
+        agg_oversub: 5.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+fn cfg(occ: f64, seed: u64) -> FlowSimConfig {
+    FlowSimConfig {
+        occupancy: occ,
+        seed,
+        ..FlowSimConfig::default()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = flow_topo(args.scale);
+    println!(
+        "== Fig 15: admitted requests (%), {} servers ==",
+        topo.num_hosts()
+    );
+    println!("occupancy\tscheme\ttotal\tclass-B\tclass-A\tutil\tmean-occ");
+    for occ in [0.75, 0.90] {
+        for scheme in ["Locality", "Oktopus", "Silo"] {
+            let c = cfg(occ, args.seed);
+            let r = match scheme {
+                "Locality" => {
+                    FlowSim::new(LocalityPlacer::new(topo.clone()), Allocator::FairShare, c).run()
+                }
+                "Oktopus" => {
+                    FlowSim::new(OktopusPlacer::new(topo.clone()), Allocator::Guaranteed, c).run()
+                }
+                _ => FlowSim::new(SiloPlacer::new(topo.clone()), Allocator::Guaranteed, c).run(),
+            };
+            println!(
+                "{:.0}%\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.2}\t{:.2}",
+                occ * 100.0,
+                scheme,
+                r.admitted_frac() * 100.0,
+                r.admitted_frac_b() * 100.0,
+                r.admitted_frac_a() * 100.0,
+                r.utilization,
+                r.mean_occupancy
+            );
+        }
+    }
+    println!("\npaper: at 75% Silo rejects 4.5% (Okto 0.3%, Locality 0%); at 90%");
+    println!("Locality flips to 11% rejects vs Silo 5.1% — slow outlier jobs clog slots.");
+}

@@ -1,0 +1,54 @@
+//! Table 4: outlier tenants — class-A tenants whose 99th-percentile
+//! message latency exceeds their latency estimate by 1x / 2x / 8x (§6.2).
+
+use silo_bench::ns2::{run_ns2, ALL_MODES};
+use silo_bench::scenario::NsClass;
+use silo_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    println!("== Table 4: % outlier class-A tenants (p99 latency > k x estimate) ==");
+    println!("scheme\t>1x\t>2x\t>8x\ttenants");
+    for mode in ALL_MODES {
+        let (mut o1, mut o2, mut o8, mut total) = (0usize, 0usize, 0usize, 0usize);
+        let out = run_ns2(mode, &args);
+        for (run, m) in out.metrics.iter().enumerate() {
+            for (ti, t) in out.tenants[run].iter().enumerate() {
+                if t.class != NsClass::A {
+                    continue;
+                }
+                // Per-tenant p99 of the latency / estimate ratio.
+                let mut ratios = silo_base::Summary::new();
+                for msg in m.messages.iter().filter(|x| x.tenant == ti as u16) {
+                    let est = out.estimate_us(run, ti as u16, msg.size);
+                    ratios.record(msg.latency.as_us_f64() / est);
+                }
+                if ratios.is_empty() {
+                    continue;
+                }
+                total += 1;
+                let p99 = ratios.p99().unwrap();
+                if p99 > 1.0 {
+                    o1 += 1;
+                }
+                if p99 > 2.0 {
+                    o2 += 1;
+                }
+                if p99 > 8.0 {
+                    o8 += 1;
+                }
+            }
+        }
+        let pct = |x: usize| 100.0 * x as f64 / total.max(1) as f64;
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{}",
+            mode.label(),
+            pct(o1),
+            pct(o2),
+            pct(o8),
+            total
+        );
+    }
+    println!("\npaper: Silo 0/0/0; TCP 23/22/21; DCTCP 47/17/14; HULL 47/16/14;");
+    println!("Okto 91/81/37; Okto+ 20/19/19.");
+}

@@ -1,0 +1,23 @@
+//! Shared experiment plumbing for the per-figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f>`   — topology scale factor (1.0 = the paper's sizes);
+//! * `--seed <n>`    — RNG seed;
+//! * `--duration-ms <n>` — simulated time for packet-level runs;
+//! * `--runs <n>`    — repetitions where the paper aggregates over runs.
+//!
+//! Defaults are sized so the full suite completes in minutes on a laptop
+//! while preserving oversubscription ratios and workload shapes; pass
+//! `--scale 1` for the paper's full dimensions.
+
+pub mod args;
+pub mod ns2;
+pub mod report;
+pub mod scenario;
+
+pub use args::Args;
+pub use report::{fmt_dur_us, print_cdf, print_header, print_row};
+pub use scenario::{
+    build_ns2_population, testbed_tenants, NsClass, NsTenant, PlacerKind, TestbedReq,
+};

@@ -1,0 +1,94 @@
+//! The shared §6.2 packet-level comparison run used by Figs. 12–14 and
+//! Table 4: one tenant population per scheme, simulated under that
+//! scheme's datapath, with per-message latency estimates for
+//! normalization.
+
+use crate::args::Args;
+use crate::scenario::{build_ns2_population, NsClass, NsTenant, PlacerKind};
+use silo_base::{seeded_rng, Bytes, Dur};
+use silo_simnet::{Metrics, Sim, SimConfig, TransportMode};
+use silo_topology::{Topology, TreeParams};
+
+/// Result of one scheme's run(s): the placed tenants of the *last* run
+/// and message metrics concatenated over all runs (tenant ids offset per
+/// run so per-tenant statistics stay separable).
+pub struct Ns2Outcome {
+    pub mode: TransportMode,
+    /// Per-run tenant metadata, parallel to each run's metrics tenant ids.
+    pub tenants: Vec<Vec<NsTenant>>,
+    pub metrics: Vec<Metrics>,
+}
+
+impl Ns2Outcome {
+    pub fn tenant_meta(&self, run: usize, tenant: u16) -> &NsTenant {
+        &self.tenants[run][tenant as usize]
+    }
+
+    /// §4.1 latency estimate for a message of `size` bytes from a tenant.
+    ///
+    /// Class A: `M/Bmax + d` (M ≤ S) else `S/Bmax + (M−S)/B + d`.
+    /// Class B (no delay guarantee): `M` at the guaranteed hose share
+    /// `B/(n−1)` of its all-to-all pattern.
+    pub fn estimate_us(&self, run: usize, tenant: u16, size: u64) -> f64 {
+        let t = self.tenant_meta(run, tenant);
+        match t.class {
+            NsClass::A => t
+                .guarantee
+                .message_latency_bound(Bytes(size))
+                .expect("class A has a delay guarantee")
+                .as_us_f64(),
+            NsClass::B => {
+                let n = t.spec.vm_hosts.len() as f64;
+                let share = t.guarantee.b.as_bps() as f64 / (n - 1.0).max(1.0);
+                size as f64 * 8.0 / share * 1e6
+            }
+        }
+    }
+}
+
+/// Build the ns2-scale topology at the requested scale factor.
+pub fn ns2_topology(scale: f64) -> Topology {
+    Topology::build(TreeParams::ns2_scaled(scale))
+}
+
+/// Run one scheme over `args.runs` seeds.
+pub fn run_ns2(mode: TransportMode, args: &Args) -> Ns2Outcome {
+    let topo = ns2_topology(args.scale);
+    let mut tenants_all = Vec::new();
+    let mut metrics_all = Vec::new();
+    for run in 0..args.runs {
+        let seed = args.seed + run as u64 * 1_000;
+        let mut rng = seeded_rng(seed);
+        // Class A offers half its hose on average (bursty OLDI); class B
+        // is near-backlogged (large transfers limited by bandwidth).
+        let tenants = build_ns2_population(
+            &topo,
+            PlacerKind::for_mode(mode),
+            args.occupancy,
+            0.4,
+            0.9,
+            &mut rng,
+        );
+        // (Oktopus's no-burst semantics are applied by Sim::new itself.)
+        let cfg = SimConfig::new(mode, Dur::from_ms(args.duration_ms), seed);
+        let specs = tenants.iter().map(|t| t.spec.clone()).collect();
+        let m = Sim::new(topo.clone(), cfg, specs).run();
+        tenants_all.push(tenants);
+        metrics_all.push(m);
+    }
+    Ns2Outcome {
+        mode,
+        tenants: tenants_all,
+        metrics: metrics_all,
+    }
+}
+
+/// All six schemes of Fig. 12.
+pub const ALL_MODES: [TransportMode; 6] = [
+    TransportMode::Silo,
+    TransportMode::Tcp,
+    TransportMode::Dctcp,
+    TransportMode::Hull,
+    TransportMode::Okto,
+    TransportMode::OktoPlus,
+];

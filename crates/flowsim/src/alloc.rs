@@ -1,0 +1,199 @@
+//! Flow rate allocation: guaranteed hose shares vs. max-min fair sharing.
+
+use silo_base::Rate;
+use silo_topology::{PortId, Topology};
+use std::collections::HashMap;
+
+/// How flows get bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocator {
+    /// Hose-model guarantees, no inter-tenant sharing (Silo/Oktopus).
+    Guaranteed,
+    /// Ideal-TCP max-min fairness over link capacities (Locality).
+    FairShare,
+}
+
+/// One fluid flow for allocation purposes.
+#[derive(Debug, Clone)]
+pub struct AllocFlow {
+    /// Directed ports the flow traverses.
+    pub path: Vec<PortId>,
+    /// Sender hose guarantee and current out-degree (active flows).
+    pub src_hose: Rate,
+    pub out_deg: usize,
+    /// Receiver hose guarantee and current in-degree.
+    pub dst_hose: Rate,
+    pub in_deg: usize,
+}
+
+impl AllocFlow {
+    /// The guaranteed allocator's rate.
+    pub fn hose_rate(&self) -> f64 {
+        let s = self.src_hose.as_bps() as f64 / self.out_deg.max(1) as f64;
+        let d = self.dst_hose.as_bps() as f64 / self.in_deg.max(1) as f64;
+        s.min(d)
+    }
+}
+
+/// Progressive-filling max-min fairness: repeatedly find the most
+/// constrained link, freeze its flows at the fair share, remove the
+/// capacity, repeat. Returns per-flow rates in bits/sec.
+///
+/// Flows are also capped by their endpoint hoses? No — ideal TCP has no
+/// hoses; only link capacities bind (the paper's Locality baseline shares
+/// "bandwidth fairly between all flows").
+pub fn waterfill(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
+    // Per-active-link state, deterministic ordering by port id.
+    let mut link_flows: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (fi, f) in flows.iter().enumerate() {
+        for p in &f.path {
+            link_flows.entry(p.0).or_default().push(fi);
+        }
+    }
+    let mut active: Vec<u32> = link_flows.keys().copied().collect();
+    active.sort_unstable();
+    let mut residual: HashMap<u32, f64> = active
+        .iter()
+        .map(|&l| (l, topo.port(PortId(l)).rate.as_bps() as f64))
+        .collect();
+    let mut remaining: HashMap<u32, usize> =
+        link_flows.iter().map(|(&l, v)| (l, v.len())).collect();
+    let mut rate = vec![f64::INFINITY; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    loop {
+        // Most constrained link: min residual / remaining flows; ties
+        // break toward the lowest port id for determinism.
+        let mut best: Option<(u32, f64)> = None;
+        for &l in &active {
+            let cnt = remaining[&l];
+            if cnt == 0 {
+                continue;
+            }
+            let share = residual[&l] / cnt as f64;
+            if best.map_or(true, |(_, s)| share < s) {
+                best = Some((l, share));
+            }
+        }
+        let Some((bl, share)) = best else { break };
+        // Freeze every unfrozen flow on that link.
+        for fi in link_flows[&bl].clone() {
+            if frozen[fi] {
+                continue;
+            }
+            frozen[fi] = true;
+            rate[fi] = share;
+            for p in &flows[fi].path {
+                if let Some(r) = residual.get_mut(&p.0) {
+                    *r = (*r - share).max(0.0);
+                }
+                if let Some(c) = remaining.get_mut(&p.0) {
+                    *c -= 1;
+                }
+            }
+        }
+        active.retain(|l| remaining[l] > 0);
+        if active.is_empty() {
+            break;
+        }
+    }
+    // Same-host flows (empty path) are never constrained; any other
+    // unfrozen flow would indicate a bug.
+    for (fi, r) in rate.iter_mut().enumerate() {
+        if flows[fi].path.is_empty() {
+            *r = f64::INFINITY;
+        } else {
+            debug_assert!(frozen[fi], "flow {fi} escaped the waterfill");
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::{Bytes, Dur};
+    use silo_topology::{HostId, TreeParams};
+
+    fn topo() -> Topology {
+        Topology::build(TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            servers_per_rack: 2,
+            vm_slots_per_server: 4,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 2.0,
+            agg_oversub: 1.0,
+            switch_buffer: Bytes::from_kb(312),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        })
+    }
+
+    fn flow(topo: &Topology, s: u32, d: u32) -> AllocFlow {
+        AllocFlow {
+            path: topo.path_ports(HostId(s), HostId(d)),
+            src_hose: Rate::from_gbps(1),
+            out_deg: 1,
+            dst_hose: Rate::from_gbps(1),
+            in_deg: 1,
+        }
+    }
+
+    #[test]
+    fn hose_rate_is_min_of_endpoint_shares() {
+        let t = topo();
+        let mut f = flow(&t, 0, 1);
+        f.out_deg = 2;
+        f.in_deg = 4;
+        // min(1G/2, 1G/4) = 0.25 G.
+        assert!((f.hose_rate() - 0.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_capacity() {
+        let t = topo();
+        // Cross-rack: bottleneck is the 10 G ToR uplink (2 servers x 10 /
+        // oversub 2 = 10 G).
+        let flows = vec![flow(&t, 0, 2)];
+        let r = waterfill(&t, &flows);
+        assert!((r[0] - 1e10).abs() < 1.0, "{}", r[0]);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_equally() {
+        let t = topo();
+        let flows = vec![flow(&t, 0, 2), flow(&t, 1, 3)];
+        let r = waterfill(&t, &flows);
+        // Both cross the 10 G rack-0 uplink: 5 G each.
+        assert!((r[0] - 5e9).abs() < 1.0);
+        assert!((r[1] - 5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flow() {
+        let t = topo();
+        // f0 and f1 share host 0's NIC; f2 runs alone from host 1.
+        let flows = vec![flow(&t, 0, 1), flow(&t, 0, 2), flow(&t, 1, 3)];
+        let r = waterfill(&t, &flows);
+        assert!((r[0] - 5e9).abs() < 1e6, "{:?}", r);
+        assert!((r[1] - 5e9).abs() < 1e6);
+        // f2: rack uplink shared with f1: f1 already frozen at 5 G,
+        // leaving 5 G... both f1 and f2 cross the rack-0 uplink (10 G):
+        // fair share 5 G each; f2's own NIC has 10 G. So f2 = 5 G.
+        assert!((r[2] - 5e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn same_host_flows_are_unconstrained() {
+        let t = topo();
+        let f = AllocFlow {
+            path: vec![],
+            src_hose: Rate::from_gbps(1),
+            out_deg: 1,
+            dst_hose: Rate::from_gbps(1),
+            in_deg: 1,
+        };
+        let r = waterfill(&t, &[f]);
+        assert!(r[0].is_infinite());
+    }
+}

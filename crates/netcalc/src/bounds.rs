@@ -1,0 +1,200 @@
+//! Deviation bounds between arrival and service curves (paper Fig. 6b).
+//!
+//! For a concave PL arrival curve `A` and a convex rate-latency service
+//! curve `β`, every bound below is attained at a breakpoint of `A` (or at
+//! `β`'s latency knee), so all three functions are exact, not numerical
+//! approximations.
+
+use crate::curve::Curve;
+use crate::service::ServiceCurve;
+
+/// Maximum *horizontal* deviation `q = sup_t inf{ d ≥ 0 : A(t) ≤ β(t+d) }`
+/// — the **queue (delay) bound** of a FIFO port, in seconds.
+///
+/// Returns `None` when the long-term arrival rate exceeds the service rate
+/// (the queue grows without bound).
+pub fn queue_delay_bound(a: &Curve, s: &ServiceCurve) -> Option<f64> {
+    if a.long_term_rate() > s.rate * (1.0 + 1e-12) {
+        return None;
+    }
+    // d(t) = β⁻¹(A(t)) − t is concave PL; max over breakpoints of A.
+    let mut best = 0.0f64;
+    for t in a.breakpoints() {
+        let d = s.inverse(a.eval(t)) - t;
+        best = best.max(d);
+    }
+    Some(best)
+}
+
+/// Maximum *vertical* deviation `sup_t A(t) − β(t)` — the **backlog bound**
+/// (maximum buffer occupancy) in bytes.
+///
+/// Returns `None` when the backlog is unbounded.
+pub fn backlog_bound(a: &Curve, s: &ServiceCurve) -> Option<f64> {
+    if a.long_term_rate() > s.rate * (1.0 + 1e-12) {
+        return None;
+    }
+    let mut cands = a.breakpoints();
+    cands.push(s.latency);
+    let mut best = 0.0f64;
+    for t in cands {
+        best = best.max(a.eval(t) - s.eval(t));
+    }
+    Some(best)
+}
+
+/// The *drain point* `p`: the length of the longest interval over which the
+/// port's queue need not empty — i.e. the last instant with `A(t) > β(t)`
+/// (paper Fig. 6b). Kurose's burst-propagation bound needs an upper bound
+/// on `p`; Silo uses the port's queue capacity instead, but we expose the
+/// exact value for analysis and tests.
+///
+/// Returns `Some(0.0)` if the queue never builds (`A ≤ β` everywhere) and
+/// `None` if it never drains.
+pub fn drain_time(a: &Curve, s: &ServiceCurve) -> Option<f64> {
+    let g0 = a.eval(0.0) - s.eval(0.0);
+    if g0 <= 0.0 && a.long_term_rate() <= s.rate {
+        return Some(0.0);
+    }
+    if a.long_term_rate() >= s.rate {
+        // Equal rates with positive burst never drain either.
+        return None;
+    }
+    // g(t) = A(t) − β(t) is concave with g(0) > 0 and final slope < 0:
+    // the positive region is [0, p); find the root in the last segment
+    // where g is still positive.
+    let mut cands = a.breakpoints();
+    cands.push(s.latency);
+    cands.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    cands.dedup_by(|x, y| (*x - *y).abs() < 1e-15);
+    // Last candidate with g > 0.
+    let mut t0 = 0.0;
+    for &t in &cands {
+        if a.eval(t) - s.eval(t) > 0.0 {
+            t0 = t;
+        }
+    }
+    let g_t0 = a.eval(t0) - s.eval(t0);
+    // In the segment after t0 the slope of g is (A' − R) < 0 (t0 is past
+    // the latency knee because A > 0 ≥ β before it).
+    let slope = a.slope_at(t0) - s.rate;
+    debug_assert!(slope < 0.0);
+    Some(t0 + g_t0 / (-slope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::{Bytes, Dur, Rate};
+
+    #[test]
+    fn single_token_bucket_delay_is_burst_over_rate() {
+        // A_{B,S} against β_{C,0}: q = S/C (classic result).
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes::from_kb(100));
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        let q = queue_delay_bound(&a, &s).unwrap();
+        assert!((q - 100_000.0 / 1.25e9).abs() < 1e-12);
+        // Backlog bound is the full burst (arrives instantaneously).
+        assert!((backlog_bound(&a, &s).unwrap() - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_slope_tightens_the_bound() {
+        // With the burst drained at Bmax = 10G into a 10G port the backlog
+        // from a single source is only ~MTU, far below S.
+        let a = Curve::dual_slope(
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(10),
+            Bytes(1500),
+        );
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        let b = backlog_bound(&a, &s).unwrap();
+        assert!(b <= 1500.0 + 1e-6, "backlog {b}");
+    }
+
+    #[test]
+    fn paper_example_fig5_bursting_vms() {
+        // Fig. 5: a tenant with 9 VMs, each {B = 1 Gbps, S = 100 KB,
+        // Bmax = 10 Gbps}, on 3 servers behind 10 Gbps NICs. We model the
+        // traffic crossing the port toward the receiving server as the sum
+        // of per-server curves — each capped by the server's 10 G link —
+        // then capped by the tenant hose rate min(m, N−m)·B.
+        let s10 = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        let link = Curve::token_bucket(Rate::from_gbps(10), Bytes(1500));
+        let per_server = |k: f64| {
+            Curve::dual_slope(
+                Rate::from_gbps(1),
+                Bytes::from_kb(100),
+                Rate::from_gbps(10),
+                Bytes(1500),
+            )
+            .scale(k)
+            .min_with(&link)
+        };
+
+        // Placement (a): 3 + 5 senders on two servers, all 8 burst to VM 9.
+        // The paper's simplified arithmetic says 800 KB at 20 G into 10 G
+        // needs 400 KB of buffering; the exact bound (which also counts
+        // token refill during the burst) is a bit larger, ~422 KB. Either
+        // way it overflows a 300 KB buffer.
+        let hose_a = Curve::token_bucket(Rate::from_gbps(1), Bytes::from_kb(800));
+        let agg_a = per_server(3.0).add(&per_server(5.0)).min_with(&hose_a);
+        let b_a = backlog_bound(&agg_a, &s10).unwrap();
+        assert!(b_a > 400_000.0, "placement (a) backlog {b_a}");
+        assert!(b_a < 440_000.0, "placement (a) backlog {b_a}");
+
+        // Placement (b): 3 + 3 senders cross the port (paper: 600 KB at
+        // 20 G needs 300 KB; exact bound ~354 KB).
+        let hose_b = Curve::token_bucket(Rate::from_gbps(3), Bytes::from_kb(600));
+        let agg_b = per_server(3.0).add(&per_server(3.0)).min_with(&hose_b);
+        let b_b = backlog_bound(&agg_b, &s10).unwrap();
+        assert!(b_b > 300_000.0 && b_b < 360_000.0, "placement (b) backlog {b_b}");
+        // Silo's placement (b) strictly dominates the bandwidth-aware one.
+        assert!(b_b < b_a);
+    }
+
+    #[test]
+    fn overload_is_unbounded() {
+        let a = Curve::token_bucket(Rate::from_gbps(11), Bytes(1500));
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        assert_eq!(queue_delay_bound(&a, &s), None);
+        assert_eq!(backlog_bound(&a, &s), None);
+        assert_eq!(drain_time(&a, &s), None);
+    }
+
+    #[test]
+    fn drain_time_token_bucket() {
+        // A_{B,S} vs β_{C,0}: queue drains when B·t + S = C·t, p = S/(C−B).
+        let a = Curve::token_bucket(Rate::from_gbps(2), Bytes::from_kb(90));
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        let p = drain_time(&a, &s).unwrap();
+        let expected = 90_000.0 / (1.25e9 - 0.25e9);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_time_zero_when_no_queue() {
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes(0));
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        assert_eq!(drain_time(&a, &s), Some(0.0));
+    }
+
+    #[test]
+    fn service_latency_adds_to_delay_bound() {
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes::from_kb(10));
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(100));
+        let q = queue_delay_bound(&a, &s).unwrap();
+        assert!((q - (100e-6 + 10_000.0 / 1.25e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_rate_with_burst_never_drains() {
+        let a = Curve::token_bucket(Rate::from_gbps(10), Bytes(1500));
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        assert_eq!(drain_time(&a, &s), None);
+        // But the queue bound is finite: the burst waits S/C.
+        let q = queue_delay_bound(&a, &s).unwrap();
+        assert!((q - 1500.0 / 1.25e9).abs() < 1e-15);
+    }
+}

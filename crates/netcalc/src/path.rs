@@ -1,0 +1,153 @@
+//! Multi-hop delay composition (Le Boudec & Thiran, ch. 1).
+//!
+//! Silo's placement bounds per-hop delay with queue *capacities* (§4.2.3)
+//! because capacities are load-independent. Network calculus can do
+//! better when the actual loads are known: this module composes a path's
+//! service curves two classical ways and exposes the gap —
+//!
+//! * **Per-hop sum** ([`path_delay_sum`]): bound the delay at each hop
+//!   against the (burst-inflated) arrival curve entering it, and add.
+//! * **Concatenation / "pay bursts only once"** ([`path_delay_sfa`]):
+//!   a tandem of rate-latency servers `β_{R₁,T₁}, …, β_{Rₖ,Tₖ}` is itself
+//!   a rate-latency server `β_{min Rᵢ, ΣTᵢ}`; bounding once against it is
+//!   provably tighter because the burst term is paid a single time.
+//!
+//! Both produce valid upper bounds; the concatenation form is what makes
+//! fine-grained per-tenant delay estimates worthwhile for short paths.
+
+use crate::bounds::queue_delay_bound;
+use crate::curve::{Curve, Line};
+use crate::service::ServiceCurve;
+
+/// Upper bound on the output (egress) arrival curve of a server, via line
+/// -by-line deconvolution: for a rate-latency server `β_{R,T}` and an
+/// arrival line `r·t + b` with `r ≤ R`, the output is bounded by
+/// `r·t + b + r·T`. Lines steeper than the service rate impose no
+/// constraint at large `t` and are dropped (the result stays a valid,
+/// slightly conservative bound).
+///
+/// Returns `None` if every line exceeds the service rate (unstable).
+pub fn output_bound(a: &Curve, s: &ServiceCurve) -> Option<Curve> {
+    let lines: Vec<Line> = a
+        .lines()
+        .iter()
+        .filter(|l| l.rate <= s.rate * (1.0 + 1e-12))
+        .map(|l| Line {
+            rate: l.rate,
+            burst: l.burst + l.rate * s.latency,
+        })
+        .collect();
+    if lines.is_empty() {
+        return None;
+    }
+    Some(Curve::from_lines(lines))
+}
+
+/// End-to-end delay bound by summing per-hop bounds, propagating the
+/// arrival curve hop by hop. `None` if any hop is unstable.
+pub fn path_delay_sum(a: &Curve, hops: &[ServiceCurve]) -> Option<f64> {
+    let mut cur = a.clone();
+    let mut total = 0.0;
+    for s in hops {
+        total += queue_delay_bound(&cur, s)?;
+        cur = output_bound(&cur, s)?;
+    }
+    Some(total)
+}
+
+/// End-to-end delay bound via the concatenation theorem: the tandem
+/// collapses to `β_{min Rᵢ, ΣTᵢ}` and the burst is paid once. `None` if
+/// the path is unstable.
+pub fn path_delay_sfa(a: &Curve, hops: &[ServiceCurve]) -> Option<f64> {
+    let mut it = hops.iter();
+    let first = *it.next()?;
+    let tandem = it.fold(first, |acc, s| acc.then(s));
+    queue_delay_bound(a, &tandem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::{Bytes, Dur, Rate};
+
+    fn tb(gbps: u64, kb: u64) -> Curve {
+        Curve::token_bucket(Rate::from_gbps(gbps), Bytes::from_kb(kb))
+    }
+
+    fn hop(gbps: u64, lat_us: u64) -> ServiceCurve {
+        ServiceCurve::rate_latency(Rate::from_gbps(gbps), Dur::from_us(lat_us))
+    }
+
+    #[test]
+    fn output_bound_shifts_burst_by_latency() {
+        let a = tb(1, 10);
+        let out = output_bound(&a, &hop(10, 100)).unwrap();
+        // burst' = b + r·T = 10 KB + 1 Gbps x 100 us = 22.5 KB.
+        assert!((out.burst() - (10_000.0 + 1.25e8 * 100e-6)).abs() < 1e-6);
+        assert_eq!(out.long_term_rate(), 1.25e8);
+    }
+
+    #[test]
+    fn output_bound_drops_super_rate_lines() {
+        // Dual-slope with Bmax above the service rate: the Bmax line
+        // vanishes, the sustained line survives.
+        let a = Curve::dual_slope(
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(40),
+            Bytes(1500),
+        );
+        let out = output_bound(&a, &hop(10, 0)).unwrap();
+        assert_eq!(out.lines().len(), 1);
+        assert_eq!(out.long_term_rate(), 1.25e8);
+    }
+
+    #[test]
+    fn unstable_hop_returns_none() {
+        let a = tb(12, 10);
+        assert!(output_bound(&a, &hop(10, 0)).is_none());
+        assert!(path_delay_sum(&a, &[hop(10, 0)]).is_none());
+        assert!(path_delay_sfa(&a, &[hop(10, 0)]).is_none());
+    }
+
+    #[test]
+    fn single_hop_agrees_between_methods() {
+        let a = tb(1, 100);
+        let hops = [hop(10, 50)];
+        let sum = path_delay_sum(&a, &hops).unwrap();
+        let sfa = path_delay_sfa(&a, &hops).unwrap();
+        assert!((sum - sfa).abs() < 1e-12);
+        // S/R + T exactly.
+        assert!((sfa - (100_000.0 / 1.25e9 + 50e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pay_bursts_only_once_is_tighter() {
+        // Three identical hops: the per-hop sum pays the (growing) burst
+        // three times; the concatenated bound pays it once.
+        let a = tb(1, 100);
+        let hops = [hop(10, 10), hop(10, 10), hop(10, 10)];
+        let sum = path_delay_sum(&a, &hops).unwrap();
+        let sfa = path_delay_sfa(&a, &hops).unwrap();
+        assert!(sfa < sum, "sfa {sfa} must beat sum {sum}");
+        // SFA closed form: S/R + ΣT.
+        assert!((sfa - (100_000.0 / 1.25e9 + 30e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sfa_bound_grows_with_path_length() {
+        let a = tb(1, 100);
+        let short = path_delay_sfa(&a, &[hop(10, 10)]).unwrap();
+        let long = path_delay_sfa(&a, &[hop(10, 10), hop(10, 10), hop(10, 10)]).unwrap();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn heterogeneous_rates_take_the_bottleneck() {
+        let a = tb(1, 50);
+        let hops = [hop(40, 5), hop(2, 20), hop(10, 5)];
+        let sfa = path_delay_sfa(&a, &hops).unwrap();
+        // Tandem = β_{2G, 30us}: delay = S/2G + 30us.
+        assert!((sfa - (50_000.0 / 0.25e9 + 30e-6)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-port admission arithmetic: Silo's constraint C1
+//! (`Q-bound ≤ Q-capacity`, paper §4.2.3) evaluated from aggregated
+//! arrival curves.
+
+use crate::bounds::{backlog_bound, queue_delay_bound};
+use crate::curve::Curve;
+use crate::service::ServiceCurve;
+use serde::{Deserialize, Serialize};
+use silo_base::{Bytes, Dur, Rate};
+
+/// Static description of one switch port for admission purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortCalc {
+    /// Egress line rate.
+    pub line_rate: Rate,
+    /// Packet buffer dedicated to this port.
+    pub buffer: Bytes,
+}
+
+/// The result of checking an aggregate arrival curve against a port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortVerdict {
+    /// Worst-case queueing delay (the paper's *queue bound*), if finite.
+    pub queue_bound: Option<Dur>,
+    /// Worst-case buffer occupancy, if finite.
+    pub backlog: Option<Bytes>,
+    /// Does the worst case fit the buffer (constraint C1)?
+    pub fits: bool,
+}
+
+impl PortCalc {
+    pub fn new(line_rate: Rate, buffer: Bytes) -> PortCalc {
+        assert!(line_rate.as_bps() > 0, "port needs a positive line rate");
+        PortCalc { line_rate, buffer }
+    }
+
+    /// The port's *queue capacity*: the time to drain a full buffer — the
+    /// maximum queueing delay any packet can suffer without being dropped
+    /// (paper §4.2.1; e.g. 10 Gbps + 100 KB ⇒ 80 µs).
+    pub fn queue_capacity(&self) -> Dur {
+        self.line_rate.tx_time(self.buffer)
+    }
+
+    /// The port as a constant-rate server.
+    pub fn service(&self) -> ServiceCurve {
+        ServiceCurve::constant_rate(self.line_rate)
+    }
+
+    /// Check an aggregate arrival curve against this port.
+    pub fn check(&self, aggregate: &Curve) -> PortVerdict {
+        let svc = self.service();
+        let q = queue_delay_bound(aggregate, &svc);
+        let b = backlog_bound(aggregate, &svc);
+        let fits = match b {
+            Some(bytes) => bytes <= self.buffer.as_f64() + 1e-6,
+            None => false,
+        };
+        PortVerdict {
+            queue_bound: q.map(Dur::from_secs_f64),
+            backlog: b.map(|x| Bytes(x.round() as u64)),
+            fits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_capacity_matches_paper() {
+        let p = PortCalc::new(Rate::from_gbps(10), Bytes::from_kb(100));
+        assert_eq!(p.queue_capacity(), Dur::from_us(80));
+        let p2 = PortCalc::new(Rate::from_gbps(10), Bytes::from_kb(312));
+        // The ns2 experiments use 312 KB ≈ 250 µs queue capacity.
+        assert!((p2.queue_capacity().as_us_f64() - 249.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn fits_is_monotone_in_load() {
+        let p = PortCalc::new(Rate::from_gbps(10), Bytes::from_kb(300));
+        let one = Curve::dual_slope(
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(10),
+            Bytes(1500),
+        );
+        assert!(p.check(&one.scale(2.0)).fits);
+        assert!(!p.check(&one.scale(9.0)).fits);
+    }
+
+    #[test]
+    fn overload_never_fits() {
+        let p = PortCalc::new(Rate::from_gbps(10), Bytes::from_kb(300));
+        let a = Curve::token_bucket(Rate::from_gbps(20), Bytes(0));
+        let v = p.check(&a);
+        assert!(!v.fits);
+        assert_eq!(v.queue_bound, None);
+        assert_eq!(v.backlog, None);
+    }
+
+    #[test]
+    fn queue_bound_below_capacity_when_fits() {
+        let p = PortCalc::new(Rate::from_gbps(10), Bytes::from_kb(300));
+        let a = Curve::dual_slope(
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(10),
+            Bytes(1500),
+        )
+        .scale(2.0);
+        let v = p.check(&a);
+        assert!(v.fits);
+        assert!(v.queue_bound.unwrap() <= p.queue_capacity());
+    }
+}

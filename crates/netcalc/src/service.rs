@@ -1,0 +1,100 @@
+//! Rate-latency service curves for switch ports.
+
+use serde::{Deserialize, Serialize};
+use silo_base::{Dur, Rate};
+
+/// The rate-latency service curve `β_{R,T}(t) = R · max(0, t − T)`:
+/// after at most `latency` seconds of scheduling delay the port serves at
+/// least `rate` bytes per second.
+///
+/// A plain FIFO output port of a store-and-forward switch is `β_{C,0}`
+/// where `C` is the line rate; a strict-priority low class behind a bounded
+/// high class gets a non-zero `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCurve {
+    /// Service rate in bytes per second.
+    pub rate: f64,
+    /// Scheduling latency in seconds.
+    pub latency: f64,
+}
+
+impl ServiceCurve {
+    /// A constant-rate server (FIFO port at line rate).
+    pub fn constant_rate(rate: Rate) -> ServiceCurve {
+        ServiceCurve {
+            rate: rate.bytes_per_sec(),
+            latency: 0.0,
+        }
+    }
+
+    /// A rate-latency server.
+    pub fn rate_latency(rate: Rate, latency: Dur) -> ServiceCurve {
+        ServiceCurve {
+            rate: rate.bytes_per_sec(),
+            latency: latency.as_secs_f64(),
+        }
+    }
+
+    /// `β(t)` in bytes.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.rate * (t - self.latency).max(0.0)
+    }
+
+    /// Earliest `t` with `β(t) ≥ y` — used by the horizontal-deviation
+    /// computation (`β` is invertible past its latency for `rate > 0`).
+    pub fn inverse(&self, y: f64) -> f64 {
+        debug_assert!(y >= 0.0);
+        if y == 0.0 {
+            return 0.0;
+        }
+        assert!(self.rate > 0.0, "cannot invert a zero-rate service curve");
+        self.latency + y / self.rate
+    }
+
+    /// Concatenation of two servers traversed in sequence: rates take the
+    /// min, latencies add (standard min-plus convolution of rate-latency
+    /// curves).
+    pub fn then(&self, next: &ServiceCurve) -> ServiceCurve {
+        ServiceCurve {
+            rate: self.rate.min(next.rate),
+            latency: self.latency + next.latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_eval() {
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        assert_eq!(s.eval(0.0), 0.0);
+        assert!((s.eval(1e-3) - 1.25e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_latency_has_dead_time() {
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(10));
+        assert_eq!(s.eval(5e-6), 0.0);
+        assert!((s.eval(15e-6) - 1.25e9 * 5e-6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(10));
+        let y = 123_456.0;
+        let t = s.inverse(y);
+        assert!((s.eval(t) - y).abs() < 1e-6);
+        assert_eq!(s.inverse(0.0), 0.0);
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(10));
+        let b = ServiceCurve::rate_latency(Rate::from_gbps(1), Dur::from_us(5));
+        let c = a.then(&b);
+        assert_eq!(c.rate, 1.25e8);
+        assert!((c.latency - 15e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Tenant-level curve construction: hose-model aggregation and multi-hop
+//! burst propagation (paper §4.2.2, "Adding arrival curves" and
+//! "Propagating arrival curves").
+
+use crate::curve::Curve;
+use serde::{Deserialize, Serialize};
+use silo_base::{Bytes, Dur, Rate};
+
+/// The network guarantee of one tenant, in curve-friendly form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantTraffic {
+    /// Number of VMs, `N`.
+    pub n_vms: usize,
+    /// Per-VM average (hose) bandwidth guarantee, `B`.
+    pub b: Rate,
+    /// Per-VM burst allowance, `S`.
+    pub s: Bytes,
+    /// Per-VM burst rate cap, `Bmax`.
+    pub bmax: Rate,
+    /// MTU used to account for the packet already in flight.
+    pub mtu: Bytes,
+}
+
+impl TenantTraffic {
+    /// Arrival curve of a single VM: the paper's `A'` dual-slope curve.
+    pub fn vm_curve(&self) -> Curve {
+        Curve::dual_slope(self.b, self.s, self.bmax, self.mtu)
+    }
+
+    /// Tight aggregate curve of this tenant's traffic across a cut with `m`
+    /// of its `N` VMs on the sending side.
+    ///
+    /// The hose model caps the tenant's *sustained* rate across the cut at
+    /// `min(m, N−m)·B` — more senders cannot help once receivers saturate —
+    /// but burst allowances are *not* destination-limited (§4.1), so the
+    /// worst-case burst is the full `m·S` delivered at `m·Bmax`:
+    ///
+    /// `A(t) = min( m·Bmax·t + m·MTU , min(m, N−m)·B·t + m·S )`.
+    pub fn cut_curve(&self, m: usize) -> Curve {
+        assert!(m <= self.n_vms, "cut larger than tenant");
+        if m == 0 || self.n_vms < 2 {
+            return Curve::zero();
+        }
+        tenant_hose_aggregate(m, self.n_vms, self.b, self.s, self.bmax, self.mtu)
+    }
+}
+
+/// The tight tenant aggregate across a cut (free function form). See
+/// [`TenantTraffic::cut_curve`].
+pub fn tenant_hose_aggregate(
+    m: usize,
+    n: usize,
+    b: Rate,
+    s: Bytes,
+    bmax: Rate,
+    mtu: Bytes,
+) -> Curve {
+    assert!(m >= 1 && m <= n, "need 1 <= m <= n, got m={m} n={n}");
+    let hose = (m.min(n - m)) as u64;
+    let m64 = m as u64;
+    Curve::dual_slope(b * hose, s * m64, bmax * m64, mtu * m64)
+}
+
+/// Arrival curve of traffic *after* it egresses a port whose queue is
+/// guaranteed to empty at least once every `queue_capacity` (paper
+/// §4.2.2, after Kurose '92).
+///
+/// In the worst case every byte the source may emit over one queue-capacity
+/// interval is forwarded back-to-back as a single burst, so the egress burst
+/// is `A(c)` while the long-term rate is unchanged. When `line_rate` is
+/// given, the burst can physically drain no faster than the egress line, so
+/// the curve is additionally capped by `line·t + mtu`.
+pub fn propagate_egress(
+    ingress: &Curve,
+    queue_capacity: Dur,
+    line_rate: Option<Rate>,
+    mtu: Bytes,
+) -> Curve {
+    let c = queue_capacity.as_secs_f64();
+    let burst = ingress.eval(c);
+    let rate = ingress.long_term_rate();
+    let tb = Curve::from_lines(vec![crate::curve::Line { rate, burst }]);
+    match line_rate {
+        Some(line) => tb.min_with(&Curve::token_bucket(line, mtu)),
+        None => tb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::backlog_bound;
+    use crate::service::ServiceCurve;
+
+    fn tt(n: usize) -> TenantTraffic {
+        TenantTraffic {
+            n_vms: n,
+            b: Rate::from_gbps(1),
+            s: Bytes::from_kb(100),
+            bmax: Rate::from_gbps(10),
+            mtu: Bytes(1500),
+        }
+    }
+
+    #[test]
+    fn hose_rate_is_min_of_cut_sides() {
+        let t = tt(9);
+        // 6 senders, 3 receivers: sustained rate min(6,3)·1G = 3 Gbps.
+        let c = t.cut_curve(6);
+        assert!((c.long_term_rate() - 3.0 * 1.25e8).abs() < 1.0);
+        // Burst is NOT destination-limited: 6·100 KB.
+        assert!((c.eval(1.0) - (3.0 * 1.25e8 + 600_000.0)).abs() < 10.0);
+    }
+
+    #[test]
+    fn burst_scales_with_senders() {
+        let t = tt(9);
+        let c = t.cut_curve(8);
+        // At the burst timescale the m·Bmax line is active.
+        assert_eq!(c.slope_at(0.0), 8.0 * 1.25e9);
+        assert!((c.burst() - 8.0 * 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_than_naive_scaling() {
+        // The naive sum m·A_{B,S} has sustained rate m·B; the hose-aware
+        // aggregate caps it at min(m, n−m)·B — strictly tighter when
+        // m > n/2.
+        let t = tt(9);
+        let tight = t.cut_curve(8);
+        let naive = t.vm_curve().scale(8.0);
+        let at_1ms = 1e-3;
+        assert!(tight.eval(at_1ms) < naive.eval(at_1ms));
+    }
+
+    #[test]
+    fn cut_of_zero_or_single_vm_tenant_is_zero() {
+        assert_eq!(tt(9).cut_curve(0).eval(1.0), 0.0);
+        // A 1-VM tenant has no network traffic between its own VMs.
+        assert_eq!(tt(1).cut_curve(1).eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn figure5_more_crossing_senders_need_more_buffer() {
+        // Without physical link caps, the raw cut curves still order the
+        // two Fig. 5 placements correctly: 8 crossing senders always need
+        // strictly more buffering than 6.
+        let t = tt(9);
+        let svc = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        let b8 = backlog_bound(&t.cut_curve(8), &svc).unwrap();
+        let b6 = backlog_bound(&t.cut_curve(6), &svc).unwrap();
+        assert!(b8 > b6, "8-sender cut {b8} vs 6-sender cut {b6}");
+        assert!(b8 > 400_000.0);
+    }
+
+    #[test]
+    fn propagation_inflates_burst_only() {
+        // Paper's closing example: a VM with curve A_{B,S} crossing a port
+        // with queue capacity c egresses as A_{B, B·c+S}.
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes::from_kb(10));
+        let c = Dur::from_us(80); // 100 KB @ 10G
+        let out = propagate_egress(&a, c, None, Bytes(1500));
+        assert_eq!(out.long_term_rate(), 1.25e8);
+        let expected_burst = 1.25e8 * 80e-6 + 10_000.0;
+        assert!((out.burst() - expected_burst).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_with_line_cap() {
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes::from_kb(10));
+        let out = propagate_egress(&a, Dur::from_us(80), Some(Rate::from_gbps(10)), Bytes(1500));
+        // Near t=0 the line-rate cap is active.
+        assert_eq!(out.burst(), 1500.0);
+        assert_eq!(out.slope_at(0.0), 1.25e9);
+        assert_eq!(out.long_term_rate(), 1.25e8);
+    }
+
+    #[test]
+    fn figure7_packet_bunching() {
+        // Fig. 7: f1 at C/2 with a 1-packet burst shares a port with f2;
+        // after the switch f1's burst can double. With queue capacity equal
+        // to the drain time of the competing mix, the propagated burst for
+        // f1 grows past one packet.
+        let c10 = Rate::from_gbps(10);
+        let pkt = Bytes(1500);
+        let f1 = Curve::token_bucket(c10 / 2, pkt);
+        // Queue capacity = 2 packets' transmission time (one of each flow
+        // may be queued ahead).
+        let cap = c10.tx_time(pkt) * 2;
+        let out = propagate_egress(&f1, cap, Some(c10), pkt);
+        // Burst after egress: A(c) = C/2 · c + 1500 = 3000 B = 2 packets.
+        assert!((out.eval(1e-9) - 1500.0).abs() < 10.0); // line cap at t≈0
+        let long_burst = out.lines().last().unwrap().burst;
+        assert!((long_burst - 3000.0).abs() < 1.0, "burst doubled: {long_burst}");
+    }
+}

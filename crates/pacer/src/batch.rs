@@ -1,0 +1,366 @@
+//! Paced IO Batching with void packets (paper §4.3.1, Fig. 9).
+//!
+//! Packets arrive already *timestamped* by the token-bucket chains of the
+//! VMs sharing the NIC (stamps from different VMs interleave arbitrarily,
+//! so the batcher keeps a priority queue). The batcher assembles, once per
+//! DMA-completion, up to one batch window (50 µs by default) of wire
+//! frames in which every gap between data packets is occupied by void
+//! frames. The NIC transmits the whole batch back-to-back, so each data
+//! packet hits the wire exactly at (or minimally after) its timestamp.
+//!
+//! Voids are only generated *between* packets of a batch: if nothing is
+//! due yet the batch is empty and the NIC idles until the next stamp (§5:
+//! "the pacer does not incur any extra CPU overhead when the network is
+//! idle").
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The smallest frame a NIC can put on the wire: 64 B Ethernet minimum +
+/// 20 B preamble/IPG = 84 B, i.e. 67.2 ns at 10 GbE — the pacer's spacing
+/// granularity (§4.3.1).
+pub const MIN_VOID_BYTES: u64 = 84;
+
+/// What a wire slot carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A tenant packet.
+    Data,
+    /// A void frame: forwarded by the NIC, dropped by the first switch
+    /// (its destination MAC equals its source MAC).
+    Void,
+}
+
+/// One frame in a batch's wire schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame<P> {
+    /// Instant the first bit hits the wire.
+    pub start: Time,
+    /// Wire size (including Ethernet overheads for voids).
+    pub size: Bytes,
+    pub kind: FrameKind,
+    /// The tenant packet for data frames; `None` for voids.
+    pub payload: Option<P>,
+}
+
+/// One NIC batch: frames transmitted back-to-back plus the DMA-completion
+/// instant at which the next batch should be pulled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch<P> {
+    pub frames: Vec<WireFrame<P>>,
+    /// When the NIC finishes this batch (`== the pull instant` for an
+    /// empty batch: the NIC is idle; re-arm at [`PacedBatcher::next_stamp`]).
+    pub done_at: Time,
+}
+
+impl<P> Batch<P> {
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+    pub fn data_bytes(&self) -> Bytes {
+        self.frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Data)
+            .map(|f| f.size)
+            .sum()
+    }
+    pub fn void_bytes(&self) -> Bytes {
+        self.frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Void)
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+struct Stamped<P> {
+    stamp: Time,
+    seq: u64,
+    size: Bytes,
+    payload: P,
+}
+
+impl<P> PartialEq for Stamped<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.stamp == other.stamp && self.seq == other.seq
+    }
+}
+impl<P> Eq for Stamped<P> {}
+impl<P> PartialOrd for Stamped<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Stamped<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earliest stamp first, FIFO on ties.
+        other
+            .stamp
+            .cmp(&self.stamp)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Assembles paced batches for one NIC shared by many VM pacers.
+pub struct PacedBatcher<P> {
+    link: Rate,
+    window: Dur,
+    mtu: Bytes,
+    queue: BinaryHeap<Stamped<P>>,
+    seq: u64,
+}
+
+impl<P> PacedBatcher<P> {
+    /// `link` is the NIC line rate; `window` the batch length in wire time
+    /// (the paper uses 50 µs); `mtu` caps individual void frames.
+    pub fn new(link: Rate, window: Dur, mtu: Bytes) -> PacedBatcher<P> {
+        assert!(window > Dur::ZERO);
+        assert!(mtu.as_u64() >= MIN_VOID_BYTES);
+        PacedBatcher {
+            link,
+            window,
+            mtu,
+            queue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Hand a timestamped packet to the NIC queue (any stamp order; equal
+    /// stamps keep insertion order).
+    pub fn enqueue(&mut self, stamp: Time, size: Bytes, payload: P) {
+        self.queue.push(Stamped {
+            stamp,
+            seq: self.seq,
+            size,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Earliest stamp waiting, if any — when an empty batch comes back,
+    /// the host re-arms its pull timer for this instant.
+    pub fn next_stamp(&self) -> Option<Time> {
+        self.queue.peek().map(|s| s.stamp)
+    }
+
+    /// Build the next batch, called at `now` (NIC idle: previous DMA
+    /// completed). The batch starts at the first due stamp (never before
+    /// `now`) and covers one window of wire time:
+    ///
+    /// * a data packet whose stamp has passed goes out immediately;
+    /// * a gap before the next stamp is filled with void frames — unless
+    ///   the queue is empty, in which case the batch ends early;
+    /// * a sub-84 B gap is rounded **up** to one minimal void frame: data
+    ///   is delayed by < 68 ns rather than released early, keeping the
+    ///   schedule conformant;
+    /// * if nothing is due yet (`next_stamp() > now`), the batch is empty —
+    ///   the NIC idles rather than transmit leading voids.
+    pub fn next_batch(&mut self, now: Time) -> Batch<P> {
+        let mut frames = Vec::new();
+        let Some(head) = self.queue.peek() else {
+            return Batch {
+                frames,
+                done_at: now,
+            };
+        };
+        if head.stamp > now {
+            return Batch {
+                frames,
+                done_at: now,
+            };
+        }
+        let mut cursor = now;
+        let end = now + self.window;
+        while cursor < end {
+            let Some(head) = self.queue.peek() else {
+                break;
+            };
+            if head.stamp <= cursor {
+                let pkt = self.queue.pop().expect("nonempty");
+                let tx = self.link.tx_time(pkt.size);
+                frames.push(WireFrame {
+                    start: cursor,
+                    size: pkt.size,
+                    kind: FrameKind::Data,
+                    payload: Some(pkt.payload),
+                });
+                cursor += tx;
+            } else {
+                // Fill the gap up to the stamp (or window end) with voids.
+                let gap_end = head.stamp.min(end);
+                let gap_bytes = self.link.bytes_in(gap_end - cursor).as_u64();
+                let void = gap_bytes.clamp(MIN_VOID_BYTES, self.mtu.as_u64());
+                let tx = self.link.tx_time(Bytes(void));
+                frames.push(WireFrame {
+                    start: cursor,
+                    size: Bytes(void),
+                    kind: FrameKind::Void,
+                    payload: None,
+                });
+                cursor += tx;
+            }
+        }
+        Batch {
+            frames,
+            done_at: cursor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher() -> PacedBatcher<u32> {
+        PacedBatcher::new(Rate::from_gbps(10), Dur::from_us(50), Bytes(1500))
+    }
+
+    #[test]
+    fn empty_queue_gives_empty_batch() {
+        let mut b = batcher();
+        let batch = b.next_batch(Time::from_us(7));
+        assert!(batch.is_empty());
+        assert_eq!(batch.done_at, Time::from_us(7));
+    }
+
+    #[test]
+    fn future_stamp_means_idle_not_voids() {
+        let mut b = batcher();
+        b.enqueue(Time::from_us(30), Bytes(1500), 0);
+        let batch = b.next_batch(Time::ZERO);
+        assert!(batch.is_empty(), "no leading voids while idle");
+        assert_eq!(b.next_stamp(), Some(Time::from_us(30)));
+        // Pulled again at the stamp, the packet goes out.
+        let batch = b.next_batch(Time::from_us(30));
+        assert_eq!(batch.frames.len(), 1);
+        assert_eq!(batch.frames[0].start, Time::from_us(30));
+    }
+
+    #[test]
+    fn paper_fig9_interleaving() {
+        // A VM limited to 2 Gbps on a 10 G link: 1500 B data every 6 us,
+        // i.e. every fifth wire slot is data, the rest void.
+        let mut b = batcher();
+        for i in 0..8u32 {
+            b.enqueue(Time::from_us(6 * i as u64), Bytes(1500), i);
+        }
+        let batch = b.next_batch(Time::ZERO);
+        let data: Vec<&WireFrame<u32>> = batch
+            .frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Data)
+            .collect();
+        assert_eq!(data.len(), 8);
+        for (i, f) in data.iter().enumerate() {
+            assert_eq!(f.start, Time::from_us(6 * i as u64), "packet {i}");
+            assert_eq!(f.payload, Some(i as u32));
+        }
+        // Gaps are filled: 6 us − 1.2 us data = 4.8 us = 6000 B of voids
+        // per gap, i.e. 4 MTU voids.
+        let voids = batch.frames.len() - data.len();
+        assert_eq!(voids, 7 * 4);
+        assert!(batch
+            .frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Void)
+            .all(|f| f.size == Bytes(1500)));
+    }
+
+    #[test]
+    fn unordered_stamps_from_two_vms_interleave() {
+        let mut b = batcher();
+        // VM A stamps first at 0 and 24 us; VM B at 12 us — enqueued out
+        // of order.
+        b.enqueue(Time::ZERO, Bytes(1500), 100);
+        b.enqueue(Time::from_us(24), Bytes(1500), 101);
+        b.enqueue(Time::from_us(12), Bytes(1500), 200);
+        let batch = b.next_batch(Time::ZERO);
+        let data: Vec<u32> = batch
+            .frames
+            .iter()
+            .filter_map(|f| f.payload)
+            .collect();
+        assert_eq!(data, vec![100, 200, 101]);
+    }
+
+    #[test]
+    fn min_spacing_is_68ns() {
+        // Two packets stamped 2 frame times apart: one minimal void in
+        // between.
+        let mut b = batcher();
+        b.enqueue(Time::ZERO, Bytes(84), 0);
+        b.enqueue(Time(84 * 800 * 2), Bytes(84), 1);
+        let batch = b.next_batch(Time::ZERO);
+        assert_eq!(batch.frames.len(), 3);
+        assert_eq!(batch.frames[1].kind, FrameKind::Void);
+        assert_eq!(batch.frames[1].size, Bytes(84));
+        assert_eq!(
+            batch.frames[2].start - batch.frames[0].start,
+            Dur::from_ps(2 * 67_200)
+        );
+    }
+
+    #[test]
+    fn sub_minimum_gap_delays_data() {
+        // Stamp 10 ns after the previous frame ends: the 84 B void pushes
+        // the data 67.2 ns instead — late, never early.
+        let mut b = batcher();
+        b.enqueue(Time::ZERO, Bytes(1500), 0);
+        let first_end = Rate::from_gbps(10).tx_time(Bytes(1500));
+        let stamp = Time::ZERO + first_end + Dur::from_ns(10);
+        b.enqueue(stamp, Bytes(1500), 1);
+        let batch = b.next_batch(Time::ZERO);
+        assert_eq!(batch.frames.len(), 3);
+        let data2 = &batch.frames[2];
+        assert_eq!(data2.kind, FrameKind::Data);
+        assert!(data2.start >= stamp, "data must not leave early");
+        assert!(data2.start.since(stamp) < Dur::from_ns(68));
+    }
+
+    #[test]
+    fn no_voids_when_queue_drains() {
+        let mut b = batcher();
+        b.enqueue(Time::ZERO, Bytes(1500), 0);
+        let batch = b.next_batch(Time::ZERO);
+        assert_eq!(batch.frames.len(), 1);
+        assert_eq!(
+            batch.done_at,
+            Time::ZERO + Rate::from_gbps(10).tx_time(Bytes(1500))
+        );
+    }
+
+    #[test]
+    fn window_bounds_batch_length() {
+        let mut b = batcher();
+        // 100 back-to-back MTU packets = 120 us of wire time.
+        for i in 0..100u32 {
+            b.enqueue(Time::ZERO, Bytes(1500), i);
+        }
+        let batch = b.next_batch(Time::ZERO);
+        assert!(batch.frames.len() >= 41 && batch.frames.len() <= 43);
+        assert!(batch.done_at.since(Time::ZERO) <= Dur::from_us(51));
+        let batch2 = b.next_batch(batch.done_at);
+        assert!(!batch2.is_empty());
+        assert_eq!(batch2.frames[0].start, batch.done_at);
+    }
+
+    #[test]
+    fn late_stamps_are_sent_asap_in_order() {
+        let mut b = batcher();
+        b.enqueue(Time::ZERO, Bytes(1500), 0);
+        b.enqueue(Time::from_ns(100), Bytes(1500), 1);
+        let batch = b.next_batch(Time::from_us(100));
+        assert_eq!(batch.frames.len(), 2);
+        assert_eq!(batch.frames[0].start, Time::from_us(100));
+        assert_eq!(batch.frames[1].kind, FrameKind::Data);
+        assert_eq!(
+            batch.frames[1].start,
+            Time::from_us(100) + Rate::from_gbps(10).tx_time(Bytes(1500))
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Per-port load accumulators and the O(1) admission check (constraint C1).
+
+use serde::{Deserialize, Serialize};
+use silo_base::{Bytes, Dur, Rate};
+use silo_netcalc::{backlog_bound, Curve, Line, ServiceCurve};
+
+/// One tenant's traffic contribution at one port, in curve-summary form.
+/// All fields are linear in the tenant, so departures subtract exactly.
+///
+/// The contribution stands for the two-line curve
+/// `min( burst_rate·t + mtu_bytes , rate·t + burst )`. At a tenant's
+/// *first* switch hop the burst-rate line is `m·Bmax` (the pacers enforce
+/// it). After any switch hop, queues can re-bunch packets up to the
+/// upstream *line* rate, so `Bmax` no longer bounds arrival speed — the
+/// contribution is then flagged [`Contribution::rate_unbounded`] and the
+/// check falls back to the port's physical ingress capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Contribution {
+    /// Hose-capped sustained rate crossing the port, bytes/sec:
+    /// `min(m, N−m)·B`.
+    pub rate: f64,
+    /// Worst-case burst crossing the port, bytes, after Kurose inflation
+    /// by each upstream switch port's queue capacity.
+    pub burst: f64,
+    /// Rate at which the burst can arrive, bytes/sec (`m·Bmax`), valid
+    /// only when `rate_unbounded` is false.
+    pub burst_rate: f64,
+    /// In-flight packet allowance, bytes: `m·MTU`.
+    pub mtu_bytes: f64,
+    /// True once the traffic has crossed a switch queue: its burst can
+    /// then arrive at upstream line rate.
+    pub rate_unbounded: bool,
+}
+
+impl Contribution {
+    /// Contribution of a tenant cut with `m` senders out of `n` VMs and
+    /// per-VM guarantee `{b, s, bmax}`, after crossing the upstream switch
+    /// ports whose queue capacities are `prior` (empty at the first hop).
+    ///
+    /// Burst propagation follows the paper (§4.2.2): each traversed port
+    /// with queue capacity `c` may re-emit everything the cut can send in
+    /// an interval `c` as one burst, so the burst becomes `A(c)` of the
+    /// ingress curve at that hop.
+    pub fn for_cut(
+        m: usize,
+        n: usize,
+        b: Rate,
+        s: Bytes,
+        bmax: Rate,
+        mtu: Bytes,
+        prior: &[Dur],
+    ) -> Contribution {
+        Contribution::for_cut_capped(m, n, b, s, bmax, mtu, prior, Rate(u64::MAX))
+    }
+
+    /// Like [`Contribution::for_cut`], additionally capping the burst
+    /// arrival rate by `access_cap` — the combined line rate of the
+    /// sending-side hosts' NICs, which the burst can never physically
+    /// exceed (Fig. 5's "800 KB *at 20 Gbps*").
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_cut_capped(
+        m: usize,
+        n: usize,
+        b: Rate,
+        s: Bytes,
+        bmax: Rate,
+        mtu: Bytes,
+        prior: &[Dur],
+        access_cap: Rate,
+    ) -> Contribution {
+        debug_assert!(m >= 1 && m < n, "cut needs senders and receivers");
+        let hose = b.bytes_per_sec() * m.min(n - m) as f64;
+        let burst_rate =
+            (bmax.bytes_per_sec() * m as f64).min(access_cap.bytes_per_sec());
+        let mtu_b = mtu.as_f64() * m as f64;
+        let mut burst = s.as_f64() * m as f64;
+        for (k, c) in prior.iter().enumerate() {
+            let t = c.as_secs_f64();
+            // Ingress curve at this hop: the burst-rate line only applies
+            // before the first switch (k == 0).
+            let by_rate_line = if k == 0 {
+                burst_rate * t + mtu_b
+            } else {
+                f64::INFINITY
+            };
+            let a_c = by_rate_line.min(hose * t + burst);
+            burst = a_c;
+        }
+        Contribution {
+            rate: hose,
+            burst,
+            burst_rate,
+            mtu_bytes: mtu_b,
+            rate_unbounded: !prior.is_empty(),
+        }
+    }
+}
+
+/// Aggregated load at one port: linear sums over admitted tenants'
+/// [`Contribution`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PortLoad {
+    pub rate: f64,
+    pub burst: f64,
+    pub burst_rate: f64,
+    pub mtu_bytes: f64,
+    /// Number of contributions whose burst arrival rate is bounded only by
+    /// the physical ingress capacity.
+    pub unbounded: u32,
+}
+
+impl PortLoad {
+    pub fn add(&mut self, c: &Contribution) {
+        self.rate += c.rate;
+        self.burst += c.burst;
+        self.burst_rate += c.burst_rate;
+        self.mtu_bytes += c.mtu_bytes;
+        if c.rate_unbounded {
+            self.unbounded += 1;
+        }
+    }
+
+    pub fn sub(&mut self, c: &Contribution) {
+        self.rate -= c.rate;
+        self.burst -= c.burst;
+        self.burst_rate -= c.burst_rate;
+        self.mtu_bytes -= c.mtu_bytes;
+        if c.rate_unbounded {
+            self.unbounded -= 1;
+        }
+        // Clamp tiny negative float residue from repeated add/sub.
+        self.rate = self.rate.max(0.0);
+        self.burst = self.burst.max(0.0);
+        self.burst_rate = self.burst_rate.max(0.0);
+        self.mtu_bytes = self.mtu_bytes.max(0.0);
+    }
+
+    /// The two-line aggregate arrival curve this load implies, with the
+    /// burst rate capped by the switch's physical ingress capacity.
+    pub fn curve(&self, ingress_cap: Rate) -> Curve {
+        let cap = ingress_cap.bytes_per_sec();
+        let r1 = if self.unbounded > 0 {
+            cap
+        } else {
+            self.burst_rate.min(cap)
+        };
+        Curve::from_lines(vec![
+            Line {
+                rate: r1,
+                burst: self.mtu_bytes,
+            },
+            Line {
+                rate: self.rate,
+                burst: self.burst.max(self.mtu_bytes),
+            },
+        ])
+    }
+
+    /// Worst-case buffer occupancy at a port with the given line rate and
+    /// ingress capacity; `None` when the sustained rate alone oversubscribes
+    /// the line (unbounded queue).
+    pub fn backlog(&self, line: Rate, ingress_cap: Rate) -> Option<Bytes> {
+        let svc = ServiceCurve::constant_rate(line);
+        backlog_bound(&self.curve(ingress_cap), &svc).map(|b| Bytes(b.round() as u64))
+    }
+
+    /// Constraint C1: does the worst case fit the port buffer?
+    ///
+    /// Sustained reservations are additionally capped at 97% of the line:
+    /// a port reserved to exactly 100% is only *marginally* stable, and
+    /// any real pacer's quantization makes its queue random-walk upward.
+    pub fn fits(&self, line: Rate, ingress_cap: Rate, buffer: Bytes) -> bool {
+        if self.rate > line.bytes_per_sec() * 0.97 {
+            return false;
+        }
+        match self.backlog(line, ingress_cap) {
+            Some(b) => b <= buffer,
+            None => false,
+        }
+    }
+
+    /// The queue (delay) bound this load implies — proportional to the
+    /// backlog for a constant-rate server.
+    pub fn queue_bound(&self, line: Rate, ingress_cap: Rate) -> Option<Dur> {
+        self.backlog(line, ingress_cap).map(|b| line.tx_time(b))
+    }
+
+    pub fn with(&self, c: &Contribution) -> PortLoad {
+        let mut l = *self;
+        l.add(c);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_a_cut(m: usize, n: usize, prior: &[Dur]) -> Contribution {
+        Contribution::for_cut(
+            m,
+            n,
+            Rate::from_mbps(250),
+            Bytes::from_kb(15),
+            Rate::from_gbps(1),
+            Bytes(1500),
+            prior,
+        )
+    }
+
+    #[test]
+    fn contribution_hose_cap() {
+        let c = class_a_cut(6, 9, &[]);
+        // min(6,3)·0.25 Gbps = 0.75 Gbps = 93.75 MB/s.
+        assert!((c.rate - 0.75e9 / 8.0).abs() < 1.0);
+        assert!((c.burst - 90_000.0).abs() < 1e-6);
+        assert!((c.burst_rate - 6.0 * 1.25e8).abs() < 1.0);
+        assert!(!c.rate_unbounded);
+    }
+
+    #[test]
+    fn burst_inflation_bounded_by_hose_line() {
+        let c0 = class_a_cut(4, 9, &[]);
+        let c1 = class_a_cut(4, 9, &[Dur::from_us(250)]);
+        // One hop of 250 us inflation: at most hose·c extra, and at most
+        // what the burst-rate line allows.
+        assert!(c1.burst <= c0.burst + c0.rate * 250e-6 + 1e-6);
+        assert!(c1.burst <= c0.burst_rate * 250e-6 + c0.mtu_bytes + 1e-6);
+        assert!(c1.rate_unbounded);
+    }
+
+    #[test]
+    fn second_hop_ignores_bmax() {
+        // After the first switch, the Bmax line no longer limits arrivals,
+        // so the second hop inflates along the hose line.
+        let one = class_a_cut(4, 9, &[Dur::from_us(250)]);
+        let two = class_a_cut(4, 9, &[Dur::from_us(250), Dur::from_us(250)]);
+        assert!((two.burst - (one.burst + one.rate * 250e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_sub_roundtrip_is_exact_enough() {
+        let mut l = PortLoad::default();
+        let c1 = class_a_cut(4, 9, &[Dur::from_us(250)]);
+        let c2 = class_a_cut(7, 20, &[Dur::from_us(80)]);
+        l.add(&c1);
+        l.add(&c2);
+        l.sub(&c1);
+        let mut only2 = PortLoad::default();
+        only2.add(&c2);
+        assert!((l.rate - only2.rate).abs() < 1e-6);
+        assert!((l.burst - only2.burst).abs() < 1e-6);
+        assert_eq!(l.unbounded, 1);
+        l.sub(&c2);
+        assert!(l.rate.abs() < 1e-6 && l.burst.abs() < 1e-6);
+        assert_eq!(l.unbounded, 0);
+    }
+
+    #[test]
+    fn fits_rejects_oversubscribed_rate() {
+        let mut l = PortLoad::default();
+        // 12 × min(4,4)·0.25 G = 12 Gbps sustained through 10 Gbps.
+        for _ in 0..12 {
+            l.add(&Contribution::for_cut(
+                4,
+                8,
+                Rate::from_gbps(1),
+                Bytes(1500),
+                Rate::from_gbps(1),
+                Bytes(1500),
+                &[],
+            ));
+        }
+        assert!(!l.fits(
+            Rate::from_gbps(10),
+            Rate::from_gbps(400),
+            Bytes::from_kb(312)
+        ));
+    }
+
+    #[test]
+    fn fits_small_load() {
+        let l = PortLoad::default().with(&class_a_cut(6, 9, &[]));
+        assert!(l.fits(
+            Rate::from_gbps(10),
+            Rate::from_gbps(400),
+            Bytes::from_kb(312)
+        ));
+    }
+
+    #[test]
+    fn ingress_cap_tightens_backlog() {
+        // Fig. 5 through the PortLoad API. Tenant: 9 VMs,
+        // {1 G, 100 KB, 10 G}; 6 senders cross; ingress physically capped
+        // at 20 G (two server NICs).
+        let c = Contribution::for_cut(
+            6,
+            9,
+            Rate::from_gbps(1),
+            Bytes::from_kb(100),
+            Rate::from_gbps(10),
+            Bytes(1500),
+            &[],
+        );
+        let l = PortLoad::default().with(&c);
+        let capped = l.backlog(Rate::from_gbps(10), Rate::from_gbps(20)).unwrap();
+        let uncapped = l
+            .backlog(Rate::from_gbps(10), Rate::from_gbps(4000))
+            .unwrap();
+        assert!(capped < uncapped, "{capped} < {uncapped}");
+        // ~354 KB with the cap (paper's simplified arithmetic says 300 KB).
+        assert!(
+            capped.as_u64() > 330_000 && capped.as_u64() < 370_000,
+            "{capped}"
+        );
+    }
+
+    #[test]
+    fn unbounded_contribution_uses_ingress_cap() {
+        let c = class_a_cut(6, 9, &[Dur::from_us(250)]);
+        let l = PortLoad::default().with(&c);
+        // burst_rate sum says 6 Gbps, but the flag forces the cap (80 G).
+        let curve = l.curve(Rate::from_gbps(80));
+        assert!((curve.slope_at(0.0) - 1e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn queue_bound_scales_with_line_rate() {
+        let l = PortLoad::default().with(&class_a_cut(6, 9, &[]));
+        let q10 = l
+            .queue_bound(Rate::from_gbps(10), Rate::from_gbps(400))
+            .unwrap();
+        let q40 = l
+            .queue_bound(Rate::from_gbps(40), Rate::from_gbps(400))
+            .unwrap();
+        assert!(q40 < q10);
+    }
+}

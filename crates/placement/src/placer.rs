@@ -1,0 +1,363 @@
+//! The placement interface shared by Silo and the baseline algorithms:
+//! slot bookkeeping, greedy height-minimizing candidate enumeration, and
+//! the [`Placer`] trait.
+
+use crate::guarantee::TenantRequest;
+use serde::{Deserialize, Serialize};
+use silo_topology::{HostId, Level, Topology};
+
+/// Opaque tenant handle returned by admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u64);
+
+/// A successful placement: how many VMs landed on each host, and the
+/// hierarchy level the tenant spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    pub tenant: TenantId,
+    pub hosts: Vec<(HostId, usize)>,
+    pub span: Level,
+}
+
+impl Placement {
+    pub fn total_vms(&self) -> usize {
+        self.hosts.iter().map(|(_, k)| k).sum()
+    }
+}
+
+/// Why admission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Not enough free VM slots anywhere the tenant is allowed to span.
+    InsufficientSlots,
+    /// The delay guarantee cannot be met even within a single rack and the
+    /// tenant does not fit one server.
+    DelayUnsatisfiable,
+    /// No placement satisfies the network constraints (C1 for Silo,
+    /// residual bandwidth for Oktopus).
+    NetworkUnsatisfiable,
+}
+
+/// An admission-controlling VM placer.
+pub trait Placer {
+    fn topology(&self) -> &Topology;
+
+    /// Admit and place a tenant, or reject it. A rejected request leaves
+    /// the placer's state untouched.
+    fn try_place(&mut self, req: &TenantRequest) -> Result<Placement, RejectReason>;
+
+    /// Release a tenant's VMs and network reservations. Returns false if
+    /// the tenant is unknown.
+    fn remove(&mut self, tenant: TenantId) -> bool;
+
+    /// Occupied VM slots (for occupancy accounting).
+    fn used_slots(&self) -> usize;
+}
+
+/// Free-slot bookkeeping with per-rack/per-pod aggregates so candidate
+/// subtrees without room are skipped in O(1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotMap {
+    per_host: Vec<usize>,
+    per_rack: Vec<usize>,
+    per_pod: Vec<usize>,
+    total_free: usize,
+    total_slots: usize,
+}
+
+impl SlotMap {
+    pub fn new(topo: &Topology) -> SlotMap {
+        let s = topo.slots_per_server();
+        let hosts = topo.num_hosts();
+        let hosts_per_rack = topo.params().servers_per_rack;
+        let hosts_per_pod = hosts_per_rack * topo.params().racks_per_pod;
+        SlotMap {
+            per_host: vec![s; hosts],
+            per_rack: vec![s * hosts_per_rack; topo.num_racks()],
+            per_pod: vec![s * hosts_per_pod; topo.num_pods()],
+            total_free: s * hosts,
+            total_slots: s * hosts,
+        }
+    }
+
+    pub fn free_host(&self, h: HostId) -> usize {
+        self.per_host[h.0 as usize]
+    }
+    pub fn free_rack(&self, rack: usize) -> usize {
+        self.per_rack[rack]
+    }
+    pub fn free_pod(&self, pod: usize) -> usize {
+        self.per_pod[pod]
+    }
+    pub fn total_free(&self) -> usize {
+        self.total_free
+    }
+    pub fn used(&self) -> usize {
+        self.total_slots - self.total_free
+    }
+    pub fn total(&self) -> usize {
+        self.total_slots
+    }
+
+    pub fn alloc(&mut self, topo: &Topology, placement: &[(HostId, usize)]) {
+        for &(h, k) in placement {
+            assert!(self.per_host[h.0 as usize] >= k, "slot over-allocation");
+            self.per_host[h.0 as usize] -= k;
+            self.per_rack[topo.rack_of(h)] -= k;
+            self.per_pod[topo.pod_of(h)] -= k;
+            self.total_free -= k;
+        }
+    }
+
+    pub fn release(&mut self, topo: &Topology, placement: &[(HostId, usize)]) {
+        for &(h, k) in placement {
+            self.per_host[h.0 as usize] += k;
+            self.per_rack[topo.rack_of(h)] += k;
+            self.per_pod[topo.pod_of(h)] += k;
+            self.total_free += k;
+        }
+    }
+}
+
+/// Distribute `n` VMs over `hosts` (in order), at most `cap` per host and
+/// never more than a host's free slots. Returns `None` if they don't fit.
+pub(crate) fn distribute(
+    slots: &SlotMap,
+    hosts: impl Iterator<Item = HostId>,
+    n: usize,
+    cap: usize,
+) -> Option<Vec<(HostId, usize)>> {
+    let mut left = n;
+    let mut out = Vec::new();
+    for h in hosts {
+        if left == 0 {
+            break;
+        }
+        let k = slots.free_host(h).min(cap).min(left);
+        if k > 0 {
+            out.push((h, k));
+            left -= k;
+        }
+    }
+    if left == 0 {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Greedy height-minimizing placement (paper §4.2.3): try a single server,
+/// then each rack, each pod, then the whole datacenter — never exceeding
+/// `max_level`. Within a multi-server candidate, packing density is relaxed
+/// from `slots_per_server` down to a balanced spread until `check` accepts
+/// (spreading lowers the per-port cut sizes, cf. Fig. 5).
+///
+/// `check(placement, level)` validates the candidate against the placer's
+/// network constraints. `min_hosts` is the fault-domain constraint: the
+/// tenant must span at least that many servers (`1` disables it).
+pub(crate) fn greedy_place_spread<F>(
+    topo: &Topology,
+    slots: &SlotMap,
+    n: usize,
+    max_level: Level,
+    min_hosts: usize,
+    check: &mut F,
+) -> Option<(Vec<(HostId, usize)>, Level)>
+where
+    F: FnMut(&[(HostId, usize)], Level) -> bool,
+{
+    let spp = topo
+        .slots_per_server()
+        // Capping per-server density at ceil(n / min_hosts) forces the
+        // distribution across at least `min_hosts` servers.
+        .min(n.div_ceil(min_hosts.max(1)));
+
+    // Level 0: one server (only without a spread requirement).
+    if min_hosts <= 1 {
+        for h in 0..topo.num_hosts() {
+            let h = HostId(h as u32);
+            if slots.free_host(h) >= n {
+                let cand = vec![(h, n)];
+                if check(&cand, Level::SameHost) {
+                    return Some((cand, Level::SameHost));
+                }
+            }
+        }
+    }
+
+    // Level 1: one rack.
+    if max_level >= Level::SameRack {
+        for rack in 0..topo.num_racks() {
+            if slots.free_rack(rack) < n {
+                continue;
+            }
+            for cap in (1..=spp).rev() {
+                if let Some(cand) = distribute(slots, topo.hosts_in_rack(rack), n, cap) {
+                    if check(&cand, Level::SameRack) {
+                        return Some((cand, Level::SameRack));
+                    }
+                } else {
+                    break; // lower caps fit even less
+                }
+            }
+        }
+    }
+
+    // Level 2: one pod.
+    if max_level >= Level::SamePod {
+        for pod in 0..topo.num_pods() {
+            if slots.free_pod(pod) < n {
+                continue;
+            }
+            for cap in (1..=spp).rev() {
+                let hosts = topo
+                    .racks_in_pod(pod)
+                    .flat_map(|r| topo.hosts_in_rack(r));
+                if let Some(cand) = distribute(slots, hosts, n, cap) {
+                    if check(&cand, Level::SamePod) {
+                        return Some((cand, Level::SamePod));
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Level 3: anywhere.
+    if max_level >= Level::CrossPod && slots.total_free() >= n {
+        for cap in (1..=spp).rev() {
+            let hosts = (0..topo.num_hosts()).map(|h| HostId(h as u32));
+            if let Some(cand) = distribute(slots, hosts, n, cap) {
+                if check(&cand, Level::CrossPod) {
+                    return Some((cand, Level::CrossPod));
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_topology::TreeParams;
+
+    fn topo() -> Topology {
+        Topology::build(TreeParams {
+            pods: 2,
+            racks_per_pod: 2,
+            servers_per_rack: 3,
+            vm_slots_per_server: 4,
+            ..TreeParams::ns2_paper()
+        })
+    }
+
+    #[test]
+    fn slotmap_accounting() {
+        let t = topo();
+        let mut s = SlotMap::new(&t);
+        assert_eq!(s.total_free(), 48);
+        s.alloc(&t, &[(HostId(0), 3), (HostId(3), 2)]);
+        assert_eq!(s.free_host(HostId(0)), 1);
+        assert_eq!(s.free_rack(0), 9);
+        assert_eq!(s.free_rack(1), 10);
+        assert_eq!(s.free_pod(0), 19);
+        assert_eq!(s.used(), 5);
+        s.release(&t, &[(HostId(0), 3), (HostId(3), 2)]);
+        assert_eq!(s.total_free(), 48);
+    }
+
+    #[test]
+    fn distribute_respects_cap_and_free() {
+        let t = topo();
+        let mut s = SlotMap::new(&t);
+        s.alloc(&t, &[(HostId(0), 4)]); // host 0 full
+        let d = distribute(&s, t.hosts_in_rack(0), 6, 3).unwrap();
+        assert_eq!(d, vec![(HostId(1), 3), (HostId(2), 3)]);
+        assert_eq!(distribute(&s, t.hosts_in_rack(0), 9, 4), None);
+    }
+
+    #[test]
+    fn greedy_prefers_single_server() {
+        let t = topo();
+        let s = SlotMap::new(&t);
+        let (cand, lvl) = greedy_place_spread(&t, &s, 3, Level::CrossPod, 1, &mut |_, _| true).unwrap();
+        assert_eq!(lvl, Level::SameHost);
+        assert_eq!(cand, vec![(HostId(0), 3)]);
+    }
+
+    #[test]
+    fn greedy_escalates_to_rack() {
+        let t = topo();
+        let s = SlotMap::new(&t);
+        let (cand, lvl) = greedy_place_spread(&t, &s, 10, Level::CrossPod, 1, &mut |_, _| true).unwrap();
+        assert_eq!(lvl, Level::SameRack);
+        assert_eq!(cand.iter().map(|(_, k)| k).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn greedy_respects_max_level() {
+        let t = topo();
+        let s = SlotMap::new(&t);
+        // 13 VMs don't fit a rack (12 slots); capped at rack level -> None.
+        assert!(greedy_place_spread(&t, &s, 13, Level::SameRack, 1, &mut |_, _| true).is_none());
+        assert!(greedy_place_spread(&t, &s, 13, Level::SamePod, 1, &mut |_, _| true).is_some());
+    }
+
+    #[test]
+    fn greedy_relaxes_packing_when_check_fails_dense() {
+        let t = topo();
+        let s = SlotMap::new(&t);
+        // Reject any placement that puts more than 2 VMs on one host.
+        let (cand, lvl) = greedy_place_spread(&t, &s, 6, Level::CrossPod, 1, &mut |cand, _| {
+            cand.iter().all(|&(_, k)| k <= 2)
+        })
+        .unwrap();
+        assert_eq!(lvl, Level::SameRack);
+        assert!(cand.iter().all(|&(_, k)| k <= 2));
+    }
+
+    #[test]
+    fn fault_domains_force_spreading() {
+        let t = topo();
+        let s = SlotMap::new(&t);
+        // 4 VMs, at least 2 servers: never a single-server placement.
+        let (cand, lvl) =
+            greedy_place_spread(&t, &s, 4, Level::CrossPod, 2, &mut |_, _| true).unwrap();
+        assert!(cand.len() >= 2, "{cand:?}");
+        assert_eq!(lvl, Level::SameRack);
+        assert!(cand.iter().all(|&(_, k)| k <= 2));
+        // min_hosts = n means one VM per server.
+        let (cand, _) =
+            greedy_place_spread(&t, &s, 3, Level::CrossPod, 3, &mut |_, _| true).unwrap();
+        assert_eq!(cand.len(), 3);
+        assert!(cand.iter().all(|&(_, k)| k == 1));
+    }
+
+    #[test]
+    fn fault_domains_via_tenant_request() {
+        use crate::guarantee::{Guarantee, TenantRequest};
+        use crate::silo::SiloPlacer;
+        use crate::Placer;
+        let t = topo();
+        let mut p = SiloPlacer::new(t);
+        let req = TenantRequest::new(4, Guarantee::class_a()).with_fault_domains(2);
+        let placed = p.try_place(&req).unwrap();
+        assert!(placed.hosts.len() >= 2, "{:?}", placed.hosts);
+    }
+
+    #[test]
+    fn greedy_rejects_when_no_slots() {
+        let t = topo();
+        let mut s = SlotMap::new(&t);
+        let all: Vec<_> = (0..t.num_hosts())
+            .map(|h| (HostId(h as u32), 4))
+            .collect();
+        s.alloc(&t, &all);
+        assert!(greedy_place_spread(&t, &s, 1, Level::CrossPod, 1, &mut |_, _| true).is_none());
+    }
+}

@@ -1,0 +1,502 @@
+//! Silo's admission control and VM placement manager (paper §4.2.3).
+
+use crate::guarantee::TenantRequest;
+use crate::load::{Contribution, PortLoad};
+use crate::placer::{greedy_place_spread, Placement, Placer, RejectReason, SlotMap, TenantId};
+use silo_base::{Bytes, Dur};
+use silo_topology::{HostId, Level, PortId, Topology};
+use std::collections::HashMap;
+
+/// Classification of a directed port by tier and direction, used to find
+/// the upstream queues that inflate a burst before it arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortKind {
+    NicUp,
+    HostDown,
+    TorUp,
+    TorDown,
+    AggUp,
+    AggDown,
+}
+
+/// Queue capacities of one representative port per tier (all racks/pods are
+/// symmetric), precomputed once.
+#[derive(Debug, Clone, Copy)]
+struct TierCaps {
+    nic: Dur,
+    host_down: Dur,
+    tor_up: Dur,
+    tor_down: Dur,
+    agg_up: Dur,
+    agg_down: Dur,
+}
+
+impl TierCaps {
+    fn compute(topo: &Topology) -> TierCaps {
+        let cap = |p: PortId| topo.port(p).queue_capacity();
+        let h0 = HostId(0);
+        TierCaps {
+            nic: cap(PortId::up(topo.host_link(h0))),
+            host_down: cap(PortId::down(topo.host_link(h0))),
+            tor_up: cap(PortId::up(topo.tor_link(0))),
+            tor_down: cap(PortId::down(topo.tor_link(0))),
+            agg_up: cap(PortId::up(topo.agg_link(0))),
+            agg_down: cap(PortId::down(topo.agg_link(0))),
+        }
+    }
+
+    /// Constraint C2's path budget: the sum of queue capacities a packet
+    /// can see NIC-to-NIC for a tenant spanning `level`.
+    fn delay_budget(&self, level: Level) -> Dur {
+        match level {
+            Level::SameHost => Dur::ZERO,
+            Level::SameRack => self.nic + self.host_down,
+            Level::SamePod => self.nic + self.tor_up + self.tor_down + self.host_down,
+            Level::CrossPod => {
+                self.nic
+                    + self.tor_up
+                    + self.agg_up
+                    + self.agg_down
+                    + self.tor_down
+                    + self.host_down
+            }
+        }
+    }
+
+    /// Queue capacities of the switch ports a packet traverses *before*
+    /// reaching a port of the given kind, on the worst-case path of a
+    /// tenant spanning `level`. The NIC never appears: pacer output is
+    /// conformant by construction.
+    fn prior_caps(&self, level: Level, kind: PortKind) -> Vec<Dur> {
+        match kind {
+            PortKind::NicUp | PortKind::TorUp => vec![],
+            PortKind::AggUp => vec![self.tor_up],
+            PortKind::AggDown => vec![self.tor_up, self.agg_up],
+            PortKind::TorDown => match level {
+                Level::CrossPod => vec![self.tor_up, self.agg_up, self.agg_down],
+                _ => vec![self.tor_up],
+            },
+            PortKind::HostDown => match level {
+                Level::SameHost | Level::SameRack => vec![],
+                Level::SamePod => vec![self.tor_up, self.tor_down],
+                Level::CrossPod => {
+                    vec![self.tor_up, self.agg_up, self.agg_down, self.tor_down]
+                }
+            },
+        }
+    }
+}
+
+struct TenantRecord {
+    hosts: Vec<(HostId, usize)>,
+    contribs: Vec<(PortId, Contribution)>,
+}
+
+/// Silo's placement manager. Admission enforces:
+///
+/// * **C2** via the span level: a delay guarantee `d` restricts the tenant
+///   to the largest level whose static path budget fits `d`;
+/// * **C1** at every switch port between the tenant's VMs, against the
+///   aggregate of all admitted tenants (plus the candidate);
+/// * the sustained hose rate at every port, including host NICs.
+pub struct SiloPlacer {
+    topo: Topology,
+    slots: SlotMap,
+    loads: Vec<PortLoad>,
+    tenants: HashMap<TenantId, TenantRecord>,
+    next_id: u64,
+    mtu: Bytes,
+    caps: TierCaps,
+}
+
+impl SiloPlacer {
+    pub fn new(topo: Topology) -> SiloPlacer {
+        let slots = SlotMap::new(&topo);
+        let loads = vec![PortLoad::default(); topo.num_ports()];
+        let caps = TierCaps::compute(&topo);
+        SiloPlacer {
+            topo,
+            slots,
+            loads,
+            tenants: HashMap::new(),
+            next_id: 0,
+            mtu: Bytes(1500),
+            caps,
+        }
+    }
+
+    fn port_kind(&self, p: PortId) -> PortKind {
+        let i = p.link().0 as usize;
+        let hosts = self.topo.num_hosts();
+        let racks = self.topo.num_racks();
+        if i < hosts {
+            if p.is_up() {
+                PortKind::NicUp
+            } else {
+                PortKind::HostDown
+            }
+        } else if i < hosts + racks {
+            if p.is_up() {
+                PortKind::TorUp
+            } else {
+                PortKind::TorDown
+            }
+        } else if p.is_up() {
+            PortKind::AggUp
+        } else {
+            PortKind::AggDown
+        }
+    }
+
+    /// The largest span level compatible with the request's delay
+    /// guarantee (C2), or `None` when even one rack is too slow (the
+    /// tenant must then fit a single server).
+    pub fn max_level(&self, req: &TenantRequest) -> Option<Level> {
+        let Some(d) = req.guarantee.delay else {
+            return Some(Level::CrossPod);
+        };
+        for lvl in [Level::CrossPod, Level::SamePod, Level::SameRack] {
+            if self.caps.delay_budget(lvl) <= d {
+                return Some(lvl);
+            }
+        }
+        None
+    }
+
+    /// The contributions a candidate placement would add, or `None` if some
+    /// port's constraint fails.
+    fn check_candidate(
+        &self,
+        cand: &[(HostId, usize)],
+        level: Level,
+        req: &TenantRequest,
+    ) -> Option<Vec<(PortId, Contribution)>> {
+        let n = req.vms;
+        let g = &req.guarantee;
+        let hosts: Vec<HostId> = cand.iter().map(|&(h, _)| h).collect();
+        let mut out = Vec::new();
+        let host_link = self.topo.params().host_link;
+        for p in self.topo.ports_between(&hosts) {
+            let (m, sending_hosts) = self.topo.cut_stats(p, cand);
+            if m == 0 || m >= n {
+                continue;
+            }
+            let kind = self.port_kind(p);
+            let prior = self.caps.prior_caps(level, kind);
+            let access_cap = host_link * sending_hosts.max(1) as u64;
+            let c = Contribution::for_cut_capped(
+                m, n, g.b, g.s, g.bmax, self.mtu, &prior, access_cap,
+            );
+            let info = self.topo.port(p);
+            let load = self.loads[p.0 as usize].with(&c);
+            if info.is_nic {
+                // The NIC queue lives in host memory under the pacer: no
+                // loss is possible, only the sustained rate must fit —
+                // with a small headroom so paced streams at full
+                // reservation stay drainable (a wire reserved to exactly
+                // 100% random-walks its backlog upward).
+                if load.rate > info.rate.bytes_per_sec() * 0.97 {
+                    return None;
+                }
+            } else if !load.fits(info.rate, self.topo.ingress_capacity(p), info.buffer) {
+                return None;
+            }
+            out.push((p, c));
+        }
+        Some(out)
+    }
+
+    /// Worst-case buffer occupancy currently reserved at a port — the C1
+    /// backlog bound the admitted tenants' curves imply. Any conformant
+    /// packet-level execution must stay under this (verified end-to-end
+    /// by `silo-bench`'s `verify_queue_bounds`).
+    pub fn backlog_bound(&self, p: PortId) -> Option<Bytes> {
+        let info = self.topo.port(p);
+        self.loads[p.0 as usize].backlog(info.rate, self.topo.ingress_capacity(p))
+    }
+
+    /// Worst-case queueing delay currently reserved at a port (for
+    /// reporting and tests).
+    pub fn queue_bound(&self, p: PortId) -> Option<Dur> {
+        let info = self.topo.port(p);
+        self.loads[p.0 as usize].queue_bound(info.rate, self.topo.ingress_capacity(p))
+    }
+
+    /// Fraction of a port's line rate reserved by sustained guarantees.
+    pub fn reserved_fraction(&self, p: PortId) -> f64 {
+        self.loads[p.0 as usize].rate / self.topo.port(p).rate.bytes_per_sec()
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn placement_of(&self, t: TenantId) -> Option<&[(HostId, usize)]> {
+        self.tenants.get(&t).map(|r| r.hosts.as_slice())
+    }
+}
+
+impl Placer for SiloPlacer {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn try_place(&mut self, req: &TenantRequest) -> Result<Placement, RejectReason> {
+        let n = req.vms;
+        let max_level = match self.max_level(req) {
+            Some(l) => l,
+            None if n <= self.topo.slots_per_server() && req.min_fault_domains <= 1 => {
+                Level::SameHost
+            }
+            None => return Err(RejectReason::DelayUnsatisfiable),
+        };
+        let found = greedy_place_spread(
+            &self.topo,
+            &self.slots,
+            n,
+            max_level,
+            req.min_fault_domains,
+            &mut |cand, lvl| self.check_candidate(cand, lvl, req).is_some(),
+        );
+        let Some((cand, level)) = found else {
+            return Err(if self.slots.total_free() < n {
+                RejectReason::InsufficientSlots
+            } else {
+                RejectReason::NetworkUnsatisfiable
+            });
+        };
+        let contribs = self
+            .check_candidate(&cand, level, req)
+            .expect("accepted candidate must re-check");
+        for (p, c) in &contribs {
+            self.loads[p.0 as usize].add(c);
+        }
+        self.slots.alloc(&self.topo, &cand);
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.tenants.insert(
+            id,
+            TenantRecord {
+                hosts: cand.clone(),
+                contribs,
+            },
+        );
+        Ok(Placement {
+            tenant: id,
+            hosts: cand,
+            span: level,
+        })
+    }
+
+    fn remove(&mut self, tenant: TenantId) -> bool {
+        let Some(rec) = self.tenants.remove(&tenant) else {
+            return false;
+        };
+        for (p, c) in &rec.contribs {
+            self.loads[p.0 as usize].sub(c);
+        }
+        self.slots.release(&self.topo, &rec.hosts);
+        true
+    }
+
+    fn used_slots(&self) -> usize {
+        self.slots.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guarantee::Guarantee;
+    use silo_base::Rate;
+    use silo_topology::TreeParams;
+
+    fn fig5_topo(buffer_kb: u64) -> Topology {
+        Topology::build(TreeParams {
+            pods: 1,
+            racks_per_pod: 1,
+            servers_per_rack: 3,
+            vm_slots_per_server: 4,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 1.0,
+            agg_oversub: 1.0,
+            switch_buffer: Bytes::from_kb(buffer_kb),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        })
+    }
+
+    fn fig5_request() -> TenantRequest {
+        TenantRequest::new(
+            9,
+            Guarantee {
+                b: Rate::from_gbps(1),
+                s: Bytes::from_kb(100),
+                bmax: Rate::from_gbps(10),
+                delay: Some(Dur::from_ms(1)),
+            },
+        )
+    }
+
+    #[test]
+    fn fig5_placement_balances_the_tenant() {
+        // Dense first-fit would pack 4/4/1 — the Fig. 5(a) shape whose 8
+        // converging senders overflow the buffer (exact bound ~422 KB).
+        // Silo must relax the packing to 3/3/3 (~356 KB), which fits a
+        // 360 KB buffer (the paper's simplified arithmetic says 300 KB).
+        let mut p = SiloPlacer::new(fig5_topo(360));
+        let placed = p.try_place(&fig5_request()).expect("placement fits");
+        assert_eq!(placed.span, Level::SameRack);
+        let counts: Vec<usize> = placed.hosts.iter().map(|&(_, k)| k).collect();
+        assert_eq!(counts, vec![3, 3, 3], "must balance, got {counts:?}");
+    }
+
+    #[test]
+    fn fig5_rejects_when_buffer_too_small() {
+        // With a buffer below even the balanced bound, no distribution
+        // works and admission must refuse.
+        let mut p = SiloPlacer::new(fig5_topo(200));
+        assert_eq!(
+            p.try_place(&fig5_request()),
+            Err(RejectReason::NetworkUnsatisfiable)
+        );
+        assert_eq!(p.used_slots(), 0, "rejection must not leak slots");
+    }
+
+    #[test]
+    fn single_vm_tenant_always_fits_slotwise() {
+        let mut p = SiloPlacer::new(fig5_topo(300));
+        let placed = p
+            .try_place(&TenantRequest::new(1, Guarantee::class_a()))
+            .unwrap();
+        assert_eq!(placed.span, Level::SameHost);
+        assert_eq!(p.used_slots(), 1);
+    }
+
+    #[test]
+    fn remove_restores_admissibility() {
+        let mut p = SiloPlacer::new(fig5_topo(360));
+        let a = p.try_place(&fig5_request()).unwrap();
+        // Second identical tenant cannot fit (only 6 slots left anyway).
+        assert!(p.try_place(&fig5_request()).is_err());
+        assert!(p.remove(a.tenant));
+        assert!(p.try_place(&fig5_request()).is_ok());
+        assert!(!p.remove(a.tenant), "double-remove must fail");
+    }
+
+    #[test]
+    fn delay_guarantee_limits_span() {
+        let topo = Topology::build(TreeParams::ns2_paper());
+        let p = SiloPlacer::new(topo);
+        // Class A (1 ms): the cross-pod budget (NIC + 5 × ~250 us) blows
+        // the guarantee, the pod budget (~800 us) fits.
+        let req = TenantRequest::new(16, Guarantee::class_a());
+        assert_eq!(p.max_level(&req), Some(Level::SamePod));
+        // A 300 us guarantee only allows rack placement (NIC ~51 us +
+        // 249.6 us just fits 301 us; use 310 us to be explicit).
+        let mut tight = Guarantee::class_a();
+        tight.delay = Some(Dur::from_us(310));
+        assert_eq!(
+            p.max_level(&TenantRequest::new(16, tight)),
+            Some(Level::SameRack)
+        );
+        // 10 us cannot be met across the network at all.
+        let mut impossible = Guarantee::class_a();
+        impossible.delay = Some(Dur::from_us(10));
+        assert_eq!(p.max_level(&TenantRequest::new(16, impossible)), None);
+        // No delay guarantee -> anywhere.
+        assert_eq!(
+            p.max_level(&TenantRequest::new(16, Guarantee::class_b())),
+            Some(Level::CrossPod)
+        );
+    }
+
+    #[test]
+    fn impossible_delay_falls_back_to_single_server() {
+        let mut p = SiloPlacer::new(fig5_topo(300));
+        let mut g = Guarantee::class_a();
+        g.delay = Some(Dur::from_us(1));
+        // Fits one server (5 slots): accepted at SameHost.
+        let placed = p.try_place(&TenantRequest::new(4, g)).unwrap();
+        assert_eq!(placed.span, Level::SameHost);
+        // Too big for one server: rejected for delay.
+        assert_eq!(
+            p.try_place(&TenantRequest::new(6, g)),
+            Err(RejectReason::DelayUnsatisfiable)
+        );
+    }
+
+    #[test]
+    fn nic_sustained_rate_is_enforced() {
+        // 5 slots per server, B = 3 Gbps: 5 co-located senders would need
+        // 15 Gbps of NIC hose; the placer must spread or reject.
+        let mut p = SiloPlacer::new(fig5_topo(312));
+        let req = TenantRequest::new(
+            10,
+            Guarantee {
+                b: Rate::from_gbps(3),
+                s: Bytes(1500),
+                bmax: Rate::from_gbps(3),
+                delay: None,
+            },
+        );
+        match p.try_place(&req) {
+            Ok(placed) => {
+                // min(k, 10-k)·3G <= 10G  =>  k <= 3 per server... but with
+                // only 3 servers × 5 slots, 10 VMs need k >= 4 somewhere:
+                // min(4,6)·3 = 12G > 10G, so acceptance is impossible.
+                panic!("should not fit, got {:?}", placed.hosts);
+            }
+            Err(e) => assert_eq!(e, RejectReason::NetworkUnsatisfiable),
+        }
+    }
+
+    #[test]
+    fn admits_until_slots_or_network_exhausted() {
+        let topo = Topology::build(TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            servers_per_rack: 4,
+            vm_slots_per_server: 4,
+            ..TreeParams::ns2_paper()
+        });
+        let mut p = SiloPlacer::new(topo);
+        let mut accepted = 0;
+        for _ in 0..20 {
+            if p
+                .try_place(&TenantRequest::new(4, Guarantee::class_a()))
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        // 32 slots / 4 VMs = 8 tenants max; class-A is light enough that
+        // slots, not the network, should be the binding constraint here.
+        assert_eq!(accepted, 8);
+        assert_eq!(p.used_slots(), 32);
+    }
+
+    #[test]
+    fn queue_bounds_stay_within_capacity_for_admitted_load() {
+        let topo = Topology::build(TreeParams::ns2_paper());
+        let mut p = SiloPlacer::new(topo);
+        for _ in 0..50 {
+            let _ = p.try_place(&TenantRequest::new(8, Guarantee::class_a()));
+        }
+        // C1 implies every port's queue bound <= its capacity.
+        for i in 0..p.topo.num_ports() {
+            let port = PortId(i as u32);
+            let info = p.topo.port(port);
+            if info.is_nic {
+                continue;
+            }
+            if let Some(q) = p.queue_bound(port) {
+                assert!(
+                    q <= info.queue_capacity(),
+                    "port {port:?}: bound {q} > capacity {}",
+                    info.queue_capacity()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulation configuration: transport modes, tenant descriptions, and
+//! the protocol constants of §6's experiments.
+
+use silo_base::{Bytes, Dur, Rate};
+use silo_topology::HostId;
+
+/// Which end-host datapath and switch features a run uses — the six
+/// schemes compared in Figs. 12–14 and Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Plain TCP NewReno, drop-tail switches.
+    Tcp,
+    /// DCTCP: ECN marking at `ecn_k`, fraction-based window reduction.
+    Dctcp,
+    /// HULL: DCTCP senders + phantom queues marking at `hull_gamma` of
+    /// line rate.
+    Hull,
+    /// Silo: hypervisor pacing to `{B, S, Bmax}` with void-packet
+    /// batching; TCP above the pacer.
+    Silo,
+    /// Oktopus-style rate enforcement: hose bandwidth only (burst of one
+    /// packet), TCP above the limiter.
+    Okto,
+    /// Oktopus + Silo's burst allowance, but without burst-aware placement.
+    OktoPlus,
+}
+
+impl TransportMode {
+    /// Does the hypervisor pace VM traffic through token buckets?
+    pub fn paced(self) -> bool {
+        matches!(self, TransportMode::Silo | TransportMode::Okto | TransportMode::OktoPlus)
+    }
+    /// Do senders run DCTCP window logic?
+    pub fn dctcp_sender(self) -> bool {
+        matches!(self, TransportMode::Dctcp | TransportMode::Hull)
+    }
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportMode::Tcp => "TCP",
+            TransportMode::Dctcp => "DCTCP",
+            TransportMode::Hull => "HULL",
+            TransportMode::Silo => "Silo",
+            TransportMode::Okto => "Okto",
+            TransportMode::OktoPlus => "Okto+",
+        }
+    }
+}
+
+/// What a tenant's VMs do on the network.
+#[derive(Debug, Clone)]
+pub enum TenantWorkload {
+    /// §6.1 tenant A: VM 0 runs a memcached server, all other VMs run ETC
+    /// clients with `load` scaling the per-client arrival rate and
+    /// `concurrency` outstanding transactions per client.
+    Etc { load: f64, concurrency: usize },
+    /// §6.1 tenant B: netperf — every VM keeps bulk messages of `msg`
+    /// bytes in flight to every other VM (all-to-all shuffle).
+    BulkAllToAll { msg: Bytes },
+    /// §6.2 class A: at exponential intervals of mean `interval`, *all*
+    /// VMs simultaneously send a message of mean size `msg_mean`
+    /// (exponential) to VM 0 — the OLDI partition/aggregate pattern.
+    OldiAllToOne { msg_mean: Bytes, interval: Dur },
+    /// §6.3-style fixed pairs, each carrying Poisson messages of mean
+    /// `msg_mean` every `interval` on average (used for class B and
+    /// Permutation-x).
+    PoissonPairs {
+        pairs: Vec<(usize, usize)>,
+        msg_mean: Bytes,
+        interval: Dur,
+    },
+    /// No offered load (placement-only tenants).
+    Idle,
+}
+
+/// One tenant in a simulation: its VM-to-host mapping (one entry per VM,
+/// from a `silo-placement` placement), its Silo guarantee, and workload.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Host of each VM (VM index = position).
+    pub vm_hosts: Vec<HostId>,
+    /// Hose bandwidth guarantee `B` per VM.
+    pub b: Rate,
+    /// Burst allowance `S` per VM.
+    pub s: Bytes,
+    /// Burst rate cap `Bmax`.
+    pub bmax: Rate,
+    /// 802.1q priority: 0 = guaranteed, 1 = best-effort.
+    pub prio: u8,
+    pub workload: TenantWorkload,
+}
+
+/// Protocol and engine constants. Defaults follow the paper's setups;
+/// every experiment binary can override.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub mode: TransportMode,
+    /// Maximum wire frame (Ethernet MTU).
+    pub mtu: Bytes,
+    /// TCP/IP header overhead per segment; MSS = mtu − header.
+    pub header: Bytes,
+    /// Initial congestion window in segments.
+    pub init_cwnd: u64,
+    /// Congestion-window cap (the receive-window / send-buffer limit of a
+    /// real stack; ns2-era datacenter stacks ran a few hundred KB, well
+    /// matched to shallow-buffer 10 GbE paths).
+    pub max_cwnd: Bytes,
+    /// Minimum retransmission timeout. The paper's testbed TCP behaves
+    /// like a stock stack (≈ 200 ms min RTO — hence the 217 ms spikes in
+    /// Fig. 1); datacenter-tuned stacks use 10 ms.
+    pub min_rto: Dur,
+    /// DCTCP marking threshold K (bytes of instantaneous queue).
+    pub ecn_k: Bytes,
+    /// DCTCP gain g.
+    pub dctcp_g: f64,
+    /// HULL phantom-queue drain fraction γ.
+    pub hull_gamma: f64,
+    /// HULL phantom marking threshold.
+    pub hull_thresh: Bytes,
+    /// Paced-IO batch window (§5: 50 µs).
+    pub batch_window: Dur,
+    /// How far ahead of real time a connection may pre-stamp packets into
+    /// the pacer. The hypervisor's per-VM TX queue is finite: without this
+    /// backpressure, one connection could commit the shared `{B,S}` bucket
+    /// megabytes ahead and starve the VM's other destinations.
+    pub pace_horizon: Dur,
+    /// Hose reallocation epoch for the pacer coordination.
+    pub hose_epoch: Dur,
+    /// Simulated duration.
+    pub duration: Dur,
+    /// Workload/tie-break seed.
+    pub seed: u64,
+    /// NIC FIFO depth for un-paced modes (TX ring + qdisc).
+    pub nic_fifo: Bytes,
+}
+
+impl SimConfig {
+    pub fn new(mode: TransportMode, duration: Dur, seed: u64) -> SimConfig {
+        SimConfig {
+            mode,
+            mtu: Bytes(1500),
+            header: Bytes(60),
+            init_cwnd: 10,
+            max_cwnd: Bytes::from_kb(512),
+            min_rto: Dur::from_ms(10),
+            ecn_k: Bytes(97_500), // 65 MTU packets, the DCTCP 10 GbE default
+            dctcp_g: 1.0 / 16.0,
+            hull_gamma: 0.95,
+            hull_thresh: Bytes(6_000),
+            batch_window: Dur::from_us(50),
+            pace_horizon: Dur::from_ms(1),
+            // EyeQ's rate-control loop operates at RTT timescales; a
+            // slower loop lets un-throttled senders transiently overflow
+            // a receiver's downlink before feedback kicks in.
+            hose_epoch: Dur::from_us(200),
+            duration,
+            seed,
+            // ~100 MTU packets, the ns2-era host DropTail queue scale. A
+            // shared FIFO this shallow is exactly where an un-isolated
+            // tenant's small messages die behind a bulk tenant's bursts.
+            nic_fifo: Bytes::from_kb(150),
+        }
+    }
+
+    /// Stream payload per full segment.
+    pub fn mss(&self) -> u64 {
+        self.mtu.as_u64() - self.header.as_u64()
+    }
+}

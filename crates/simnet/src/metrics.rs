@@ -1,0 +1,113 @@
+//! Simulation results: per-message records and per-tenant aggregates.
+
+use silo_base::{Dur, Summary, Time};
+
+/// One completed application message.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgRecord {
+    pub tenant: u16,
+    /// Stream bytes.
+    pub size: u64,
+    /// Creation (app write) to full delivery at the receiver.
+    pub latency: Dur,
+    /// An RTO fired while this message was outstanding.
+    pub rto: bool,
+    pub created: Time,
+    /// Request→response round trip, recorded on the response completion
+    /// of a transaction.
+    pub txn_latency: Option<Dur>,
+    /// Delivered over the vswitch loopback (sender and receiver VM on the
+    /// same host) — excluded from network-latency analyses.
+    pub same_host: bool,
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    pub messages: Vec<MsgRecord>,
+    /// Per-tenant delivered stream bytes (goodput).
+    pub goodput: Vec<u64>,
+    /// Total packet drops at switch ports.
+    pub drops: u64,
+    /// Total RTO events.
+    pub rtos: u64,
+    /// Simulated duration.
+    pub duration: Dur,
+    /// Data bytes and void bytes put on host links (pacer accounting).
+    pub wire_data_bytes: u64,
+    pub wire_void_bytes: u64,
+    /// Per-port utilization fractions (indexed by `PortId.0`).
+    pub port_utilization: Vec<f64>,
+    /// Per-port drop counts (indexed by `PortId.0`).
+    pub port_drops: Vec<u64>,
+    /// Per-port queue high-water marks in bytes (indexed by `PortId.0`) —
+    /// directly comparable to the placement manager's backlog bounds.
+    pub port_max_queue: Vec<u64>,
+}
+
+impl Metrics {
+    /// Message latencies of one tenant, in microseconds.
+    pub fn latencies_us(&self, tenant: u16) -> Summary {
+        let mut s = Summary::new();
+        s.extend(
+            self.messages
+                .iter()
+                .filter(|m| m.tenant == tenant)
+                .map(|m| m.latency.as_us_f64()),
+        );
+        s
+    }
+
+    /// Transaction (request→response) latencies of one tenant, µs.
+    pub fn txn_latencies_us(&self, tenant: u16) -> Summary {
+        let mut s = Summary::new();
+        s.extend(
+            self.messages
+                .iter()
+                .filter(|m| m.tenant == tenant)
+                .filter_map(|m| m.txn_latency.map(|d| d.as_us_f64())),
+        );
+        s
+    }
+
+    /// Per-tenant stats table.
+    pub fn tenant_stats(&self, tenant: u16) -> TenantStats {
+        let msgs: Vec<&MsgRecord> = self
+            .messages
+            .iter()
+            .filter(|m| m.tenant == tenant)
+            .collect();
+        let total = msgs.len();
+        let rto = msgs.iter().filter(|m| m.rto).count();
+        TenantStats {
+            tenant,
+            messages: total,
+            rto_messages: rto,
+            goodput_bps: self
+                .goodput
+                .get(tenant as usize)
+                .map(|&b| b as f64 * 8.0 / self.duration.as_secs_f64().max(1e-12))
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// Aggregate numbers for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStats {
+    pub tenant: u16,
+    pub messages: usize,
+    pub rto_messages: usize,
+    pub goodput_bps: f64,
+}
+
+impl TenantStats {
+    /// Fraction of messages that suffered an RTO (Fig. 13's metric).
+    pub fn rto_fraction(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.rto_messages as f64 / self.messages as f64
+        }
+    }
+}

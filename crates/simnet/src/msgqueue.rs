@@ -1,0 +1,180 @@
+//! The Table 1 model: message latency of a single guaranteed sender.
+//!
+//! "To understand the interplay between the amount of guaranteed bandwidth
+//! and message latency, we experiment with a synthetic application that
+//! generates messages, with Poisson arrivals, between two VMs" (§2.3.1).
+//! Messages of size `M` arrive at average offered bandwidth `B`; the VM is
+//! *guaranteed* bandwidth `B_g` (a multiple of `B`), a burst allowance `S`
+//! (a multiple of `M`), and a burst rate `Bmax`. A message is **late** when
+//! its latency exceeds the §2.3.1 guarantee `M/B_g + d` — `d` delays every
+//! message equally and cancels, so the model needs no network at all: all
+//! queueing happens in the sender's token bucket.
+//!
+//! The message stream is serialized through the VM's bucket chain in MTU
+//! chunks (exactly what the pacer does), so the latency of a message is
+//! the departure time of its last chunk minus its arrival.
+
+use rand::rngs::StdRng;
+use silo_base::{exponential, Bytes, Dur, Rate, Time};
+use silo_pacer::TokenBucket;
+
+/// Configuration of one Table 1 cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstStudy {
+    /// Message size `M`.
+    pub msg: Bytes,
+    /// Average offered bandwidth `B`.
+    pub avg_bw: Rate,
+    /// Guaranteed bandwidth `B_g = multiple × B`.
+    pub guaranteed_bw: Rate,
+    /// Burst allowance `S` (a multiple of `M`).
+    pub burst: Bytes,
+    /// Burst rate `Bmax`.
+    pub bmax: Rate,
+    /// MTU used for chunking.
+    pub mtu: Bytes,
+}
+
+impl BurstStudy {
+    /// The §2.3.1 message-latency guarantee (`M/B_g`, eq. 1) net of the
+    /// fixed delay `d`.
+    pub fn latency_guarantee(&self) -> Dur {
+        self.guaranteed_bw.tx_time(self.msg)
+    }
+
+    /// Simulate `n` Poisson messages; returns the fraction whose latency
+    /// exceeds the guarantee.
+    pub fn late_fraction(&self, n: usize, rng: &mut StdRng) -> f64 {
+        let rate_msgs = self.avg_bw.as_bps() as f64 / self.msg.bits() as f64;
+        let mut bucket = TokenBucket::new(self.guaranteed_bw, self.burst);
+        let mut cap = TokenBucket::new(self.bmax, self.mtu);
+        let guarantee = self.latency_guarantee();
+        let mut now = Time::ZERO;
+        // The sender is FIFO: a message starts after its predecessor's
+        // last chunk departs.
+        let mut prev_done = Time::ZERO;
+        let mut late = 0usize;
+        for _ in 0..n {
+            now = now + Dur::from_secs_f64(exponential(rng, rate_msgs));
+            let start = now.max(prev_done);
+            let mut remaining = self.msg.as_u64();
+            let mut done = start;
+            while remaining > 0 {
+                let chunk = Bytes(remaining.min(self.mtu.as_u64()));
+                let t1 = bucket.earliest(done, chunk);
+                let t2 = cap.earliest(done, chunk);
+                let t = t1.max(t2);
+                bucket.commit(t, chunk);
+                cap.commit(t, chunk);
+                // The chunk occupies the wire until its Bmax slot ends.
+                done = t + self.bmax.tx_time(chunk);
+                remaining -= chunk.as_u64();
+            }
+            prev_done = done;
+            if done - now > guarantee {
+                late += 1;
+            }
+        }
+        late as f64 / n as f64
+    }
+}
+
+/// One Table 1 sweep: rows = burst multiples, cols = bandwidth multiples.
+pub fn table1(
+    msg: Bytes,
+    avg_bw: Rate,
+    bw_multiples: &[f64],
+    burst_multiples: &[u64],
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    burst_multiples
+        .iter()
+        .map(|&bm| {
+            bw_multiples
+                .iter()
+                .map(|&wm| {
+                    let study = BurstStudy {
+                        msg,
+                        avg_bw,
+                        guaranteed_bw: avg_bw.mul_f64(wm),
+                        burst: Bytes(msg.as_u64() * bm),
+                        bmax: Rate::from_gbps(1),
+                        mtu: Bytes(1500),
+                    };
+                    study.late_fraction(n, rng)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::seeded_rng;
+
+    fn study(bw_mult: f64, burst_mult: u64) -> BurstStudy {
+        let msg = Bytes::from_kb(15);
+        BurstStudy {
+            msg,
+            avg_bw: Rate::from_mbps(100),
+            guaranteed_bw: Rate::from_mbps(100).mul_f64(bw_mult),
+            burst: Bytes(msg.as_u64() * burst_mult),
+            bmax: Rate::from_gbps(1),
+            mtu: Bytes(1500),
+        }
+    }
+
+    #[test]
+    fn average_bandwidth_with_single_burst_is_mostly_late() {
+        // Table 1 top-left: guarantee = B, burst = M -> 99% late.
+        let mut rng = seeded_rng(42);
+        let late = study(1.0, 1).late_fraction(20_000, &mut rng);
+        assert!(late > 0.9, "late fraction {late}");
+    }
+
+    #[test]
+    fn generous_burst_and_bandwidth_is_rarely_late() {
+        // Table 1 bottom-right region: 9M burst, 3B bandwidth -> ~0.
+        let mut rng = seeded_rng(42);
+        let late = study(3.0, 9).late_fraction(20_000, &mut rng);
+        assert!(late < 0.005, "late fraction {late}");
+    }
+
+    #[test]
+    fn paper_sweet_spot_7m_18b() {
+        // "with a burst of 7 messages and 1.8x the average bandwidth, only
+        // 0.09% messages are late" — we assert the same order of
+        // magnitude (< 1%).
+        let mut rng = seeded_rng(42);
+        let late = study(1.8, 7).late_fraction(50_000, &mut rng);
+        assert!(late < 0.01, "late fraction {late}");
+    }
+
+    #[test]
+    fn late_fraction_monotone_in_burst() {
+        let mut rng = seeded_rng(7);
+        let l1 = study(1.4, 1).late_fraction(20_000, &mut rng);
+        let l5 = study(1.4, 5).late_fraction(20_000, &mut rng);
+        let l9 = study(1.4, 9).late_fraction(20_000, &mut rng);
+        assert!(l1 > l5 && l5 >= l9, "{l1} {l5} {l9}");
+    }
+
+    #[test]
+    fn late_fraction_monotone_in_bandwidth() {
+        let mut rng = seeded_rng(8);
+        let a = study(1.0, 3).late_fraction(20_000, &mut rng);
+        let b = study(2.2, 3).late_fraction(20_000, &mut rng);
+        assert!(a > b, "{a} vs {b}");
+    }
+
+    #[test]
+    fn guarantee_is_size_over_guaranteed_bandwidth() {
+        let s = study(2.0, 3);
+        assert_eq!(
+            s.latency_guarantee(),
+            Rate::from_mbps(200).tx_time(Bytes::from_kb(15))
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Packets and their routing state.
+
+use silo_base::{Bytes, Time};
+use silo_topology::PortId;
+use std::rc::Rc;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktKind {
+    /// A TCP data segment covering stream bytes `[seq, seq + payload)`.
+    Data,
+    /// A cumulative ACK up to `seq`; `ecn_echo` reflects the acked
+    /// segment's CE mark (per-segment immediate acks give DCTCP its exact
+    /// marked-byte feedback).
+    Ack,
+}
+
+/// One packet in flight. `path` is the precomputed egress-port list from
+/// the source NIC to the destination (shared per connection); `hop` is the
+/// index of the *next* port to traverse.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub conn: u32,
+    pub kind: PktKind,
+    /// Data: first stream byte. Ack: cumulative ack.
+    pub seq: u64,
+    /// Data: stream bytes carried (0 for pure ACKs).
+    pub payload: u64,
+    /// Wire size (payload + headers).
+    pub size: Bytes,
+    /// Data: set when the segment is a retransmission (Karn's rule).
+    pub retx: bool,
+    /// CE codepoint (set by switches).
+    pub ce: bool,
+    /// Ack: echo of the acked segment's CE.
+    pub ecn_echo: bool,
+    /// 802.1q priority (0 high, 1 low).
+    pub prio: u8,
+    /// When the segment was handed to the wire path (for delay metrics).
+    pub sent_at: Time,
+    pub path: Rc<[PortId]>,
+    pub hop: usize,
+}
+
+impl Packet {
+    /// The next port this packet must traverse, or `None` at destination.
+    pub fn next_port(&self) -> Option<PortId> {
+        self.path.get(self.hop).copied()
+    }
+
+    /// True once every hop is done (the packet is at its destination).
+    pub fn arrived(&self) -> bool {
+        self.hop >= self.path.len()
+    }
+}

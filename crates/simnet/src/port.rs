@@ -1,0 +1,227 @@
+//! Switch egress-port model: tail-drop FIFO with two 802.1q priority
+//! levels, optional DCTCP ECN marking, and optional HULL phantom queues.
+
+use crate::packet::Packet;
+use silo_base::{Bytes, Dur, Rate, Time};
+use std::collections::VecDeque;
+
+/// HULL's phantom (virtual) queue: a counter drained at `γ · C` that marks
+/// packets when it exceeds a threshold, signaling congestion *before* any
+/// real queue forms (Alizadeh et al., NSDI 2012).
+#[derive(Debug, Clone)]
+pub struct PhantomQueue {
+    pub bytes: f64,
+    pub drain_bps: f64,
+    pub thresh: f64,
+    pub last: Time,
+}
+
+impl PhantomQueue {
+    pub fn new(line: Rate, gamma: f64, thresh: Bytes) -> PhantomQueue {
+        PhantomQueue {
+            bytes: 0.0,
+            drain_bps: line.as_bps() as f64 * gamma,
+            thresh: thresh.as_f64(),
+            last: Time::ZERO,
+        }
+    }
+
+    /// Account an arrival; returns true if the packet should be CE-marked.
+    pub fn on_arrival(&mut self, now: Time, size: Bytes) -> bool {
+        let dt = now.since(self.last).as_secs_f64();
+        self.bytes = (self.bytes - self.drain_bps / 8.0 * dt).max(0.0);
+        self.last = now;
+        self.bytes += size.as_f64();
+        self.bytes > self.thresh
+    }
+}
+
+/// Runtime state of one directed egress port.
+#[derive(Debug, Clone)]
+pub struct PortState {
+    pub rate: Rate,
+    pub buffer: Bytes,
+    pub prop: Dur,
+    /// FIFO per priority level (0 served strictly first).
+    pub queues: [VecDeque<Packet>; 2],
+    pub queued_bytes: u64,
+    pub busy: bool,
+    /// DCTCP marking threshold; `None` disables ECN.
+    pub ecn_k: Option<Bytes>,
+    pub phantom: Option<PhantomQueue>,
+    // Counters.
+    pub drops: u64,
+    pub tx_bytes: u64,
+    pub tx_packets: u64,
+    pub busy_time: Dur,
+    /// High-water mark of the queue occupancy (bytes) — compared against
+    /// the placement manager's backlog bounds in verification runs.
+    pub max_queued: u64,
+    /// Instant the high-water mark was reached (diagnostics).
+    pub max_at: Time,
+}
+
+impl PortState {
+    pub fn new(rate: Rate, buffer: Bytes, prop: Dur) -> PortState {
+        PortState {
+            rate,
+            buffer,
+            prop,
+            queues: [VecDeque::new(), VecDeque::new()],
+            queued_bytes: 0,
+            busy: false,
+            ecn_k: None,
+            phantom: None,
+            drops: 0,
+            tx_bytes: 0,
+            tx_packets: 0,
+            busy_time: Dur::ZERO,
+            max_queued: 0,
+            max_at: Time::ZERO,
+        }
+    }
+
+    /// Try to enqueue; applies ECN/phantom marking. Returns false on a
+    /// tail drop.
+    pub fn enqueue(&mut self, now: Time, mut pkt: Packet) -> bool {
+        if self.queued_bytes + pkt.size.as_u64() > self.buffer.as_u64() {
+            self.drops += 1;
+            return false;
+        }
+        if let Some(k) = self.ecn_k {
+            if self.queued_bytes + pkt.size.as_u64() > k.as_u64() {
+                pkt.ce = true;
+            }
+        }
+        if let Some(pq) = &mut self.phantom {
+            if pq.on_arrival(now, pkt.size) {
+                pkt.ce = true;
+            }
+        }
+        self.queued_bytes += pkt.size.as_u64();
+        if self.queued_bytes > self.max_queued {
+            self.max_queued = self.queued_bytes;
+            self.max_at = now;
+        }
+        let prio = (pkt.prio as usize).min(1);
+        self.queues[prio].push_back(pkt);
+        true
+    }
+
+    /// Pop the next packet to transmit (strict priority).
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        for q in &mut self.queues {
+            if let Some(p) = q.pop_front() {
+                self.queued_bytes -= p.size.as_u64();
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Current utilization over a window (busy time / window).
+    pub fn utilization(&self, window: Dur) -> f64 {
+        if window == Dur::ZERO {
+            0.0
+        } else {
+            self.busy_time.as_secs_f64() / window.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_topology::PortId;
+    use std::rc::Rc;
+
+    fn pkt(size: u64, prio: u8) -> Packet {
+        Packet {
+            conn: 0,
+            kind: crate::packet::PktKind::Data,
+            seq: 0,
+            payload: size - 60,
+            size: Bytes(size),
+            retx: false,
+            ce: false,
+            ecn_echo: false,
+            prio,
+            sent_at: Time::ZERO,
+            path: Rc::from(vec![PortId(0)].into_boxed_slice()),
+            hop: 0,
+        }
+    }
+
+    #[test]
+    fn tail_drop_at_buffer_limit() {
+        let mut p = PortState::new(Rate::from_gbps(10), Bytes(3000), Dur::ZERO);
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(!p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert_eq!(p.drops, 1);
+        assert_eq!(p.queued_bytes, 3000);
+    }
+
+    #[test]
+    fn strict_priority_dequeue() {
+        let mut p = PortState::new(Rate::from_gbps(10), Bytes(10_000), Dur::ZERO);
+        assert!(p.enqueue(Time::ZERO, pkt(1000, 1)));
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        let first = p.dequeue().unwrap();
+        assert_eq!(first.prio, 0, "high priority preempts");
+        assert_eq!(p.dequeue().unwrap().prio, 1);
+        assert!(p.dequeue().is_none());
+        assert_eq!(p.queued_bytes, 0);
+    }
+
+    #[test]
+    fn ecn_marks_above_k() {
+        let mut p = PortState::new(Rate::from_gbps(10), Bytes(100_000), Dur::ZERO);
+        p.ecn_k = Some(Bytes(3000));
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        let marks: Vec<bool> = (0..3).map(|_| p.dequeue().unwrap().ce).collect();
+        assert_eq!(marks, vec![false, false, true]);
+    }
+
+    #[test]
+    fn phantom_marks_before_real_queue() {
+        // Packets arriving at exactly line rate never build a real queue,
+        // but the phantom (drained at 95%) accumulates 5% per packet and
+        // eventually marks.
+        let line = Rate::from_gbps(10);
+        let mut p = PortState::new(line, Bytes::from_mb(1), Dur::ZERO);
+        p.phantom = Some(PhantomQueue::new(line, 0.95, Bytes(6_000)));
+        let mut now = Time::ZERO;
+        let mut marked = 0;
+        for _ in 0..200 {
+            let mut pk = pkt(1500, 0);
+            pk.ce = false;
+            assert!(p.enqueue(now, pk));
+            let got = p.dequeue().unwrap();
+            if got.ce {
+                marked += 1;
+            }
+            now = now + line.tx_time(Bytes(1500));
+        }
+        assert!(marked > 0, "phantom queue must mark at sustained line rate");
+    }
+
+    #[test]
+    fn phantom_drains_when_idle() {
+        let line = Rate::from_gbps(10);
+        let mut pq = PhantomQueue::new(line, 0.95, Bytes(6_000));
+        for _ in 0..100 {
+            pq.on_arrival(Time::ZERO, Bytes(1500));
+        }
+        assert!(pq.bytes > 6_000.0);
+        // 1 ms of idle drains ~1.19 MB: back to zero.
+        assert!(!pq.on_arrival(Time::from_ms(1), Bytes(1500)));
+        assert!(pq.bytes <= 1500.0);
+    }
+}

@@ -1,0 +1,1273 @@
+//! The discrete-event engine: hosts, VMs, pacers, switches, TCP plumbing
+//! and applications wired together.
+
+use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
+use crate::metrics::{Metrics, MsgRecord};
+use crate::packet::{Packet, PktKind};
+use crate::port::{PhantomQueue, PortState};
+use crate::tcp::{MsgBound, TcpConn};
+use rand::rngs::StdRng;
+use silo_base::{exponential, seeded_rng, Bytes, Dur, Time};
+use silo_pacer::{FrameKind, PacedBatcher, TokenBucket};
+use silo_topology::{HostId, PortId, Topology};
+use silo_workload::EtcWorkload;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+/// Events the engine dispatches.
+#[derive(Debug)]
+enum Ev {
+    /// A packet finished traversing hop `pkt.hop − 1` and arrives at the
+    /// next node (or its destination).
+    Arrive(Packet),
+    /// An egress port finished a transmission.
+    PortFree(PortId),
+    /// DMA-completion / soft-timer pull of the next paced batch.
+    NicPull { host: u32, marker: u64 },
+    /// Retransmission timeout.
+    Rto { conn: u32, marker: u32 },
+    /// Next ETC client request becomes due.
+    EtcArrival { vm: u32 },
+    /// OLDI tenant fires a simultaneous all-to-one burst.
+    Oldi { tenant: u16 },
+    /// A Poisson pair's next message.
+    PoissonMsg { tenant: u16, pair: u32 },
+    /// Recompute hose rates.
+    HoseEpoch,
+    /// A connection paused by pacer backpressure may stamp again.
+    PaceResume { conn: u32 },
+    /// A bulk pair opens its connection and starts transferring.
+    BulkStart { src: u32, dst: u32, msg: u64 },
+}
+
+struct EvEntry {
+    t: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EvEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.t == o.t && self.seq == o.seq
+    }
+}
+impl Eq for EvEntry {}
+impl PartialOrd for EvEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for EvEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap: earliest time, then FIFO.
+        o.t.cmp(&self.t).then(o.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-VM state: pacer buckets and application role.
+struct Vm {
+    tenant: u16,
+    host: HostId,
+    /// `{B, S}` bucket (middle of Fig. 8).
+    tb_bs: TokenBucket,
+    /// `Bmax` cap (bottom of Fig. 8).
+    tb_max: TokenBucket,
+    /// Per-destination hose buckets (top of Fig. 8), keyed by global VM id.
+    per_dst: HashMap<u32, TokenBucket>,
+    /// Bytes received this hose epoch (receiver congestion feedback).
+    rx_epoch_bytes: u64,
+    app: VmApp,
+}
+
+enum VmApp {
+    None,
+    EtcClient {
+        server_vm: u32,
+        outstanding: usize,
+        cap: usize,
+        pending: u64,
+        wl: EtcWorkload,
+    },
+}
+
+/// Per-host NIC state for the paced modes.
+struct HostNic {
+    batcher: PacedBatcher<Packet>,
+    pull_marker: u64,
+    busy_until: Time,
+}
+
+/// The simulator. Build with [`Sim::new`], run with [`Sim::run`].
+pub struct Sim {
+    topo: Topology,
+    cfg: SimConfig,
+    tenants: Vec<TenantSpec>,
+    rng: StdRng,
+    now: Time,
+    events: BinaryHeap<EvEntry>,
+    eseq: u64,
+    ports: Vec<PortState>,
+    conns: Vec<TcpConn>,
+    conn_index: HashMap<(u32, u32), u32>,
+    vms: Vec<Vm>,
+    /// Global VM ids of each tenant, in tenant-local order.
+    tenant_vms: Vec<Vec<u32>>,
+    /// Connection ids per tenant (for event-driven hose updates).
+    tenant_conns: Vec<Vec<u32>>,
+    nics: Vec<HostNic>,
+    paths: HashMap<(u32, u32), Rc<[PortId]>>,
+    /// Per-host loopback path for same-host VM pairs (vswitch port).
+    loopback_paths: Vec<Rc<[PortId]>>,
+    metrics: Metrics,
+    txn_starts: HashMap<u64, Time>,
+    next_txn: u64,
+    ack_size: Bytes,
+}
+
+impl Sim {
+    pub fn new(topo: Topology, cfg: SimConfig, mut tenants: Vec<TenantSpec>) -> Sim {
+        // Oktopus provides hose bandwidth only: no burst allowance, no
+        // burst rate (§6.2: "With Oktopus, VMs cannot burst"). Okto+ keeps
+        // the tenant's burst parameters.
+        if cfg.mode == TransportMode::Okto {
+            for t in tenants.iter_mut() {
+                t.s = cfg.mtu;
+                t.bmax = t.b;
+            }
+        }
+        let rng = seeded_rng(cfg.seed);
+        let nports = topo.num_ports();
+        let mut ports = Vec::with_capacity(nports);
+        for i in 0..nports {
+            let pid = PortId(i as u32);
+            let info = topo.port(pid);
+            let prop = topo.params().prop_delay;
+            let mut ps = if info.is_nic {
+                // Un-paced NIC FIFO: deep queue, no marking, no loss.
+                PortState::new(info.rate, cfg.nic_fifo, prop)
+            } else {
+                PortState::new(info.rate, info.buffer, prop)
+            };
+            if !info.is_nic {
+                match cfg.mode {
+                    TransportMode::Dctcp => ps.ecn_k = Some(cfg.ecn_k),
+                    TransportMode::Hull => {
+                        ps.phantom =
+                            Some(PhantomQueue::new(info.rate, cfg.hull_gamma, cfg.hull_thresh));
+                    }
+                    _ => {}
+                }
+            }
+            ports.push(ps);
+        }
+        let mut vms = Vec::new();
+        let mut tenant_vms = Vec::new();
+        for (ti, t) in tenants.iter().enumerate() {
+            let mut ids = Vec::new();
+            for &h in &t.vm_hosts {
+                ids.push(vms.len() as u32);
+                vms.push(Vm {
+                    tenant: ti as u16,
+                    host: h,
+                    tb_bs: TokenBucket::new(t.b, t.s),
+                    tb_max: TokenBucket::new(t.bmax, cfg.mtu),
+                    per_dst: HashMap::new(),
+                    rx_epoch_bytes: 0,
+                    app: VmApp::None,
+                });
+            }
+            tenant_vms.push(ids);
+        }
+        let nics = (0..topo.num_hosts())
+            .map(|_| HostNic {
+                batcher: PacedBatcher::new(topo.params().host_link, cfg.batch_window, cfg.mtu),
+                pull_marker: 0,
+                busy_until: Time::ZERO,
+            })
+            .collect();
+        // One loopback (vswitch) port per host for same-host VM pairs:
+        // finite memory-copy bandwidth and a few microseconds of stack
+        // latency. Without this, co-located bulk flows would transfer
+        // unbounded data in zero simulated time. The queue is effectively
+        // unbounded: a real vswitch backpressures the sending VM instead
+        // of tail-dropping.
+        let mut loopback_paths = Vec::with_capacity(topo.num_hosts());
+        for h in 0..topo.num_hosts() {
+            let pid = PortId((nports + h) as u32);
+            let mut ps = PortState::new(
+                topo.params().host_link * 2,
+                Bytes::from_mb(256),
+                Dur::from_us(5),
+            );
+            ps.ecn_k = None;
+            ports.push(ps);
+            loopback_paths.push(Rc::from(vec![pid].into_boxed_slice()) as Rc<[PortId]>);
+        }
+        let ntenants = tenants.len();
+        let mut metrics = Metrics::default();
+        metrics.goodput = vec![0; tenants.len()];
+        metrics.duration = cfg.duration;
+        Sim {
+            topo,
+            cfg,
+            tenants,
+            rng,
+            now: Time::ZERO,
+            events: BinaryHeap::new(),
+            eseq: 0,
+            ports,
+            conns: Vec::new(),
+            conn_index: HashMap::new(),
+            vms,
+            tenant_vms,
+            tenant_conns: vec![Vec::new(); ntenants],
+            nics,
+            paths: HashMap::new(),
+            loopback_paths,
+            metrics,
+            txn_starts: HashMap::new(),
+            next_txn: 0,
+            // ACKs are modeled as a zero-cost control channel. Charging
+            // their ~4% wire share would structurally oversubscribe NICs
+            // whose capacity admission filled with data guarantees — an
+            // accounting question the paper leaves open — and it would
+            // distort every scheme equally. See EXPERIMENTS.md.
+            ack_size: Bytes(0),
+        }
+    }
+
+    fn push(&mut self, t: Time, ev: Ev) {
+        self.events.push(EvEntry {
+            t,
+            seq: self.eseq,
+            ev,
+        });
+        self.eseq += 1;
+    }
+
+    fn path(&mut self, src: HostId, dst: HostId) -> Rc<[PortId]> {
+        if src == dst {
+            return self.loopback_paths[src.0 as usize].clone();
+        }
+        if let Some(p) = self.paths.get(&(src.0, dst.0)) {
+            return p.clone();
+        }
+        let p: Rc<[PortId]> = Rc::from(self.topo.path_ports(src, dst).into_boxed_slice());
+        self.paths.insert((src.0, dst.0), p.clone());
+        p
+    }
+
+    /// Is this port the host vswitch loopback (not a NIC/switch port)?
+    fn is_loopback(&self, p: PortId) -> bool {
+        (p.0 as usize) >= self.topo.num_ports()
+    }
+
+    /// Get (or lazily create) the connection from one VM to another.
+    fn conn_for(&mut self, src_vm: u32, dst_vm: u32) -> u32 {
+        if let Some(&c) = self.conn_index.get(&(src_vm, dst_vm)) {
+            return c;
+        }
+        let sh = self.vms[src_vm as usize].host;
+        let dh = self.vms[dst_vm as usize].host;
+        let tenant = self.vms[src_vm as usize].tenant;
+        let prio = self.tenants[tenant as usize].prio;
+        let path = self.path(sh, dh);
+        let rpath = self.path(dh, sh);
+        let id = self.conns.len() as u32;
+        let init_cwnd = (self.cfg.init_cwnd * self.cfg.mss()) as f64;
+        self.conns.push(TcpConn::new(
+            id, tenant, src_vm, dst_vm, sh, dh, prio, path, rpath, init_cwnd,
+        ));
+        self.conn_index.insert((src_vm, dst_vm), id);
+        self.tenant_conns[tenant as usize].push(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Applications
+    // ------------------------------------------------------------------
+
+    fn init_apps(&mut self) {
+        for ti in 0..self.tenants.len() {
+            let workload = self.tenants[ti].workload.clone();
+            let vms = self.tenant_vms[ti].clone();
+            match workload {
+                TenantWorkload::Etc { load, concurrency } => {
+                    let server = vms[0];
+                    for &client in &vms[1..] {
+                        self.vms[client as usize].app = VmApp::EtcClient {
+                            server_vm: server,
+                            outstanding: 0,
+                            cap: concurrency.max(1),
+                            pending: 0,
+                            wl: EtcWorkload::with_load(load),
+                        };
+                        // Desynchronized start.
+                        let gap = exponential(&mut self.rng, 1e5);
+                        self.push(
+                            self.now + Dur::from_secs_f64(gap),
+                            Ev::EtcArrival { vm: client },
+                        );
+                    }
+                }
+                TenantWorkload::BulkAllToAll { msg } => {
+                    // Staggered connection establishment (mean 1 ms):
+                    // real tenants never synchronize their very first
+                    // packets to the nanosecond, and a synchronized cold
+                    // start would transiently exceed the receiver hoses
+                    // before the pacers' coordination converges.
+                    for &s in &vms {
+                        for &d in &vms {
+                            if s != d {
+                                let gap = exponential(&mut self.rng, 1e3);
+                                self.push(
+                                    self.now + Dur::from_secs_f64(gap),
+                                    Ev::BulkStart {
+                                        src: s,
+                                        dst: d,
+                                        msg: msg.as_u64(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                TenantWorkload::OldiAllToOne { interval, .. } => {
+                    let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+                    self.push(
+                        self.now + Dur::from_secs_f64(gap),
+                        Ev::Oldi {
+                            tenant: ti as u16,
+                        },
+                    );
+                }
+                TenantWorkload::PoissonPairs {
+                    pairs, interval, ..
+                } => {
+                    for (pi, _) in pairs.iter().enumerate() {
+                        let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+                        self.push(
+                            self.now + Dur::from_secs_f64(gap),
+                            Ev::PoissonMsg {
+                                tenant: ti as u16,
+                                pair: pi as u32,
+                            },
+                        );
+                    }
+                }
+                TenantWorkload::Idle => {}
+            }
+        }
+        if self.cfg.mode.paced() {
+            let epoch = self.cfg.hose_epoch;
+            self.push(self.now + epoch, Ev::HoseEpoch);
+        }
+    }
+
+    /// Application writes `bytes` onto a connection.
+    fn app_write(&mut self, conn: u32, bytes: u64, respond: Option<u64>, txn: Option<u64>) {
+        let (was_idle, tenant) = {
+            let c = &mut self.conns[conn as usize];
+            let was_idle = !c.active();
+            c.wr_end += bytes;
+            let end = c.wr_end;
+            c.msgs.push_back(MsgBound {
+                end,
+                size: bytes,
+                created: self.now,
+                rto_hit: false,
+                respond,
+                txn,
+            });
+            (was_idle, c.tenant)
+        };
+        if was_idle && self.cfg.mode.paced() {
+            self.update_tenant_hose(tenant);
+        }
+        self.try_send(conn);
+    }
+
+    fn on_etc_arrival(&mut self, vm: u32) {
+        // Draw the transaction and the next arrival.
+        let (gap, req, resp, server, can_start) = {
+            let v = &mut self.vms[vm as usize];
+            let VmApp::EtcClient {
+                server_vm,
+                outstanding,
+                cap,
+                pending,
+                wl,
+            } = &mut v.app
+            else {
+                return;
+            };
+            let r = wl.next_request(&mut self.rng);
+            let can = *outstanding < *cap;
+            if can {
+                *outstanding += 1;
+            } else {
+                *pending += 1;
+            }
+            (r.gap, r.request, r.response, *server_vm, can)
+        };
+        if can_start {
+            self.start_etc_txn(vm, server, req, resp);
+        }
+        self.push(self.now + gap, Ev::EtcArrival { vm });
+    }
+
+    fn start_etc_txn(&mut self, client: u32, server: u32, req: Bytes, resp: Bytes) {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.txn_starts.insert(txn, self.now);
+        let c = self.conn_for(client, server);
+        self.app_write(c, req.as_u64(), Some(resp.as_u64()), Some(txn));
+    }
+
+    fn on_oldi(&mut self, tenant: u16) {
+        let (msg_mean, interval) = match &self.tenants[tenant as usize].workload {
+            TenantWorkload::OldiAllToOne { msg_mean, interval } => (*msg_mean, *interval),
+            _ => return,
+        };
+        let vms = self.tenant_vms[tenant as usize].clone();
+        let target = vms[0];
+        for &s in &vms[1..] {
+            // Partition/aggregate responses are similar-sized: each worker
+            // returns one fixed-size shard of the answer.
+            let c = self.conn_for(s, target);
+            self.app_write(c, msg_mean.as_u64().max(1), None, None);
+        }
+        let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+        self.push(self.now + Dur::from_secs_f64(gap), Ev::Oldi { tenant });
+    }
+
+    fn on_poisson_msg(&mut self, tenant: u16, pair: u32) {
+        let (pairs, msg_mean, interval) = match &self.tenants[tenant as usize].workload {
+            TenantWorkload::PoissonPairs {
+                pairs,
+                msg_mean,
+                interval,
+            } => (pairs.clone(), *msg_mean, *interval),
+            _ => return,
+        };
+        let (s, d) = pairs[pair as usize];
+        let vms = &self.tenant_vms[tenant as usize];
+        let (sv, dv) = (vms[s], vms[d]);
+        let size = exponential(&mut self.rng, 1.0 / msg_mean.as_f64()).ceil() as u64;
+        let c = self.conn_for(sv, dv);
+        self.app_write(c, size.max(1), None, None);
+        let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+        self.push(self.now + Dur::from_secs_f64(gap), Ev::PoissonMsg { tenant, pair });
+    }
+
+    /// Bulk tenants run one message per pair at a time: the next transfer
+    /// starts when the previous one is fully acknowledged, so a message's
+    /// latency is exactly its transfer time at the achieved bandwidth.
+    fn app_on_ack(&mut self, conn: u32) {
+        let (tenant, backlog) = {
+            let c = &self.conns[conn as usize];
+            (c.tenant, c.wr_end - c.una)
+        };
+        if let TenantWorkload::BulkAllToAll { msg } = self.tenants[tenant as usize].workload {
+            if backlog == 0 {
+                self.app_write(conn, msg.as_u64(), None, None);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TCP sender
+    // ------------------------------------------------------------------
+
+    fn try_send(&mut self, conn: u32) {
+        loop {
+            // Pacer backpressure: a connection already stamped out to the
+            // horizon must wait for the wire to catch up, so the VM's
+            // other destinations can interleave through the shared
+            // buckets.
+            if self.cfg.mode.paced() {
+                let c = &self.conns[conn as usize];
+                let horizon = self.now + self.cfg.pace_horizon;
+                if c.has_unsent() && c.last_depart > horizon && !c.pace_blocked {
+                    let resume = c.last_depart - self.cfg.pace_horizon;
+                    self.conns[conn as usize].pace_blocked = true;
+                    self.push(resume, Ev::PaceResume { conn });
+                    return;
+                }
+                if c.pace_blocked {
+                    return;
+                }
+            }
+            let (src_vm, payload, seq, prio, path, size) = {
+                let c = &self.conns[conn as usize];
+                if !c.has_unsent() {
+                    return;
+                }
+                let remaining = c.wr_end - c.nxt;
+                let payload = remaining.min(self.cfg.mss());
+                if (c.window_avail()) < payload && c.flight() > 0 {
+                    return;
+                }
+                (
+                    c.src_vm,
+                    payload,
+                    c.nxt,
+                    c.prio,
+                    c.path.clone(),
+                    Bytes(payload + self.cfg.header.as_u64()),
+                )
+            };
+            {
+                let c = &mut self.conns[conn as usize];
+                c.nxt += payload;
+                c.high_tx = c.high_tx.max(c.nxt);
+                let end = c.nxt;
+                c.inflight_meta.push_back((end, self.now, false));
+            }
+            let pkt = Packet {
+                conn,
+                kind: PktKind::Data,
+                seq,
+                payload,
+                size,
+                retx: false,
+                ce: false,
+                ecn_echo: false,
+                prio,
+                sent_at: self.now,
+                path,
+                hop: 0,
+            };
+            self.send_from_vm(src_vm, pkt);
+            self.arm_rto(conn);
+        }
+    }
+
+    /// SACK-equivalent loss recovery: the receiver's reassembly state is
+    /// in-process, so the sender can retransmit every missing range
+    /// directly (up to `max_segs` segments per trigger) instead of
+    /// NewReno's one hole per RTT — matching what a SACK stack achieves.
+    fn retransmit_holes(&mut self, conn: u32, max_segs: usize) {
+        let holes: Vec<(u64, u64)> = {
+            let c = &self.conns[conn as usize];
+            let mut holes = Vec::new();
+            // Only gaps *below* received out-of-order blocks are presumed
+            // lost (later data arrived past them). Data at the send
+            // frontier is merely in flight. Each hole is retransmitted
+            // once per recovery episode (`retx_upto`); a lost
+            // retransmission falls back to the RTO.
+            let mut cursor = c.delivered.max(c.una).max(c.retx_upto);
+            for &(s, e) in &c.ooo {
+                if s > cursor {
+                    holes.push((cursor, s));
+                }
+                cursor = cursor.max(e);
+            }
+            holes
+        };
+        let mss = self.cfg.mss();
+        // Always re-send the oldest outstanding segment (classic NewReno
+        // partial-ack behavior): if its previous retransmission was lost,
+        // this is the only way forward short of an RTO.
+        self.retransmit_una(conn);
+        let mut sent = 1usize;
+        'outer: for (s, e) in holes {
+            let mut seq = s;
+            while seq < e {
+                if sent >= max_segs {
+                    break 'outer;
+                }
+                let payload = (e - seq).min(mss);
+                self.retransmit_at(conn, seq, payload);
+                seq += payload;
+                sent += 1;
+            }
+        }
+    }
+
+    fn retransmit_at(&mut self, conn: u32, seq: u64, payload: u64) {
+        let (src_vm, prio, path) = {
+            let c = &mut self.conns[conn as usize];
+            c.retx_upto = c.retx_upto.max(seq + payload);
+            // Karn's rule: the original send-time entries of anything we
+            // re-send can no longer produce valid RTT samples.
+            for m in c.inflight_meta.iter_mut() {
+                if m.0 > seq && m.0 <= seq + payload {
+                    m.2 = true;
+                }
+            }
+            (c.src_vm, c.prio, c.path.clone())
+        };
+        let pkt = Packet {
+            conn,
+            kind: PktKind::Data,
+            seq,
+            payload,
+            size: Bytes(payload + self.cfg.header.as_u64()),
+            retx: true,
+            ce: false,
+            ecn_echo: false,
+            prio,
+            sent_at: self.now,
+            path,
+            hop: 0,
+        };
+        self.send_from_vm(src_vm, pkt);
+        self.arm_rto(conn);
+    }
+
+    fn retransmit_una(&mut self, conn: u32) {
+        let (src_vm, seq, payload, prio, path) = {
+            let c = &mut self.conns[conn as usize];
+            let payload = (c.wr_end - c.una).min(self.cfg.mss());
+            if payload == 0 {
+                return;
+            }
+            let (seq, prio) = (c.una, c.prio);
+            for m in c.inflight_meta.iter_mut() {
+                if m.0 > seq && m.0 <= seq + payload {
+                    m.2 = true;
+                }
+            }
+            (c.src_vm, seq, payload, prio, c.path.clone())
+        };
+        let pkt = Packet {
+            conn,
+            kind: PktKind::Data,
+            seq,
+            payload,
+            size: Bytes(payload + self.cfg.header.as_u64()),
+            retx: true,
+            ce: false,
+            ecn_echo: false,
+            prio,
+            sent_at: self.now,
+            path,
+            hop: 0,
+        };
+        self.send_from_vm(src_vm, pkt);
+        self.arm_rto(conn);
+    }
+
+    fn arm_rto(&mut self, conn: u32) {
+        let (marker, at) = {
+            let c = &mut self.conns[conn as usize];
+            c.rto_marker += 1;
+            // Clock from the latest wire departure: time spent queued in
+            // the hypervisor pacer must not fire spurious timeouts.
+            let base = self.now.max(c.last_depart);
+            (c.rto_marker, base + c.rto(self.cfg.min_rto))
+        };
+        self.push(at, Ev::Rto { conn, marker });
+    }
+
+    fn disarm_rto(&mut self, conn: u32) {
+        self.conns[conn as usize].rto_marker += 1;
+    }
+
+    fn on_rto(&mut self, conn: u32, marker: u32) {
+        {
+            let c = &self.conns[conn as usize];
+            if c.rto_marker != marker || c.flight() == 0 {
+                return;
+            }
+        }
+        self.metrics.rtos += 1;
+        let mss = self.cfg.mss() as f64;
+        self.conns[conn as usize].on_rto(mss);
+        // Go-back-N: nxt was rewound; try_send re-emits from una.
+        self.try_send(conn);
+        // If the window was too small to emit (shouldn't happen), keep the
+        // timer armed anyway.
+        if self.conns[conn as usize].flight() > 0 {
+            // arm_rto was called by try_send's first segment already.
+        } else {
+            self.arm_rto(conn);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host egress: pacing + NIC
+    // ------------------------------------------------------------------
+
+    fn send_from_vm(&mut self, vm: u32, mut pkt: Packet) {
+        if self.is_loopback(pkt.path[0]) {
+            // Same-host delivery through the vswitch: serialized at the
+            // loopback port, never paced (it does not cross the NIC).
+            let port = pkt.path[0];
+            pkt.hop = 0;
+            self.enqueue_port(port, pkt);
+            return;
+        }
+        if self.cfg.mode.paced() {
+            // Pure ACKs bypass the token buckets (tiny control frames;
+            // charging them to `B` would structurally oversubscribe a
+            // backlogged tenant by the ~4% ACK ratio). They still ride
+            // the batched NIC.
+            let stamp = if pkt.kind == PktKind::Ack {
+                self.now
+            } else {
+                let dst_vm = self.peer_vm(&pkt);
+                self.stamp_packet(vm, dst_vm, pkt.size)
+            };
+            {
+                let c = &mut self.conns[pkt.conn as usize];
+                c.last_depart = c.last_depart.max(stamp);
+            }
+            let host = self.vms[vm as usize].host.0 as usize;
+            self.nics[host].batcher.enqueue(stamp, pkt.size, pkt);
+            if self.now >= self.nics[host].busy_until {
+                let at = self.nics[host]
+                    .batcher
+                    .next_stamp()
+                    .expect("just enqueued")
+                    .max(self.now);
+                self.arm_nic(host, at);
+            }
+        } else {
+            let port = pkt.path[0];
+            pkt.hop = 0;
+            self.enqueue_port(port, pkt);
+        }
+    }
+
+    /// The VM this packet is addressed to (for hose bucket lookup).
+    fn peer_vm(&self, pkt: &Packet) -> u32 {
+        let c = &self.conns[pkt.conn as usize];
+        match pkt.kind {
+            PktKind::Data => c.dst_vm,
+            PktKind::Ack => c.src_vm,
+        }
+    }
+
+    /// Fig. 8: stamp through per-destination hose bucket, then `{B, S}`,
+    /// then `Bmax`.
+    fn stamp_packet(&mut self, vm: u32, dst_vm: u32, size: Bytes) -> Time {
+        let (b, s) = {
+            let t = &self.tenants[self.vms[vm as usize].tenant as usize];
+            (t.b, t.s)
+        };
+        let now = self.now;
+        let v = &mut self.vms[vm as usize];
+        let dst_tb = v
+            .per_dst
+            .entry(dst_vm)
+            .or_insert_with(|| TokenBucket::new(b, s));
+        let t1 = dst_tb.earliest(now, size);
+        let t2 = v.tb_bs.earliest(now, size);
+        let t3 = v.tb_max.earliest(now, size);
+        let stamp = t1.max(t2).max(t3);
+        dst_tb.commit(stamp, size);
+        v.tb_bs.commit(stamp, size);
+        v.tb_max.commit(stamp, size);
+        stamp
+    }
+
+    fn arm_nic(&mut self, host: usize, at: Time) {
+        self.nics[host].pull_marker += 1;
+        let marker = self.nics[host].pull_marker;
+        self.push(
+            at,
+            Ev::NicPull {
+                host: host as u32,
+                marker,
+            },
+        );
+    }
+
+    fn on_nic_pull(&mut self, host: u32, marker: u64) {
+        let h = host as usize;
+        if self.nics[h].pull_marker != marker {
+            return;
+        }
+        let batch = self.nics[h].batcher.next_batch(self.now);
+        if batch.is_empty() {
+            if let Some(s) = self.nics[h].batcher.next_stamp() {
+                let at = s.max(self.now);
+                self.arm_nic(h, at);
+            }
+            return;
+        }
+        let link = self.topo.params().host_link;
+        let prop = self.topo.params().prop_delay;
+        self.nics[h].busy_until = batch.done_at;
+        self.metrics.wire_data_bytes += batch.data_bytes().as_u64();
+        self.metrics.wire_void_bytes += batch.void_bytes().as_u64();
+        // NIC wire accounting on the host's uplink port (utilization).
+        let up = PortId::up(self.topo.host_link(HostId(host))).0 as usize;
+        self.ports[up].busy_time += batch.done_at - batch.frames[0].start;
+        for f in batch.frames {
+            if f.kind == FrameKind::Data {
+                let mut pkt = f.payload.expect("data frame carries a packet");
+                pkt.hop = 1; // the NIC wire is hop 0
+                let arrive = f.start + link.tx_time(f.size) + prop;
+                self.push(arrive, Ev::Arrive(pkt));
+            }
+            // Void frames: dropped by the first-hop switch. Their only
+            // effect is the wire time already encoded in the schedule.
+        }
+        let done = batch.done_at;
+        self.arm_nic(h, done);
+    }
+
+    // ------------------------------------------------------------------
+    // Switch fabric
+    // ------------------------------------------------------------------
+
+    fn enqueue_port(&mut self, port: PortId, pkt: Packet) {
+        let ps = &mut self.ports[port.0 as usize];
+        if !ps.enqueue(self.now, pkt) {
+            self.metrics.drops += 1;
+            return;
+        }
+        if !ps.busy {
+            self.start_tx(port);
+        }
+    }
+
+    fn start_tx(&mut self, port: PortId) {
+        let ps = &mut self.ports[port.0 as usize];
+        let Some(mut pkt) = ps.dequeue() else {
+            ps.busy = false;
+            return;
+        };
+        ps.busy = true;
+        let tx = ps.rate.tx_time(pkt.size);
+        ps.busy_time += tx;
+        ps.tx_bytes += pkt.size.as_u64();
+        ps.tx_packets += 1;
+        let prop = ps.prop;
+        pkt.hop += 1;
+        let t_free = self.now + tx;
+        let t_arrive = t_free + prop;
+        self.push(t_free, Ev::PortFree(port));
+        self.push(t_arrive, Ev::Arrive(pkt));
+    }
+
+    fn on_port_free(&mut self, port: PortId) {
+        let ps = &mut self.ports[port.0 as usize];
+        ps.busy = false;
+        if !ps.is_empty() {
+            self.start_tx(port);
+        }
+    }
+
+    fn on_arrive(&mut self, pkt: Packet) {
+        if pkt.arrived() {
+            match pkt.kind {
+                PktKind::Data => self.rx_data(pkt),
+                PktKind::Ack => self.rx_ack(pkt),
+            }
+        } else {
+            let port = pkt.path[pkt.hop];
+            self.enqueue_port(port, pkt);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TCP receiver + ACK processing
+    // ------------------------------------------------------------------
+
+    fn rx_data(&mut self, pkt: Packet) {
+        let conn = pkt.conn;
+        let (completions, dst_vm, src_vm, prio, rpath, tenant, adv) = {
+            let c = &mut self.conns[conn as usize];
+            let prev = c.receive_segment(pkt.seq, pkt.payload);
+            let delivered = c.delivered;
+            let adv = delivered - prev;
+            c.goodput_bytes += adv;
+            let mut done = Vec::new();
+            while let Some(m) = c.msgs.front() {
+                if m.end <= delivered {
+                    done.push(c.msgs.pop_front().expect("front exists"));
+                    c.msgs_done += 1;
+                } else {
+                    break;
+                }
+            }
+            (done, c.dst_vm, c.src_vm, c.prio, c.rpath.clone(), c.tenant, adv)
+        };
+        self.vms[dst_vm as usize].rx_epoch_bytes += adv;
+        let same_host =
+            self.conns[conn as usize].src_host == self.conns[conn as usize].dst_host;
+        for m in &completions {
+            let txn_latency = match (m.respond, m.txn) {
+                // A response arriving back at the client closes the txn.
+                (None, Some(txn)) => self
+                    .txn_starts
+                    .remove(&txn)
+                    .map(|t0| self.now - t0),
+                _ => None,
+            };
+            self.metrics.messages.push(MsgRecord {
+                tenant,
+                size: m.size,
+                latency: self.now - m.created,
+                rto: m.rto_hit,
+                created: m.created,
+                txn_latency,
+                same_host,
+            });
+            if let (None, Some(_txn)) = (m.respond, m.txn) {
+                // Client-side completion: release a concurrency slot.
+                self.etc_txn_done(dst_vm);
+            }
+            if let Some(resp) = m.respond {
+                // Server side: send the response back.
+                let rc = self.conn_for(dst_vm, src_vm);
+                self.app_write(rc, resp, None, m.txn);
+            }
+        }
+        // Cumulative ACK echoing this segment's CE mark.
+        let ack = Packet {
+            conn,
+            kind: PktKind::Ack,
+            seq: self.conns[conn as usize].delivered,
+            payload: 0,
+            size: self.ack_size,
+            retx: false,
+            ce: false,
+            ecn_echo: pkt.ce,
+            prio,
+            sent_at: self.now,
+            path: rpath,
+            hop: 0,
+        };
+        self.send_from_vm(dst_vm, ack);
+    }
+
+    fn etc_txn_done(&mut self, client_vm: u32) {
+        let start_next = {
+            let v = &mut self.vms[client_vm as usize];
+            if let VmApp::EtcClient {
+                outstanding,
+                pending,
+                ..
+            } = &mut v.app
+            {
+                *outstanding = outstanding.saturating_sub(1);
+                if *pending > 0 {
+                    *pending -= 1;
+                    *outstanding += 1;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if start_next {
+            let (server, req, resp) = {
+                let v = &mut self.vms[client_vm as usize];
+                let VmApp::EtcClient { server_vm, wl, .. } = &mut v.app else {
+                    unreachable!()
+                };
+                let r = wl.next_request(&mut self.rng);
+                (*server_vm, r.request, r.response)
+            };
+            self.start_etc_txn(client_vm, server, req, resp);
+        }
+    }
+
+    fn rx_ack(&mut self, pkt: Packet) {
+        let conn = pkt.conn;
+        let ack = pkt.seq;
+        let mss = self.cfg.mss() as f64;
+        let mut need_retx_partial = false;
+        let mut flight_left = 0;
+        {
+            let c = &mut self.conns[conn as usize];
+            if ack > c.una {
+                let adv = ack - c.una;
+                // DCTCP mark accounting.
+                c.acked_bytes += adv;
+                if pkt.ecn_echo {
+                    c.ce_bytes += adv;
+                }
+                // RTT sample (Karn: only never-retransmitted segments).
+                let mut sample = None;
+                while let Some(&(end, sent, retx)) = c.inflight_meta.front() {
+                    if end <= ack {
+                        if !retx {
+                            sample = Some(self.now - sent);
+                        }
+                        c.inflight_meta.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(rtt) = sample {
+                    c.on_rtt_sample(rtt);
+                }
+                c.una = ack;
+                // After an RTO rewinds `nxt` (go-back-N), a late ACK for
+                // the original flight can overtake it; acked bytes never
+                // need re-sending.
+                c.nxt = c.nxt.max(ack);
+                c.dupacks = 0;
+                c.rto_backoff = 0;
+                if c.in_recovery {
+                    if ack >= c.recover {
+                        c.in_recovery = false;
+                        c.cwnd = c.ssthresh;
+                        c.retx_upto = 0;
+                    } else {
+                        // NewReno partial ack: retransmit the next hole.
+                        need_retx_partial = true;
+                    }
+                } else {
+                    c.grow_cwnd(adv, mss);
+                }
+                c.cwnd = c.cwnd.min(self.cfg.max_cwnd.as_f64());
+                if self.cfg.mode.dctcp_sender() {
+                    c.dctcp_window_rollover(self.cfg.dctcp_g, mss);
+                }
+                flight_left = c.flight();
+            } else if c.flight() > 0 {
+                c.dupacks += 1;
+                if pkt.ecn_echo {
+                    // Marked dupacks still feed DCTCP's estimator.
+                    c.ce_bytes += mss as u64;
+                    c.acked_bytes += mss as u64;
+                }
+                if c.dupacks == 3 && !c.in_recovery && c.una >= c.recover {
+                    // NewReno re-entry guard: losses within one recovery
+                    // window trigger only one halving.
+                    c.enter_recovery(mss);
+                    need_retx_partial = true;
+                } else if c.in_recovery {
+                    c.cwnd = (c.cwnd + mss).min(self.cfg.max_cwnd.as_f64());
+                }
+                flight_left = c.flight();
+            }
+        }
+        if need_retx_partial {
+            self.retransmit_holes(conn, 16);
+        }
+        if flight_left > 0 {
+            self.arm_rto(conn);
+        } else {
+            self.disarm_rto(conn);
+        }
+        self.try_send(conn);
+        self.app_on_ack(conn);
+        // Became idle (fully acked, nothing queued): release its hose
+        // share to the tenant's other active pairs.
+        if self.cfg.mode.paced() && !self.conns[conn as usize].active() {
+            let tenant = self.conns[conn as usize].tenant;
+            self.update_tenant_hose(tenant);
+        }
+    }
+
+    /// EyeQ-style hose coordination (paper §4.3): each sender splits its
+    /// own `B` over the destinations it is *currently* sending to; a
+    /// receiver additionally throttles its senders to `B/in-degree` only
+    /// when its measured arrival rate actually exceeds its hose — bursts
+    /// to an idle receiver are deliberately not destination-limited
+    /// (§4.1). Idle pairs are reset to the full sender rate so a fresh
+    /// burst rides the burst allowance, exactly as the guarantee promises.
+    fn on_hose_epoch(&mut self) {
+        match self.cfg.mode {
+            TransportMode::Okto | TransportMode::OktoPlus => self.okto_epoch(),
+            _ => self.silo_epoch(),
+        }
+        let epoch = self.cfg.hose_epoch;
+        self.push(self.now + epoch, Ev::HoseEpoch);
+    }
+
+    /// Oktopus-style *static* hose division: every VM pair that has ever
+    /// communicated keeps `min(B/out-degree, B/in-degree)` regardless of
+    /// current activity — Oktopus's central rate computation has no
+    /// work-conserving feedback loop (paper §6.2: "VMs cannot burst").
+    fn okto_epoch(&mut self) {
+        let mut out_deg: HashMap<u32, u32> = HashMap::new();
+        let mut in_deg: HashMap<u32, u32> = HashMap::new();
+        for c in &self.conns {
+            if c.src_host != c.dst_host {
+                *out_deg.entry(c.src_vm).or_default() += 1;
+                *in_deg.entry(c.dst_vm).or_default() += 1;
+            }
+        }
+        let now = self.now;
+        for (vi, v) in self.vms.iter_mut().enumerate() {
+            let b = self.tenants[v.tenant as usize].b.as_bps() as f64;
+            let od = out_deg.get(&(vi as u32)).copied().unwrap_or(1).max(1);
+            for (&d, tb) in v.per_dst.iter_mut() {
+                let id = in_deg.get(&d).copied().unwrap_or(1).max(1);
+                let r = (b / od as f64).min(b / id as f64);
+                tb.set_rate(now, silo_base::Rate::from_bps(r.max(1e6) as u64));
+            }
+            v.rx_epoch_bytes = 0;
+        }
+    }
+
+    fn silo_epoch(&mut self) {
+        for ti in 0..self.tenants.len() {
+            self.update_tenant_hose(ti as u16);
+        }
+    }
+
+    /// Recompute one tenant's pairwise hose rates. Sustained rates split
+    /// both endpoint hoses over *currently active* peers (zero-lag
+    /// idealization of the pacers' coordination messages). Bursts are
+    /// untouched — they ride the per-destination bucket's capacity `S`
+    /// whatever its refill rate (§4.1: bursts are not destination
+    /// limited) — and idle pairs are reset to the full hose `B` so the
+    /// burst allowance refills at the guaranteed rate.
+    ///
+    /// Called on every active↔idle transition of the tenant's
+    /// connections, plus a periodic safety epoch.
+    fn update_tenant_hose(&mut self, ti: u16) {
+        if matches!(self.cfg.mode, TransportMode::Okto | TransportMode::OktoPlus) {
+            return; // Oktopus rates are static, set by okto_epoch.
+        }
+        let mut out_deg: HashMap<u32, u32> = HashMap::new();
+        let mut in_deg: HashMap<u32, u32> = HashMap::new();
+        let mut active: Vec<(u32, u32)> = Vec::new();
+        for &ci in &self.tenant_conns[ti as usize] {
+            let c = &self.conns[ci as usize];
+            if c.active() && c.src_host != c.dst_host {
+                active.push((c.src_vm, c.dst_vm));
+                *out_deg.entry(c.src_vm).or_default() += 1;
+                *in_deg.entry(c.dst_vm).or_default() += 1;
+            }
+        }
+        let now = self.now;
+        let b_bps = self.tenants[ti as usize].b.as_bps() as f64;
+        let b = self.tenants[ti as usize].b;
+        let mut assigned: HashMap<(u32, u32), f64> = HashMap::new();
+        for &(s, d) in &active {
+            // 3% headroom: pair rates summing to exactly B would keep the
+            // VM's {B, S} bucket permanently saturated and its backlog
+            // random-walking upward (EyeQ similarly converges slightly
+            // below the hose).
+            let rate = 0.97 * (b_bps / out_deg[&s] as f64).min(b_bps / in_deg[&d] as f64);
+            assigned.insert((s, d), rate);
+        }
+        for &vi in &self.tenant_vms[ti as usize].clone() {
+            let v = &mut self.vms[vi as usize];
+            for (&d, tb) in v.per_dst.iter_mut() {
+                match assigned.get(&(vi, d)) {
+                    Some(&r) => tb.set_rate(now, silo_base::Rate::from_bps(r.max(1e6) as u64)),
+                    None => tb.set_rate(now, b),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driver
+    // ------------------------------------------------------------------
+
+    /// Run to completion and return the metrics.
+    /// Debug introspection: (vm, dst, bucket rate bps) of every
+    /// per-destination hose bucket (used by diagnostics binaries).
+    pub fn debug_hose_rates(&self) -> Vec<(u32, u32, u64)> {
+        let mut v = Vec::new();
+        for (vi, vm) in self.vms.iter().enumerate() {
+            for (&d, tb) in &vm.per_dst {
+                v.push((vi as u32, d, tb.rate().as_bps()));
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// Debug introspection: (max_queued, at) per port (diagnostics).
+    pub fn debug_port_peaks(&self) -> Vec<(u64, silo_base::Time)> {
+        self.ports.iter().map(|p| (p.max_queued, p.max_at)).collect()
+    }
+
+    /// Debug introspection: per-connection congestion state
+    /// (conn, cwnd, ssthresh, srtt_us, in_recovery, delivered).
+    pub fn debug_conns(&self) -> Vec<(u32, f64, f64, f64, bool, u64)> {
+        self.conns
+            .iter()
+            .map(|c| {
+                (
+                    c.id,
+                    c.cwnd,
+                    c.ssthresh,
+                    c.srtt.map(|d| d.as_us_f64()).unwrap_or(-1.0),
+                    c.in_recovery,
+                    c.delivered,
+                )
+            })
+            .collect()
+    }
+
+    /// Debug introspection: run the simulation but hand back the Sim for
+    /// post-mortem inspection alongside metrics.
+    pub fn run_keep(mut self) -> (Metrics, Sim) {
+        self.run_inner();
+        let metrics = self.finish_metrics();
+        (metrics, self)
+    }
+
+    pub fn run(mut self) -> Metrics {
+        self.run_inner();
+        self.finish_metrics()
+    }
+
+    fn run_inner(&mut self) {
+        self.init_apps();
+        let horizon = Time::ZERO + self.cfg.duration;
+        while let Some(entry) = self.events.pop() {
+            if entry.t > horizon {
+                break;
+            }
+            self.now = entry.t;
+            match entry.ev {
+                Ev::Arrive(pkt) => self.on_arrive(pkt),
+                Ev::PortFree(p) => self.on_port_free(p),
+                Ev::NicPull { host, marker } => self.on_nic_pull(host, marker),
+                Ev::Rto { conn, marker } => self.on_rto(conn, marker),
+                Ev::EtcArrival { vm } => self.on_etc_arrival(vm),
+                Ev::Oldi { tenant } => self.on_oldi(tenant),
+                Ev::PoissonMsg { tenant, pair } => self.on_poisson_msg(tenant, pair),
+                Ev::HoseEpoch => self.on_hose_epoch(),
+                Ev::PaceResume { conn } => {
+                    self.conns[conn as usize].pace_blocked = false;
+                    self.try_send(conn);
+                }
+                Ev::BulkStart { src, dst, msg } => {
+                    let c = self.conn_for(src, dst);
+                    self.app_write(c, msg, None, None);
+                }
+            }
+        }
+    }
+
+    fn finish_metrics(&mut self) -> Metrics {
+        let dur = self.cfg.duration;
+        self.metrics.port_utilization = self
+            .ports
+            .iter()
+            .take(self.topo.num_ports()) // loopback vswitch ports excluded
+            .map(|p| p.utilization(dur))
+            .collect();
+        self.metrics.drops = self.ports.iter().map(|p| p.drops).sum();
+        self.metrics.port_drops = self
+            .ports
+            .iter()
+            .take(self.topo.num_ports())
+            .map(|p| p.drops)
+            .collect();
+        self.metrics.port_max_queue = self
+            .ports
+            .iter()
+            .take(self.topo.num_ports())
+            .map(|p| p.max_queued)
+            .collect();
+        // Goodput per tenant from connection delivery counters.
+        for g in self.metrics.goodput.iter_mut() {
+            *g = 0;
+        }
+        for c in &self.conns {
+            self.metrics.goodput[c.tenant as usize] += c.goodput_bytes;
+        }
+        self.metrics.clone()
+    }
+}

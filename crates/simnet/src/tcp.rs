@@ -1,0 +1,445 @@
+//! Per-connection TCP state: NewReno congestion control with DCTCP's
+//! fraction-based reduction layered on top.
+//!
+//! The connection object holds pure protocol state; packet emission and
+//! timers live in [`crate::sim`], which drives these methods. Keeping the
+//! window logic free of simulator plumbing makes it unit-testable below.
+
+use silo_base::{Dur, Time};
+use silo_topology::{HostId, PortId};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Sender-side message record (application message boundaries within the
+/// byte stream).
+#[derive(Debug, Clone)]
+pub struct MsgBound {
+    /// Stream byte at which this message ends.
+    pub end: u64,
+    pub size: u64,
+    pub created: Time,
+    /// Did an RTO fire while this message was outstanding?
+    pub rto_hit: bool,
+    /// If set, the receiver app responds with a message of this size,
+    /// tagged with the same transaction id.
+    pub respond: Option<u64>,
+    /// Transaction id for request/response latency accounting.
+    pub txn: Option<u64>,
+}
+
+/// Congestion-control numbers of one direction of a connection.
+#[derive(Debug, Clone)]
+pub struct TcpConn {
+    pub id: u32,
+    pub tenant: u16,
+    pub src_vm: u32,
+    pub dst_vm: u32,
+    pub src_host: HostId,
+    pub dst_host: HostId,
+    pub prio: u8,
+    pub path: Rc<[PortId]>,
+    /// Reverse path for ACKs.
+    pub rpath: Rc<[PortId]>,
+
+    // ---- sender ----
+    /// First unacknowledged stream byte.
+    pub una: u64,
+    /// Next stream byte to send.
+    pub nxt: u64,
+    /// Total bytes written by the application.
+    pub wr_end: u64,
+    /// Congestion window, bytes (f64: DCTCP scales fractionally).
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    pub dupacks: u32,
+    pub in_recovery: bool,
+    /// NewReno recovery point.
+    pub recover: u64,
+    /// Highest stream byte ever sent (for partial-ack logic).
+    pub high_tx: u64,
+    pub srtt: Option<Dur>,
+    pub rttvar: Dur,
+    pub rto_backoff: u32,
+    /// Monotone marker invalidating stale RTO timer events.
+    pub rto_marker: u32,
+    /// Latest wire-departure stamp of any sent segment: the RTO clock
+    /// starts here, not at the app write — hypervisor pacing delay is not
+    /// network RTT (the guest's RTT estimator absorbs it in reality).
+    pub last_depart: Time,
+    /// A PaceResume event is pending (pacer backpressure).
+    pub pace_blocked: bool,
+    /// Highest sequence already hole-retransmitted in this recovery
+    /// episode (avoid duplicating retransmissions on every dupack).
+    pub retx_upto: u64,
+    /// Send times of in-flight segments: (end_seq, sent_at, retransmitted).
+    pub inflight_meta: VecDeque<(u64, Time, bool)>,
+    pub rto_events: u64,
+
+    // ---- DCTCP ----
+    pub alpha: f64,
+    pub ce_bytes: u64,
+    pub acked_bytes: u64,
+    pub dctcp_window_end: u64,
+
+    // ---- receiver ----
+    /// Cumulative bytes delivered in order.
+    pub delivered: u64,
+    /// Out-of-order intervals `(start, end)` sorted by start.
+    pub ooo: Vec<(u64, u64)>,
+
+    // ---- application ----
+    /// Message boundaries (sender side, popped on completion at receiver).
+    pub msgs: VecDeque<MsgBound>,
+    /// Index (count) of messages already completed.
+    pub msgs_done: u64,
+    /// Bytes delivered in total (goodput accounting).
+    pub goodput_bytes: u64,
+}
+
+pub const MIN_SSTHRESH_SEGS: f64 = 2.0;
+
+impl TcpConn {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        tenant: u16,
+        src_vm: u32,
+        dst_vm: u32,
+        src_host: HostId,
+        dst_host: HostId,
+        prio: u8,
+        path: Rc<[PortId]>,
+        rpath: Rc<[PortId]>,
+        init_cwnd_bytes: f64,
+    ) -> TcpConn {
+        TcpConn {
+            id,
+            tenant,
+            src_vm,
+            dst_vm,
+            src_host,
+            dst_host,
+            prio,
+            path,
+            rpath,
+            una: 0,
+            nxt: 0,
+            wr_end: 0,
+            cwnd: init_cwnd_bytes,
+            ssthresh: f64::INFINITY,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            high_tx: 0,
+            srtt: None,
+            rttvar: Dur::ZERO,
+            rto_backoff: 0,
+            rto_marker: 0,
+            last_depart: Time::ZERO,
+            pace_blocked: false,
+            retx_upto: 0,
+            inflight_meta: VecDeque::new(),
+            rto_events: 0,
+            alpha: 0.0,
+            ce_bytes: 0,
+            acked_bytes: 0,
+            dctcp_window_end: 0,
+            delivered: 0,
+            ooo: Vec::new(),
+            msgs: VecDeque::new(),
+            msgs_done: 0,
+            goodput_bytes: 0,
+        }
+    }
+
+    pub fn flight(&self) -> u64 {
+        self.nxt - self.una
+    }
+
+    pub fn has_unsent(&self) -> bool {
+        self.nxt < self.wr_end
+    }
+
+    pub fn active(&self) -> bool {
+        self.una < self.wr_end
+    }
+
+    /// Bytes the window permits sending right now.
+    pub fn window_avail(&self) -> u64 {
+        let w = self.cwnd.max(0.0) as u64;
+        w.saturating_sub(self.flight())
+    }
+
+    /// Current RTO (RFC 6298 with a floor and binary backoff).
+    pub fn rto(&self, min_rto: Dur) -> Dur {
+        let base = match self.srtt {
+            Some(srtt) => srtt + (self.rttvar * 4).max(Dur::from_ms(1)),
+            None => Dur::from_ms(200),
+        };
+        base.max(min_rto) * (1u64 << self.rto_backoff.min(6))
+    }
+
+    /// RTT sample (Karn-filtered by the caller).
+    pub fn on_rtt_sample(&mut self, rtt: Dur) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Dur::from_ps(
+                    (self.rttvar.as_ps() as f64 * 0.75 + diff.as_ps() as f64 * 0.25) as u64,
+                );
+                self.srtt = Some(Dur::from_ps(
+                    (srtt.as_ps() as f64 * 0.875 + rtt.as_ps() as f64 * 0.125) as u64,
+                ));
+            }
+        }
+    }
+
+    /// Slow start / congestion avoidance growth on a new ack of
+    /// `acked` bytes.
+    pub fn grow_cwnd(&mut self, acked: u64, mss: f64) {
+        if self.in_recovery {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64;
+        } else {
+            self.cwnd += mss * (acked as f64 / self.cwnd).min(1.0);
+        }
+    }
+
+    /// Fast retransmit entry: halve (Reno) and mark recovery.
+    pub fn enter_recovery(&mut self, mss: f64) {
+        self.ssthresh = (self.flight() as f64 / 2.0).max(MIN_SSTHRESH_SEGS * mss);
+        self.cwnd = self.ssthresh + 3.0 * mss;
+        self.in_recovery = true;
+        self.recover = self.high_tx;
+    }
+
+    /// DCTCP end-of-window update; returns true if the window should be
+    /// scaled by `(1 − α/2)`.
+    pub fn dctcp_window_rollover(&mut self, g: f64, mss: f64) -> bool {
+        if self.una < self.dctcp_window_end || self.acked_bytes == 0 {
+            return false;
+        }
+        let f = self.ce_bytes as f64 / self.acked_bytes as f64;
+        self.alpha = (1.0 - g) * self.alpha + g * f;
+        let marked = self.ce_bytes > 0;
+        self.ce_bytes = 0;
+        self.acked_bytes = 0;
+        self.dctcp_window_end = self.nxt;
+        if marked && !self.in_recovery {
+            self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(MIN_SSTHRESH_SEGS * mss);
+            self.ssthresh = self.cwnd;
+            return true;
+        }
+        false
+    }
+
+    /// RTO: collapse to one segment.
+    pub fn on_rto(&mut self, mss: f64) {
+        self.ssthresh = (self.flight() as f64 / 2.0).max(MIN_SSTHRESH_SEGS * mss);
+        self.cwnd = mss;
+        self.in_recovery = false;
+        self.dupacks = 0;
+        self.rto_backoff = (self.rto_backoff + 1).min(8);
+        self.rto_events += 1;
+        // Everything in flight is presumed lost: rewind the send frontier
+        // (go-back-N).
+        self.nxt = self.una;
+        self.retx_upto = 0;
+        self.high_tx = self.high_tx.max(self.nxt);
+        self.inflight_meta.clear();
+        // Mark the oldest incomplete message as RTO-affected.
+        for m in self.msgs.iter_mut() {
+            if m.end > self.una {
+                m.rto_hit = true;
+                break;
+            }
+        }
+    }
+
+    /// Receiver-side reassembly: account a segment `[seq, seq+len)`;
+    /// returns the *previous* delivered mark so the caller can detect
+    /// message completions.
+    pub fn receive_segment(&mut self, seq: u64, len: u64) -> u64 {
+        let prev = self.delivered;
+        let end = seq + len;
+        if end <= self.delivered {
+            return prev; // duplicate
+        }
+        // Insert/merge into the OOO set.
+        self.ooo.push((seq.max(self.delivered), end));
+        self.ooo.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ooo.len());
+        for &(s, e) in self.ooo.iter() {
+            if let Some(last) = merged.last_mut() {
+                if s <= last.1 {
+                    last.1 = last.1.max(e);
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        self.ooo = merged;
+        // Advance the cumulative mark.
+        while let Some(&(s, e)) = self.ooo.first() {
+            if s <= self.delivered {
+                self.delivered = self.delivered.max(e);
+                self.ooo.remove(0);
+            } else {
+                break;
+            }
+        }
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> TcpConn {
+        let path: Rc<[PortId]> = Rc::from(Vec::new().into_boxed_slice());
+        TcpConn::new(
+            0,
+            0,
+            0,
+            1,
+            HostId(0),
+            HostId(1),
+            0,
+            path.clone(),
+            path,
+            14_400.0,
+        )
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = conn();
+        let mss = 1440.0;
+        let start = c.cwnd;
+        // Acking a full window in slow start doubles cwnd.
+        c.grow_cwnd(start as u64, mss);
+        assert!((c.cwnd - 2.0 * start).abs() < 1.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_rtt() {
+        let mut c = conn();
+        let mss = 1440.0;
+        c.ssthresh = 10_000.0;
+        c.cwnd = 20_000.0;
+        let before = c.cwnd;
+        // Ack a whole window in MSS chunks.
+        let mut acked = 0.0;
+        while acked < before {
+            c.grow_cwnd(1440, mss);
+            acked += 1440.0;
+        }
+        assert!((c.cwnd - before - mss).abs() < mss * 0.1, "{}", c.cwnd);
+    }
+
+    #[test]
+    fn recovery_halves_window() {
+        let mut c = conn();
+        c.una = 0;
+        c.nxt = 100_000;
+        c.high_tx = 100_000;
+        c.cwnd = 100_000.0;
+        c.enter_recovery(1440.0);
+        assert!(c.in_recovery);
+        assert_eq!(c.recover, 100_000);
+        assert!((c.ssthresh - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment_and_rewinds() {
+        let mut c = conn();
+        c.una = 5_000;
+        c.nxt = 50_000;
+        c.high_tx = 50_000;
+        c.cwnd = 80_000.0;
+        c.msgs.push_back(MsgBound {
+            end: 60_000,
+            size: 60_000,
+            created: Time::ZERO,
+            rto_hit: false,
+            respond: None,
+            txn: None,
+        });
+        c.on_rto(1440.0);
+        assert_eq!(c.cwnd, 1440.0);
+        assert_eq!(c.nxt, 5_000, "go-back-N");
+        assert_eq!(c.rto_events, 1);
+        assert!(c.msgs[0].rto_hit);
+        assert_eq!(c.rto_backoff, 1);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_timeout() {
+        let mut c = conn();
+        c.srtt = Some(Dur::from_ms(1));
+        c.rttvar = Dur::from_us(100);
+        let r0 = c.rto(Dur::from_ms(10));
+        c.rto_backoff = 2;
+        let r2 = c.rto(Dur::from_ms(10));
+        assert_eq!(r2, r0 * 4);
+    }
+
+    #[test]
+    fn dctcp_alpha_tracks_marks() {
+        let mut c = conn();
+        let g = 1.0 / 16.0;
+        c.nxt = 10_000;
+        c.dctcp_window_end = 0;
+        // Window fully marked.
+        c.una = 10_000;
+        c.ce_bytes = 10_000;
+        c.acked_bytes = 10_000;
+        let cut = c.dctcp_window_rollover(g, 1440.0);
+        assert!(cut);
+        assert!((c.alpha - g).abs() < 1e-12);
+        // Unmarked window decays alpha.
+        c.una = 20_000;
+        c.nxt = 20_000;
+        c.dctcp_window_end = 15_000;
+        c.ce_bytes = 0;
+        c.acked_bytes = 10_000;
+        let cut2 = c.dctcp_window_rollover(g, 1440.0);
+        assert!(!cut2);
+        assert!(c.alpha < g);
+    }
+
+    #[test]
+    fn reassembly_in_order_and_ooo() {
+        let mut c = conn();
+        assert_eq!(c.receive_segment(0, 1000), 0);
+        assert_eq!(c.delivered, 1000);
+        // Gap: 2000..3000 held out of order.
+        c.receive_segment(2000, 1000);
+        assert_eq!(c.delivered, 1000);
+        // Fill the gap: everything delivers.
+        c.receive_segment(1000, 1000);
+        assert_eq!(c.delivered, 3000);
+        assert!(c.ooo.is_empty());
+        // Duplicate is a no-op.
+        c.receive_segment(500, 100);
+        assert_eq!(c.delivered, 3000);
+    }
+
+    #[test]
+    fn rtt_estimator_converges() {
+        let mut c = conn();
+        for _ in 0..50 {
+            c.on_rtt_sample(Dur::from_us(200));
+        }
+        let srtt = c.srtt.unwrap();
+        assert!((srtt.as_us_f64() - 200.0).abs() < 1.0);
+        assert!(c.rttvar < Dur::from_us(20));
+    }
+}

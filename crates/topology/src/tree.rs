@@ -1,0 +1,606 @@
+//! The hierarchical tree structure and its queries.
+
+use serde::{Deserialize, Serialize};
+use silo_base::{Bytes, Dur, Rate};
+
+/// A host (server) index, `0 .. Topology::num_hosts()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// A node in the tree (host, ToR, aggregation, or core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// An undirected link (child node ↔ its parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A *directed* link endpoint with an egress queue.
+///
+/// `PortId(2·link)` is the **up** direction (child → parent; the queue
+/// lives at the child: a host NIC or a switch uplink port) and
+/// `PortId(2·link + 1)` is the **down** direction (parent → child; a
+/// switch egress port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    pub fn up(link: LinkId) -> PortId {
+        PortId(link.0 * 2)
+    }
+    pub fn down(link: LinkId) -> PortId {
+        PortId(link.0 * 2 + 1)
+    }
+    pub fn link(self) -> LinkId {
+        LinkId(self.0 / 2)
+    }
+    pub fn is_up(self) -> bool {
+        self.0 % 2 == 0
+    }
+}
+
+/// How close two hosts are in the hierarchy — the "height" Silo's greedy
+/// placement minimizes (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    SameHost,
+    SameRack,
+    SamePod,
+    CrossPod,
+}
+
+/// Parameters of a three-tier tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    pub pods: usize,
+    pub racks_per_pod: usize,
+    pub servers_per_rack: usize,
+    pub vm_slots_per_server: usize,
+    /// Host NIC / access link rate (10 Gbps in the paper).
+    pub host_link: Rate,
+    /// Oversubscription at the ToR uplink: logical uplink capacity is
+    /// `servers_per_rack · host_link / tor_oversub`.
+    pub tor_oversub: f64,
+    /// Oversubscription at the aggregation uplink.
+    pub agg_oversub: f64,
+    /// Packet buffer per switch egress port (312 KB in the paper's sims).
+    pub switch_buffer: Bytes,
+    /// Effective queue budget of the sending host NIC. With Silo's paced
+    /// IO batching this is one batch window of data (§5: 50 µs batches).
+    pub nic_buffer: Bytes,
+    /// Per-hop propagation delay (sub-µs in datacenters).
+    pub prop_delay: Dur,
+}
+
+impl TreeParams {
+    /// The paper's ns2 setup (§6.2): 10 racks × 40 servers × 8 VM slots,
+    /// 10 GbE, 1:5 oversubscription, 312 KB shallow-buffered ports.
+    pub fn ns2_paper() -> TreeParams {
+        TreeParams {
+            pods: 2,
+            racks_per_pod: 5,
+            servers_per_rack: 40,
+            vm_slots_per_server: 8,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 5.0,
+            agg_oversub: 5.0,
+            switch_buffer: Bytes::from_kb(312),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        }
+    }
+
+    /// A smaller tree with the same *shape*, scaled by `f ∈ (0, 1]`: the
+    /// rack/pod structure (and therefore path lengths and queue
+    /// capacities) is preserved; only the servers per rack shrink, which
+    /// keeps packet-level runs fast while preserving oversubscription
+    /// ratios and the multi-tier contention pattern.
+    pub fn ns2_scaled(f: f64) -> TreeParams {
+        let mut p = TreeParams::ns2_paper();
+        p.servers_per_rack = ((p.servers_per_rack as f64 * f).round() as usize).max(2);
+        p
+    }
+
+    /// The §6.1 testbed: five servers under one 10 GbE switch, six VM
+    /// slots each. Modeled as one rack; the "pod/core" layers are unused.
+    pub fn testbed() -> TreeParams {
+        TreeParams {
+            pods: 1,
+            racks_per_pod: 1,
+            servers_per_rack: 5,
+            vm_slots_per_server: 6,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 1.0,
+            agg_oversub: 1.0,
+            switch_buffer: Bytes::from_kb(312),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.pods * self.racks_per_pod * self.servers_per_rack
+    }
+
+    pub fn num_vm_slots(&self) -> usize {
+        self.num_hosts() * self.vm_slots_per_server
+    }
+}
+
+/// An immutable, queryable three-tier tree. Node/link/port identifiers are
+/// dense, so per-port state elsewhere is a plain `Vec` indexed by
+/// `PortId.0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    params: TreeParams,
+    hosts: usize,
+    racks: usize,
+    pods: usize,
+    tor_uplink: Rate,
+    agg_uplink: Rate,
+}
+
+impl Topology {
+    pub fn build(params: TreeParams) -> Topology {
+        assert!(params.pods >= 1 && params.racks_per_pod >= 1 && params.servers_per_rack >= 1);
+        assert!(params.vm_slots_per_server >= 1);
+        assert!(params.tor_oversub >= 1.0 && params.agg_oversub >= 1.0);
+        let racks = params.pods * params.racks_per_pod;
+        let tor_uplink = params
+            .host_link
+            .mul_f64(params.servers_per_rack as f64 / params.tor_oversub);
+        let agg_uplink = tor_uplink.mul_f64(params.racks_per_pod as f64 / params.agg_oversub);
+        Topology {
+            hosts: params.num_hosts(),
+            racks,
+            pods: params.pods,
+            tor_uplink,
+            agg_uplink,
+            params,
+        }
+    }
+
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+    pub fn num_hosts(&self) -> usize {
+        self.hosts
+    }
+    pub fn num_racks(&self) -> usize {
+        self.racks
+    }
+    pub fn num_pods(&self) -> usize {
+        self.pods
+    }
+    pub fn num_links(&self) -> usize {
+        // one per host, one per rack, one per pod
+        self.hosts + self.racks + self.pods
+    }
+    pub fn num_ports(&self) -> usize {
+        self.num_links() * 2
+    }
+    pub fn slots_per_server(&self) -> usize {
+        self.params.vm_slots_per_server
+    }
+
+    pub fn rack_of(&self, h: HostId) -> usize {
+        h.0 as usize / self.params.servers_per_rack
+    }
+    pub fn pod_of(&self, h: HostId) -> usize {
+        self.rack_of(h) / self.params.racks_per_pod
+    }
+    pub fn hosts_in_rack(&self, rack: usize) -> impl Iterator<Item = HostId> + '_ {
+        let s = self.params.servers_per_rack;
+        (rack * s..(rack + 1) * s).map(|i| HostId(i as u32))
+    }
+    pub fn racks_in_pod(&self, pod: usize) -> std::ops::Range<usize> {
+        let r = self.params.racks_per_pod;
+        pod * r..(pod + 1) * r
+    }
+
+    /// The access link of a host.
+    pub fn host_link(&self, h: HostId) -> LinkId {
+        LinkId(h.0)
+    }
+    /// The uplink of a rack's ToR.
+    pub fn tor_link(&self, rack: usize) -> LinkId {
+        LinkId((self.hosts + rack) as u32)
+    }
+    /// The uplink of a pod's aggregation layer.
+    pub fn agg_link(&self, pod: usize) -> LinkId {
+        LinkId((self.hosts + self.racks + pod) as u32)
+    }
+
+    /// Line rate of a link.
+    pub fn link_rate(&self, l: LinkId) -> Rate {
+        let i = l.0 as usize;
+        if i < self.hosts {
+            self.params.host_link
+        } else if i < self.hosts + self.racks {
+            self.tor_uplink
+        } else {
+            self.agg_uplink
+        }
+    }
+
+    /// Static properties of a directed port.
+    ///
+    /// A *logical* uplink of rate `k × host_link` stands in for `k`
+    /// physical ports (ECMP-spread), so it gets `k ×` the per-port buffer —
+    /// this keeps the per-tier queue capacity equal to the physical
+    /// network's (the paper's ~250 µs for 312 KB at 10 G).
+    pub fn port(&self, p: PortId) -> PortInfo {
+        let link = p.link();
+        let rate = self.link_rate(link);
+        let is_host_link = (link.0 as usize) < self.hosts;
+        // The up direction of a host link is the host's NIC; every other
+        // port is a switch egress port.
+        let buffer = if is_host_link && p.is_up() {
+            self.params.nic_buffer
+        } else {
+            let phys_ports =
+                (rate.as_bps() as f64 / self.params.host_link.as_bps() as f64).round() as u64;
+            Bytes(self.params.switch_buffer.as_u64() * phys_ports.max(1))
+        };
+        PortInfo {
+            rate,
+            buffer,
+            is_nic: is_host_link && p.is_up(),
+        }
+    }
+
+    /// Total rate at which traffic can physically *arrive* at the switch
+    /// that owns port `p`, excluding `p`'s own link. Bursts crossing `p`
+    /// can never exceed this rate, which tightens the placement's backlog
+    /// bounds (cf. Fig. 5's "800 KB at 20 Gbps").
+    ///
+    /// For a host NIC the notion is not meaningful (traffic comes from the
+    /// local vswitch); we return the NIC line rate.
+    pub fn ingress_capacity(&self, p: PortId) -> Rate {
+        let link = p.link();
+        let i = link.0 as usize;
+        let srv = self.params.servers_per_rack as u64;
+        let rk = self.params.racks_per_pod as u64;
+        if i < self.hosts {
+            if p.is_up() {
+                // The host NIC itself.
+                self.params.host_link
+            } else {
+                // ToR egress toward a host: uplink + the rack's other hosts.
+                self.tor_uplink + self.params.host_link * (srv - 1)
+            }
+        } else if i < self.hosts + self.racks {
+            if p.is_up() {
+                // ToR uplink egress: fed by the rack's hosts.
+                self.params.host_link * srv
+            } else {
+                // Agg egress toward a ToR: core uplink + other racks.
+                self.agg_uplink + self.tor_uplink * (rk - 1)
+            }
+        } else if p.is_up() {
+            // Agg uplink egress: fed by the pod's ToRs.
+            self.tor_uplink * rk
+        } else {
+            // Core egress toward a pod: the other pods' uplinks.
+            self.agg_uplink * (self.pods as u64 - 1).max(1)
+        }
+    }
+
+    /// Hierarchy level shared by two hosts.
+    pub fn level(&self, a: HostId, b: HostId) -> Level {
+        if a == b {
+            Level::SameHost
+        } else if self.rack_of(a) == self.rack_of(b) {
+            Level::SameRack
+        } else if self.pod_of(a) == self.pod_of(b) {
+            Level::SamePod
+        } else {
+            Level::CrossPod
+        }
+    }
+
+    /// The ordered list of egress queues a packet traverses from `src`'s
+    /// NIC to `dst`'s NIC (paper Fig. 3's "network delay" scope).
+    ///
+    /// Same host → empty (the vswitch delivers locally). Otherwise the
+    /// first port is always the sender's NIC.
+    pub fn path_ports(&self, src: HostId, dst: HostId) -> Vec<PortId> {
+        let mut ports = Vec::with_capacity(6);
+        match self.level(src, dst) {
+            Level::SameHost => {}
+            Level::SameRack => {
+                ports.push(PortId::up(self.host_link(src)));
+                ports.push(PortId::down(self.host_link(dst)));
+            }
+            Level::SamePod => {
+                ports.push(PortId::up(self.host_link(src)));
+                ports.push(PortId::up(self.tor_link(self.rack_of(src))));
+                ports.push(PortId::down(self.tor_link(self.rack_of(dst))));
+                ports.push(PortId::down(self.host_link(dst)));
+            }
+            Level::CrossPod => {
+                ports.push(PortId::up(self.host_link(src)));
+                ports.push(PortId::up(self.tor_link(self.rack_of(src))));
+                ports.push(PortId::up(self.agg_link(self.pod_of(src))));
+                ports.push(PortId::down(self.agg_link(self.pod_of(dst))));
+                ports.push(PortId::down(self.tor_link(self.rack_of(dst))));
+                ports.push(PortId::down(self.host_link(dst)));
+            }
+        }
+        ports
+    }
+
+    /// Number of propagation hops between two hosts (for the simulators).
+    pub fn path_hops(&self, src: HostId, dst: HostId) -> usize {
+        self.path_ports(src, dst).len()
+    }
+
+    /// All ports whose queueing state a set of hosts can influence — the
+    /// ports on any path between two of them. Used by placement to know
+    /// which constraints to re-check.
+    pub fn ports_between(&self, hosts: &[HostId]) -> Vec<PortId> {
+        let mut ports: Vec<PortId> = Vec::new();
+        for (i, &a) in hosts.iter().enumerate() {
+            for &b in &hosts[i + 1..] {
+                ports.extend(self.path_ports(a, b));
+                ports.extend(self.path_ports(b, a));
+            }
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        ports
+    }
+
+    /// Like [`Topology::vms_on_sending_side`] but also counts the distinct
+    /// *hosts* on the sending side — their access links physically cap the
+    /// rate at which the cut's burst can arrive.
+    pub fn cut_stats(&self, p: PortId, placement: &[(HostId, usize)]) -> (usize, usize) {
+        let link = p.link();
+        let i = link.0 as usize;
+        let in_subtree = |h: HostId| -> bool {
+            if i < self.hosts {
+                h.0 as usize == i
+            } else if i < self.hosts + self.racks {
+                self.rack_of(h) == i - self.hosts
+            } else {
+                self.pod_of(h) == i - self.hosts - self.racks
+            }
+        };
+        let mut vms_in = 0usize;
+        let mut hosts_in = 0usize;
+        let mut vms_total = 0usize;
+        let mut hosts_total = 0usize;
+        for &(h, k) in placement {
+            vms_total += k;
+            hosts_total += 1;
+            if in_subtree(h) {
+                vms_in += k;
+                hosts_in += 1;
+            }
+        }
+        if p.is_up() {
+            (vms_in, hosts_in)
+        } else {
+            (vms_total - vms_in, hosts_total - hosts_in)
+        }
+    }
+
+    /// For a directed port, how a set of (host, count) VM placements splits
+    /// across it: returns the number of VMs on the *sending* side (the side
+    /// whose traffic crosses this port).
+    ///
+    /// For an up port at link of node X, the sending side is the subtree
+    /// under X; for a down port it is everything outside that subtree.
+    pub fn vms_on_sending_side(&self, p: PortId, placement: &[(HostId, usize)]) -> usize {
+        let link = p.link();
+        let i = link.0 as usize;
+        let in_subtree = |h: HostId| -> bool {
+            if i < self.hosts {
+                h.0 as usize == i
+            } else if i < self.hosts + self.racks {
+                self.rack_of(h) == i - self.hosts
+            } else {
+                self.pod_of(h) == i - self.hosts - self.racks
+            }
+        };
+        let inside: usize = placement
+            .iter()
+            .filter(|(h, _)| in_subtree(*h))
+            .map(|(_, k)| *k)
+            .sum();
+        if p.is_up() {
+            inside
+        } else {
+            let total: usize = placement.iter().map(|(_, k)| *k).sum();
+            total - inside
+        }
+    }
+}
+
+/// Static properties of one directed port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortInfo {
+    pub rate: Rate,
+    pub buffer: Bytes,
+    /// True for a host NIC's up port (paced by the hypervisor, not a
+    /// switch queue).
+    pub is_nic: bool,
+}
+
+impl PortInfo {
+    /// Queue capacity: the maximum queueing delay before drops (§4.2.1).
+    pub fn queue_capacity(&self) -> Dur {
+        self.rate.tx_time(self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Topology {
+        Topology::build(TreeParams::ns2_paper())
+    }
+
+    #[test]
+    fn ns2_paper_shape() {
+        let t = t();
+        assert_eq!(t.num_hosts(), 400);
+        assert_eq!(t.num_racks(), 10);
+        assert_eq!(t.num_pods(), 2);
+        assert_eq!(t.params().num_vm_slots(), 3200);
+        assert_eq!(t.num_links(), 400 + 10 + 2);
+    }
+
+    #[test]
+    fn oversubscription_sets_uplink_rates() {
+        let t = t();
+        // 40 servers × 10 G / 5 = 80 G logical ToR uplink.
+        assert_eq!(t.link_rate(t.tor_link(0)), Rate::from_gbps(80));
+        // 5 racks × 80 G / 5 = 80 G logical agg uplink.
+        assert_eq!(t.link_rate(t.agg_link(0)), Rate::from_gbps(80));
+        assert_eq!(t.link_rate(t.host_link(HostId(7))), Rate::from_gbps(10));
+    }
+
+    #[test]
+    fn rack_and_pod_indexing() {
+        let t = t();
+        assert_eq!(t.rack_of(HostId(0)), 0);
+        assert_eq!(t.rack_of(HostId(39)), 0);
+        assert_eq!(t.rack_of(HostId(40)), 1);
+        assert_eq!(t.pod_of(HostId(199)), 0);
+        assert_eq!(t.pod_of(HostId(200)), 1);
+        assert_eq!(t.hosts_in_rack(1).count(), 40);
+        assert_eq!(t.racks_in_pod(1), 5..10);
+    }
+
+    #[test]
+    fn path_same_host_is_empty() {
+        assert!(t().path_ports(HostId(3), HostId(3)).is_empty());
+    }
+
+    #[test]
+    fn path_same_rack() {
+        let t = t();
+        let p = t.path_ports(HostId(0), HostId(1));
+        assert_eq!(p.len(), 2);
+        assert!(t.port(p[0]).is_nic);
+        assert!(!t.port(p[1]).is_nic);
+        assert!(p[0].is_up() && !p[1].is_up());
+    }
+
+    #[test]
+    fn path_same_pod_and_cross_pod_lengths() {
+        let t = t();
+        assert_eq!(t.path_ports(HostId(0), HostId(40)).len(), 4);
+        assert_eq!(t.path_ports(HostId(0), HostId(200)).len(), 6);
+    }
+
+    #[test]
+    fn path_is_reverse_symmetric_in_length() {
+        let t = t();
+        for (a, b) in [(0u32, 1u32), (0, 40), (0, 200)] {
+            assert_eq!(
+                t.path_ports(HostId(a), HostId(b)).len(),
+                t.path_ports(HostId(b), HostId(a)).len()
+            );
+        }
+    }
+
+    #[test]
+    fn queue_capacity_follows_port_kind() {
+        let t = t();
+        // ToR down-port toward a host: 10 G, 312 KB -> 249.6 us.
+        let down = PortId::down(t.host_link(HostId(0)));
+        assert!((t.port(down).queue_capacity().as_us_f64() - 249.6).abs() < 0.01);
+        // NIC: 64 KB at 10 G -> 51.2 us.
+        let nic = PortId::up(t.host_link(HostId(0)));
+        assert!((t.port(nic).queue_capacity().as_us_f64() - 51.2).abs() < 0.01);
+        // ToR uplink: logical 80 G = 8 physical ports, 8 × 312 KB buffer,
+        // so the queue capacity stays at the physical per-port 249.6 us.
+        let tor_up = PortId::up(t.tor_link(0));
+        assert!((t.port(tor_up).queue_capacity().as_us_f64() - 249.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn ingress_capacity_per_port_kind() {
+        let t = t();
+        // ToR uplink egress: 40 hosts × 10 G.
+        assert_eq!(
+            t.ingress_capacity(PortId::up(t.tor_link(0))),
+            Rate::from_gbps(400)
+        );
+        // ToR egress toward a host: 80 G uplink + 39 × 10 G.
+        assert_eq!(
+            t.ingress_capacity(PortId::down(t.host_link(HostId(0)))),
+            Rate::from_gbps(80 + 390)
+        );
+        // Core egress toward a pod: the other pod's 80 G uplink.
+        assert_eq!(
+            t.ingress_capacity(PortId::down(t.agg_link(0))),
+            Rate::from_gbps(80)
+        );
+        // NIC.
+        assert_eq!(
+            t.ingress_capacity(PortId::up(t.host_link(HostId(0)))),
+            Rate::from_gbps(10)
+        );
+    }
+
+    #[test]
+    fn vms_on_sending_side_splits_correctly() {
+        let t = t();
+        // 3 VMs on host 0, 2 on host 1 (same rack), 4 on host 40 (rack 1).
+        let placement = vec![
+            (HostId(0), 3usize),
+            (HostId(1), 2usize),
+            (HostId(40), 4usize),
+        ];
+        // Host 0's NIC: 3 VMs send up.
+        assert_eq!(
+            t.vms_on_sending_side(PortId::up(t.host_link(HostId(0))), &placement),
+            3
+        );
+        // Down toward host 0: everyone else (6).
+        assert_eq!(
+            t.vms_on_sending_side(PortId::down(t.host_link(HostId(0))), &placement),
+            6
+        );
+        // Rack 0 uplink: 5 VMs inside rack 0.
+        assert_eq!(
+            t.vms_on_sending_side(PortId::up(t.tor_link(0)), &placement),
+            5
+        );
+        // Down into rack 1: 5 VMs outside it.
+        assert_eq!(
+            t.vms_on_sending_side(PortId::down(t.tor_link(1)), &placement),
+            5
+        );
+    }
+
+    #[test]
+    fn ports_between_deduplicates() {
+        let t = t();
+        let hosts = [HostId(0), HostId(1), HostId(2)];
+        let ports = t.ports_between(&hosts);
+        // 3 NIC up-ports + 3 host down-ports, each counted once.
+        assert_eq!(ports.len(), 6);
+    }
+
+    #[test]
+    fn testbed_shape() {
+        let t = Topology::build(TreeParams::testbed());
+        assert_eq!(t.num_hosts(), 5);
+        assert_eq!(t.params().num_vm_slots(), 30);
+        assert_eq!(t.path_ports(HostId(0), HostId(4)).len(), 2);
+    }
+
+    #[test]
+    fn scaled_params_preserve_oversub() {
+        let p = TreeParams::ns2_scaled(0.25);
+        let t = Topology::build(p);
+        // 10 servers/rack × 10 G / 5 = 20 G.
+        assert_eq!(p.servers_per_rack, 10);
+        assert_eq!(t.link_rate(t.tor_link(0)), Rate::from_gbps(20));
+    }
+}

@@ -1,0 +1,120 @@
+//! Tenant communication patterns (paper §6.2–6.3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// All-to-one: every VM except `target` sends to `target` — the OLDI
+/// partition/aggregate pattern class-A tenants use.
+pub fn all_to_one(n: usize, target: usize) -> Vec<(usize, usize)> {
+    assert!(target < n);
+    (0..n).filter(|&s| s != target).map(|s| (s, target)).collect()
+}
+
+/// All-to-all: every ordered pair — the shuffle pattern of data-parallel
+/// jobs (class B in §6.2).
+pub fn all_to_all(n: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::with_capacity(n * (n - 1));
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                v.push((s, d));
+            }
+        }
+    }
+    v
+}
+
+/// Permutation-x (§6.3): each VM opens flows to `x` distinct other VMs
+/// chosen uniformly at random. Fractional `x` gives each VM `floor(x)`
+/// flows plus one more with probability `frac(x)` (so Permutation-0.5
+/// has half the VMs sending).
+pub fn permutation_x<R: Rng + ?Sized>(n: usize, x: f64, rng: &mut R) -> Vec<(usize, usize)> {
+    assert!(x >= 0.0);
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let base = x.floor() as usize;
+    let frac = x - x.floor();
+    for s in 0..n {
+        let k = base + usize::from(rng.random::<f64>() < frac);
+        let k = k.min(n - 1);
+        if k == 0 {
+            continue;
+        }
+        let mut others: Vec<usize> = (0..n).filter(|&d| d != s).collect();
+        others.shuffle(rng);
+        for &d in others.iter().take(k) {
+            out.push((s, d));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::seeded_rng;
+
+    #[test]
+    fn all_to_one_shape() {
+        let p = all_to_one(5, 2);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|&(s, d)| d == 2 && s != 2));
+    }
+
+    #[test]
+    fn all_to_all_shape() {
+        let p = all_to_all(4);
+        assert_eq!(p.len(), 12);
+        let mut uniq = p.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 12);
+    }
+
+    #[test]
+    fn permutation_integer_x() {
+        let mut rng = seeded_rng(6);
+        let p = permutation_x(10, 2.0, &mut rng);
+        assert_eq!(p.len(), 20);
+        // No self-flows, no duplicate (s, d) per sender.
+        for s in 0..10 {
+            let dsts: Vec<usize> = p.iter().filter(|&&(a, _)| a == s).map(|&(_, d)| d).collect();
+            assert_eq!(dsts.len(), 2);
+            assert!(dsts[0] != dsts[1] && !dsts.contains(&s));
+        }
+    }
+
+    #[test]
+    fn permutation_n_is_all_to_all() {
+        let mut rng = seeded_rng(7);
+        let n = 6;
+        let mut p = permutation_x(n, (n - 1) as f64, &mut rng);
+        p.sort_unstable();
+        assert_eq!(p, all_to_all(n));
+    }
+
+    #[test]
+    fn permutation_fractional_x() {
+        let mut rng = seeded_rng(8);
+        let n = 2000;
+        let p = permutation_x(n, 0.5, &mut rng);
+        let frac = p.len() as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn permutation_x_caps_at_n_minus_1() {
+        let mut rng = seeded_rng(9);
+        let p = permutation_x(4, 100.0, &mut rng);
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn tiny_tenants() {
+        let mut rng = seeded_rng(10);
+        assert!(permutation_x(1, 1.0, &mut rng).is_empty());
+        assert_eq!(all_to_one(2, 0), vec![(1, 0)]);
+    }
+}

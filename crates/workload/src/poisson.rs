@@ -1,0 +1,64 @@
+//! Poisson message arrivals (Table 1's burst-allowance experiment).
+
+use rand::Rng;
+use silo_base::{exponential, Bytes, Dur};
+
+/// Fixed-size messages with exponential inter-arrival gaps, sized so the
+/// *average* offered load equals a target bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonMessages {
+    /// Message size `M`.
+    pub size: Bytes,
+    /// Mean arrival rate, messages/second.
+    pub rate: f64,
+}
+
+impl PoissonMessages {
+    pub fn new(size: Bytes, rate: f64) -> PoissonMessages {
+        assert!(rate > 0.0);
+        PoissonMessages { size, rate }
+    }
+
+    /// Messages of `size` arriving so that the mean offered bandwidth is
+    /// `avg_bps` (Table 1's setup: "messages ... have Poisson arrivals and
+    /// an average bandwidth requirement of B").
+    pub fn with_average_bandwidth(size: Bytes, avg_bps: f64) -> PoissonMessages {
+        assert!(avg_bps > 0.0);
+        let rate = avg_bps / (size.bits() as f64);
+        PoissonMessages::new(size, rate)
+    }
+
+    /// Draw the gap to the next message.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Dur {
+        Dur::from_secs_f64(exponential(rng, self.rate))
+    }
+
+    /// Mean offered bandwidth in bits/sec.
+    pub fn offered_bps(&self) -> f64 {
+        self.rate * self.size.bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::seeded_rng;
+
+    #[test]
+    fn average_bandwidth_roundtrip() {
+        let p = PoissonMessages::with_average_bandwidth(Bytes::from_kb(10), 1e8);
+        assert!((p.offered_bps() - 1e8).abs() < 1.0);
+        // 10 KB = 80 kbit; 100 Mbps / 80 kbit = 1250 msg/s.
+        assert!((p.rate - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let p = PoissonMessages::new(Bytes(1500), 10_000.0);
+        let mut rng = seeded_rng(5);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.02, "{rate}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Datacenter-scale admission: run the flow-level simulator with all
+//! three placement algorithms at 75% target occupancy and compare who
+//! admits what and how much of the network actually gets used (§6.3).
+//!
+//! Run with: `cargo run --release --example datacenter_admission`
+
+use silo::base::{Bytes, Dur, Rate};
+use silo::flowsim::{Allocator, FlowSim, FlowSimConfig};
+use silo::placement::{LocalityPlacer, OktopusPlacer, SiloPlacer};
+use silo::topology::{Topology, TreeParams};
+
+fn main() {
+    let topo = Topology::build(TreeParams {
+        pods: 4,
+        racks_per_pod: 10,
+        servers_per_rack: 50,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 5.0,
+        agg_oversub: 5.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    });
+    println!(
+        "datacenter: {} servers, {} VM slots\n",
+        topo.num_hosts(),
+        topo.params().num_vm_slots()
+    );
+    let cfg = FlowSimConfig {
+        occupancy: 0.75,
+        duration: Dur::from_secs(1_200),
+        warmup: Dur::from_secs(300),
+        seed: 3,
+        ..FlowSimConfig::default()
+    };
+    println!("scheme   admitted  classA  classB  utilization  mean-occupancy  stretch");
+    for scheme in ["Locality", "Oktopus", "Silo"] {
+        let r = match scheme {
+            "Locality" => FlowSim::new(
+                LocalityPlacer::new(topo.clone()),
+                Allocator::FairShare,
+                cfg.clone(),
+            )
+            .run(),
+            "Oktopus" => FlowSim::new(
+                OktopusPlacer::new(topo.clone()),
+                Allocator::Guaranteed,
+                cfg.clone(),
+            )
+            .run(),
+            _ => FlowSim::new(
+                SiloPlacer::new(topo.clone()),
+                Allocator::Guaranteed,
+                cfg.clone(),
+            )
+            .run(),
+        };
+        println!(
+            "{:<8} {:>6.1}%  {:>5.1}%  {:>5.1}%  {:>10.3}  {:>13.2}  {:>6.2}",
+            scheme,
+            r.admitted_frac() * 100.0,
+            r.admitted_frac_a() * 100.0,
+            r.admitted_frac_b() * 100.0,
+            r.utilization,
+            r.mean_occupancy,
+            r.mean_stretch,
+        );
+    }
+    println!("\nSilo refuses the big bursty class-A tenants whose synchronized");
+    println!("bursts genuinely cannot be absorbed (exact C1 bounds are stricter");
+    println!("than the paper's arithmetic) and, in exchange, every admitted");
+    println!("tenant finishes at stretch ~1 — deterministic, not best-effort.");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: admit a tenant with Silo guarantees, read back its pacer
+//! configuration, and bound its message latency — the §4.1 tenant-facing
+//! arithmetic in a dozen lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use silo::base::{Bytes, Dur, Rate};
+use silo::core::{Guarantee, SiloController, TenantRequest};
+use silo::topology::{Topology, TreeParams};
+
+fn main() {
+    // A small cloud: the paper's 5-server testbed shape.
+    let topo = Topology::build(TreeParams::testbed());
+    let mut silo = SiloController::new(topo);
+
+    // Tenant: 6 VMs, each guaranteed 210 Mbps sustained, a 1.5 KB burst
+    // at up to 1 Gbps, and 1 ms NIC-to-NIC packet delay (Table 2 req1).
+    let req = TenantRequest::new(
+        6,
+        Guarantee {
+            b: Rate::from_mbps(210),
+            s: Bytes(1500),
+            bmax: Rate::from_gbps(1),
+            delay: Some(Dur::from_ms(1)),
+        },
+    );
+    let tenant = silo.admit(&req).expect("an empty testbed has room");
+    println!("tenant {:?} admitted, span: {:?}", tenant.id, tenant.placement.span);
+    for p in &tenant.pacers {
+        println!(
+            "  VM {} on host {:?}: pace to {} (burst {} at {})",
+            p.vm, p.host, p.rate, p.burst, p.burst_rate
+        );
+    }
+
+    // The whole point (§4.1): the tenant can bound its own message
+    // latency without trusting anyone else's behavior.
+    for size in [Bytes(400), Bytes(1024), Bytes::from_kb(16)] {
+        let bound = silo.message_latency_bound(tenant.id, size).unwrap();
+        println!("a {size} message is delivered within {bound}");
+    }
+
+    // A memcached-style request/response transaction bound:
+    let rtt = silo.message_latency_bound(tenant.id, Bytes(400)).unwrap()
+        + silo.message_latency_bound(tenant.id, Bytes(1024)).unwrap();
+    println!("request(400 B) + response(1 KB) round trip ≤ {rtt}");
+    assert!(rtt < Dur::from_ms(3));
+
+    // The static guarantee uses load-independent queue capacities; the
+    // network-calculus concatenation bound over the actual placement is
+    // tighter still ("pay bursts only once"):
+    if let Some(tight) = silo.tight_delay_bound(tenant.id) {
+        println!("tight per-packet delay bound for this placement: {tight}");
+        assert!(tight <= Dur::from_ms(1));
+    }
+
+    // Don't know your numbers? Ask the advisor (the Cicada role):
+    let profile = silo::core::WorkloadProfile {
+        msg_size: Bytes(1024),
+        msg_rate: 5_000.0,
+        fan_in: 14,
+        target_latency: Dur::from_ms(2),
+    };
+    let g = silo::core::recommend(&profile, Rate::from_gbps(1)).unwrap();
+    println!(
+        "advisor for a 1 KB/5k-rps/fan-in-14 service at 2 ms: B={} S={} d={}",
+        g.b,
+        g.s,
+        g.delay.unwrap()
+    );
+
+    // Capacity is finite: keep admitting identical tenants until Silo
+    // starts saying no.
+    let mut extra = 0;
+    while silo.admit(&req).is_ok() {
+        extra += 1;
+    }
+    println!("{extra} more identical tenants fit before admission refuses");
+    println!("final occupancy: {:.0}%", silo.occupancy() * 100.0);
+}

@@ -1,0 +1,33 @@
+//! # silo — a full reproduction of *Silo: Predictable Message Latency in
+//! # the Cloud* (SIGCOMM 2015)
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`core`](silo_core) — the Silo controller: tenant guarantees,
+//!   admission, pacer configuration, message-latency bounds.
+//! * [`placement`](silo_placement) — the network-calculus placement
+//!   manager plus the Oktopus and Locality baselines.
+//! * [`pacer`](silo_pacer) — token-bucket hierarchy and paced IO batching
+//!   with void packets.
+//! * [`netcalc`](silo_netcalc) — arrival/service curves and queue bounds.
+//! * [`topology`](silo_topology) — multi-rooted tree datacenters.
+//! * [`simnet`](silo_simnet) — the packet-level simulator (TCP, DCTCP,
+//!   HULL, Oktopus, Silo datapaths).
+//! * [`flowsim`](silo_flowsim) — the datacenter-scale flow-level
+//!   simulator.
+//! * [`workload`](silo_workload) — ETC/memcached, Poisson, OLDI and
+//!   shuffle workload generators.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
+//! for the experiment index.
+
+pub use silo_base as base;
+pub use silo_core as core;
+pub use silo_flowsim as flowsim;
+pub use silo_netcalc as netcalc;
+pub use silo_pacer as pacer;
+pub use silo_placement as placement;
+pub use silo_simnet as simnet;
+pub use silo_topology as topology;
+pub use silo_workload as workload;
