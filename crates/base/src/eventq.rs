@@ -1,0 +1,441 @@
+//! The discrete-event priority queue used by the packet simulator and the
+//! pacer's NIC batcher: a hierarchical timer wheel with a binary-heap
+//! reference backend.
+//!
+//! # Ordering contract
+//!
+//! `pop` returns entries in exactly `(time, insertion order)` order — the
+//! same total order a `BinaryHeap` min-heap over `(t, seq)` produces. The
+//! golden-schedule and determinism suites assert the two backends are
+//! bit-for-bit interchangeable, so the wheel is a pure performance choice.
+//!
+//! # Why a wheel
+//!
+//! The simulator's event pattern is monotone (time never goes backwards)
+//! and mixes horizons from tens of nanoseconds (wire frames) to
+//! milliseconds (RTOs, hose epochs). A comparison heap pays `O(log n)`
+//! sift work — on 100+ byte entries — for every push *and* pop. The wheel
+//! files each entry by the most-significant bit in which its expiry
+//! differs from the current time (`6` bits per level, `8` levels,
+//! `2^48` ps ≈ 281 s of horizon), so a push is O(1) and an entry cascades
+//! through at most 7 slots over its whole lifetime. Slot vectors are
+//! recycled through a pool, so steady-state operation allocates nothing.
+
+use crate::units::Time;
+use std::collections::{BinaryHeap, VecDeque};
+
+const BITS: u32 = 6;
+const SLOTS: usize = 1 << BITS; // 64
+const LEVELS: usize = 8;
+const MASK: u64 = (SLOTS as u64) - 1;
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    t: u64,
+    seq: u64,
+    item: E,
+}
+
+/// The `(t, seq)` min-heap wrapper for the reference backend.
+#[derive(Debug)]
+struct HeapEntry<E>(Entry<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, o: &Self) -> bool {
+        self.0.t == o.0.t && self.0.seq == o.0.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        // Min-heap: earliest time first, FIFO on ties.
+        o.0.t.cmp(&self.0.t).then(o.0.seq.cmp(&self.0.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Wheel<E> {
+    /// `slots[level][index]` holds entries whose expiry differs from `cur`
+    /// first at bit-group `level` and has digit `index` there.
+    slots: Vec<Vec<Vec<Entry<E>>>>,
+    /// Per-level occupancy bitmaps (bit `i` set ⇔ `slots[level][i]` nonempty).
+    occupied: [u64; LEVELS],
+    /// Lower bound on every stored expiry; advances monotonically on pop.
+    cur: u64,
+    /// Entries drained from the minimal slot, sorted by `(t, seq)`, ready
+    /// to pop before the wheel is consulted again.
+    ready: VecDeque<Entry<E>>,
+    /// Entries beyond the wheel horizon (`cur + 2^48` ps); re-filed when
+    /// the wheel runs dry.
+    overflow: Vec<Entry<E>>,
+    /// Recycled slot vectors: steady state never allocates.
+    spare: Vec<Vec<Entry<E>>>,
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Wheel<E> {
+        Wheel {
+            slots: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occupied: [0; LEVELS],
+            cur: 0,
+            ready: VecDeque::new(),
+            overflow: Vec::new(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn digit(t: u64, level: usize) -> usize {
+        ((t >> (BITS * level as u32)) & MASK) as usize
+    }
+
+    /// Level at which `t` is filed relative to `cur`: the bit-group of the
+    /// most significant differing bit. `LEVELS` means "overflow".
+    #[inline]
+    fn level_of(&self, t: u64) -> usize {
+        let diff = t ^ self.cur;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / BITS) as usize
+        }
+    }
+
+    fn file(&mut self, e: Entry<E>) {
+        debug_assert!(e.t >= self.cur);
+        let level = self.level_of(e.t);
+        if level >= LEVELS {
+            self.overflow.push(e);
+            return;
+        }
+        let slot = Self::digit(e.t, level);
+        self.slots[level][slot].push(e);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    fn push(&mut self, e: Entry<E>) {
+        self.len += 1;
+        // An entry due before `cur` (a zero-delay or past-stamp push — the
+        // NIC batcher pops stamps up to a whole batch window ahead of the
+        // pushes that follow) can never be filed in the wheel; it merges
+        // into `ready`, as does anything due no later than the drained
+        // batch, keeping the (t, seq) order exact.
+        let into_ready = e.t < self.cur
+            || match self.ready.back() {
+                Some(back) => e.t <= back.t,
+                None => false,
+            };
+        if into_ready {
+            let pos = self.ready.partition_point(|r| (r.t, r.seq) < (e.t, e.seq));
+            self.ready.insert(pos, e);
+        } else {
+            self.file(e);
+        }
+    }
+
+    /// Ensure `ready` holds the minimal pending entries (if any exist).
+    fn prime(&mut self) {
+        if !self.ready.is_empty() || self.len == 0 {
+            return;
+        }
+        loop {
+            // Lowest non-empty level holds the globally minimal entry.
+            let mut level = None;
+            for (l, &bm) in self.occupied.iter().enumerate() {
+                if bm != 0 {
+                    level = Some(l);
+                    break;
+                }
+            }
+            let Some(l) = level else {
+                // Wheel dry: re-file the overflow relative to its minimum.
+                debug_assert!(!self.overflow.is_empty());
+                let min_t = self.overflow.iter().map(|e| e.t).min().expect("nonempty");
+                self.cur = self.cur.max(min_t);
+                let pending = std::mem::take(&mut self.overflow);
+                for e in pending {
+                    self.file(e);
+                }
+                continue;
+            };
+            // Minimal occupied slot at that level. Occupied slots are never
+            // below the current digit (that would mean a past expiry).
+            let slot = self.occupied[l].trailing_zeros() as usize;
+            debug_assert!(slot >= Self::digit(self.cur, l) || l == 0);
+            let mut batch = std::mem::replace(
+                &mut self.slots[l][slot],
+                self.spare.pop().unwrap_or_default(),
+            );
+            self.occupied[l] &= !(1 << slot);
+            if l == 0 {
+                // Level-0 slots are a single picosecond: every entry shares
+                // one expiry, so FIFO order is just the insertion sequence.
+                self.cur = batch[0].t;
+                batch.sort_unstable_by_key(|e| e.seq);
+                debug_assert!(batch.iter().all(|e| e.t == self.cur));
+                self.ready.extend(batch.drain(..));
+                self.spare.push(batch);
+                return;
+            }
+            // Cascade: advance to the slot's base time and re-file its
+            // entries one level (or more) down.
+            let base = (self.cur & !((1u64 << (BITS * (l as u32 + 1))) - 1))
+                | ((slot as u64) << (BITS * l as u32));
+            self.cur = self.cur.max(base);
+            for e in batch.drain(..) {
+                self.file(e);
+            }
+            self.spare.push(batch);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        self.prime();
+        let e = self.ready.pop_front()?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.prime();
+        self.ready.front().map(|e| Time(e.t))
+    }
+}
+
+/// Which engine backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Hierarchical timer wheel (the default).
+    #[default]
+    Wheel,
+    /// `BinaryHeap` reference implementation, kept for differential tests
+    /// and before/after benchmarking.
+    Heap,
+}
+
+impl QueueBackend {
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueBackend::Wheel => "wheel",
+            QueueBackend::Heap => "heap",
+        }
+    }
+}
+
+enum Inner<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<HeapEntry<E>>),
+}
+
+/// A monotone discrete-event queue ordered by `(time, insertion order)`.
+pub struct EventQueue<E> {
+    inner: Inner<E>,
+    seq: u64,
+    peak_len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Timer-wheel backed queue (the production configuration).
+    pub fn new() -> EventQueue<E> {
+        EventQueue::with_backend(QueueBackend::Wheel)
+    }
+
+    /// Reference `BinaryHeap` backed queue (differential tests, benchmarks).
+    pub fn reference_heap() -> EventQueue<E> {
+        EventQueue::with_backend(QueueBackend::Heap)
+    }
+
+    pub fn with_backend(backend: QueueBackend) -> EventQueue<E> {
+        let inner = match backend {
+            QueueBackend::Wheel => Inner::Wheel(Wheel::new()),
+            QueueBackend::Heap => Inner::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            inner,
+            seq: 0,
+            peak_len: 0,
+        }
+    }
+
+    pub fn push(&mut self, t: Time, item: E) {
+        let e = Entry {
+            t: t.as_ps(),
+            seq: self.seq,
+            item,
+        };
+        self.seq += 1;
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(e),
+            Inner::Heap(h) => h.push(HeapEntry(e)),
+        }
+        self.peak_len = self.peak_len.max(self.len());
+    }
+
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.pop().map(|e| (Time(e.t), e.item)),
+            Inner::Heap(h) => h.pop().map(|HeapEntry(e)| (Time(e.t), e.item)),
+        }
+    }
+
+    /// Earliest pending expiry without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.peek_time(),
+            Inner::Heap(h) => h.peek().map(|he| Time(he.0.t)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Wheel(w) => w.len,
+            Inner::Heap(h) => h.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total entries ever pushed (== the dispatch sequence counter).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(50), "b");
+        q.push(Time(10), "a");
+        q.push(Time(50), "c");
+        q.push(Time(7), "z");
+        assert_eq!(q.pop(), Some((Time(7), "z")));
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(50), "b")));
+        assert_eq!(q.pop(), Some((Time(50), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time(100), 0u32);
+        assert_eq!(q.pop(), Some((Time(100), 0)));
+        // Zero-delay self-push at the current time must come after already
+        // pending same-time entries.
+        q.push(Time(200), 1);
+        q.push(Time(200), 2);
+        assert_eq!(q.pop(), Some((Time(200), 1)));
+        q.push(Time(200), 3);
+        assert_eq!(q.pop(), Some((Time(200), 2)));
+        assert_eq!(q.pop(), Some((Time(200), 3)));
+    }
+
+    #[test]
+    fn far_horizon_entries_survive_overflow() {
+        let mut q = EventQueue::new();
+        q.push(Time(u64::MAX - 3), 1u8);
+        q.push(Time(5), 2);
+        q.push(Time(1u64 << 55), 3);
+        assert_eq!(q.pop(), Some((Time(5), 2)));
+        assert_eq!(q.pop(), Some((Time(1u64 << 55), 3)));
+        assert_eq!(q.pop(), Some((Time(u64::MAX - 3), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_monotone_churn() {
+        let mut rng = seeded_rng(1234);
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::reference_heap();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        for _ in 0..50_000 {
+            if rng.random::<f64>() < 0.55 || wheel.is_empty() {
+                // Mixed horizons: ns-scale wire events, ms-scale timers,
+                // occasional zero-delay self-pushes.
+                // `9` pushes a *past* stamp (the NIC batcher pops stamps up
+                // to a batch window ahead of later enqueues).
+                let t = match rng.random_range(0..11u32) {
+                    0 => now,
+                    1..=6 => now + rng.random_range(0..2_000_000u64),
+                    7 | 8 => now + rng.random_range(0..50_000_000u64),
+                    9 => now.saturating_sub(rng.random_range(0..5_000_000u64)),
+                    _ => now + rng.random_range(0..2_000_000_000u64),
+                };
+                wheel.push(Time(t), next_id);
+                heap.push(Time(t), next_id);
+                next_id += 1;
+            } else {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_ps();
+                }
+            }
+        }
+        while let Some(b) = heap.pop() {
+            assert_eq!(wheel.pop(), Some(b));
+        }
+        assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn past_pushes_between_ready_tail_and_cur_stay_ordered() {
+        // Regression: pop far ahead (cur advances), then push two past
+        // stamps in *increasing* order — the second lands between the
+        // ready tail and `cur` and must still merge into `ready`.
+        let mut q = EventQueue::new();
+        q.push(Time(1_000_000), "future");
+        assert_eq!(q.pop(), Some((Time(1_000_000), "future")));
+        q.push(Time(10), "early");
+        q.push(Time(500), "later-but-still-past");
+        q.push(Time(2_000_000), "beyond");
+        assert_eq!(q.pop(), Some((Time(10), "early")));
+        assert_eq!(q.pop(), Some((Time(500), "later-but-still-past")));
+        assert_eq!(q.pop(), Some((Time(2_000_000), "beyond")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..10 {
+            q.push(Time(i), ());
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.push(Time(100), ());
+        assert_eq!(q.peak_len(), 10);
+        assert_eq!(q.pushed(), 11);
+    }
+}

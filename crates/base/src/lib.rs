@@ -19,9 +19,11 @@
 //! Everything downstream of this crate is deterministic given a seed.
 
 pub mod dist;
+pub mod eventq;
 pub mod stats;
 pub mod units;
 
 pub use dist::{exponential, gen_pareto, seeded_rng, GenPareto};
+pub use eventq::{EventQueue, QueueBackend};
 pub use stats::{Cdf, Histogram, OnlineStats, Summary};
 pub use units::{Bytes, Dur, Rate, Time};

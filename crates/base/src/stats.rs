@@ -2,17 +2,14 @@
 //! collected samples, empirical CDFs, fixed-bucket histograms, and online
 //! (streaming) mean/variance.
 
-use serde::{Deserialize, Serialize};
-
 /// A collection of `f64` samples supporting exact order statistics.
 ///
 /// Samples are stored raw and sorted lazily on first query; this is the
 /// right trade-off for experiment harnesses that record everything then
 /// report at the end.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     samples: Vec<f64>,
-    #[serde(skip)]
     sorted: bool,
 }
 
@@ -124,7 +121,7 @@ impl Summary {
 }
 
 /// An empirical CDF: `(value, cumulative probability)` pairs sorted by value.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     pub points: Vec<(f64, f64)>,
 }
@@ -146,7 +143,7 @@ impl Cdf {
 
 /// A fixed-width-bucket histogram over `[lo, hi)` with overflow/underflow
 /// buckets, used for utilization and occupancy traces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -195,7 +192,7 @@ impl Histogram {
 
 /// Streaming mean/variance (Welford's algorithm) for metrics too voluminous
 /// to store, e.g. per-packet queueing delays in long simulations.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

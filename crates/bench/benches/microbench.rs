@@ -1,15 +1,53 @@
-//! Criterion microbenchmarks for the performance-sensitive substrates:
-//! placement admission at datacenter scale (§5's 1.15 s budget), the
-//! pacer datapath, network-calculus curve operations, and max-min
-//! waterfilling.
+//! Microbenchmarks for the performance-sensitive substrates: placement
+//! admission at datacenter scale (§5's 1.15 s budget), the pacer datapath,
+//! network-calculus curve operations, max-min waterfilling, and the
+//! discrete-event queue (timer wheel vs. reference binary heap).
+//!
+//! Self-contained harness (`harness = false`): each benchmark reports the
+//! median ns/iteration over several samples. `--quick` cuts sample counts
+//! for CI. The event-queue benches double as a machine-independent
+//! regression gate: the timer wheel must not be slower than the reference
+//! heap on the simulator's event pattern (enforced with `--enforce`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use silo_base::{seeded_rng, Bytes, Dur, Rate, Time};
+use silo_base::{seeded_rng, Bytes, Dur, EventQueue, Rate, Time};
 use silo_flowsim::{waterfill, Allocator};
 use silo_netcalc::{backlog_bound, Curve, ServiceCurve};
 use silo_pacer::{BucketChain, PacedBatcher, TokenBucket};
 use silo_placement::{Guarantee, Placer, SiloPlacer, TenantRequest};
 use silo_topology::{HostId, Topology, TreeParams};
+use std::time::Instant;
+
+struct Harness {
+    quick: bool,
+    enforce: bool,
+    results: Vec<(String, f64)>,
+}
+
+impl Harness {
+    /// Time `f` and record the median ns per iteration.
+    fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> f64 {
+        let samples = if self.quick { 3 } else { 10 };
+        // Calibrate the per-sample iteration count to ~20 ms (2 ms quick).
+        let budget_ns = if self.quick { 2e6 } else { 2e7 };
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().as_nanos().max(1) as f64;
+        let iters = ((budget_ns / once) as usize).clamp(1, 1_000_000);
+        let mut meds: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            meds.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        meds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = meds[meds.len() / 2];
+        println!("{name:<44} {med:>12.1} ns/iter  ({iters} iters x {samples} samples)");
+        self.results.push((name.to_string(), med));
+        med
+    }
+}
 
 fn placement_topo(hosts_scale: usize) -> Topology {
     Topology::build(TreeParams {
@@ -26,10 +64,10 @@ fn placement_topo(hosts_scale: usize) -> Topology {
     })
 }
 
-fn bench_placement(c: &mut Criterion) {
-    // 10 pods x 25 racks x 40 servers = 10 K hosts (a tenth of the
-    // paper's microbenchmark, to keep bench wall time sane).
-    let topo = placement_topo(10);
+fn bench_placement(h: &mut Harness) {
+    // 25 racks x 40 servers per pod; quick mode shrinks the datacenter so
+    // CI finishes in seconds.
+    let topo = placement_topo(if h.quick { 2 } else { 10 });
     let mut placer = SiloPlacer::new(topo);
     // Pre-fill to ~50% with tenant shapes admission accepts (large
     // class-A tenants are *correctly* rejected by C1, but every rejection
@@ -56,51 +94,36 @@ fn bench_placement(c: &mut Criterion) {
             filled += n;
         }
     }
-    c.bench_function("placement/admit_49vm_tenant_10k_hosts", |b| {
-        b.iter_batched(
-            || TenantRequest::new(49, Guarantee::class_a()),
-            |req| {
-                if let Ok(p) = placer.try_place(&req) {
-                    placer.remove(p.tenant);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("placement/admit_49vm_tenant", || {
+        let req = TenantRequest::new(49, Guarantee::class_a());
+        if let Ok(p) = placer.try_place(&req) {
+            placer.remove(p.tenant);
+        }
     });
 }
 
-fn bench_pacer(c: &mut Criterion) {
-    c.bench_function("pacer/stamp_packet", |b| {
-        let mut chain = BucketChain::new(vec![
-            TokenBucket::new(Rate::from_gbps(1), Bytes::from_kb(15)),
-            TokenBucket::new(Rate::from_gbps(10), Bytes(1500)),
-        ]);
-        let mut now = Time::ZERO;
-        b.iter(|| {
-            let t = chain.stamp(now, Bytes(1500));
-            now = t;
-            t
-        })
+fn bench_pacer(h: &mut Harness) {
+    let mut chain = BucketChain::new(vec![
+        TokenBucket::new(Rate::from_gbps(1), Bytes::from_kb(15)),
+        TokenBucket::new(Rate::from_gbps(10), Bytes(1500)),
+    ]);
+    let mut now = Time::ZERO;
+    h.bench("pacer/stamp_packet", || {
+        now = chain.stamp(now, Bytes(1500));
     });
 
-    c.bench_function("pacer/batch_assembly_50us", |b| {
-        b.iter_batched(
-            || {
-                let mut batcher: PacedBatcher<u32> =
-                    PacedBatcher::new(Rate::from_gbps(10), Dur::from_us(50), Bytes(1500));
-                // 2 Gbps pacing: 8 data packets + voids per 50 us batch.
-                for i in 0..8u32 {
-                    batcher.enqueue(Time::from_us(6 * i as u64), Bytes(1500), i);
-                }
-                batcher
-            },
-            |mut batcher| batcher.next_batch(Time::ZERO),
-            BatchSize::SmallInput,
-        )
+    h.bench("pacer/batch_assembly_50us", || {
+        let mut batcher: PacedBatcher<u32> =
+            PacedBatcher::new(Rate::from_gbps(10), Dur::from_us(50), Bytes(1500));
+        // 2 Gbps pacing: 8 data packets + voids per 50 us batch.
+        for i in 0..8u32 {
+            batcher.enqueue(Time::from_us(6 * i as u64), Bytes(1500), i);
+        }
+        batcher.next_batch(Time::ZERO);
     });
 }
 
-fn bench_netcalc(c: &mut Criterion) {
+fn bench_netcalc(h: &mut Harness) {
     let a = Curve::dual_slope(
         Rate::from_gbps(1),
         Bytes::from_kb(100),
@@ -108,16 +131,16 @@ fn bench_netcalc(c: &mut Criterion) {
         Bytes(1500),
     );
     let svc = ServiceCurve::constant_rate(Rate::from_gbps(10));
-    c.bench_function("netcalc/add_dual_slope", |b| {
-        b.iter(|| a.add(std::hint::black_box(&a)))
+    h.bench("netcalc/add_dual_slope", || {
+        std::hint::black_box(a.add(std::hint::black_box(&a)));
     });
-    c.bench_function("netcalc/backlog_bound", |b| {
-        let agg = a.scale(6.0);
-        b.iter(|| backlog_bound(std::hint::black_box(&agg), &svc))
+    let agg = a.scale(6.0);
+    h.bench("netcalc/backlog_bound", || {
+        std::hint::black_box(backlog_bound(std::hint::black_box(&agg), &svc));
     });
 }
 
-fn bench_waterfill(c: &mut Criterion) {
+fn bench_waterfill(h: &mut Harness) {
     let topo = Topology::build(TreeParams::ns2_paper());
     let mut rng = seeded_rng(7);
     let flows: Vec<silo_flowsim::AllocFlow> = (0..1000)
@@ -133,18 +156,76 @@ fn bench_waterfill(c: &mut Criterion) {
             }
         })
         .collect();
-    c.bench_function("flowsim/waterfill_1000_flows", |b| {
-        b.iter(|| waterfill(&topo, std::hint::black_box(&flows)))
+    h.bench("flowsim/waterfill_1000_flows", || {
+        std::hint::black_box(waterfill(&topo, std::hint::black_box(&flows)));
     });
     let _ = Allocator::FairShare;
 }
 
-criterion_group! {
-    name = benches;
-    // Plots disabled (headless boxes lack gnuplot) and a small sample
-    // count: the placement bench's iterations are seconds-scale worst-case
-    // datacenter scans, where 10 samples already give stable estimates.
-    config = Criterion::default().without_plots().sample_size(10);
-    targets = bench_placement, bench_pacer, bench_netcalc, bench_waterfill
+/// The simulator's event pattern in miniature: a rolling window of
+/// mixed-horizon timers (packet tx ~us, RTOs ~ms), pushed and popped in
+/// monotone time order. Returns ns/op for the given queue.
+fn churn_queue(q: &mut EventQueue<u64>, ops: usize) -> f64 {
+    let mut rng = seeded_rng(99);
+    use rand::Rng;
+    let mut now = 0u64;
+    // Warm the queue to a realistic standing depth.
+    for i in 0..4096u64 {
+        let dt = if i % 7 == 0 { 1_000_000_000 } else { 1_200_000 };
+        q.push(Time(now + rng.random_range(0..dt)), i);
+    }
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let (t, _) = q.pop().expect("queue stays warm");
+        now = t.as_ps();
+        let dt = if i % 7 == 0 { 1_000_000_000 } else { 1_200_000 };
+        q.push(Time(now + rng.random_range(0..dt)), i as u64);
+    }
+    t0.elapsed().as_nanos() as f64 / ops as f64
 }
-criterion_main!(benches);
+
+fn bench_eventq(h: &mut Harness) -> (f64, f64) {
+    let ops = if h.quick { 200_000 } else { 2_000_000 };
+    let mut wheel = EventQueue::new();
+    let wheel_ns = churn_queue(&mut wheel, ops);
+    println!(
+        "{:<44} {wheel_ns:>12.1} ns/op   ({ops} ops)",
+        "eventq/wheel_churn_4096"
+    );
+    h.results.push(("eventq/wheel_churn_4096".into(), wheel_ns));
+    let mut heap = EventQueue::reference_heap();
+    let heap_ns = churn_queue(&mut heap, ops);
+    println!(
+        "{:<44} {heap_ns:>12.1} ns/op   ({ops} ops)",
+        "eventq/heap_churn_4096"
+    );
+    h.results.push(("eventq/heap_churn_4096".into(), heap_ns));
+    (wheel_ns, heap_ns)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo's bench runner passes --bench through; ignore it.
+    let quick = argv.iter().any(|a| a == "--quick");
+    let enforce = argv.iter().any(|a| a == "--enforce");
+    let mut h = Harness {
+        quick,
+        enforce,
+        results: Vec::new(),
+    };
+    println!("== silo microbench (quick={quick}) ==");
+    bench_placement(&mut h);
+    bench_pacer(&mut h);
+    bench_netcalc(&mut h);
+    bench_waterfill(&mut h);
+    let (wheel_ns, heap_ns) = bench_eventq(&mut h);
+    // Machine-independent regression gate: the timer wheel must stay
+    // within 2x of the reference heap on the simulator's event pattern
+    // (it is expected to be *faster*; 2x headroom absorbs CI noise).
+    let ratio = wheel_ns / heap_ns;
+    println!("eventq wheel/heap ratio: {ratio:.2} (gate: < 2.0)");
+    if h.enforce && ratio >= 2.0 {
+        eprintln!("REGRESSION: timer wheel {ratio:.2}x slower than reference heap");
+        std::process::exit(1);
+    }
+}

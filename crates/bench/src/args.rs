@@ -8,6 +8,8 @@ pub struct Args {
     pub duration_ms: u64,
     pub runs: usize,
     pub occupancy: f64,
+    /// Worker threads for sweep cells; 0 = one per available core.
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -18,6 +20,7 @@ impl Default for Args {
             duration_ms: 100,
             runs: 3,
             occupancy: 0.9,
+            threads: 0,
         }
     }
 }
@@ -42,12 +45,23 @@ impl Args {
                 }
                 "--runs" => a.runs = val.parse().expect("--runs takes an integer"),
                 "--occupancy" => a.occupancy = val.parse().expect("--occupancy takes a float"),
+                "--threads" => a.threads = val.parse().expect("--threads takes an integer"),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads"
                 ),
             }
             i += 2;
         }
         a
+    }
+
+    /// Threads to use for a sweep of `cells` cells (resolves the `0 =
+    /// auto` default).
+    pub fn effective_threads(&self, cells: usize) -> usize {
+        if self.threads == 0 {
+            crate::runner::auto_threads(cells)
+        } else {
+            self.threads.min(cells.max(1))
+        }
     }
 }

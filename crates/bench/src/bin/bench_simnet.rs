@@ -1,0 +1,153 @@
+//! Simnet engine microbenchmark: event-loop throughput (timer wheel vs
+//! the reference `BinaryHeap` backend) and sweep-level parallel speedup,
+//! written to `BENCH_simnet.json` in the current directory.
+//!
+//! Three phases run the **same** `(mode × seed)` cell grid:
+//!
+//! 1. `heap/t1`   — reference heap backend, one worker thread (baseline);
+//! 2. `wheel/t1`  — timer wheel, one worker thread (engine speedup);
+//! 3. `wheel/tN`  — timer wheel, one worker per core (sweep speedup).
+//!
+//! Results are bit-identical across all three phases (asserted here —
+//! this binary doubles as an end-to-end determinism check), so the only
+//! thing being compared is cost.
+
+use silo_base::QueueBackend;
+use silo_bench::ns2::{ns2_cells, run_ns2_cell_with_queue, Ns2Cell};
+use silo_bench::{auto_threads, run_cells_timed, Args, BenchCell, BenchReport};
+use silo_simnet::TransportMode;
+use std::time::Instant;
+
+struct Phase {
+    report: BenchReport,
+    fingerprints: Vec<String>,
+}
+
+fn run_phase(
+    tag: &str,
+    cells: &[Ns2Cell],
+    args: &Args,
+    queue: QueueBackend,
+    threads: usize,
+) -> Phase {
+    let t0 = Instant::now();
+    let timed = run_cells_timed(cells, threads, |_, c| {
+        run_ns2_cell_with_queue(c, args, queue)
+    });
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    let mut bench_cells = Vec::with_capacity(cells.len());
+    let mut fingerprints = Vec::with_capacity(cells.len());
+    for (cell, t) in cells.iter().zip(&timed) {
+        let (_, m) = &t.result;
+        bench_cells.push(BenchCell {
+            label: format!("{}/{}/seed{}", tag, cell.mode.label(), cell.seed),
+            wall_s: t.wall.as_secs_f64(),
+            events: m.events_processed,
+            peak_event_queue: m.peak_event_queue,
+        });
+        fingerprints.push(m.canonical_json());
+    }
+    Phase {
+        report: BenchReport {
+            name: format!("simnet_{}", tag.replace('/', "_")),
+            notes: String::new(),
+            host_cores: auto_threads(usize::MAX),
+            threads,
+            total_wall_s,
+            cells: bench_cells,
+        },
+        fingerprints,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let modes = [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Dctcp,
+    ];
+    let cells = ns2_cells(&modes, &args);
+    let cores = auto_threads(usize::MAX);
+    let par_threads = args.effective_threads(cells.len());
+
+    eprintln!(
+        "bench_simnet: {} cells ({} modes x {} seeds), {} ms sim time, {} cores",
+        cells.len(),
+        modes.len(),
+        args.runs,
+        args.duration_ms,
+        cores
+    );
+
+    let heap1 = run_phase("heap/t1", &cells, &args, QueueBackend::Heap, 1);
+    let wheel1 = run_phase("wheel/t1", &cells, &args, QueueBackend::Wheel, 1);
+    let wheeln = run_phase(
+        &format!("wheel/t{par_threads}"),
+        &cells,
+        &args,
+        QueueBackend::Wheel,
+        par_threads,
+    );
+
+    // The backend and the thread count are pure cost knobs: results must
+    // not move. (Serialized metrics are compared byte for byte.)
+    assert_eq!(
+        heap1.fingerprints, wheel1.fingerprints,
+        "heap and wheel backends diverged"
+    );
+    assert_eq!(
+        wheel1.fingerprints, wheeln.fingerprints,
+        "thread count changed results"
+    );
+
+    let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
+    let engine_gain = eps(&wheel1) / eps(&heap1);
+    let parallel_speedup = wheel1.report.total_wall_s / wheeln.report.total_wall_s;
+
+    let notes = format!(
+        "wheel-vs-heap events/sec gain {:.2}x (single thread); \
+         {}-thread sweep speedup {:.2}x over 1 thread on a {}-core host; \
+         results byte-identical across backends and thread counts",
+        engine_gain, par_threads, parallel_speedup, cores
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"name\": \"simnet\",\n");
+    out.push_str(&format!(
+        "  \"notes\": \"{}\",\n",
+        notes.replace('"', "\\\"")
+    ));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"sim_duration_ms\": {}, \"scale\": {}, \"cells\": {},\n",
+        args.duration_ms,
+        args.scale,
+        cells.len()
+    ));
+    out.push_str(&format!(
+        "  \"wheel_vs_heap_events_per_sec_gain\": {engine_gain:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"parallel_speedup_t{par_threads}\": {parallel_speedup:.3},\n"
+    ));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in [&heap1, &wheel1, &wheeln].iter().enumerate() {
+        for line in p.report.to_json().trim_end().lines() {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        if i < 2 {
+            let last = out.pop();
+            debug_assert_eq!(last, Some('\n'));
+            out.push_str(",\n");
+        }
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_simnet.json", &out).expect("write BENCH_simnet.json");
+    eprintln!("{notes}");
+    eprintln!("wrote BENCH_simnet.json");
+}

@@ -64,10 +64,16 @@ fn main() {
     let both = run(vec![guaranteed, best_effort]);
     let mut lat_both = both.latencies_us(0);
 
-    println!("guaranteed tenant alone:   p50 {:>6.0} us, p99 {:>6.0} us",
-        lat_alone.median().unwrap_or(f64::NAN), lat_alone.p99().unwrap_or(f64::NAN));
-    println!("with best-effort sharing:  p50 {:>6.0} us, p99 {:>6.0} us",
-        lat_both.median().unwrap_or(f64::NAN), lat_both.p99().unwrap_or(f64::NAN));
+    println!(
+        "guaranteed tenant alone:   p50 {:>6.0} us, p99 {:>6.0} us",
+        lat_alone.median().unwrap_or(f64::NAN),
+        lat_alone.p99().unwrap_or(f64::NAN)
+    );
+    println!(
+        "with best-effort sharing:  p50 {:>6.0} us, p99 {:>6.0} us",
+        lat_both.median().unwrap_or(f64::NAN),
+        lat_both.p99().unwrap_or(f64::NAN)
+    );
     let util = |m: &silo_simnet::Metrics| {
         let n = m.port_utilization.len().max(1);
         m.port_utilization.iter().sum::<f64>() / n as f64

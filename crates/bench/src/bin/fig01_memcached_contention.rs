@@ -44,9 +44,7 @@ fn main() {
         lat_cont.p99().unwrap_or(0.0),
         lat_cont.p999().unwrap_or(0.0)
     );
-    println!(
-        "paper: alone p99 = 270 us; contended p99 = 2.3 ms, p999 = 217 ms (RTO)"
-    );
+    println!("paper: alone p99 = 270 us; contended p99 = 2.3 ms, p999 = 217 ms (RTO)");
     print_cdf("memcached alone", &mut lat_alone, 21);
     print_cdf("memcached with netperf", &mut lat_cont, 21);
 }

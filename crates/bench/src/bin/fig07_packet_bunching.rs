@@ -63,5 +63,8 @@ fn main() {
         "f2 goodput: {:.2} Gbps per direction (paced to C/4 = 2.5 Gbps)",
         m.goodput[1] as f64 * 8.0 / 20e-3 / 1e9 / 2.0
     );
-    println!("drops: {} (both conform; the shared port absorbs bunching)", m.drops);
+    println!(
+        "drops: {} (both conform; the shared port absorbs bunching)",
+        m.drops
+    );
 }

@@ -16,7 +16,12 @@ fn main() {
     let run = |mode: TransportMode, req_idx: usize, with_b: bool| -> Metrics {
         let mut cfg = SimConfig::new(mode, dur, args.seed);
         cfg.min_rto = Dur::from_ms(200); // stock-stack testbed TCP
-        let tenants = testbed_tenants(&TESTBED_REQS[req_idx], Bytes(1500), with_b, ETC_TESTBED_LOAD);
+        let tenants = testbed_tenants(
+            &TESTBED_REQS[req_idx],
+            Bytes(1500),
+            with_b,
+            ETC_TESTBED_LOAD,
+        );
         Sim::new(topo.clone(), cfg, tenants).run()
     };
 

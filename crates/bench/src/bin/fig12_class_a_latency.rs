@@ -1,7 +1,7 @@
 //! Figure 12: class-A message latency (median / 95th / 99th) under Silo,
 //! TCP, DCTCP, HULL, Oktopus and Okto+ (§6.2).
 
-use silo_bench::ns2::{run_ns2, ALL_MODES};
+use silo_bench::ns2::{run_ns2_sweep, ALL_MODES};
 use silo_bench::scenario::NsClass;
 use silo_bench::Args;
 
@@ -9,8 +9,7 @@ fn main() {
     let args = Args::parse();
     println!("== Fig 12: class-A message latency (ms) ==");
     println!("scheme\tmedian\tp95\tp99\tmessages");
-    for mode in ALL_MODES {
-        let out = run_ns2(mode, &args);
+    for out in run_ns2_sweep(&ALL_MODES, &args) {
         let mut lat = silo_base::Summary::new();
         for (run, m) in out.metrics.iter().enumerate() {
             for msg in &m.messages {
@@ -21,7 +20,7 @@ fn main() {
         }
         println!(
             "{}\t{:.2}\t{:.2}\t{:.2}\t{}",
-            mode.label(),
+            out.mode.label(),
             lat.median().unwrap_or(f64::NAN),
             lat.p95().unwrap_or(f64::NAN),
             lat.p99().unwrap_or(f64::NAN),

@@ -1,7 +1,7 @@
 //! Figure 13: CDF over class-A tenants of the fraction of their messages
 //! that suffered a retransmission timeout (§6.2).
 
-use silo_bench::ns2::run_ns2;
+use silo_bench::ns2::run_ns2_sweep;
 use silo_bench::scenario::NsClass;
 use silo_bench::{print_cdf, Args};
 use silo_simnet::TransportMode;
@@ -9,13 +9,13 @@ use silo_simnet::TransportMode;
 fn main() {
     let args = Args::parse();
     println!("== Fig 13: class-A tenants' messages with RTOs ==");
-    for mode in [
+    let modes = [
         TransportMode::Silo,
         TransportMode::Tcp,
         TransportMode::Hull,
         TransportMode::Okto,
-    ] {
-        let out = run_ns2(mode, &args);
+    ];
+    for out in run_ns2_sweep(&modes, &args) {
         let mut per_tenant = silo_base::Summary::new();
         for (run, m) in out.metrics.iter().enumerate() {
             for (ti, t) in out.tenants[run].iter().enumerate() {
@@ -31,9 +31,13 @@ fn main() {
         let frac_with_rtos = per_tenant.frac_above(1.0);
         println!(
             "{}: tenants with >1% RTO-hit messages: {:.1}%  (paper: TCP 21%, HULL 14%, Silo 0%)",
-            mode.label(),
+            out.mode.label(),
             frac_with_rtos * 100.0
         );
-        print_cdf(&format!("{} % messages with RTOs", mode.label()), &mut per_tenant, 11);
+        print_cdf(
+            &format!("{} % messages with RTOs", out.mode.label()),
+            &mut per_tenant,
+            11,
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! schemes finish by the estimate (ratio ≤ 1); fair-sharing schemes
 //! spread — some tenants luck into extra bandwidth, a long tail starves.
 
-use silo_bench::ns2::run_ns2;
+use silo_bench::ns2::run_ns2_sweep;
 use silo_bench::scenario::NsClass;
 use silo_bench::{print_cdf, Args};
 use silo_simnet::TransportMode;
@@ -11,13 +11,13 @@ use silo_simnet::TransportMode;
 fn main() {
     let args = Args::parse();
     println!("== Fig 14: class-B mean latency / estimate ==");
-    for mode in [
+    let modes = [
         TransportMode::Silo,
         TransportMode::Tcp,
         TransportMode::Hull,
         TransportMode::Okto,
-    ] {
-        let out = run_ns2(mode, &args);
+    ];
+    for out in run_ns2_sweep(&modes, &args) {
         let mut per_tenant = silo_base::Summary::new();
         for (run, m) in out.metrics.iter().enumerate() {
             for (ti, t) in out.tenants[run].iter().enumerate() {
@@ -43,13 +43,13 @@ fn main() {
         }
         println!(
             "{}: tenants={} median ratio={:.2} p95={:.2}",
-            mode.label(),
+            out.mode.label(),
             per_tenant.len(),
             per_tenant.median().unwrap_or(f64::NAN),
             per_tenant.p95().unwrap_or(f64::NAN)
         );
         print_cdf(
-            &format!("{} class-B latency/estimate", mode.label()),
+            &format!("{} class-B latency/estimate", out.mode.label()),
             &mut per_tenant,
             11,
         );

@@ -30,7 +30,10 @@ fn main() {
     let hosts = topo.num_hosts();
     let requests = (args.runs * 1000).max(1000);
     println!("== Placement manager scalability ==");
-    println!("hosts: {hosts}, vm slots: {}, requests: {requests}", topo.params().num_vm_slots());
+    println!(
+        "hosts: {hosts}, vm slots: {}, requests: {requests}",
+        topo.params().num_vm_slots()
+    );
 
     let mut placer = SiloPlacer::new(topo);
     let mut rng = seeded_rng(args.seed);
@@ -57,9 +60,7 @@ fn main() {
             placed.push(p.tenant);
         }
         // Churn: keep occupancy near 80% by retiring old tenants.
-        while placer.used_slots() as f64
-            > 0.8 * placer.topology().params().num_vm_slots() as f64
-        {
+        while placer.used_slots() as f64 > 0.8 * placer.topology().params().num_vm_slots() as f64 {
             let t = placed.remove(0);
             placer.remove(t);
         }
@@ -68,6 +69,12 @@ fn main() {
         "accepted: {accepted}/{requests} ({:.1}%)",
         accepted as f64 / requests as f64 * 100.0
     );
-    println!("mean placement time: {:.3} ms", sum_t / requests as f64 * 1e3);
-    println!("max placement time:  {:.3} ms  (paper: max 1.15 s at 100 K hosts)", max_t * 1e3);
+    println!(
+        "mean placement time: {:.3} ms",
+        sum_t / requests as f64 * 1e3
+    );
+    println!(
+        "max placement time:  {:.3} ms  (paper: max 1.15 s at 100 K hosts)",
+        max_t * 1e3
+    );
 }

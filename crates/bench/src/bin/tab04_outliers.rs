@@ -1,7 +1,7 @@
 //! Table 4: outlier tenants — class-A tenants whose 99th-percentile
 //! message latency exceeds their latency estimate by 1x / 2x / 8x (§6.2).
 
-use silo_bench::ns2::{run_ns2, ALL_MODES};
+use silo_bench::ns2::{run_ns2_sweep, ALL_MODES};
 use silo_bench::scenario::NsClass;
 use silo_bench::Args;
 
@@ -9,9 +9,8 @@ fn main() {
     let args = Args::parse();
     println!("== Table 4: % outlier class-A tenants (p99 latency > k x estimate) ==");
     println!("scheme\t>1x\t>2x\t>8x\ttenants");
-    for mode in ALL_MODES {
+    for out in run_ns2_sweep(&ALL_MODES, &args) {
         let (mut o1, mut o2, mut o8, mut total) = (0usize, 0usize, 0usize, 0usize);
-        let out = run_ns2(mode, &args);
         for (run, m) in out.metrics.iter().enumerate() {
             for (ti, t) in out.tenants[run].iter().enumerate() {
                 if t.class != NsClass::A {
@@ -42,7 +41,7 @@ fn main() {
         let pct = |x: usize| 100.0 * x as f64 / total.max(1) as f64;
         println!(
             "{}\t{:.1}\t{:.1}\t{:.1}\t{}",
-            mode.label(),
+            out.mode.label(),
             pct(o1),
             pct(o2),
             pct(o8),

@@ -65,8 +65,9 @@ fn main() {
         let workload = if class_a {
             // Worst case: every burst fully synchronized, message = 0.9 S.
             let msg = Bytes((g.s.as_u64() * 9) / 10);
-            let interval =
-                Dur::from_secs_f64((n - 1) as f64 * msg.bits() as f64 / (0.5 * g.b.as_bps() as f64));
+            let interval = Dur::from_secs_f64(
+                (n - 1) as f64 * msg.bits() as f64 / (0.5 * g.b.as_bps() as f64),
+            );
             TenantWorkload::OldiAllToOne {
                 msg_mean: msg,
                 interval,
@@ -122,15 +123,8 @@ fn main() {
         // release them back-to-back, which the fluid curves don't model
         // (the paper absorbs the same slack inside the ports' queue
         // capacity margin).
-        let slack = info
-            .rate
-            .bytes_in(Dur::from_us(50))
-            .as_u64();
-        let bound = placer
-            .backlog_bound(pid)
-            .map(|b| b.as_u64())
-            .unwrap_or(0)
-            + slack;
+        let slack = info.rate.bytes_in(Dur::from_us(50)).as_u64();
+        let bound = placer.backlog_bound(pid).map(|b| b.as_u64()).unwrap_or(0) + slack;
         checked += 1;
         let ok = measured <= bound;
         if !ok {

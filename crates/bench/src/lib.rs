@@ -5,7 +5,9 @@
 //! * `--scale <f>`   — topology scale factor (1.0 = the paper's sizes);
 //! * `--seed <n>`    — RNG seed;
 //! * `--duration-ms <n>` — simulated time for packet-level runs;
-//! * `--runs <n>`    — repetitions where the paper aggregates over runs.
+//! * `--runs <n>`    — repetitions where the paper aggregates over runs;
+//! * `--threads <n>` — worker threads for sweep cells (0 = one per core).
+//!   Results are bit-identical at any thread count (see [`runner`]).
 //!
 //! Defaults are sized so the full suite completes in minutes on a laptop
 //! while preserving oversubscription ratios and workload shapes; pass
@@ -14,10 +16,12 @@
 pub mod args;
 pub mod ns2;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 
 pub use args::Args;
 pub use report::{fmt_dur_us, print_cdf, print_header, print_row};
+pub use runner::{auto_threads, run_cells, run_cells_timed, BenchCell, BenchReport, Timed};
 pub use scenario::{
     build_ns2_population, testbed_tenants, NsClass, NsTenant, PlacerKind, TestbedReq,
 };

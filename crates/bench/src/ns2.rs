@@ -51,36 +51,96 @@ pub fn ns2_topology(scale: f64) -> Topology {
     Topology::build(TreeParams::ns2_scaled(scale))
 }
 
-/// Run one scheme over `args.runs` seeds.
-pub fn run_ns2(mode: TransportMode, args: &Args) -> Ns2Outcome {
+/// One independent simulation cell of a §6.2 sweep: a scheme and a seed.
+/// Cells are self-contained — each builds its own topology, population and
+/// `Sim` — so the runner can execute them in any order on any number of
+/// threads without changing results.
+#[derive(Debug, Clone, Copy)]
+pub struct Ns2Cell {
+    pub mode: TransportMode,
+    pub run: usize,
+    pub seed: u64,
+}
+
+/// The `(mode × run)` cell grid for a sweep, in fixed output order.
+pub fn ns2_cells(modes: &[TransportMode], args: &Args) -> Vec<Ns2Cell> {
+    modes
+        .iter()
+        .flat_map(|&mode| {
+            (0..args.runs).map(move |run| Ns2Cell {
+                mode,
+                run,
+                seed: args.seed + run as u64 * 1_000,
+            })
+        })
+        .collect()
+}
+
+/// Execute one cell: place a population and run the packet simulator.
+pub fn run_ns2_cell(cell: &Ns2Cell, args: &Args) -> (Vec<NsTenant>, Metrics) {
+    run_ns2_cell_with_queue(cell, args, silo_base::QueueBackend::default())
+}
+
+/// [`run_ns2_cell`] with an explicit event-queue backend — the simnet
+/// microbenchmark runs the same cells on the timer wheel and the
+/// reference heap to measure the event-loop speedup.
+pub fn run_ns2_cell_with_queue(
+    cell: &Ns2Cell,
+    args: &Args,
+    queue: silo_base::QueueBackend,
+) -> (Vec<NsTenant>, Metrics) {
     let topo = ns2_topology(args.scale);
-    let mut tenants_all = Vec::new();
-    let mut metrics_all = Vec::new();
-    for run in 0..args.runs {
-        let seed = args.seed + run as u64 * 1_000;
-        let mut rng = seeded_rng(seed);
-        // Class A offers half its hose on average (bursty OLDI); class B
-        // is near-backlogged (large transfers limited by bandwidth).
-        let tenants = build_ns2_population(
-            &topo,
-            PlacerKind::for_mode(mode),
-            args.occupancy,
-            0.4,
-            0.9,
-            &mut rng,
-        );
-        // (Oktopus's no-burst semantics are applied by Sim::new itself.)
-        let cfg = SimConfig::new(mode, Dur::from_ms(args.duration_ms), seed);
-        let specs = tenants.iter().map(|t| t.spec.clone()).collect();
-        let m = Sim::new(topo.clone(), cfg, specs).run();
-        tenants_all.push(tenants);
-        metrics_all.push(m);
+    let mut rng = seeded_rng(cell.seed);
+    // Class A offers half its hose on average (bursty OLDI); class B
+    // is near-backlogged (large transfers limited by bandwidth).
+    let tenants = build_ns2_population(
+        &topo,
+        PlacerKind::for_mode(cell.mode),
+        args.occupancy,
+        0.4,
+        0.9,
+        &mut rng,
+    );
+    // (Oktopus's no-burst semantics are applied by Sim::new itself.)
+    let mut cfg = SimConfig::new(cell.mode, Dur::from_ms(args.duration_ms), cell.seed);
+    cfg.queue = queue;
+    let specs = tenants.iter().map(|t| t.spec.clone()).collect();
+    let m = Sim::new(topo, cfg, specs).run();
+    (tenants, m)
+}
+
+/// Run several schemes' sweeps at once, fanned across worker threads
+/// (`args.threads`, 0 = one per core). Outcomes come back in `modes`
+/// order with runs in seed order — bit-identical to the serial loop this
+/// replaces, at any thread count.
+pub fn run_ns2_sweep(modes: &[TransportMode], args: &Args) -> Vec<Ns2Outcome> {
+    let cells = ns2_cells(modes, args);
+    let threads = args.effective_threads(cells.len());
+    let results = crate::runner::run_cells(&cells, threads, |_, cell| run_ns2_cell(cell, args));
+    let mut outcomes: Vec<Ns2Outcome> = modes
+        .iter()
+        .map(|&mode| Ns2Outcome {
+            mode,
+            tenants: Vec::with_capacity(args.runs),
+            metrics: Vec::with_capacity(args.runs),
+        })
+        .collect();
+    for (cell, (tenants, metrics)) in cells.iter().zip(results) {
+        let slot = modes
+            .iter()
+            .position(|&m| m == cell.mode)
+            .expect("cell mode");
+        outcomes[slot].tenants.push(tenants);
+        outcomes[slot].metrics.push(metrics);
     }
-    Ns2Outcome {
-        mode,
-        tenants: tenants_all,
-        metrics: metrics_all,
-    }
+    outcomes
+}
+
+/// Run one scheme over `args.runs` seeds (a single-mode sweep).
+pub fn run_ns2(mode: TransportMode, args: &Args) -> Ns2Outcome {
+    run_ns2_sweep(&[mode], args)
+        .pop()
+        .expect("one mode in, one outcome out")
 }
 
 /// All six schemes of Fig. 12.

@@ -4,9 +4,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use silo_base::{exponential, Bytes, Dur, Rate};
-use silo_placement::{
-    Guarantee, LocalityPlacer, OktopusPlacer, Placer, SiloPlacer, TenantRequest,
-};
+use silo_placement::{Guarantee, LocalityPlacer, OktopusPlacer, Placer, SiloPlacer, TenantRequest};
 use silo_simnet::{TenantSpec, TenantWorkload, TransportMode};
 use silo_topology::{HostId, Topology};
 

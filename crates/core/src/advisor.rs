@@ -9,11 +9,10 @@
 //! burst/bandwidth trade-off the paper quantifies in Table 1.
 
 use crate::Guarantee;
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 
 /// What the tenant knows about one VM's traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// Typical message size the latency target applies to.
     pub msg_size: Bytes,
@@ -27,7 +26,7 @@ pub struct WorkloadProfile {
 }
 
 /// Why no guarantee can be recommended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdvisorError {
     /// The target is below the pure transmission time at the fastest
     /// supported burst rate — no network guarantee can achieve it.
@@ -47,10 +46,7 @@ const BURST_MESSAGES: u64 = 7;
 /// `guarantee.message_latency_bound(msg_size) ≤ target_latency`, while
 /// leaving the largest possible share of the target as packet-delay
 /// budget `d` (slack the placement manager can spend on queueing).
-pub fn recommend(
-    profile: &WorkloadProfile,
-    bmax: Rate,
-) -> Result<Guarantee, AdvisorError> {
+pub fn recommend(profile: &WorkloadProfile, bmax: Rate) -> Result<Guarantee, AdvisorError> {
     assert!(profile.msg_rate > 0.0 && profile.fan_in >= 1);
     let tx = bmax.tx_time(profile.msg_size);
     if tx >= profile.target_latency {

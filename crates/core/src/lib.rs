@@ -41,19 +41,16 @@
 
 pub mod advisor;
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 use silo_pacer::HoseAllocator;
 use silo_topology::{HostId, Level, Topology};
 
 pub use advisor::{recommend, AdvisorError, WorkloadProfile};
-pub use silo_placement::{
-    Guarantee, Placement, Placer, RejectReason, TenantId, TenantRequest,
-};
+pub use silo_placement::{Guarantee, Placement, Placer, RejectReason, TenantId, TenantRequest};
 
 /// The pacer settings Silo pushes to one VM's hypervisor on admission —
 /// the three bucket levels of Fig. 8.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacerConfig {
     pub vm: usize,
     pub host: HostId,
@@ -66,7 +63,7 @@ pub struct PacerConfig {
 }
 
 /// An admitted tenant: where its VMs landed and how its pacers are set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdmittedTenant {
     pub id: TenantId,
     pub placement: Placement,
@@ -251,7 +248,10 @@ mod tests {
         let mut c = controller();
         let t = c.admit(&req1()).unwrap();
         let bound = c.message_latency_bound(t.id, Bytes(1024)).unwrap();
-        assert_eq!(bound, Rate::from_gbps(1).tx_time(Bytes(1024)) + Dur::from_ms(1));
+        assert_eq!(
+            bound,
+            Rate::from_gbps(1).tx_time(Bytes(1024)) + Dur::from_ms(1)
+        );
     }
 
     #[test]
@@ -259,11 +259,8 @@ mod tests {
         let mut c = controller();
         let total = c.topology().params().num_vm_slots();
         let mut ids = Vec::new();
-        loop {
-            match c.admit(&req1()) {
-                Ok(t) => ids.push(t.id),
-                Err(_) => break,
-            }
+        while let Ok(t) = c.admit(&req1()) {
+            ids.push(t.id);
         }
         assert_eq!(c.used_slots(), total, "testbed fills completely");
         for id in ids {

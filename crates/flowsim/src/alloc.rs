@@ -70,7 +70,7 @@ pub fn waterfill(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
                 continue;
             }
             let share = residual[&l] / cnt as f64;
-            if best.map_or(true, |(_, s)| share < s) {
+            if best.is_none_or(|(_, s)| share < s) {
                 best = Some((l, share));
             }
         }

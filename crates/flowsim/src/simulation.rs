@@ -193,7 +193,13 @@ impl<P: Placer> FlowSim<P> {
         (TenantRequest::new(n, g), class_a)
     }
 
-    fn spawn_job(&mut self, req: &TenantRequest, class_a: bool, tenant: TenantId, vm_hosts: Vec<HostId>) {
+    fn spawn_job(
+        &mut self,
+        req: &TenantRequest,
+        class_a: bool,
+        tenant: TenantId,
+        vm_hosts: Vec<HostId>,
+    ) {
         let n = vm_hosts.len();
         let b = req.guarantee.b.as_bps() as f64;
         let t_net = exponential(&mut self.rng, 1.0 / self.cfg.mean_transfer.as_secs_f64());
@@ -298,7 +304,8 @@ impl<P: Placer> FlowSim<P> {
         let mut next_arrival = Time::ZERO + Dur::from_secs_f64(exponential(&mut self.rng, rate));
         let horizon = Time::ZERO + self.cfg.duration;
         let dt = self.cfg.step.as_secs_f64();
-        let measuring = |now: Time, cfg: &FlowSimConfig| now.as_secs_f64() >= cfg.warmup.as_secs_f64();
+        let measuring =
+            |now: Time, cfg: &FlowSimConfig| now.as_secs_f64() >= cfg.warmup.as_secs_f64();
         while self.now < horizon {
             // 1. Admit arrivals due this step.
             while next_arrival <= self.now + self.cfg.step {
@@ -326,8 +333,7 @@ impl<P: Placer> FlowSim<P> {
                     }
                     self.spawn_job(&req, class_a, p.tenant, vm_hosts);
                 }
-                next_arrival =
-                    next_arrival + Dur::from_secs_f64(exponential(&mut self.rng, rate));
+                next_arrival += Dur::from_secs_f64(exponential(&mut self.rng, rate));
             }
             // 2. Allocate rates and drain flows.
             let rates = self.step_rates();
@@ -350,9 +356,7 @@ impl<P: Placer> FlowSim<P> {
                     self.placer.remove(job.tenant);
                     if measuring(self.now, &self.cfg) {
                         self.report.completed += 1;
-                        if let Some(pos) =
-                            self.nominal.iter().position(|&(t, _)| t == job.tenant)
-                        {
+                        if let Some(pos) = self.nominal.iter().position(|&(t, _)| t == job.tenant) {
                             let (_, nominal) = self.nominal.swap_remove(pos);
                             let actual = (self.now - job.arrived).as_secs_f64();
                             self.stretch_sum += actual / nominal.as_secs_f64().max(1.0);
@@ -397,8 +401,8 @@ impl<P: Placer> FlowSim<P> {
 mod tests {
     use super::*;
     use silo_base::{Bytes, Rate};
-    use silo_topology::{Topology, TreeParams};
     use silo_placement::{LocalityPlacer, OktopusPlacer, SiloPlacer};
+    use silo_topology::{Topology, TreeParams};
 
     fn topo(servers_per_rack: usize) -> Topology {
         Topology::build(TreeParams {
@@ -461,18 +465,8 @@ mod tests {
         let run = |kind: u8| {
             let cfg = quick_cfg(0.9, 3);
             match kind {
-                0 => FlowSim::new(
-                    SiloPlacer::new(topo(10)),
-                    Allocator::Guaranteed,
-                    cfg,
-                )
-                .run(),
-                _ => FlowSim::new(
-                    OktopusPlacer::new(topo(10)),
-                    Allocator::Guaranteed,
-                    cfg,
-                )
-                .run(),
+                0 => FlowSim::new(SiloPlacer::new(topo(10)), Allocator::Guaranteed, cfg).run(),
+                _ => FlowSim::new(OktopusPlacer::new(topo(10)), Allocator::Guaranteed, cfg).run(),
             }
         };
         let silo = run(0);

@@ -149,7 +149,10 @@ mod tests {
         let hose_b = Curve::token_bucket(Rate::from_gbps(3), Bytes::from_kb(600));
         let agg_b = per_server(3.0).add(&per_server(3.0)).min_with(&hose_b);
         let b_b = backlog_bound(&agg_b, &s10).unwrap();
-        assert!(b_b > 300_000.0 && b_b < 360_000.0, "placement (b) backlog {b_b}");
+        assert!(
+            b_b > 300_000.0 && b_b < 360_000.0,
+            "placement (b) backlog {b_b}"
+        );
         // Silo's placement (b) strictly dominates the bandwidth-aware one.
         assert!(b_b < b_a);
     }

@@ -1,11 +1,10 @@
 //! Concave piecewise-linear arrival curves as minima of affine lines.
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Rate};
 
 /// One affine piece `f(t) = rate·t + burst` (`rate` in bytes/second,
 /// `burst` in bytes, `t` in seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Line {
     pub rate: f64,
     pub burst: f64,
@@ -42,7 +41,7 @@ impl Line {
 ///
 /// With that invariant, line 0 (steepest, smallest burst) is active at
 /// `t = 0` and the last line (shallowest) determines the long-term rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Curve {
     lines: Vec<Line>,
 }
@@ -93,7 +92,10 @@ impl Curve {
     /// The zero curve (a source that never sends).
     pub fn zero() -> Curve {
         Curve {
-            lines: vec![Line { rate: 0.0, burst: 0.0 }],
+            lines: vec![Line {
+                rate: 0.0,
+                burst: 0.0,
+            }],
         }
     }
 
@@ -186,9 +188,7 @@ impl Curve {
 
     /// Sum many curves. Returns the zero curve for an empty iterator.
     pub fn sum<'a>(curves: impl IntoIterator<Item = &'a Curve>) -> Curve {
-        curves
-            .into_iter()
-            .fold(Curve::zero(), |acc, c| acc.add(c))
+        curves.into_iter().fold(Curve::zero(), |acc, c| acc.add(c))
     }
 
     /// Scale both rate and burst by `k ≥ 0` — `k` identical independent
@@ -298,8 +298,14 @@ mod tests {
     #[test]
     fn dominated_lines_are_pruned() {
         let c = Curve::from_lines(vec![
-            Line { rate: 10.0, burst: 5.0 },
-            Line { rate: 20.0, burst: 9.0 }, // dominated: steeper AND higher burst than (10,5)
+            Line {
+                rate: 10.0,
+                burst: 5.0,
+            },
+            Line {
+                rate: 20.0,
+                burst: 9.0,
+            }, // dominated: steeper AND higher burst than (10,5)
         ]);
         assert_eq!(c.lines().len(), 1);
         assert_eq!(c.long_term_rate(), 10.0);
@@ -310,9 +316,18 @@ mod tests {
         // l1=(10,0), l3=(1,9): cross at t=1, value 10.
         // l2=(5,6) evaluates to 11 at t=1 -> never on the envelope.
         let c = Curve::from_lines(vec![
-            Line { rate: 10.0, burst: 0.0 },
-            Line { rate: 5.0, burst: 6.0 },
-            Line { rate: 1.0, burst: 9.0 },
+            Line {
+                rate: 10.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 5.0,
+                burst: 6.0,
+            },
+            Line {
+                rate: 1.0,
+                burst: 9.0,
+            },
         ]);
         assert_eq!(c.lines().len(), 2);
     }
@@ -321,9 +336,18 @@ mod tests {
     fn middle_line_below_envelope_is_kept() {
         // l2=(5,3) at t=1 gives 8 < 10 -> needed.
         let c = Curve::from_lines(vec![
-            Line { rate: 10.0, burst: 0.0 },
-            Line { rate: 5.0, burst: 3.0 },
-            Line { rate: 1.0, burst: 9.0 },
+            Line {
+                rate: 10.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 5.0,
+                burst: 3.0,
+            },
+            Line {
+                rate: 1.0,
+                burst: 9.0,
+            },
         ]);
         assert_eq!(c.lines().len(), 3);
         // Envelope evaluation agrees with brute-force min.
@@ -405,8 +429,14 @@ mod tests {
     #[test]
     fn slope_at_breakpoint_is_right_derivative() {
         let c = Curve::from_lines(vec![
-            Line { rate: 10.0, burst: 0.0 },
-            Line { rate: 2.0, burst: 8.0 },
+            Line {
+                rate: 10.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 2.0,
+                burst: 8.0,
+            },
         ]);
         // Breakpoint at t = 1.
         assert_eq!(c.slope_at(1.0), 2.0);

@@ -5,11 +5,10 @@
 use crate::bounds::{backlog_bound, queue_delay_bound};
 use crate::curve::Curve;
 use crate::service::ServiceCurve;
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 
 /// Static description of one switch port for admission purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PortCalc {
     /// Egress line rate.
     pub line_rate: Rate,
@@ -18,7 +17,7 @@ pub struct PortCalc {
 }
 
 /// The result of checking an aggregate arrival curve against a port.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PortVerdict {
     /// Worst-case queueing delay (the paper's *queue bound*), if finite.
     pub queue_bound: Option<Dur>,

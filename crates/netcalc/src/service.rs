@@ -1,6 +1,5 @@
 //! Rate-latency service curves for switch ports.
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Dur, Rate};
 
 /// The rate-latency service curve `β_{R,T}(t) = R · max(0, t − T)`:
@@ -10,7 +9,7 @@ use silo_base::{Dur, Rate};
 /// A plain FIFO output port of a store-and-forward switch is `β_{C,0}`
 /// where `C` is the line rate; a strict-priority low class behind a bounded
 /// high class gets a non-zero `T`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceCurve {
     /// Service rate in bytes per second.
     pub rate: f64,

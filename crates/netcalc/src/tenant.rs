@@ -3,11 +3,10 @@
 //! "Propagating arrival curves").
 
 use crate::curve::Curve;
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 
 /// The network guarantee of one tenant, in curve-friendly form.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantTraffic {
     /// Number of VMs, `N`.
     pub n_vms: usize,
@@ -191,6 +190,9 @@ mod tests {
         // Burst after egress: A(c) = C/2 · c + 1500 = 3000 B = 2 packets.
         assert!((out.eval(1e-9) - 1500.0).abs() < 10.0); // line cap at t≈0
         let long_burst = out.lines().last().unwrap().burst;
-        assert!((long_burst - 3000.0).abs() < 1.0, "burst doubled: {long_burst}");
+        assert!(
+            (long_burst - 3000.0).abs() < 1.0,
+            "burst doubled: {long_burst}"
+        );
     }
 }

@@ -13,9 +13,7 @@
 //! "the pacer does not incur any extra CPU overhead when the network is
 //! idle").
 
-use silo_base::{Bytes, Dur, Rate, Time};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use silo_base::{Bytes, Dur, EventQueue, QueueBackend, Rate, Time};
 
 /// The smallest frame a NIC can put on the wire: 64 B Ethernet minimum +
 /// 20 B preamble/IPG = 84 B, i.e. 67.2 ns at 10 GbE — the pacer's spacing
@@ -74,68 +72,48 @@ impl<P> Batch<P> {
     }
 }
 
-struct Stamped<P> {
-    stamp: Time,
-    seq: u64,
-    size: Bytes,
-    payload: P,
-}
-
-impl<P> PartialEq for Stamped<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.stamp == other.stamp && self.seq == other.seq
-    }
-}
-impl<P> Eq for Stamped<P> {}
-impl<P> PartialOrd for Stamped<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Stamped<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earliest stamp first, FIFO on ties.
-        other
-            .stamp
-            .cmp(&self.stamp)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// Assembles paced batches for one NIC shared by many VM pacers.
+///
+/// The stamp queue is the same timer wheel that drives the simulator's
+/// event loop ([`silo_base::EventQueue`]): earliest stamp first, FIFO on
+/// equal stamps.
 pub struct PacedBatcher<P> {
     link: Rate,
     window: Dur,
     mtu: Bytes,
-    queue: BinaryHeap<Stamped<P>>,
-    seq: u64,
+    queue: EventQueue<(Bytes, P)>,
 }
 
 impl<P> PacedBatcher<P> {
     /// `link` is the NIC line rate; `window` the batch length in wire time
     /// (the paper uses 50 µs); `mtu` caps individual void frames.
     pub fn new(link: Rate, window: Dur, mtu: Bytes) -> PacedBatcher<P> {
+        PacedBatcher::with_queue_backend(link, window, mtu, QueueBackend::default())
+    }
+
+    /// [`PacedBatcher::new`] with an explicit stamp-queue backend — the
+    /// differential tests run the same workload through the timer wheel
+    /// and the reference heap and demand identical wire schedules.
+    pub fn with_queue_backend(
+        link: Rate,
+        window: Dur,
+        mtu: Bytes,
+        backend: QueueBackend,
+    ) -> PacedBatcher<P> {
         assert!(window > Dur::ZERO);
         assert!(mtu.as_u64() >= MIN_VOID_BYTES);
         PacedBatcher {
             link,
             window,
             mtu,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::with_backend(backend),
         }
     }
 
     /// Hand a timestamped packet to the NIC queue (any stamp order; equal
     /// stamps keep insertion order).
     pub fn enqueue(&mut self, stamp: Time, size: Bytes, payload: P) {
-        self.queue.push(Stamped {
-            stamp,
-            seq: self.seq,
-            size,
-            payload,
-        });
-        self.seq += 1;
+        self.queue.push(stamp, (size, payload));
     }
 
     pub fn pending(&self) -> usize {
@@ -144,8 +122,8 @@ impl<P> PacedBatcher<P> {
 
     /// Earliest stamp waiting, if any — when an empty batch comes back,
     /// the host re-arms its pull timer for this instant.
-    pub fn next_stamp(&self) -> Option<Time> {
-        self.queue.peek().map(|s| s.stamp)
+    pub fn next_stamp(&mut self) -> Option<Time> {
+        self.queue.peek_time()
     }
 
     /// Build the next batch, called at `now` (NIC idle: previous DMA
@@ -162,13 +140,13 @@ impl<P> PacedBatcher<P> {
     ///   the NIC idles rather than transmit leading voids.
     pub fn next_batch(&mut self, now: Time) -> Batch<P> {
         let mut frames = Vec::new();
-        let Some(head) = self.queue.peek() else {
+        let Some(head_stamp) = self.queue.peek_time() else {
             return Batch {
                 frames,
                 done_at: now,
             };
         };
-        if head.stamp > now {
+        if head_stamp > now {
             return Batch {
                 frames,
                 done_at: now,
@@ -177,22 +155,22 @@ impl<P> PacedBatcher<P> {
         let mut cursor = now;
         let end = now + self.window;
         while cursor < end {
-            let Some(head) = self.queue.peek() else {
+            let Some(head_stamp) = self.queue.peek_time() else {
                 break;
             };
-            if head.stamp <= cursor {
-                let pkt = self.queue.pop().expect("nonempty");
-                let tx = self.link.tx_time(pkt.size);
+            if head_stamp <= cursor {
+                let (_, (size, payload)) = self.queue.pop().expect("nonempty");
+                let tx = self.link.tx_time(size);
                 frames.push(WireFrame {
                     start: cursor,
-                    size: pkt.size,
+                    size,
                     kind: FrameKind::Data,
-                    payload: Some(pkt.payload),
+                    payload: Some(payload),
                 });
                 cursor += tx;
             } else {
                 // Fill the gap up to the stamp (or window end) with voids.
-                let gap_end = head.stamp.min(end);
+                let gap_end = head_stamp.min(end);
                 let gap_bytes = self.link.bytes_in(gap_end - cursor).as_u64();
                 let void = gap_bytes.clamp(MIN_VOID_BYTES, self.mtu.as_u64());
                 let tx = self.link.tx_time(Bytes(void));
@@ -280,11 +258,7 @@ mod tests {
         b.enqueue(Time::from_us(24), Bytes(1500), 101);
         b.enqueue(Time::from_us(12), Bytes(1500), 200);
         let batch = b.next_batch(Time::ZERO);
-        let data: Vec<u32> = batch
-            .frames
-            .iter()
-            .filter_map(|f| f.payload)
-            .collect();
+        let data: Vec<u32> = batch.frames.iter().filter_map(|f| f.payload).collect();
         assert_eq!(data, vec![100, 200, 101]);
     }
 

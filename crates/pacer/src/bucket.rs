@@ -1,6 +1,5 @@
 //! Virtual (timestamping) token buckets.
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Rate, Time};
 
 /// A token bucket that *timestamps* packets instead of holding them:
@@ -12,7 +11,7 @@ use silo_base::{Bytes, Rate, Time};
 ///
 /// Token arithmetic is in `f64` bytes; departure times are quantized to
 /// picoseconds deterministically, so chained simulations are reproducible.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TokenBucket {
     rate: Rate,
     capacity: Bytes,
@@ -115,7 +114,7 @@ impl TokenBucket {
 /// // …the next is spaced by Bmax (1500 B at 2 Gbps = 6 us).
 /// assert_eq!(chain.stamp(Time::ZERO, Bytes(1500)), Time::from_us(6));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BucketChain {
     buckets: Vec<TokenBucket>,
 }

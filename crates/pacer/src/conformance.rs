@@ -95,12 +95,7 @@ mod tests {
 
     /// Run a saturating sender through the bucket chain + batcher and
     /// return the full wire schedule.
-    fn paced_schedule(
-        b: Rate,
-        s: Bytes,
-        bmax: Rate,
-        pkts: usize,
-    ) -> Vec<WireFrame<u32>> {
+    fn paced_schedule(b: Rate, s: Bytes, bmax: Rate, pkts: usize) -> Vec<WireFrame<u32>> {
         let link = Rate::from_gbps(10);
         let mut chain = BucketChain::new(vec![
             TokenBucket::new(bmax, Bytes(1500)),
@@ -148,7 +143,7 @@ mod tests {
                 kind: FrameKind::Data,
                 payload: Some(0u32),
             });
-            t = t + link.tx_time(Bytes(1500));
+            t += link.tx_time(Bytes(1500));
         }
         let f = CurveLike::dual_slope_fn(1e9, 15_000.0, 2e9, 1500.0);
         let curve = CurveLike { eval: &f };

@@ -16,10 +16,8 @@
 //! schedules, so the shape of Fig. 10a (CPU tracking the void-dominated
 //! packet rate, peaking near 9 Gbps) is produced by the actual mechanism.
 
-use serde::{Deserialize, Serialize};
-
 /// Linear CPU model: `cores = (stack·data + pacer·(data+void) + batch·batches) / clock`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CpuModel {
     /// Core clock in cycles/second (2.4 GHz in the paper's testbed).
     pub clock_hz: f64,

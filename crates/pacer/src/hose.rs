@@ -93,9 +93,7 @@ impl HoseAllocator {
 mod tests {
     use super::*;
 
-    fn sums(
-        rates: &HashMap<(VmRef, VmRef), Rate>,
-    ) -> (HashMap<VmRef, u64>, HashMap<VmRef, u64>) {
+    fn sums(rates: &HashMap<(VmRef, VmRef), Rate>) -> (HashMap<VmRef, u64>, HashMap<VmRef, u64>) {
         let mut tx: HashMap<VmRef, u64> = HashMap::new();
         let mut rx: HashMap<VmRef, u64> = HashMap::new();
         for (&(s, d), &r) in rates {
@@ -152,10 +150,7 @@ mod tests {
         let r = a.allocate(&pairs);
         let (tx, rx) = sums(&r);
         for (&v, &s) in tx.iter().chain(rx.iter()) {
-            assert!(
-                s as f64 <= 2e9 * 1.001,
-                "vm {v} hose violated: {s}"
-            );
+            assert!(s as f64 <= 2e9 * 1.001, "vm {v} hose violated: {s}");
         }
     }
 

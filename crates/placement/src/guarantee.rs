@@ -1,6 +1,5 @@
 //! Tenant network guarantees (paper §4.1, Fig. 4) and latency arithmetic.
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 
 /// The `{B, S, d, Bmax}` network guarantee attached to each VM of a tenant.
@@ -9,7 +8,7 @@ use silo_base::{Bytes, Dur, Rate};
 /// * a VM that under-used its guarantee may burst `s` bytes at up to `bmax`;
 /// * each bandwidth-compliant packet is delivered NIC-to-NIC within
 ///   `delay` (when `Some`; bandwidth-only tenants use `None`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Guarantee {
     pub b: Rate,
     pub s: Bytes,
@@ -83,7 +82,7 @@ impl Guarantee {
 
 /// A tenant's admission request: `vms` identical VMs, each with the given
 /// guarantee.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantRequest {
     pub vms: usize,
     pub guarantee: Guarantee,

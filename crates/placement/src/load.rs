@@ -1,6 +1,5 @@
 //! Per-port load accumulators and the O(1) admission check (constraint C1).
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 use silo_netcalc::{backlog_bound, Curve, Line, ServiceCurve};
 
@@ -14,7 +13,7 @@ use silo_netcalc::{backlog_bound, Curve, Line, ServiceCurve};
 /// upstream *line* rate, so `Bmax` no longer bounds arrival speed — the
 /// contribution is then flagged [`Contribution::rate_unbounded`] and the
 /// check falls back to the port's physical ingress capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Contribution {
     /// Hose-capped sustained rate crossing the port, bytes/sec:
     /// `min(m, N−m)·B`.
@@ -70,8 +69,7 @@ impl Contribution {
     ) -> Contribution {
         debug_assert!(m >= 1 && m < n, "cut needs senders and receivers");
         let hose = b.bytes_per_sec() * m.min(n - m) as f64;
-        let burst_rate =
-            (bmax.bytes_per_sec() * m as f64).min(access_cap.bytes_per_sec());
+        let burst_rate = (bmax.bytes_per_sec() * m as f64).min(access_cap.bytes_per_sec());
         let mtu_b = mtu.as_f64() * m as f64;
         let mut burst = s.as_f64() * m as f64;
         for (k, c) in prior.iter().enumerate() {
@@ -98,7 +96,7 @@ impl Contribution {
 
 /// Aggregated load at one port: linear sums over admitted tenants'
 /// [`Contribution`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PortLoad {
     pub rate: f64,
     pub burst: f64,

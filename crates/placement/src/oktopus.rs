@@ -180,14 +180,8 @@ mod tests {
         let mut p = OktopusPlacer::new(small_topo());
         // 10 VMs at 3 Gbps hose: any split has min(m, n-m) >= 4 somewhere
         // ... actually k=5/5: min(5,5)·3G = 15G > 10G on NICs.
-        let req = TenantRequest::new(
-            10,
-            Guarantee::bandwidth_only(Rate::from_gbps(3)),
-        );
-        assert_eq!(
-            p.try_place(&req),
-            Err(RejectReason::NetworkUnsatisfiable)
-        );
+        let req = TenantRequest::new(10, Guarantee::bandwidth_only(Rate::from_gbps(3)));
+        assert_eq!(p.try_place(&req), Err(RejectReason::NetworkUnsatisfiable));
     }
 
     #[test]

@@ -3,16 +3,15 @@
 //! the [`Placer`] trait.
 
 use crate::guarantee::TenantRequest;
-use serde::{Deserialize, Serialize};
 use silo_topology::{HostId, Level, Topology};
 
 /// Opaque tenant handle returned by admission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u64);
 
 /// A successful placement: how many VMs landed on each host, and the
 /// hierarchy level the tenant spans.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     pub tenant: TenantId,
     pub hosts: Vec<(HostId, usize)>,
@@ -26,7 +25,7 @@ impl Placement {
 }
 
 /// Why admission failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// Not enough free VM slots anywhere the tenant is allowed to span.
     InsufficientSlots,
@@ -56,7 +55,7 @@ pub trait Placer {
 
 /// Free-slot bookkeeping with per-rack/per-pod aggregates so candidate
 /// subtrees without room are skipped in O(1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlotMap {
     per_host: Vec<usize>,
     per_rack: Vec<usize>,
@@ -210,9 +209,7 @@ where
                 continue;
             }
             for cap in (1..=spp).rev() {
-                let hosts = topo
-                    .racks_in_pod(pod)
-                    .flat_map(|r| topo.hosts_in_rack(r));
+                let hosts = topo.racks_in_pod(pod).flat_map(|r| topo.hosts_in_rack(r));
                 if let Some(cand) = distribute(slots, hosts, n, cap) {
                     if check(&cand, Level::SamePod) {
                         return Some((cand, Level::SamePod));
@@ -285,7 +282,8 @@ mod tests {
     fn greedy_prefers_single_server() {
         let t = topo();
         let s = SlotMap::new(&t);
-        let (cand, lvl) = greedy_place_spread(&t, &s, 3, Level::CrossPod, 1, &mut |_, _| true).unwrap();
+        let (cand, lvl) =
+            greedy_place_spread(&t, &s, 3, Level::CrossPod, 1, &mut |_, _| true).unwrap();
         assert_eq!(lvl, Level::SameHost);
         assert_eq!(cand, vec![(HostId(0), 3)]);
     }
@@ -294,7 +292,8 @@ mod tests {
     fn greedy_escalates_to_rack() {
         let t = topo();
         let s = SlotMap::new(&t);
-        let (cand, lvl) = greedy_place_spread(&t, &s, 10, Level::CrossPod, 1, &mut |_, _| true).unwrap();
+        let (cand, lvl) =
+            greedy_place_spread(&t, &s, 10, Level::CrossPod, 1, &mut |_, _| true).unwrap();
         assert_eq!(lvl, Level::SameRack);
         assert_eq!(cand.iter().map(|(_, k)| k).sum::<usize>(), 10);
     }
@@ -354,9 +353,7 @@ mod tests {
     fn greedy_rejects_when_no_slots() {
         let t = topo();
         let mut s = SlotMap::new(&t);
-        let all: Vec<_> = (0..t.num_hosts())
-            .map(|h| (HostId(h as u32), 4))
-            .collect();
+        let all: Vec<_> = (0..t.num_hosts()).map(|h| (HostId(h as u32), 4)).collect();
         s.alloc(&t, &all);
         assert!(greedy_place_spread(&t, &s, 1, Level::CrossPod, 1, &mut |_, _| true).is_none());
     }

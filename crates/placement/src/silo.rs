@@ -155,12 +155,9 @@ impl SiloPlacer {
         let Some(d) = req.guarantee.delay else {
             return Some(Level::CrossPod);
         };
-        for lvl in [Level::CrossPod, Level::SamePod, Level::SameRack] {
-            if self.caps.delay_budget(lvl) <= d {
-                return Some(lvl);
-            }
-        }
-        None
+        [Level::CrossPod, Level::SamePod, Level::SameRack]
+            .into_iter()
+            .find(|&lvl| self.caps.delay_budget(lvl) <= d)
     }
 
     /// The contributions a candidate placement would add, or `None` if some
@@ -184,9 +181,8 @@ impl SiloPlacer {
             let kind = self.port_kind(p);
             let prior = self.caps.prior_caps(level, kind);
             let access_cap = host_link * sending_hosts.max(1) as u64;
-            let c = Contribution::for_cut_capped(
-                m, n, g.b, g.s, g.bmax, self.mtu, &prior, access_cap,
-            );
+            let c =
+                Contribution::for_cut_capped(m, n, g.b, g.s, g.bmax, self.mtu, &prior, access_cap);
             let info = self.topo.port(p);
             let load = self.loads[p.0 as usize].with(&c);
             if info.is_nic {
@@ -463,8 +459,7 @@ mod tests {
         let mut p = SiloPlacer::new(topo);
         let mut accepted = 0;
         for _ in 0..20 {
-            if p
-                .try_place(&TenantRequest::new(4, Guarantee::class_a()))
+            if p.try_place(&TenantRequest::new(4, Guarantee::class_a()))
                 .is_ok()
             {
                 accepted += 1;

@@ -1,7 +1,7 @@
 //! Simulation configuration: transport modes, tenant descriptions, and
 //! the protocol constants of §6's experiments.
 
-use silo_base::{Bytes, Dur, Rate};
+use silo_base::{Bytes, Dur, QueueBackend, Rate};
 use silo_topology::HostId;
 
 /// Which end-host datapath and switch features a run uses — the six
@@ -28,7 +28,10 @@ pub enum TransportMode {
 impl TransportMode {
     /// Does the hypervisor pace VM traffic through token buckets?
     pub fn paced(self) -> bool {
-        matches!(self, TransportMode::Silo | TransportMode::Okto | TransportMode::OktoPlus)
+        matches!(
+            self,
+            TransportMode::Silo | TransportMode::Okto | TransportMode::OktoPlus
+        )
     }
     /// Do senders run DCTCP window logic?
     pub fn dctcp_sender(self) -> bool {
@@ -60,6 +63,14 @@ pub enum TenantWorkload {
     /// VMs simultaneously send a message of mean size `msg_mean`
     /// (exponential) to VM 0 — the OLDI partition/aggregate pattern.
     OldiAllToOne { msg_mean: Bytes, interval: Dur },
+    /// The worst-case *conformant* OLDI pattern: every `period`, all VMs
+    /// simultaneously send exactly `msg` bytes to VM 0. Periodic spacing
+    /// keeps the traffic inside the `{B, S}` arrival curve at both
+    /// endpoints (pick `period ≥ (n−1)·msg/B`), which is the precondition
+    /// of the paper's eq. 1 latency bound — use this to *verify* admission
+    /// decisions, and the Poisson [`TenantWorkload::OldiAllToOne`] to
+    /// *load* the network past them.
+    OldiPeriodic { msg: Bytes, period: Dur },
     /// §6.3-style fixed pairs, each carrying Poisson messages of mean
     /// `msg_mean` every `interval` on average (used for class B and
     /// Permutation-x).
@@ -131,6 +142,12 @@ pub struct SimConfig {
     pub seed: u64,
     /// NIC FIFO depth for un-paced modes (TX ring + qdisc).
     pub nic_fifo: Bytes,
+    /// Event-queue implementation. [`QueueBackend::Wheel`] (default) is
+    /// the fast path; [`QueueBackend::Heap`] keeps the original
+    /// `BinaryHeap` for differential testing and before/after
+    /// benchmarking. Both dequeue in identical `(time, seq)` order, so
+    /// results are bit-identical either way.
+    pub queue: QueueBackend,
 }
 
 impl SimConfig {
@@ -158,6 +175,7 @@ impl SimConfig {
             // shared FIFO this shallow is exactly where an un-isolated
             // tenant's small messages die behind a bulk tenant's bursts.
             nic_fifo: Bytes::from_kb(150),
+            queue: QueueBackend::default(),
         }
     }
 

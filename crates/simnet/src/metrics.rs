@@ -43,6 +43,11 @@ pub struct Metrics {
     /// Per-port queue high-water marks in bytes (indexed by `PortId.0`) —
     /// directly comparable to the placement manager's backlog bounds.
     pub port_max_queue: Vec<u64>,
+    /// Engine events dispatched inside the horizon (throughput
+    /// denominator for events/sec reporting).
+    pub events_processed: u64,
+    /// High-water mark of the pending-event queue.
+    pub peak_event_queue: u64,
 }
 
 impl Metrics {
@@ -68,6 +73,56 @@ impl Metrics {
                 .filter_map(|m| m.txn_latency.map(|d| d.as_us_f64())),
         );
         s
+    }
+
+    /// Exact canonical serialization of a run's results. Every field is
+    /// emitted with a fixed order and an exact representation (times in
+    /// integer picoseconds, floats via Rust's shortest round-trip
+    /// formatting), so two runs produced the same results **iff** their
+    /// serializations are byte-identical — the comparison the determinism
+    /// tests rely on. Hand-rolled: the workspace is dependency-free.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.messages.len() + 1024);
+        out.push_str("{\"messages\":[");
+        for (i, m) in self.messages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tenant\":{},\"size\":{},\"latency_ps\":{},\"rto\":{},\"created_ps\":{},\"txn_ps\":{},\"same_host\":{}}}",
+                m.tenant,
+                m.size,
+                m.latency.0,
+                m.rto,
+                m.created.0,
+                m.txn_latency.map_or("null".to_string(), |d| d.0.to_string()),
+                m.same_host,
+            ));
+        }
+        out.push_str("],");
+        fn num_list<T: std::fmt::Debug>(out: &mut String, key: &str, xs: &[T]) {
+            out.push_str(&format!("\"{key}\":["));
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{x:?}"));
+            }
+            out.push_str("],");
+        }
+        num_list(&mut out, "goodput", &self.goodput);
+        out.push_str(&format!(
+            "\"drops\":{},\"rtos\":{},\"duration_ps\":{},\"wire_data_bytes\":{},\"wire_void_bytes\":{},",
+            self.drops, self.rtos, self.duration.0, self.wire_data_bytes, self.wire_void_bytes,
+        ));
+        num_list(&mut out, "port_utilization", &self.port_utilization);
+        num_list(&mut out, "port_drops", &self.port_drops);
+        num_list(&mut out, "port_max_queue", &self.port_max_queue);
+        out.push_str(&format!(
+            "\"events_processed\":{},\"peak_event_queue\":{}}}",
+            self.events_processed, self.peak_event_queue,
+        ));
+        out
     }
 
     /// Per-tenant stats table.

@@ -55,7 +55,7 @@ impl BurstStudy {
         let mut prev_done = Time::ZERO;
         let mut late = 0usize;
         for _ in 0..n {
-            now = now + Dur::from_secs_f64(exponential(rng, rate_msgs));
+            now += Dur::from_secs_f64(exponential(rng, rate_msgs));
             let start = now.max(prev_done);
             let mut remaining = self.msg.as_u64();
             let mut done = start;

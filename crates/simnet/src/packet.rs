@@ -2,7 +2,13 @@
 
 use silo_base::{Bytes, Time};
 use silo_topology::PortId;
-use std::rc::Rc;
+
+/// Handle to an interned egress-port list in the simulator's path table.
+/// Packets and connections carry this 4-byte id instead of a shared
+/// pointer, which keeps [`Packet`] `Copy` and spares a refcount round trip
+/// per forwarded packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathId(pub u32);
 
 /// What a packet carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,10 +21,11 @@ pub enum PktKind {
     Ack,
 }
 
-/// One packet in flight. `path` is the precomputed egress-port list from
-/// the source NIC to the destination (shared per connection); `hop` is the
-/// index of the *next* port to traverse.
-#[derive(Debug, Clone)]
+/// One packet in flight. `path` names the precomputed egress-port list
+/// from the source NIC to the destination (interned in the simulator's
+/// path table, shared per connection); `hop` is the index of the *next*
+/// port to traverse.
+#[derive(Debug, Clone, Copy)]
 pub struct Packet {
     pub conn: u32,
     pub kind: PktKind,
@@ -38,18 +45,20 @@ pub struct Packet {
     pub prio: u8,
     /// When the segment was handed to the wire path (for delay metrics).
     pub sent_at: Time,
-    pub path: Rc<[PortId]>,
+    pub path: PathId,
     pub hop: usize,
 }
 
 impl Packet {
-    /// The next port this packet must traverse, or `None` at destination.
-    pub fn next_port(&self) -> Option<PortId> {
-        self.path.get(self.hop).copied()
+    /// The next port this packet must traverse along `path` (its resolved
+    /// port list), or `None` at destination.
+    pub fn next_port(&self, path: &[PortId]) -> Option<PortId> {
+        path.get(self.hop).copied()
     }
 
-    /// True once every hop is done (the packet is at its destination).
-    pub fn arrived(&self) -> bool {
-        self.hop >= self.path.len()
+    /// True once every hop of `path` is done (the packet is at its
+    /// destination).
+    pub fn arrived(&self, path: &[PortId]) -> bool {
+        self.hop >= path.len()
     }
 }

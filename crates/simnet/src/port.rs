@@ -136,8 +136,7 @@ impl PortState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use silo_topology::PortId;
-    use std::rc::Rc;
+    use crate::packet::PathId;
 
     fn pkt(size: u64, prio: u8) -> Packet {
         Packet {
@@ -151,7 +150,7 @@ mod tests {
             ecn_echo: false,
             prio,
             sent_at: Time::ZERO,
-            path: Rc::from(vec![PortId(0)].into_boxed_slice()),
+            path: PathId(0),
             hop: 0,
         }
     }
@@ -207,7 +206,7 @@ mod tests {
             if got.ce {
                 marked += 1;
             }
-            now = now + line.tx_time(Bytes(1500));
+            now += line.tx_time(Bytes(1500));
         }
         assert!(marked > 0, "phantom queue must mark at sustained line rate");
     }

@@ -3,17 +3,15 @@
 
 use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 use crate::metrics::{Metrics, MsgRecord};
-use crate::packet::{Packet, PktKind};
+use crate::packet::{Packet, PathId, PktKind};
 use crate::port::{PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
 use rand::rngs::StdRng;
-use silo_base::{exponential, seeded_rng, Bytes, Dur, Time};
+use silo_base::{exponential, seeded_rng, Bytes, Dur, EventQueue, Time};
 use silo_pacer::{FrameKind, PacedBatcher, TokenBucket};
 use silo_topology::{HostId, PortId, Topology};
 use silo_workload::EtcWorkload;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
+use std::collections::HashMap;
 
 /// Events the engine dispatches.
 #[derive(Debug)]
@@ -39,30 +37,6 @@ enum Ev {
     PaceResume { conn: u32 },
     /// A bulk pair opens its connection and starts transferring.
     BulkStart { src: u32, dst: u32, msg: u64 },
-}
-
-struct EvEntry {
-    t: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for EvEntry {
-    fn eq(&self, o: &Self) -> bool {
-        self.t == o.t && self.seq == o.seq
-    }
-}
-impl Eq for EvEntry {}
-impl PartialOrd for EvEntry {
-    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for EvEntry {
-    fn cmp(&self, o: &Self) -> Ordering {
-        // Min-heap: earliest time, then FIFO.
-        o.t.cmp(&self.t).then(o.seq.cmp(&self.seq))
-    }
 }
 
 /// Per-VM state: pacer buckets and application role.
@@ -105,8 +79,10 @@ pub struct Sim {
     tenants: Vec<TenantSpec>,
     rng: StdRng,
     now: Time,
-    events: BinaryHeap<EvEntry>,
-    eseq: u64,
+    /// Pending events, ordered by `(time, push sequence)` — the timer
+    /// wheel preserves exactly the old `BinaryHeap<EvEntry>` dequeue
+    /// order (locked down by `silo_base::eventq`'s differential tests).
+    events: EventQueue<Ev>,
     ports: Vec<PortState>,
     conns: Vec<TcpConn>,
     conn_index: HashMap<(u32, u32), u32>,
@@ -116,9 +92,13 @@ pub struct Sim {
     /// Connection ids per tenant (for event-driven hose updates).
     tenant_conns: Vec<Vec<u32>>,
     nics: Vec<HostNic>,
-    paths: HashMap<(u32, u32), Rc<[PortId]>>,
+    /// Interned egress-port lists; a [`PathId`] indexes this table. One
+    /// entry per distinct (src host, dst host) pair plus one loopback
+    /// entry per host — packets and connections carry the 4-byte id.
+    path_table: Vec<Box<[PortId]>>,
+    path_ids: HashMap<(u32, u32), PathId>,
     /// Per-host loopback path for same-host VM pairs (vswitch port).
-    loopback_paths: Vec<Rc<[PortId]>>,
+    loopback_paths: Vec<PathId>,
     metrics: Metrics,
     txn_starts: HashMap<u64, Time>,
     next_txn: u64,
@@ -153,8 +133,11 @@ impl Sim {
                 match cfg.mode {
                     TransportMode::Dctcp => ps.ecn_k = Some(cfg.ecn_k),
                     TransportMode::Hull => {
-                        ps.phantom =
-                            Some(PhantomQueue::new(info.rate, cfg.hull_gamma, cfg.hull_thresh));
+                        ps.phantom = Some(PhantomQueue::new(
+                            info.rate,
+                            cfg.hull_gamma,
+                            cfg.hull_thresh,
+                        ));
                     }
                     _ => {}
                 }
@@ -192,6 +175,7 @@ impl Sim {
         // unbounded data in zero simulated time. The queue is effectively
         // unbounded: a real vswitch backpressures the sending VM instead
         // of tail-dropping.
+        let mut path_table: Vec<Box<[PortId]>> = Vec::new();
         let mut loopback_paths = Vec::with_capacity(topo.num_hosts());
         for h in 0..topo.num_hosts() {
             let pid = PortId((nports + h) as u32);
@@ -202,20 +186,23 @@ impl Sim {
             );
             ps.ecn_k = None;
             ports.push(ps);
-            loopback_paths.push(Rc::from(vec![pid].into_boxed_slice()) as Rc<[PortId]>);
+            loopback_paths.push(PathId(path_table.len() as u32));
+            path_table.push(vec![pid].into_boxed_slice());
         }
         let ntenants = tenants.len();
-        let mut metrics = Metrics::default();
-        metrics.goodput = vec![0; tenants.len()];
-        metrics.duration = cfg.duration;
+        let metrics = Metrics {
+            goodput: vec![0; tenants.len()],
+            duration: cfg.duration,
+            ..Metrics::default()
+        };
+        let events = EventQueue::with_backend(cfg.queue);
         Sim {
             topo,
             cfg,
             tenants,
             rng,
             now: Time::ZERO,
-            events: BinaryHeap::new(),
-            eseq: 0,
+            events,
             ports,
             conns: Vec::new(),
             conn_index: HashMap::new(),
@@ -223,7 +210,8 @@ impl Sim {
             tenant_vms,
             tenant_conns: vec![Vec::new(); ntenants],
             nics,
-            paths: HashMap::new(),
+            path_table,
+            path_ids: HashMap::new(),
             loopback_paths,
             metrics,
             txn_starts: HashMap::new(),
@@ -238,24 +226,27 @@ impl Sim {
     }
 
     fn push(&mut self, t: Time, ev: Ev) {
-        self.events.push(EvEntry {
-            t,
-            seq: self.eseq,
-            ev,
-        });
-        self.eseq += 1;
+        self.events.push(t, ev);
     }
 
-    fn path(&mut self, src: HostId, dst: HostId) -> Rc<[PortId]> {
+    fn path(&mut self, src: HostId, dst: HostId) -> PathId {
         if src == dst {
-            return self.loopback_paths[src.0 as usize].clone();
+            return self.loopback_paths[src.0 as usize];
         }
-        if let Some(p) = self.paths.get(&(src.0, dst.0)) {
-            return p.clone();
+        if let Some(&p) = self.path_ids.get(&(src.0, dst.0)) {
+            return p;
         }
-        let p: Rc<[PortId]> = Rc::from(self.topo.path_ports(src, dst).into_boxed_slice());
-        self.paths.insert((src.0, dst.0), p.clone());
-        p
+        let id = PathId(self.path_table.len() as u32);
+        self.path_table
+            .push(self.topo.path_ports(src, dst).into_boxed_slice());
+        self.path_ids.insert((src.0, dst.0), id);
+        id
+    }
+
+    /// Resolve an interned path id to its egress-port list.
+    #[inline]
+    fn hops(&self, id: PathId) -> &[PortId] {
+        &self.path_table[id.0 as usize]
     }
 
     /// Is this port the host vswitch loopback (not a NIC/switch port)?
@@ -337,10 +328,11 @@ impl Sim {
                     let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
                     self.push(
                         self.now + Dur::from_secs_f64(gap),
-                        Ev::Oldi {
-                            tenant: ti as u16,
-                        },
+                        Ev::Oldi { tenant: ti as u16 },
                     );
+                }
+                TenantWorkload::OldiPeriodic { period, .. } => {
+                    self.push(self.now + period, Ev::Oldi { tenant: ti as u16 });
                 }
                 TenantWorkload::PoissonPairs {
                     pairs, interval, ..
@@ -426,8 +418,12 @@ impl Sim {
     }
 
     fn on_oldi(&mut self, tenant: u16) {
-        let (msg_mean, interval) = match &self.tenants[tenant as usize].workload {
-            TenantWorkload::OldiAllToOne { msg_mean, interval } => (*msg_mean, *interval),
+        let (msg, gap) = match &self.tenants[tenant as usize].workload {
+            TenantWorkload::OldiAllToOne { msg_mean, interval } => (
+                *msg_mean,
+                Dur::from_secs_f64(exponential(&mut self.rng, 1.0 / interval.as_secs_f64())),
+            ),
+            TenantWorkload::OldiPeriodic { msg, period } => (*msg, *period),
             _ => return,
         };
         let vms = self.tenant_vms[tenant as usize].clone();
@@ -436,10 +432,9 @@ impl Sim {
             // Partition/aggregate responses are similar-sized: each worker
             // returns one fixed-size shard of the answer.
             let c = self.conn_for(s, target);
-            self.app_write(c, msg_mean.as_u64().max(1), None, None);
+            self.app_write(c, msg.as_u64().max(1), None, None);
         }
-        let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
-        self.push(self.now + Dur::from_secs_f64(gap), Ev::Oldi { tenant });
+        self.push(self.now + gap, Ev::Oldi { tenant });
     }
 
     fn on_poisson_msg(&mut self, tenant: u16, pair: u32) {
@@ -458,7 +453,10 @@ impl Sim {
         let c = self.conn_for(sv, dv);
         self.app_write(c, size.max(1), None, None);
         let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
-        self.push(self.now + Dur::from_secs_f64(gap), Ev::PoissonMsg { tenant, pair });
+        self.push(
+            self.now + Dur::from_secs_f64(gap),
+            Ev::PoissonMsg { tenant, pair },
+        );
     }
 
     /// Bulk tenants run one message per pair at a time: the next transfer
@@ -514,7 +512,7 @@ impl Sim {
                     payload,
                     c.nxt,
                     c.prio,
-                    c.path.clone(),
+                    c.path,
                     Bytes(payload + self.cfg.header.as_u64()),
                 )
             };
@@ -597,7 +595,7 @@ impl Sim {
                     m.2 = true;
                 }
             }
-            (c.src_vm, c.prio, c.path.clone())
+            (c.src_vm, c.prio, c.path)
         };
         let pkt = Packet {
             conn,
@@ -630,7 +628,7 @@ impl Sim {
                     m.2 = true;
                 }
             }
-            (c.src_vm, seq, payload, prio, c.path.clone())
+            (c.src_vm, seq, payload, prio, c.path)
         };
         let pkt = Packet {
             conn,
@@ -692,12 +690,12 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn send_from_vm(&mut self, vm: u32, mut pkt: Packet) {
-        if self.is_loopback(pkt.path[0]) {
+        let first_port = self.hops(pkt.path)[0];
+        if self.is_loopback(first_port) {
             // Same-host delivery through the vswitch: serialized at the
             // loopback port, never paced (it does not cross the NIC).
-            let port = pkt.path[0];
             pkt.hop = 0;
-            self.enqueue_port(port, pkt);
+            self.enqueue_port(first_port, pkt);
             return;
         }
         if self.cfg.mode.paced() {
@@ -726,9 +724,8 @@ impl Sim {
                 self.arm_nic(host, at);
             }
         } else {
-            let port = pkt.path[0];
             pkt.hop = 0;
-            self.enqueue_port(port, pkt);
+            self.enqueue_port(first_port, pkt);
         }
     }
 
@@ -854,13 +851,14 @@ impl Sim {
     }
 
     fn on_arrive(&mut self, pkt: Packet) {
-        if pkt.arrived() {
+        let hops = self.hops(pkt.path);
+        if pkt.arrived(hops) {
             match pkt.kind {
                 PktKind::Data => self.rx_data(pkt),
                 PktKind::Ack => self.rx_ack(pkt),
             }
         } else {
-            let port = pkt.path[pkt.hop];
+            let port = hops[pkt.hop];
             self.enqueue_port(port, pkt);
         }
     }
@@ -886,18 +884,14 @@ impl Sim {
                     break;
                 }
             }
-            (done, c.dst_vm, c.src_vm, c.prio, c.rpath.clone(), c.tenant, adv)
+            (done, c.dst_vm, c.src_vm, c.prio, c.rpath, c.tenant, adv)
         };
         self.vms[dst_vm as usize].rx_epoch_bytes += adv;
-        let same_host =
-            self.conns[conn as usize].src_host == self.conns[conn as usize].dst_host;
+        let same_host = self.conns[conn as usize].src_host == self.conns[conn as usize].dst_host;
         for m in &completions {
             let txn_latency = match (m.respond, m.txn) {
                 // A response arriving back at the client closes the txn.
-                (None, Some(txn)) => self
-                    .txn_starts
-                    .remove(&txn)
-                    .map(|t0| self.now - t0),
+                (None, Some(txn)) => self.txn_starts.remove(&txn).map(|t0| self.now - t0),
                 _ => None,
             };
             self.metrics.messages.push(MsgRecord {
@@ -1177,7 +1171,10 @@ impl Sim {
 
     /// Debug introspection: (max_queued, at) per port (diagnostics).
     pub fn debug_port_peaks(&self) -> Vec<(u64, silo_base::Time)> {
-        self.ports.iter().map(|p| (p.max_queued, p.max_at)).collect()
+        self.ports
+            .iter()
+            .map(|p| (p.max_queued, p.max_at))
+            .collect()
     }
 
     /// Debug introspection: per-connection congestion state
@@ -1214,12 +1211,13 @@ impl Sim {
     fn run_inner(&mut self) {
         self.init_apps();
         let horizon = Time::ZERO + self.cfg.duration;
-        while let Some(entry) = self.events.pop() {
-            if entry.t > horizon {
+        while let Some((t, ev)) = self.events.pop() {
+            if t > horizon {
                 break;
             }
-            self.now = entry.t;
-            match entry.ev {
+            self.now = t;
+            self.metrics.events_processed += 1;
+            match ev {
                 Ev::Arrive(pkt) => self.on_arrive(pkt),
                 Ev::PortFree(p) => self.on_port_free(p),
                 Ev::NicPull { host, marker } => self.on_nic_pull(host, marker),
@@ -1242,6 +1240,7 @@ impl Sim {
 
     fn finish_metrics(&mut self) -> Metrics {
         let dur = self.cfg.duration;
+        self.metrics.peak_event_queue = self.events.peak_len() as u64;
         self.metrics.port_utilization = self
             .ports
             .iter()

@@ -5,10 +5,10 @@
 //! timers live in [`crate::sim`], which drives these methods. Keeping the
 //! window logic free of simulator plumbing makes it unit-testable below.
 
+use crate::packet::PathId;
 use silo_base::{Dur, Time};
-use silo_topology::{HostId, PortId};
+use silo_topology::HostId;
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 /// Sender-side message record (application message boundaries within the
 /// byte stream).
@@ -37,9 +37,9 @@ pub struct TcpConn {
     pub src_host: HostId,
     pub dst_host: HostId,
     pub prio: u8,
-    pub path: Rc<[PortId]>,
+    pub path: PathId,
     /// Reverse path for ACKs.
-    pub rpath: Rc<[PortId]>,
+    pub rpath: PathId,
 
     // ---- sender ----
     /// First unacknowledged stream byte.
@@ -108,8 +108,8 @@ impl TcpConn {
         src_host: HostId,
         dst_host: HostId,
         prio: u8,
-        path: Rc<[PortId]>,
-        rpath: Rc<[PortId]>,
+        path: PathId,
+        rpath: PathId,
         init_cwnd_bytes: f64,
     ) -> TcpConn {
         TcpConn {
@@ -303,7 +303,6 @@ mod tests {
     use super::*;
 
     fn conn() -> TcpConn {
-        let path: Rc<[PortId]> = Rc::from(Vec::new().into_boxed_slice());
         TcpConn::new(
             0,
             0,
@@ -312,8 +311,8 @@ mod tests {
             HostId(0),
             HostId(1),
             0,
-            path.clone(),
-            path,
+            PathId(0),
+            PathId(0),
             14_400.0,
         )
     }

@@ -1,18 +1,17 @@
 //! The hierarchical tree structure and its queries.
 
-use serde::{Deserialize, Serialize};
 use silo_base::{Bytes, Dur, Rate};
 
 /// A host (server) index, `0 .. Topology::num_hosts()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 /// A node in the tree (host, ToR, aggregation, or core).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// An undirected link (child node ↔ its parent).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 /// A *directed* link endpoint with an egress queue.
@@ -21,7 +20,7 @@ pub struct LinkId(pub u32);
 /// lives at the child: a host NIC or a switch uplink port) and
 /// `PortId(2·link + 1)` is the **down** direction (parent → child; a
 /// switch egress port).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub u32);
 
 impl PortId {
@@ -35,13 +34,13 @@ impl PortId {
         LinkId(self.0 / 2)
     }
     pub fn is_up(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 }
 
 /// How close two hosts are in the hierarchy — the "height" Silo's greedy
 /// placement minimizes (§4.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
     SameHost,
     SameRack,
@@ -50,7 +49,7 @@ pub enum Level {
 }
 
 /// Parameters of a three-tier tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeParams {
     pub pods: usize,
     pub racks_per_pod: usize,
@@ -130,7 +129,7 @@ impl TreeParams {
 /// An immutable, queryable three-tier tree. Node/link/port identifiers are
 /// dense, so per-port state elsewhere is a plain `Vec` indexed by
 /// `PortId.0`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     params: TreeParams,
     hosts: usize,
@@ -418,7 +417,7 @@ impl Topology {
 }
 
 /// Static properties of one directed port.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PortInfo {
     pub rate: Rate,
     pub buffer: Bytes,

@@ -7,7 +7,10 @@ use rand::Rng;
 /// partition/aggregate pattern class-A tenants use.
 pub fn all_to_one(n: usize, target: usize) -> Vec<(usize, usize)> {
     assert!(target < n);
-    (0..n).filter(|&s| s != target).map(|s| (s, target)).collect()
+    (0..n)
+        .filter(|&s| s != target)
+        .map(|s| (s, target))
+        .collect()
 }
 
 /// All-to-all: every ordered pair — the shuffle pattern of data-parallel
@@ -80,7 +83,11 @@ mod tests {
         assert_eq!(p.len(), 20);
         // No self-flows, no duplicate (s, d) per sender.
         for s in 0..10 {
-            let dsts: Vec<usize> = p.iter().filter(|&&(a, _)| a == s).map(|&(_, d)| d).collect();
+            let dsts: Vec<usize> = p
+                .iter()
+                .filter(|&&(a, _)| a == s)
+                .map(|&(_, d)| d)
+                .collect();
             assert_eq!(dsts.len(), 2);
             assert!(dsts[0] != dsts[1] && !dsts.contains(&s));
         }

@@ -58,9 +58,7 @@ fn main() {
         msg_mean: Bytes::from_kb(13),
         interval: Dur::from_ms(18),
     };
-    let bound = guarantee
-        .message_latency_bound(Bytes::from_kb(13))
-        .unwrap();
+    let bound = guarantee.message_latency_bound(Bytes::from_kb(13)).unwrap();
     println!("\nper-answer latency bound: {bound}");
 
     for mode in [TransportMode::Silo, TransportMode::Tcp] {

@@ -25,7 +25,10 @@ fn main() {
         },
     );
     let tenant = silo.admit(&req).expect("an empty testbed has room");
-    println!("tenant {:?} admitted, span: {:?}", tenant.id, tenant.placement.span);
+    println!(
+        "tenant {:?} admitted, span: {:?}",
+        tenant.id, tenant.placement.span
+    );
     for p in &tenant.pacers {
         println!(
             "  VM {} on host {:?}: pace to {} (burst {} at {})",

@@ -1,73 +1,114 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: network-calculus curves, token buckets, the paced batcher,
-//! placement bookkeeping, and the hose allocator.
+//! Randomized property tests on the core data structures and invariants:
+//! network-calculus curves, token buckets, the paced batcher, placement
+//! bookkeeping, and the hose allocator.
+//!
+//! Each property runs 128 independently seeded cases (the seed is part of
+//! the failure message), driven by the workspace's deterministic RNG
+//! instead of an external property-testing framework.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use silo::base::{Bytes, Dur, Rate, Time};
 use silo::netcalc::{backlog_bound, queue_delay_bound, Curve, Line, ServiceCurve};
 use silo::pacer::{BucketChain, HoseAllocator, PacedBatcher, TokenBucket};
 use silo::placement::{Guarantee, Placer, SiloPlacer, TenantRequest};
 use silo::topology::{Topology, TreeParams};
 
-fn arb_lines() -> impl Strategy<Value = Vec<Line>> {
-    prop::collection::vec(
-        (1.0e6..1.0e10f64, 0.0..1.0e6f64).prop_map(|(rate, burst)| Line { rate, burst }),
-        1..6,
-    )
+const CASES: u64 = 128;
+
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(property * 1_000_003 + case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.random::<f64>()
+}
 
-    /// Normalization never changes the curve's pointwise value.
-    #[test]
-    fn curve_envelope_equals_brute_force_min(lines in arb_lines(), ts in prop::collection::vec(0.0..1.0f64, 8)) {
+fn arb_lines(rng: &mut StdRng) -> Vec<Line> {
+    let n = rng.random_range(1..6usize);
+    (0..n)
+        .map(|_| Line {
+            rate: uniform(rng, 1.0e6, 1.0e10),
+            burst: uniform(rng, 0.0, 1.0e6),
+        })
+        .collect()
+}
+
+/// Normalization never changes the curve's pointwise value.
+#[test]
+fn curve_envelope_equals_brute_force_min() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(1, case);
+        let lines = arb_lines(rng);
         let curve = Curve::from_lines(lines.clone());
-        for t in ts {
-            let brute = lines.iter().map(|l| l.eval(t)).fold(f64::INFINITY, f64::min);
-            prop_assert!((curve.eval(t) - brute).abs() <= 1e-6 * brute.max(1.0),
-                "t={t}: {} vs {}", curve.eval(t), brute);
+        for _ in 0..8 {
+            let t = uniform(rng, 0.0, 1.0);
+            let brute = lines
+                .iter()
+                .map(|l| l.eval(t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (curve.eval(t) - brute).abs() <= 1e-6 * brute.max(1.0),
+                "case {case} t={t}: {} vs {}",
+                curve.eval(t),
+                brute
+            );
         }
     }
+}
 
-    /// Addition is pointwise: (A+B)(t) = A(t) + B(t).
-    #[test]
-    fn curve_addition_is_pointwise(a in arb_lines(), b in arb_lines(), ts in prop::collection::vec(0.0..0.1f64, 8)) {
-        let ca = Curve::from_lines(a);
-        let cb = Curve::from_lines(b);
+/// Addition is pointwise: (A+B)(t) = A(t) + B(t).
+#[test]
+fn curve_addition_is_pointwise() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(2, case);
+        let ca = Curve::from_lines(arb_lines(rng));
+        let cb = Curve::from_lines(arb_lines(rng));
         let sum = ca.add(&cb);
-        for t in ts {
+        for _ in 0..8 {
+            let t = uniform(rng, 0.0, 0.1);
             let expect = ca.eval(t) + cb.eval(t);
-            prop_assert!((sum.eval(t) - expect).abs() <= 1e-6 * expect.max(1.0));
+            assert!(
+                (sum.eval(t) - expect).abs() <= 1e-6 * expect.max(1.0),
+                "case {case} t={t}"
+            );
         }
     }
+}
 
-    /// Queue-delay and backlog bounds are consistent for a constant-rate
-    /// server: backlog = rate x delay.
-    #[test]
-    fn deviation_bounds_are_consistent(lines in arb_lines(), svc_gbps in 1u64..40) {
-        let a = Curve::from_lines(lines);
-        let svc = ServiceCurve::constant_rate(Rate::from_gbps(svc_gbps));
+/// Queue-delay and backlog bounds are consistent for a constant-rate
+/// server: backlog = rate x delay.
+#[test]
+fn deviation_bounds_are_consistent() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(3, case);
+        let a = Curve::from_lines(arb_lines(rng));
+        let svc = ServiceCurve::constant_rate(Rate::from_gbps(rng.random_range(1..40u64)));
         match (queue_delay_bound(&a, &svc), backlog_bound(&a, &svc)) {
             (Some(q), Some(b)) => {
                 let expect = b / svc.rate;
-                prop_assert!((q - expect).abs() <= 1e-9 + 1e-6 * expect, "q={q} b/r={expect}");
+                assert!(
+                    (q - expect).abs() <= 1e-9 + 1e-6 * expect,
+                    "case {case}: q={q} b/r={expect}"
+                );
             }
             (None, None) => {}
-            (q, b) => prop_assert!(false, "bounds disagree on finiteness: {q:?} {b:?}"),
+            (q, b) => panic!("case {case}: bounds disagree on finiteness: {q:?} {b:?}"),
         }
     }
+}
 
-    /// A token bucket never releases more than its curve allows: over any
-    /// window of emitted stamps, bytes <= rate x window + capacity.
-    #[test]
-    fn token_bucket_output_conforms(
-        rate_mbps in 50u64..5_000,
-        cap_kb in 2u64..64,
-        sizes in prop::collection::vec(100u64..1500, 10..80),
-    ) {
-        let rate = Rate::from_mbps(rate_mbps);
-        let cap = Bytes::from_kb(cap_kb);
+/// A token bucket never releases more than its curve allows: over any
+/// window of emitted stamps, bytes <= rate x window + capacity.
+#[test]
+fn token_bucket_output_conforms() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(4, case);
+        let rate = Rate::from_mbps(rng.random_range(50..5_000u64));
+        let cap = Bytes::from_kb(rng.random_range(2..64u64));
+        let sizes: Vec<u64> = (0..rng.random_range(10..80usize))
+            .map(|_| rng.random_range(100..1500u64))
+            .collect();
         let mut tb = TokenBucket::new(rate, cap);
         let mut stamps: Vec<(Time, u64)> = Vec::new();
         let mut now = Time::ZERO;
@@ -83,41 +124,54 @@ proptest! {
                 bytes += stamps[j].1;
                 let window = (stamps[j].0 - stamps[i].0).as_secs_f64();
                 let allowed = rate.bytes_per_sec() * window + cap.as_f64() + 1.0;
-                prop_assert!(bytes as f64 <= allowed,
-                    "window [{i},{j}]: {bytes} > {allowed}");
+                assert!(
+                    bytes as f64 <= allowed,
+                    "case {case} window [{i},{j}]: {bytes} > {allowed}"
+                );
             }
         }
     }
+}
 
-    /// Chains preserve monotone stamps regardless of bucket parameters.
-    #[test]
-    fn bucket_chain_stamps_are_monotone(
-        r1 in 100u64..10_000, r2 in 100u64..10_000,
-        c1 in 1500u64..100_000, c2 in 1500u64..100_000,
-        n in 5usize..60,
-    ) {
+/// Chains preserve monotone stamps regardless of bucket parameters.
+#[test]
+fn bucket_chain_stamps_are_monotone() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(5, case);
         let mut chain = BucketChain::new(vec![
-            TokenBucket::new(Rate::from_mbps(r1), Bytes(c1)),
-            TokenBucket::new(Rate::from_mbps(r2), Bytes(c2)),
+            TokenBucket::new(
+                Rate::from_mbps(rng.random_range(100..10_000u64)),
+                Bytes(rng.random_range(1500..100_000u64)),
+            ),
+            TokenBucket::new(
+                Rate::from_mbps(rng.random_range(100..10_000u64)),
+                Bytes(rng.random_range(1500..100_000u64)),
+            ),
         ]);
         let mut prev = Time::ZERO;
-        for _ in 0..n {
+        for _ in 0..rng.random_range(5..60usize) {
             let t = chain.stamp(prev, Bytes(1500));
-            prop_assert!(t >= prev);
+            assert!(t >= prev, "case {case}");
             prev = t;
         }
     }
+}
 
-    /// The paced batcher never reorders or drops data packets, never
-    /// emits one before its stamp, and keeps frames non-overlapping.
-    #[test]
-    fn batcher_schedule_is_sound(gaps_us in prop::collection::vec(0u64..40, 2..40)) {
+/// The paced batcher never reorders or drops data packets, never emits
+/// one before its stamp, and keeps frames non-overlapping.
+#[test]
+fn batcher_schedule_is_sound() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(6, case);
+        let gaps_us: Vec<u64> = (0..rng.random_range(2..40usize))
+            .map(|_| rng.random_range(0..40u64))
+            .collect();
         let link = Rate::from_gbps(10);
         let mut b: PacedBatcher<usize> = PacedBatcher::new(link, Dur::from_us(50), Bytes(1500));
         let mut stamp = Time::ZERO;
         let mut stamps = Vec::new();
         for (i, g) in gaps_us.iter().enumerate() {
-            stamp = stamp + Dur::from_us(*g);
+            stamp += Dur::from_us(*g);
             b.enqueue(stamp, Bytes(1500), i);
             stamps.push(stamp);
         }
@@ -128,30 +182,41 @@ proptest! {
             let batch = b.next_batch(now);
             if batch.is_empty() {
                 match b.next_stamp() {
-                    Some(s) => { now = s.max(now); continue; }
+                    Some(s) => {
+                        now = s.max(now);
+                        continue;
+                    }
                     None => break,
                 }
             }
             for f in &batch.frames {
-                prop_assert!(f.start >= wire_end, "overlapping frames");
+                assert!(f.start >= wire_end, "case {case}: overlapping frames");
                 wire_end = f.start + link.tx_time(f.size);
                 if let Some(id) = f.payload {
-                    prop_assert!(f.start >= stamps[id], "packet {id} left early");
+                    assert!(f.start >= stamps[id], "case {case}: packet {id} left early");
                     seen.push(id);
                 }
             }
             now = batch.done_at;
         }
         // All packets delivered, in order.
-        prop_assert_eq!(seen.len(), gaps_us.len());
-        prop_assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(seen.len(), gaps_us.len(), "case {case}");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "case {case}");
     }
+}
 
-    /// Hose allocation never violates either endpoint's hose.
-    #[test]
-    fn hose_allocation_respects_hoses(pairs in prop::collection::vec((0u32..6, 0u32..6), 1..20)) {
-        let pairs: Vec<(u32, u32)> = pairs.into_iter().filter(|(s, d)| s != d).collect();
-        prop_assume!(!pairs.is_empty());
+/// Hose allocation never violates either endpoint's hose.
+#[test]
+fn hose_allocation_respects_hoses() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(7, case);
+        let pairs: Vec<(u32, u32)> = (0..rng.random_range(1..20usize))
+            .map(|_| (rng.random_range(0..6u32), rng.random_range(0..6u32)))
+            .filter(|(s, d)| s != d)
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
         let mut uniq = pairs.clone();
         uniq.sort_unstable();
         uniq.dedup();
@@ -164,15 +229,23 @@ proptest! {
             *rx.entry(d).or_insert(0u64) += r.as_bps();
         }
         for (_, &sum) in tx.iter().chain(rx.iter()) {
-            prop_assert!(sum as f64 <= b.as_bps() as f64 * 1.01, "hose violated: {sum}");
+            assert!(
+                sum as f64 <= b.as_bps() as f64 * 1.01,
+                "case {case}: hose violated: {sum}"
+            );
         }
     }
+}
 
-    /// Placement bookkeeping: admit/remove round trips leave the placer
-    /// able to admit exactly the same set again (no capacity leaks).
-    #[test]
-    fn placement_admit_remove_no_leak(sizes in prop::collection::vec(2usize..12, 1..8), seed in 0u64..1000) {
-        let _ = seed;
+/// Placement bookkeeping: admit/remove round trips leave the placer able
+/// to admit exactly the same set again (no capacity leaks).
+#[test]
+fn placement_admit_remove_no_leak() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(8, case);
+        let sizes: Vec<usize> = (0..rng.random_range(1..8usize))
+            .map(|_| rng.random_range(2..12usize))
+            .collect();
         let topo = Topology::build(TreeParams {
             pods: 1,
             racks_per_pod: 2,
@@ -185,15 +258,24 @@ proptest! {
             .iter()
             .map(|&n| TenantRequest::new(n, Guarantee::class_a()))
             .collect();
-        let first: Vec<_> = reqs.iter().map(|r| placer.try_place(r).map(|p| p.tenant)).collect();
+        let first: Vec<_> = reqs
+            .iter()
+            .map(|r| placer.try_place(r).map(|p| p.tenant))
+            .collect();
         // Remove everything that was admitted.
         for t in first.iter().flatten() {
-            prop_assert!(placer.remove(*t));
+            assert!(placer.remove(*t), "case {case}");
         }
-        prop_assert_eq!(placer.used_slots(), 0);
+        assert_eq!(placer.used_slots(), 0, "case {case}");
         // The same sequence must be admitted identically.
-        let second: Vec<_> = reqs.iter().map(|r| placer.try_place(r).map(|p| p.tenant)).collect();
-        prop_assert_eq!(first.iter().map(Result::is_ok).collect::<Vec<_>>(),
-                        second.iter().map(Result::is_ok).collect::<Vec<_>>());
+        let second: Vec<_> = reqs
+            .iter()
+            .map(|r| placer.try_place(r).map(|p| p.tenant))
+            .collect();
+        assert_eq!(
+            first.iter().map(Result::is_ok).collect::<Vec<_>>(),
+            second.iter().map(Result::is_ok).collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
 }
