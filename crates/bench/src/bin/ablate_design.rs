@@ -40,6 +40,7 @@ fn tenants(burst: Bytes) -> Vec<TenantSpec> {
             s: burst,
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::OldiAllToOne {
                 msg_mean: msg,
                 interval,
@@ -51,6 +52,7 @@ fn tenants(burst: Bytes) -> Vec<TenantSpec> {
             s: Bytes(1500),
             bmax: Rate::from_gbps(2),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::BulkAllToAll {
                 msg: Bytes::from_mb(1),
             },

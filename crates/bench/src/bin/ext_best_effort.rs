@@ -36,6 +36,7 @@ fn main() {
         s: Bytes::from_kb(35),
         bmax: Rate::from_gbps(1),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::OldiAllToOne {
             msg_mean: Bytes(4_500),
             interval: Dur::from_ms(2),
@@ -49,6 +50,7 @@ fn main() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(10),
         prio: 1,
+        delay: None,
         workload: TenantWorkload::BulkAllToAll {
             msg: Bytes::from_mb(1),
         },

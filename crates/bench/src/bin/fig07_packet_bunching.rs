@@ -48,6 +48,7 @@ fn main() {
         s: Bytes(1500),
         bmax: rate,
         prio: 0,
+        delay: None,
         workload: TenantWorkload::BulkAllToAll {
             msg: Bytes::from_mb(1),
         },

@@ -83,6 +83,7 @@ fn main() {
             s: g.s,
             bmax: g.bmax,
             prio: 0,
+            delay: None,
             workload,
         });
     }

@@ -158,6 +158,10 @@ pub fn build_ns2_population(
                 s: guarantee.s,
                 bmax: guarantee.bmax,
                 prio: 0,
+                // Violation checking stays off in the headline scenarios:
+                // outputs must be byte-stable against the goldens. Fault
+                // sweeps opt in per-tenant.
+                delay: None,
                 workload,
             },
         });
@@ -212,6 +216,7 @@ pub fn testbed_tenants(req: &TestbedReq, burst: Bytes, with_b: bool, load: f64) 
         s: burst,
         bmax: Rate::from_gbps(1),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::Etc {
             load,
             concurrency: 4,
@@ -224,6 +229,7 @@ pub fn testbed_tenants(req: &TestbedReq, burst: Bytes, with_b: bool, load: f64) 
             s: Bytes(1500),
             bmax: req.b_bw,
             prio: 0,
+            delay: None,
             workload: TenantWorkload::BulkAllToAll {
                 msg: Bytes::from_mb(1),
             },

@@ -1,0 +1,167 @@
+//! End-to-end acceptance of the fault subsystem: a ToR-link failure
+//! driven through BOTH layers at once.
+//!
+//! Placement side: admitting a cross-rack tenant, killing the ToR uplink
+//! must reclaim its budgets and either re-place it on surviving capacity
+//! or downgrade it with a recorded reason; restoring the link must make
+//! every tenant whole again.
+//!
+//! Data-plane side: the same outage in the simulator must (a) attribute
+//! every guarantee-violation window that overlaps the outage to the
+//! injected fault, and (b) leave a tenant that was re-admitted after
+//! recovery with ZERO violations — fresh guarantees actually hold on the
+//! healed network.
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use silo_placement::{DegradeOutcome, Guarantee, Placer, SiloPlacer, TenantRequest};
+use silo_simnet::{FaultPlan, Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn two_rack_topo() -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 2,
+        servers_per_rack: 4,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+/// A guaranteed cross-rack OLDI tenant with an explicit delay bound, so
+/// completed messages are checked and violations recorded.
+fn cross_rack_tenant(a: u32, b: u32) -> TenantSpec {
+    TenantSpec {
+        vm_hosts: vec![HostId(a), HostId(b)],
+        b: Rate::from_mbps(500),
+        s: Bytes::from_kb(15),
+        bmax: Rate::from_gbps(1),
+        prio: 0,
+        delay: Some(Dur::from_ms(2)),
+        workload: TenantWorkload::OldiPeriodic {
+            msg: Bytes::from_kb(15),
+            period: Dur::from_ms(2),
+        },
+    }
+}
+
+#[test]
+fn tor_outage_attributes_violations_and_readmitted_tenant_is_clean() {
+    let topo = two_rack_topo();
+    let tor0 = topo.tor_link(0).0;
+    // Outage [20, 30) ms. Tenant 0 churns with the failure: it departs at
+    // the outage and is re-admitted at 35 ms, after the link healed (the
+    // placement layer's restore + re-admit, seen from the data plane).
+    // Tenant 1 rides through the outage in place.
+    let down = Time::from_ms(20);
+    let up = Time::from_ms(30);
+    let readmit = Time::from_ms(35);
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(80), 7);
+    cfg.faults = FaultPlan::new()
+        .link_down(down, Some(up), tor0)
+        .tenant_churn(0, down, readmit);
+    let tenants = vec![cross_rack_tenant(0, 4), cross_rack_tenant(1, 5)];
+    let m = Sim::new(topo, cfg, tenants).run();
+
+    // The surviving tenant's guarantees broke during the outage…
+    let t1_overlapping: Vec<_> = m
+        .violation_windows(1)
+        .into_iter()
+        .filter(|&(_, start, end)| start < up && end > down)
+        .collect();
+    assert!(
+        !t1_overlapping.is_empty(),
+        "a 10 ms ToR outage must break a 2 ms delay bound"
+    );
+    // …and every one of those windows is attributed to the injected
+    // fault (plan index 0): no mystery violations during an outage.
+    for (fault, start, end) in &t1_overlapping {
+        assert_eq!(
+            *fault,
+            Some(0),
+            "violation window [{start:?}, {end:?}] must blame the ToR fault"
+        );
+    }
+
+    // The re-admitted tenant starts fresh on the healed network: traffic
+    // resumes and NOT ONE message created after re-admission violates.
+    let resumed = m
+        .messages
+        .iter()
+        .filter(|r| r.tenant == 0 && r.created >= readmit)
+        .count();
+    assert!(resumed > 0, "the re-admitted tenant must produce traffic");
+    assert_eq!(
+        m.violations_after(0, readmit),
+        0,
+        "zero guarantee violations for a tenant re-admitted after recovery"
+    );
+}
+
+#[test]
+fn placement_reclaims_downgrades_and_restores_across_a_tor_failure() {
+    let mut p = SiloPlacer::new(two_rack_topo());
+    // Pin rack 0 nearly full so the cross-rack tenant genuinely needs
+    // both racks (greedy placement minimizes height).
+    let pin0 = p
+        .try_place(&TenantRequest::new(12, Guarantee::class_a()).with_fault_domains(4))
+        .unwrap();
+    let pin1 = p
+        .try_place(&TenantRequest::new(12, Guarantee::class_a()).with_fault_domains(4))
+        .unwrap();
+    let spanning = p
+        .try_place(&TenantRequest::new(8, Guarantee::class_a()).with_fault_domains(8))
+        .unwrap();
+    assert_eq!(spanning.hosts.len(), 8, "must span every server");
+
+    let tor0 = p.topology().tor_link(0);
+    let report = p.fail_link(tor0);
+    // Only the spanning tenant crosses the dead uplink.
+    assert_eq!(
+        report
+            .outcomes
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>(),
+        vec![spanning.tenant]
+    );
+    // 8 fault domains cannot fit 4 surviving connected servers: the
+    // tenant is explicitly downgraded, with the reason on record, and its
+    // budget reclaimed (admission headroom reappears).
+    assert!(matches!(
+        report.outcomes[0].1,
+        DegradeOutcome::Downgraded { .. }
+    ));
+    assert_eq!(
+        p.degraded_tenants(),
+        vec![(
+            spanning.tenant,
+            silo_placement::RejectReason::NetworkUnsatisfiable
+        )]
+    );
+    // Its slots are retained (best-effort VMs keep running)…
+    assert_eq!(p.used_slots(), 32);
+    // …and new admissions refuse to span the dead link.
+    assert!(p
+        .try_place(&TenantRequest::new(2, Guarantee::class_a()).with_fault_domains(2))
+        .is_err());
+
+    // Healing the link re-validates the original placement in place:
+    // no VM moved, guarantees are back for everyone.
+    let healed = p.restore_link(tor0);
+    assert_eq!(
+        healed.outcomes,
+        vec![(spanning.tenant, DegradeOutcome::Restored)]
+    );
+    assert!(p.degraded_tenants().is_empty());
+    assert!(p.failed_links().is_empty());
+    // Fully reversible: removing everything restores a blank cell.
+    for t in [pin0.tenant, pin1.tenant, spanning.tenant] {
+        assert!(p.remove(t));
+    }
+    assert_eq!(p.used_slots(), 0);
+}

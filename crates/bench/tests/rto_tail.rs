@@ -1,0 +1,55 @@
+//! Regression lock on Figure 1's headline pathology: with the testbed
+//! TCP stack's 200 ms minimum RTO, a contended memcached tenant's
+//! latency tail is *the RTO itself* — a ~217 ms spike at the 99.9th
+//! percentile, three orders of magnitude above the median.
+//!
+//! This is the problem statement the whole paper answers, so it must
+//! keep reproducing: a seeded run where retransmission timeouts fire
+//! (`Metrics::rtos`) and at least one delivered message waits out the
+//! full 200 ms floor.
+
+use silo_base::{Bytes, Dur};
+use silo_bench::scenario::{testbed_tenants, ETC_TESTBED_LOAD, TESTBED_REQS};
+use silo_simnet::{Metrics, Sim, SimConfig, TransportMode};
+use silo_topology::{Topology, TreeParams};
+
+fn testbed_run(with_netperf: bool) -> Metrics {
+    let topo = Topology::build(TreeParams::testbed());
+    let mut cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(300), 1);
+    cfg.min_rto = Dur::from_ms(200);
+    let tenants = testbed_tenants(
+        &TESTBED_REQS[0],
+        Bytes(1500),
+        with_netperf,
+        ETC_TESTBED_LOAD,
+    );
+    Sim::new(topo, cfg, tenants).run()
+}
+
+#[test]
+fn contended_memcached_tail_is_a_min_rto_event() {
+    let m = testbed_run(true);
+    assert!(
+        m.rtos > 0,
+        "switch-buffer overflow under incast must fire retransmission timeouts"
+    );
+    // The tail event itself: a message that sat through the 200 ms floor.
+    let worst = m
+        .messages
+        .iter()
+        .map(|r| r.latency)
+        .max()
+        .expect("the run completes messages");
+    assert!(
+        worst >= Dur::from_ms(200),
+        "the latency tail must contain a min-RTO stall, worst = {worst}"
+    );
+    // And it is a *tail*: the typical request is orders of magnitude
+    // faster — the spike comes from the timeout, not from uniform slowness.
+    let mut lat = m.txn_latencies_us(0);
+    let p50 = lat.median().expect("memcached transactions completed");
+    assert!(
+        p50 < 10_000.0,
+        "the median must stay far below the RTO floor, p50 = {p50} us"
+    );
+}

@@ -34,7 +34,7 @@ impl Line {
 /// assert!((a.eval(1e-3) - (1.25e8 * 1e-3 + 100_000.0)).abs() < 1.0);
 /// ```
 ///
-/// Invariants maintained by [`Curve::normalize`]:
+/// Invariants maintained by `Curve::normalize` (private):
 /// * at least one line;
 /// * lines sorted by strictly decreasing rate and strictly increasing burst;
 /// * every line is active somewhere on `t ≥ 0` (no dominated lines).

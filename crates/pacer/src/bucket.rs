@@ -17,6 +17,7 @@ pub struct TokenBucket {
     capacity: Bytes,
     tokens: f64,
     last: Time,
+    violations: u64,
 }
 
 impl TokenBucket {
@@ -29,6 +30,7 @@ impl TokenBucket {
             capacity,
             tokens: capacity.as_f64(),
             last: Time::ZERO,
+            violations: 0,
         }
     }
 
@@ -83,17 +85,27 @@ impl TokenBucket {
     }
 
     /// Consume `size` tokens at instant `t` (which must be ≥ the matching
-    /// [`TokenBucket::earliest`] answer; debug-checked). Oversized packets
-    /// drive the level negative; subsequent packets wait for the debt.
+    /// [`TokenBucket::earliest`] answer). Oversized packets drive the
+    /// level negative; subsequent packets wait for the debt.
+    ///
+    /// Conservation is checked in every build: a commit before its
+    /// `earliest` answer (over-spending the guarantee) increments
+    /// [`TokenBucket::violations`] instead of silently passing in release
+    /// mode — the simulator surfaces the total as
+    /// `Metrics::token_violations`, which must stay zero.
     pub fn commit(&mut self, t: Time, size: Bytes) {
         self.refill(t);
         let floor = -(size.as_f64() - self.capacity.as_f64()).max(0.0);
         self.tokens -= size.as_f64();
-        debug_assert!(
-            self.tokens >= floor - 1e-3,
-            "commit before earliest: level {} floor {floor}",
-            self.tokens
-        );
+        if self.tokens < floor - 1e-3 {
+            self.violations += 1;
+        }
+    }
+
+    /// Commits observed below the conservation floor (pacer bugs). Zero in
+    /// a correct run.
+    pub fn violations(&self) -> u64 {
+        self.violations
     }
 }
 
@@ -241,6 +253,22 @@ mod tests {
         for w in stamps[20..].windows(2) {
             assert_eq!(w[1] - w[0], Dur::from_us(12));
         }
+    }
+
+    #[test]
+    fn premature_commit_counts_a_violation() {
+        let mut b = TokenBucket::new(Rate::from_gbps(1), Bytes(1500));
+        // Spend the whole burst, then commit again at the same instant —
+        // before `earliest` would allow it. The invariant must record the
+        // over-spend (in every build profile), not abort or vanish.
+        b.commit(Time::ZERO, Bytes(1500));
+        assert_eq!(b.violations(), 0);
+        b.commit(Time::ZERO, Bytes(1500));
+        assert_eq!(b.violations(), 1);
+        // A conformant commit afterwards does not add to the count.
+        let t = b.earliest(Time::ZERO, Bytes(1500));
+        b.commit(t, Bytes(1500));
+        assert_eq!(b.violations(), 1);
     }
 
     #[test]

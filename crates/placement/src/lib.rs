@@ -31,6 +31,7 @@
 //! O(1) per port, slightly conservative, and exactly reversible on tenant
 //! departure.
 
+mod degrade;
 mod guarantee;
 mod load;
 mod locality;
@@ -38,6 +39,7 @@ mod oktopus;
 mod placer;
 mod silo;
 
+pub use degrade::{DegradeOutcome, FaultReport};
 pub use guarantee::{Guarantee, TenantRequest};
 pub use load::{Contribution, PortLoad};
 pub use locality::LocalityPlacer;

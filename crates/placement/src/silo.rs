@@ -4,8 +4,8 @@ use crate::guarantee::TenantRequest;
 use crate::load::{Contribution, PortLoad};
 use crate::placer::{greedy_place_spread, Placement, Placer, RejectReason, SlotMap, TenantId};
 use silo_base::{Bytes, Dur};
-use silo_topology::{HostId, Level, PortId, Topology};
-use std::collections::HashMap;
+use silo_topology::{HostId, Level, LinkId, PortId, Topology};
+use std::collections::BTreeMap;
 
 /// Classification of a directed port by tier and direction, used to find
 /// the upstream queues that inflate a burst before it arrives.
@@ -87,9 +87,14 @@ impl TierCaps {
     }
 }
 
-struct TenantRecord {
-    hosts: Vec<(HostId, usize)>,
-    contribs: Vec<(PortId, Contribution)>,
+pub(crate) struct TenantRecord {
+    pub(crate) hosts: Vec<(HostId, usize)>,
+    pub(crate) contribs: Vec<(PortId, Contribution)>,
+    /// The original admission request, kept so a failure can re-validate
+    /// or re-place the tenant (see the `degrade` module).
+    pub(crate) req: TenantRequest,
+    /// Admitted span level (fixes the C2 path budget used at admission).
+    pub(crate) level: Level,
 }
 
 /// Silo's placement manager. Admission enforces:
@@ -100,12 +105,21 @@ struct TenantRecord {
 ///   aggregate of all admitted tenants (plus the candidate);
 /// * the sustained hose rate at every port, including host NICs.
 pub struct SiloPlacer {
-    topo: Topology,
-    slots: SlotMap,
-    loads: Vec<PortLoad>,
-    tenants: HashMap<TenantId, TenantRecord>,
+    pub(crate) topo: Topology,
+    pub(crate) slots: SlotMap,
+    pub(crate) loads: Vec<PortLoad>,
+    /// Admitted tenants with live guarantees. `BTreeMap` so every sweep
+    /// over tenants (failure handling in particular) is in deterministic
+    /// id order.
+    pub(crate) tenants: BTreeMap<TenantId, TenantRecord>,
+    /// Tenants downgraded to best-effort by a failure: they keep their VM
+    /// slots but hold no network reservations (see `degrade`).
+    pub(crate) degraded: BTreeMap<TenantId, crate::degrade::DegradedRecord>,
+    /// Links currently failed (`degrade::fail_link`); admission refuses
+    /// candidates whose VM pairs would cross any of them.
+    pub(crate) failed: Vec<LinkId>,
     next_id: u64,
-    mtu: Bytes,
+    pub(crate) mtu: Bytes,
     caps: TierCaps,
 }
 
@@ -118,7 +132,9 @@ impl SiloPlacer {
             topo,
             slots,
             loads,
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
+            degraded: BTreeMap::new(),
+            failed: Vec::new(),
             next_id: 0,
             mtu: Bytes(1500),
             caps,
@@ -160,14 +176,55 @@ impl SiloPlacer {
             .find(|&lvl| self.caps.delay_budget(lvl) <= d)
     }
 
+    /// The slot view candidate generation searches: hosts cut off by a
+    /// failed access link contribute no free slots, so the greedy
+    /// first-fit routes *around* dead servers instead of proposing
+    /// candidates the connectivity check must reject (first-fit never
+    /// backtracks past a full subtree). Real allocation still goes
+    /// through `self.slots`.
+    pub(crate) fn search_slots(&self) -> std::borrow::Cow<'_, SlotMap> {
+        let dead: Vec<HostId> = (0..self.topo.num_hosts())
+            .map(|h| HostId(h as u32))
+            .filter(|&h| self.failed.contains(&self.topo.host_link(h)))
+            .collect();
+        if dead.is_empty() {
+            return std::borrow::Cow::Borrowed(&self.slots);
+        }
+        let mut masked = self.slots.clone();
+        for h in dead {
+            let free = masked.free_host(h);
+            if free > 0 {
+                masked.alloc(&self.topo, &[(h, free)]);
+            }
+        }
+        std::borrow::Cow::Owned(masked)
+    }
+
+    /// Every VM pair of the candidate can reach each other without
+    /// crossing a failed link (always true when nothing has failed).
+    pub(crate) fn candidate_connected(&self, cand: &[(HostId, usize)]) -> bool {
+        if self.failed.is_empty() {
+            return true;
+        }
+        let hosts: Vec<HostId> = cand.iter().map(|&(h, _)| h).collect();
+        hosts.iter().enumerate().all(|(i, &a)| {
+            hosts[i + 1..]
+                .iter()
+                .all(|&b| self.topo.path_intact(a, b, &self.failed))
+        })
+    }
+
     /// The contributions a candidate placement would add, or `None` if some
-    /// port's constraint fails.
-    fn check_candidate(
+    /// port's constraint fails (or a failed link disconnects the tenant).
+    pub(crate) fn check_candidate(
         &self,
         cand: &[(HostId, usize)],
         level: Level,
         req: &TenantRequest,
     ) -> Option<Vec<(PortId, Contribution)>> {
+        if !self.candidate_connected(cand) {
+            return None;
+        }
         let n = req.vms;
         let g = &req.guarantee;
         let hosts: Vec<HostId> = cand.iter().map(|&(h, _)| h).collect();
@@ -246,14 +303,16 @@ impl Placer for SiloPlacer {
             }
             None => return Err(RejectReason::DelayUnsatisfiable),
         };
+        let search = self.search_slots();
         let found = greedy_place_spread(
             &self.topo,
-            &self.slots,
+            &search,
             n,
             max_level,
             req.min_fault_domains,
             &mut |cand, lvl| self.check_candidate(cand, lvl, req).is_some(),
         );
+        drop(search);
         let Some((cand, level)) = found else {
             return Err(if self.slots.total_free() < n {
                 RejectReason::InsufficientSlots
@@ -275,6 +334,8 @@ impl Placer for SiloPlacer {
             TenantRecord {
                 hosts: cand.clone(),
                 contribs,
+                req: *req,
+                level,
             },
         );
         Ok(Placement {
@@ -285,14 +346,19 @@ impl Placer for SiloPlacer {
     }
 
     fn remove(&mut self, tenant: TenantId) -> bool {
-        let Some(rec) = self.tenants.remove(&tenant) else {
-            return false;
-        };
-        for (p, c) in &rec.contribs {
-            self.loads[p.0 as usize].sub(c);
+        if let Some(rec) = self.tenants.remove(&tenant) {
+            for (p, c) in &rec.contribs {
+                self.loads[p.0 as usize].sub(c);
+            }
+            self.slots.release(&self.topo, &rec.hosts);
+            return true;
         }
-        self.slots.release(&self.topo, &rec.hosts);
-        true
+        // Degraded tenants hold slots but no reservations.
+        if let Some(rec) = self.degraded.remove(&tenant) {
+            self.slots.release(&self.topo, &rec.hosts);
+            return true;
+        }
+        false
     }
 
     fn used_slots(&self) -> usize {

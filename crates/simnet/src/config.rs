@@ -1,6 +1,7 @@
 //! Simulation configuration: transport modes, tenant descriptions, and
 //! the protocol constants of §6's experiments.
 
+use crate::faults::FaultPlan;
 use silo_base::{Bytes, Dur, QueueBackend, Rate};
 use silo_topology::HostId;
 
@@ -97,7 +98,27 @@ pub struct TenantSpec {
     pub bmax: Rate,
     /// 802.1q priority: 0 = guaranteed, 1 = best-effort.
     pub prio: u8,
+    /// Delay guarantee `d` (the fourth parameter of `{B, S, d, Bmax}`).
+    /// When set, every completed message is checked against the §4.1
+    /// latency bound and violations are recorded in `Metrics` —
+    /// attributed to the overlapping injected fault if there is one.
+    /// `None` (the default everywhere) disables the check entirely.
+    pub delay: Option<Dur>,
     pub workload: TenantWorkload,
+}
+
+impl TenantSpec {
+    /// The §4.1 message-latency bound this tenant's guarantee implies:
+    /// `M/Bmax + d` for messages within the burst, else
+    /// `S/Bmax + (M−S)/B + d`. `None` without a delay guarantee.
+    pub fn latency_bound(&self, msg: Bytes) -> Option<Dur> {
+        let d = self.delay?;
+        Some(if msg <= self.s {
+            self.bmax.tx_time(msg) + d
+        } else {
+            self.bmax.tx_time(self.s) + self.b.tx_time(msg - self.s) + d
+        })
+    }
 }
 
 /// Protocol and engine constants. Defaults follow the paper's setups;
@@ -148,6 +169,10 @@ pub struct SimConfig {
     /// benchmarking. Both dequeue in identical `(time, seq)` order, so
     /// results are bit-identical either way.
     pub queue: QueueBackend,
+    /// Injected failures ([`FaultPlan`]). Empty (the default) is a strict
+    /// no-op: no events are scheduled and every metric is byte-identical
+    /// to a run without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -176,6 +201,7 @@ impl SimConfig {
             // tenant's small messages die behind a bulk tenant's bursts.
             nic_fifo: Bytes::from_kb(150),
             queue: QueueBackend::default(),
+            faults: FaultPlan::default(),
         }
     }
 

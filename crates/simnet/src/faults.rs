@@ -1,0 +1,261 @@
+//! Deterministic fault injection: a pre-declared plan of link/port
+//! failures, hypervisor-pacer clock anomalies, and tenant churn that the
+//! engine executes as ordinary events.
+//!
+//! The plan is *data*, fixed before the run starts: every fault instant,
+//! duration and target is explicit, so two runs with the same config,
+//! seed and plan replay the same schedule bit-for-bit — the same
+//! determinism contract the rest of the simulator keeps. An empty plan
+//! pushes no events and leaves every output byte-identical to a build
+//! without this module.
+//!
+//! What each fault does is documented on [`FaultKind`]; how the placement
+//! layer reacts (budget reclaim, re-validation, downgrade to best-effort)
+//! lives in `silo-placement`'s `degrade` module.
+
+use silo_base::Time;
+
+/// One class of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Both directed ports of a link go dark (cable pull, line-card
+    /// death). Queued and newly-arriving packets at the dead ports are
+    /// black-holed and attributed to this fault; the tree has no
+    /// alternate paths, so senders see pure loss until restoration.
+    LinkDown { link: u32 },
+    /// One *directed* port stops forwarding (unidirectional failure —
+    /// e.g. a dead laser). The reverse direction keeps working, which is
+    /// exactly the asymmetry that makes these hard to debug in practice.
+    PortDown { port: u32 },
+    /// The host's pacing timer stops firing for the window: stamped
+    /// batches accumulate in the hypervisor and drain only when the
+    /// timer recovers (a vCPU preemption / SoftNIC stall).
+    PacerStall { host: u32 },
+    /// The host's pacing clock runs slow by `factor` (≥ 1.0) for the
+    /// window: every timer the pacer arms lands `factor×` late, widening
+    /// inter-batch gaps without stopping the NIC outright.
+    PacerDrift { host: u32, factor: f64 },
+    /// The tenant departs: its workload stops, unsent data is abandoned,
+    /// and in-flight traffic is never acknowledged. With a restoration
+    /// instant (`until`), the tenant is re-admitted there with fresh
+    /// transport and pacer state.
+    TenantDown { tenant: u16 },
+    /// The tenant arrives (or is re-admitted): its workload starts at
+    /// this instant. A tenant whose *first* churn event is a `TenantUp`
+    /// does not start at t = 0 — it joins the cell mid-run.
+    TenantUp { tenant: u16 },
+}
+
+impl FaultKind {
+    /// Stable display/serialization label, e.g. `link_down(3)`.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultKind::LinkDown { link } => format!("link_down({link})"),
+            FaultKind::PortDown { port } => format!("port_down({port})"),
+            FaultKind::PacerStall { host } => format!("pacer_stall({host})"),
+            FaultKind::PacerDrift { host, factor } => {
+                format!("pacer_drift({host},{factor})")
+            }
+            FaultKind::TenantDown { tenant } => format!("tenant_down({tenant})"),
+            FaultKind::TenantUp { tenant } => format!("tenant_up({tenant})"),
+        }
+    }
+}
+
+/// One scheduled fault: strikes at `at`, heals at `until` (`None` =
+/// permanent, or not meaningful for the kind).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub at: Time,
+    pub until: Option<Time>,
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// The fault's realized window within a run of length `horizon`:
+    /// `[at, min(until, horizon)]`. `None` if it never strikes.
+    pub fn window(&self, horizon: Time) -> Option<(Time, Time)> {
+        if self.at > horizon {
+            return None;
+        }
+        let end = self.until.map_or(horizon, |u| u.min(horizon));
+        Some((self.at, end))
+    }
+}
+
+/// The full fault schedule of one run. Build with the fluent helpers:
+///
+/// ```
+/// use silo_simnet::FaultPlan;
+/// use silo_base::Time;
+///
+/// let plan = FaultPlan::new()
+///     .link_down(Time::from_ms(5), Some(Time::from_ms(9)), 3)
+///     .tenant_churn(1, Time::from_ms(2), Time::from_ms(7));
+/// assert_eq!(plan.events.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// No faults scheduled — the engine skips all fault machinery.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn push(mut self, at: Time, until: Option<Time>, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, until, kind });
+        self
+    }
+
+    /// Kill a link at `at`; restore it at `until` (or never).
+    pub fn link_down(self, at: Time, until: Option<Time>, link: u32) -> FaultPlan {
+        self.push(at, until, FaultKind::LinkDown { link })
+    }
+
+    /// Kill one directed port at `at`; restore it at `until` (or never).
+    pub fn port_down(self, at: Time, until: Option<Time>, port: u32) -> FaultPlan {
+        self.push(at, until, FaultKind::PortDown { port })
+    }
+
+    /// Stall a host's pacer timer for `[at, until)`.
+    pub fn pacer_stall(self, at: Time, until: Time, host: u32) -> FaultPlan {
+        self.push(at, Some(until), FaultKind::PacerStall { host })
+    }
+
+    /// Slow a host's pacer clock by `factor` for `[at, until)`.
+    pub fn pacer_drift(self, at: Time, until: Time, host: u32, factor: f64) -> FaultPlan {
+        self.push(at, Some(until), FaultKind::PacerDrift { host, factor })
+    }
+
+    /// Tenant departs at `down` and is re-admitted at `up`.
+    pub fn tenant_churn(self, tenant: u16, down: Time, up: Time) -> FaultPlan {
+        self.push(down, Some(up), FaultKind::TenantDown { tenant })
+    }
+
+    /// Tenant departs at `at` and never returns.
+    pub fn tenant_down(self, at: Time, tenant: u16) -> FaultPlan {
+        self.push(at, None, FaultKind::TenantDown { tenant })
+    }
+
+    /// Tenant joins the run at `at` (deferred start / re-admission).
+    pub fn tenant_up(self, at: Time, tenant: u16) -> FaultPlan {
+        self.push(at, None, FaultKind::TenantUp { tenant })
+    }
+
+    /// Tenants whose first churn event is an arrival: they must not start
+    /// their workload at t = 0.
+    pub fn deferred_tenants(&self) -> Vec<u16> {
+        let mut first: std::collections::BTreeMap<u16, (Time, bool)> =
+            std::collections::BTreeMap::new();
+        for e in &self.events {
+            let (t, up) = match e.kind {
+                FaultKind::TenantUp { tenant } => (tenant, true),
+                FaultKind::TenantDown { tenant } => (tenant, false),
+                _ => continue,
+            };
+            let entry = first.entry(t).or_insert((e.at, up));
+            if e.at < entry.0 {
+                *entry = (e.at, up);
+            }
+        }
+        first
+            .into_iter()
+            .filter_map(|(t, (_, up))| up.then_some(t))
+            .collect()
+    }
+
+    /// Panic on a structurally invalid plan (out-of-range targets, empty
+    /// windows, a stall without an end). Called by `Sim::new`.
+    pub fn validate(&self, num_links: usize, num_ports: usize, num_hosts: usize, tenants: usize) {
+        for e in &self.events {
+            if let Some(u) = e.until {
+                assert!(u > e.at, "fault window must be non-empty: {e:?}");
+            }
+            match e.kind {
+                FaultKind::LinkDown { link } => {
+                    assert!((link as usize) < num_links, "link out of range: {e:?}");
+                }
+                FaultKind::PortDown { port } => {
+                    assert!((port as usize) < num_ports, "port out of range: {e:?}");
+                }
+                FaultKind::PacerStall { host } => {
+                    assert!((host as usize) < num_hosts, "host out of range: {e:?}");
+                    assert!(e.until.is_some(), "a pacer stall needs an end: {e:?}");
+                }
+                FaultKind::PacerDrift { host, factor } => {
+                    assert!((host as usize) < num_hosts, "host out of range: {e:?}");
+                    assert!(e.until.is_some(), "a pacer drift needs an end: {e:?}");
+                    assert!(factor >= 1.0, "drift factor must be >= 1: {e:?}");
+                }
+                FaultKind::TenantDown { tenant } => {
+                    assert!((tenant as usize) < tenants, "tenant out of range: {e:?}");
+                }
+                FaultKind::TenantUp { tenant } => {
+                    assert!((tenant as usize) < tenants, "tenant out of range: {e:?}");
+                    assert!(e.until.is_none(), "tenant_up has no window: {e:?}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_clamp_to_horizon() {
+        let e = FaultEvent {
+            at: Time::from_ms(5),
+            until: Some(Time::from_ms(50)),
+            kind: FaultKind::LinkDown { link: 0 },
+        };
+        assert_eq!(
+            e.window(Time::from_ms(20)),
+            Some((Time::from_ms(5), Time::from_ms(20)))
+        );
+        assert_eq!(
+            e.window(Time::from_ms(100)),
+            Some((Time::from_ms(5), Time::from_ms(50)))
+        );
+        let late = FaultEvent {
+            at: Time::from_ms(30),
+            ..e
+        };
+        assert_eq!(late.window(Time::from_ms(20)), None);
+    }
+
+    #[test]
+    fn deferred_tenants_are_first_up() {
+        let plan = FaultPlan::new()
+            .tenant_up(Time::from_ms(3), 2)
+            .tenant_churn(1, Time::from_ms(1), Time::from_ms(4))
+            .tenant_up(Time::from_ms(9), 1);
+        // Tenant 2 joins mid-run; tenant 1's first event is a departure,
+        // so it starts normally at t = 0.
+        assert_eq!(plan.deferred_tenants(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_rejected() {
+        FaultPlan::new()
+            .link_down(Time::from_ms(5), Some(Time::from_ms(5)), 0)
+            .validate(4, 8, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_link_rejected() {
+        FaultPlan::new()
+            .link_down(Time::from_ms(5), None, 99)
+            .validate(4, 8, 2, 1);
+    }
+}

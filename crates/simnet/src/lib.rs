@@ -26,6 +26,7 @@
 //! sender used to regenerate Table 1.
 
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod msgqueue;
 pub mod packet;
@@ -34,5 +35,6 @@ pub mod sim;
 pub mod tcp;
 
 pub use config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
-pub use metrics::{Metrics, MsgRecord, TenantStats};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use metrics::{FaultWindow, Metrics, MsgRecord, TenantStats, Violation};
 pub use sim::Sim;

@@ -21,6 +21,33 @@ pub struct MsgRecord {
     pub same_host: bool,
 }
 
+/// The realized window of one injected fault (clamped to the horizon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// Index into the run's `FaultPlan::events`.
+    pub fault: u32,
+    /// Stable label from `FaultKind::label()` (e.g. `link_down(3)`).
+    pub label: String,
+    pub start: Time,
+    pub end: Time,
+}
+
+/// One message that completed *outside* its tenant's `{B, S, d, Bmax}`
+/// latency bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Violation {
+    pub tenant: u16,
+    /// The injected fault (plan index) whose window overlaps the
+    /// message's lifetime, if any — `None` means the guarantee was broken
+    /// with no fault active, which a healthy admission-controlled run
+    /// must never produce.
+    pub fault: Option<u32>,
+    pub created: Time,
+    pub completed: Time,
+    pub latency: Dur,
+    pub bound: Dur,
+}
+
 /// Everything a run reports.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -48,6 +75,19 @@ pub struct Metrics {
     pub events_processed: u64,
     /// High-water mark of the pending-event queue.
     pub peak_event_queue: u64,
+    /// Realized windows of the run's injected faults (empty without a
+    /// fault plan).
+    pub fault_windows: Vec<FaultWindow>,
+    /// Packets black-holed by each fault, indexed like
+    /// `FaultPlan::events` (empty without a fault plan).
+    pub fault_drops: Vec<u64>,
+    /// Messages delivered outside their tenant's latency bound, each
+    /// attributed to the overlapping fault where one exists.
+    pub violations: Vec<Violation>,
+    /// Token-bucket conservation violations observed by the pacer's
+    /// release-mode invariant check (see `silo_pacer::TokenBucket`).
+    /// Always checked; any non-zero value is a pacer bug.
+    pub token_violations: u64,
 }
 
 impl Metrics {
@@ -119,10 +159,83 @@ impl Metrics {
         num_list(&mut out, "port_drops", &self.port_drops);
         num_list(&mut out, "port_max_queue", &self.port_max_queue);
         out.push_str(&format!(
-            "\"events_processed\":{},\"peak_event_queue\":{}}}",
+            "\"events_processed\":{},\"peak_event_queue\":{}",
             self.events_processed, self.peak_event_queue,
         ));
+        // Fault-layer fields are emitted only when present, so a run with
+        // an empty `FaultPlan` (and a conservation-clean pacer) stays
+        // byte-identical to the pre-fault-layer serialization.
+        if !self.fault_windows.is_empty() || !self.violations.is_empty() {
+            out.push_str(",\"fault_windows\":[");
+            for (i, w) in self.fault_windows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"fault\":{},\"label\":\"{}\",\"start_ps\":{},\"end_ps\":{}}}",
+                    w.fault, w.label, w.start.0, w.end.0,
+                ));
+            }
+            out.push_str("],");
+            num_list(&mut out, "fault_drops", &self.fault_drops);
+            out.push_str("\"violations\":[");
+            for (i, v) in self.violations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"tenant\":{},\"fault\":{},\"created_ps\":{},\"completed_ps\":{},\"latency_ps\":{},\"bound_ps\":{}}}",
+                    v.tenant,
+                    v.fault.map_or("null".to_string(), |f| f.to_string()),
+                    v.created.0,
+                    v.completed.0,
+                    v.latency.0,
+                    v.bound.0,
+                ));
+            }
+            out.push(']');
+        }
+        if self.token_violations > 0 {
+            out.push_str(&format!(",\"token_violations\":{}", self.token_violations));
+        }
+        out.push('}');
         out
+    }
+
+    /// Per-tenant guarantee-violation windows, one merged `(fault, start,
+    /// end)` interval set per attributed fault: the spans of wall-clock
+    /// time during which the tenant's delivered messages were outside
+    /// their bound. Overlapping or touching violation lifetimes with the
+    /// same attribution merge into one window.
+    pub fn violation_windows(&self, tenant: u16) -> Vec<(Option<u32>, Time, Time)> {
+        let mut spans: Vec<(Option<u32>, Time, Time)> = self
+            .violations
+            .iter()
+            .filter(|v| v.tenant == tenant)
+            .map(|v| (v.fault, v.created, v.completed))
+            .collect();
+        spans.sort_by_key(|&(f, s, e)| (f, s, e));
+        let mut merged: Vec<(Option<u32>, Time, Time)> = Vec::new();
+        for (f, s, e) in spans {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == f && s <= last.2 {
+                    last.2 = last.2.max(e);
+                    continue;
+                }
+            }
+            merged.push((f, s, e));
+        }
+        merged
+    }
+
+    /// Violations of one tenant whose message lifetime began after `t`
+    /// (e.g. after a fault healed — must be empty for a re-admitted
+    /// tenant once the network recovers).
+    pub fn violations_after(&self, tenant: u16, t: Time) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.tenant == tenant && v.created >= t)
+            .count()
     }
 
     /// Per-tenant stats table.

@@ -2,7 +2,8 @@
 //! and applications wired together.
 
 use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
-use crate::metrics::{Metrics, MsgRecord};
+use crate::faults::FaultKind;
+use crate::metrics::{FaultWindow, Metrics, MsgRecord, Violation};
 use crate::packet::{Packet, PathId, PktKind};
 use crate::port::{PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
@@ -37,6 +38,10 @@ enum Ev {
     PaceResume { conn: u32 },
     /// A bulk pair opens its connection and starts transferring.
     BulkStart { src: u32, dst: u32, msg: u64 },
+    /// An injected fault strikes (index into `FaultPlan::events`).
+    FaultStart(u32),
+    /// An injected fault heals.
+    FaultEnd(u32),
 }
 
 /// Per-VM state: pacer buckets and application role.
@@ -103,6 +108,24 @@ pub struct Sim {
     txn_starts: HashMap<u64, Time>,
     next_txn: u64,
     ack_size: Bytes,
+    // ---- fault injection (all dormant when the plan is empty) ----
+    /// `!cfg.faults.is_empty()`: gates every fault check off the hot path.
+    faults_on: bool,
+    /// Which plan events are currently in effect.
+    fault_active: Vec<bool>,
+    /// Downed directed ports → index of the fault that killed them
+    /// (switch/NIC ports only; the vswitch loopback cannot fail).
+    port_down: Vec<Option<u32>>,
+    /// Per-host pacer stall horizon (NIC pulls defer past it).
+    nic_stall_until: Vec<Time>,
+    /// Per-host pacer clock drift: `(until, factor)`.
+    nic_drift: Vec<(Time, f64)>,
+    /// Earliest next NIC pull under an active drift (a slow pacer clock
+    /// dilates the gap *between* batches; re-arms from the datapath must
+    /// not sneak in earlier).
+    nic_drift_gate: Vec<Time>,
+    /// Tenant liveness under churn (all true without churn events).
+    tenant_up: Vec<bool>,
 }
 
 impl Sim {
@@ -190,12 +213,23 @@ impl Sim {
             path_table.push(vec![pid].into_boxed_slice());
         }
         let ntenants = tenants.len();
+        cfg.faults.validate(
+            topo.num_links(),
+            topo.num_ports(),
+            topo.num_hosts(),
+            ntenants,
+        );
+        let faults_on = !cfg.faults.is_empty();
+        let nfaults = cfg.faults.events.len();
         let metrics = Metrics {
             goodput: vec![0; tenants.len()],
             duration: cfg.duration,
+            fault_drops: vec![0; nfaults],
             ..Metrics::default()
         };
         let events = EventQueue::with_backend(cfg.queue);
+        let num_hosts = topo.num_hosts();
+        let num_switch_ports = topo.num_ports();
         Sim {
             topo,
             cfg,
@@ -216,6 +250,13 @@ impl Sim {
             metrics,
             txn_starts: HashMap::new(),
             next_txn: 0,
+            faults_on,
+            fault_active: vec![false; nfaults],
+            port_down: vec![None; num_switch_ports],
+            nic_stall_until: vec![Time::ZERO; num_hosts],
+            nic_drift: vec![(Time::ZERO, 1.0); num_hosts],
+            nic_drift_gate: vec![Time::ZERO; num_hosts],
+            tenant_up: vec![true; ntenants],
             // ACKs are modeled as a zero-cost control channel. Charging
             // their ~4% wire share would structurally oversubscribe NICs
             // whose capacity admission filled with data guarantees — an
@@ -280,80 +321,96 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn init_apps(&mut self) {
+        // Tenants whose first churn event is an arrival join mid-run
+        // (their workload starts from the matching FaultStart instead).
+        let deferred = if self.faults_on {
+            self.cfg.faults.deferred_tenants()
+        } else {
+            Vec::new()
+        };
         for ti in 0..self.tenants.len() {
-            let workload = self.tenants[ti].workload.clone();
-            let vms = self.tenant_vms[ti].clone();
-            match workload {
-                TenantWorkload::Etc { load, concurrency } => {
-                    let server = vms[0];
-                    for &client in &vms[1..] {
-                        self.vms[client as usize].app = VmApp::EtcClient {
-                            server_vm: server,
-                            outstanding: 0,
-                            cap: concurrency.max(1),
-                            pending: 0,
-                            wl: EtcWorkload::with_load(load),
-                        };
-                        // Desynchronized start.
-                        let gap = exponential(&mut self.rng, 1e5);
-                        self.push(
-                            self.now + Dur::from_secs_f64(gap),
-                            Ev::EtcArrival { vm: client },
-                        );
-                    }
-                }
-                TenantWorkload::BulkAllToAll { msg } => {
-                    // Staggered connection establishment (mean 1 ms):
-                    // real tenants never synchronize their very first
-                    // packets to the nanosecond, and a synchronized cold
-                    // start would transiently exceed the receiver hoses
-                    // before the pacers' coordination converges.
-                    for &s in &vms {
-                        for &d in &vms {
-                            if s != d {
-                                let gap = exponential(&mut self.rng, 1e3);
-                                self.push(
-                                    self.now + Dur::from_secs_f64(gap),
-                                    Ev::BulkStart {
-                                        src: s,
-                                        dst: d,
-                                        msg: msg.as_u64(),
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                TenantWorkload::OldiAllToOne { interval, .. } => {
-                    let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
-                    self.push(
-                        self.now + Dur::from_secs_f64(gap),
-                        Ev::Oldi { tenant: ti as u16 },
-                    );
-                }
-                TenantWorkload::OldiPeriodic { period, .. } => {
-                    self.push(self.now + period, Ev::Oldi { tenant: ti as u16 });
-                }
-                TenantWorkload::PoissonPairs {
-                    pairs, interval, ..
-                } => {
-                    for (pi, _) in pairs.iter().enumerate() {
-                        let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
-                        self.push(
-                            self.now + Dur::from_secs_f64(gap),
-                            Ev::PoissonMsg {
-                                tenant: ti as u16,
-                                pair: pi as u32,
-                            },
-                        );
-                    }
-                }
-                TenantWorkload::Idle => {}
+            if deferred.contains(&(ti as u16)) {
+                self.tenant_up[ti] = false;
+                continue;
             }
+            self.init_tenant_apps(ti);
         }
         if self.cfg.mode.paced() {
             let epoch = self.cfg.hose_epoch;
             self.push(self.now + epoch, Ev::HoseEpoch);
+        }
+    }
+
+    /// Start (or restart, on re-admission) one tenant's workload.
+    fn init_tenant_apps(&mut self, ti: usize) {
+        let workload = self.tenants[ti].workload.clone();
+        let vms = self.tenant_vms[ti].clone();
+        match workload {
+            TenantWorkload::Etc { load, concurrency } => {
+                let server = vms[0];
+                for &client in &vms[1..] {
+                    self.vms[client as usize].app = VmApp::EtcClient {
+                        server_vm: server,
+                        outstanding: 0,
+                        cap: concurrency.max(1),
+                        pending: 0,
+                        wl: EtcWorkload::with_load(load),
+                    };
+                    // Desynchronized start.
+                    let gap = exponential(&mut self.rng, 1e5);
+                    self.push(
+                        self.now + Dur::from_secs_f64(gap),
+                        Ev::EtcArrival { vm: client },
+                    );
+                }
+            }
+            TenantWorkload::BulkAllToAll { msg } => {
+                // Staggered connection establishment (mean 1 ms):
+                // real tenants never synchronize their very first
+                // packets to the nanosecond, and a synchronized cold
+                // start would transiently exceed the receiver hoses
+                // before the pacers' coordination converges.
+                for &s in &vms {
+                    for &d in &vms {
+                        if s != d {
+                            let gap = exponential(&mut self.rng, 1e3);
+                            self.push(
+                                self.now + Dur::from_secs_f64(gap),
+                                Ev::BulkStart {
+                                    src: s,
+                                    dst: d,
+                                    msg: msg.as_u64(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            TenantWorkload::OldiAllToOne { interval, .. } => {
+                let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+                self.push(
+                    self.now + Dur::from_secs_f64(gap),
+                    Ev::Oldi { tenant: ti as u16 },
+                );
+            }
+            TenantWorkload::OldiPeriodic { period, .. } => {
+                self.push(self.now + period, Ev::Oldi { tenant: ti as u16 });
+            }
+            TenantWorkload::PoissonPairs {
+                pairs, interval, ..
+            } => {
+                for (pi, _) in pairs.iter().enumerate() {
+                    let gap = exponential(&mut self.rng, 1.0 / interval.as_secs_f64());
+                    self.push(
+                        self.now + Dur::from_secs_f64(gap),
+                        Ev::PoissonMsg {
+                            tenant: ti as u16,
+                            pair: pi as u32,
+                        },
+                    );
+                }
+            }
+            TenantWorkload::Idle => {}
         }
     }
 
@@ -381,6 +438,9 @@ impl Sim {
     }
 
     fn on_etc_arrival(&mut self, vm: u32) {
+        if self.faults_on && !self.tenant_alive(self.vms[vm as usize].tenant) {
+            return; // the arrival chain dies with the tenant
+        }
         // Draw the transaction and the next arrival.
         let (gap, req, resp, server, can_start) = {
             let v = &mut self.vms[vm as usize];
@@ -418,6 +478,9 @@ impl Sim {
     }
 
     fn on_oldi(&mut self, tenant: u16) {
+        if self.faults_on && !self.tenant_alive(tenant) {
+            return;
+        }
         let (msg, gap) = match &self.tenants[tenant as usize].workload {
             TenantWorkload::OldiAllToOne { msg_mean, interval } => (
                 *msg_mean,
@@ -438,6 +501,9 @@ impl Sim {
     }
 
     fn on_poisson_msg(&mut self, tenant: u16, pair: u32) {
+        if self.faults_on && !self.tenant_alive(tenant) {
+            return;
+        }
         let (pairs, msg_mean, interval) = match &self.tenants[tenant as usize].workload {
             TenantWorkload::PoissonPairs {
                 pairs,
@@ -467,6 +533,9 @@ impl Sim {
             let c = &self.conns[conn as usize];
             (c.tenant, c.wr_end - c.una)
         };
+        if self.faults_on && !self.tenant_alive(tenant) {
+            return;
+        }
         if let TenantWorkload::BulkAllToAll { msg } = self.tenants[tenant as usize].workload {
             if backlog == 0 {
                 self.app_write(conn, msg.as_u64(), None, None);
@@ -479,6 +548,9 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn try_send(&mut self, conn: u32) {
+        if self.faults_on && !self.tenant_alive(self.conns[conn as usize].tenant) {
+            return;
+        }
         loop {
             // Pacer backpressure: a connection already stamped out to the
             // horizon must wait for the wire to catch up, so the VM's
@@ -504,7 +576,7 @@ impl Sim {
                 }
                 let remaining = c.wr_end - c.nxt;
                 let payload = remaining.min(self.cfg.mss());
-                if (c.window_avail()) < payload && c.flight() > 0 {
+                if c.window_avail() < payload as f64 && c.flight() > 0 {
                     return;
                 }
                 (
@@ -670,6 +742,9 @@ impl Sim {
             if c.rto_marker != marker || c.flight() == 0 {
                 return;
             }
+            if self.faults_on && !self.tenant_up[c.tenant as usize] {
+                return;
+            }
         }
         self.metrics.rtos += 1;
         let mss = self.cfg.mss() as f64;
@@ -762,6 +837,11 @@ impl Sim {
     }
 
     fn arm_nic(&mut self, host: usize, at: Time) {
+        let at = if self.faults_on {
+            self.fault_nic_at(host, at)
+        } else {
+            at
+        };
         self.nics[host].pull_marker += 1;
         let marker = self.nics[host].pull_marker;
         self.push(
@@ -776,6 +856,13 @@ impl Sim {
     fn on_nic_pull(&mut self, host: u32, marker: u64) {
         let h = host as usize;
         if self.nics[h].pull_marker != marker {
+            return;
+        }
+        if self.faults_on && self.now < self.nic_stall_until[h] {
+            // The pacer timer is stalled: defer this pull to the window
+            // end (arm_nic re-applies the stall clamp).
+            let stall = self.nic_stall_until[h];
+            self.arm_nic(h, stall);
             return;
         }
         let batch = self.nics[h].batcher.next_batch(self.now);
@@ -797,6 +884,14 @@ impl Sim {
         for f in batch.frames {
             if f.kind == FrameKind::Data {
                 let mut pkt = f.payload.expect("data frame carries a packet");
+                if self.faults_on {
+                    // Paced frames skip enqueue_port for the NIC wire
+                    // (hop 0), so a dead host link is enforced here.
+                    if let Some(fault) = self.port_fault(self.hops(pkt.path)[0]) {
+                        self.metrics.fault_drops[fault as usize] += 1;
+                        continue;
+                    }
+                }
                 pkt.hop = 1; // the NIC wire is hop 0
                 let arrive = f.start + link.tx_time(f.size) + prop;
                 self.push(arrive, Ev::Arrive(pkt));
@@ -805,6 +900,16 @@ impl Sim {
             // effect is the wire time already encoded in the schedule.
         }
         let done = batch.done_at;
+        if self.faults_on {
+            // A pacer clock running slow by `factor` stretches the gap
+            // between this batch and the next: what took `done − now` of
+            // healthy clock takes `factor×` as long.
+            let (until, factor) = self.nic_drift[h];
+            if self.now < until && factor > 1.0 && done > self.now {
+                let dilated = (done - self.now).as_ps() as f64 * factor;
+                self.nic_drift_gate[h] = self.now + Dur::from_ps(dilated as u64);
+            }
+        }
         self.arm_nic(h, done);
     }
 
@@ -813,6 +918,13 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn enqueue_port(&mut self, port: PortId, pkt: Packet) {
+        if self.faults_on {
+            if let Some(f) = self.port_fault(port) {
+                // Black hole: the packet reached a dead port.
+                self.metrics.fault_drops[f as usize] += 1;
+                return;
+            }
+        }
         let ps = &mut self.ports[port.0 as usize];
         if !ps.enqueue(self.now, pkt) {
             self.metrics.drops += 1;
@@ -843,9 +955,11 @@ impl Sim {
     }
 
     fn on_port_free(&mut self, port: PortId) {
-        let ps = &mut self.ports[port.0 as usize];
-        ps.busy = false;
-        if !ps.is_empty() {
+        self.ports[port.0 as usize].busy = false;
+        if self.faults_on && self.port_fault(port).is_some() {
+            return; // port died mid-transmission; queue already flushed
+        }
+        if !self.ports[port.0 as usize].is_empty() {
             self.start_tx(port);
         }
     }
@@ -869,6 +983,9 @@ impl Sim {
 
     fn rx_data(&mut self, pkt: Packet) {
         let conn = pkt.conn;
+        if self.faults_on && !self.tenant_alive(self.conns[conn as usize].tenant) {
+            return; // the receiving VM is gone; the packet dies silently
+        }
         let (completions, dst_vm, src_vm, prio, rpath, tenant, adv) = {
             let c = &mut self.conns[conn as usize];
             let prev = c.receive_segment(pkt.seq, pkt.payload);
@@ -894,15 +1011,33 @@ impl Sim {
                 (None, Some(txn)) => self.txn_starts.remove(&txn).map(|t0| self.now - t0),
                 _ => None,
             };
+            let latency = self.now - m.created;
             self.metrics.messages.push(MsgRecord {
                 tenant,
                 size: m.size,
-                latency: self.now - m.created,
+                latency,
                 rto: m.rto_hit,
                 created: m.created,
                 txn_latency,
                 same_host,
             });
+            // Guarantee check: a tenant with a delay guarantee must see
+            // every message inside its §4.1 bound; anything late is a
+            // violation, attributed to an overlapping fault if one is
+            // scheduled. (`delay: None` — all legacy configs — skips.)
+            if let Some(bound) = self.tenants[tenant as usize].latency_bound(Bytes(m.size)) {
+                if latency > bound {
+                    let fault = self.attribute_fault(m.created, self.now);
+                    self.metrics.violations.push(Violation {
+                        tenant,
+                        fault,
+                        created: m.created,
+                        completed: self.now,
+                        latency,
+                        bound,
+                    });
+                }
+            }
             if let (None, Some(_txn)) = (m.respond, m.txn) {
                 // Client-side completion: release a concurrency slot.
                 self.etc_txn_done(dst_vm);
@@ -967,6 +1102,9 @@ impl Sim {
 
     fn rx_ack(&mut self, pkt: Packet) {
         let conn = pkt.conn;
+        if self.faults_on && !self.tenant_alive(self.conns[conn as usize].tenant) {
+            return;
+        }
         let ack = pkt.seq;
         let mss = self.cfg.mss() as f64;
         let mut need_retx_partial = false;
@@ -1152,6 +1290,246 @@ impl Sim {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Is this tenant currently admitted? (Always true without churn.)
+    #[inline]
+    fn tenant_alive(&self, ti: u16) -> bool {
+        !self.faults_on || self.tenant_up[ti as usize]
+    }
+
+    /// The fault currently holding this port down, if any. The vswitch
+    /// loopback (index past the switch ports) cannot fail.
+    #[inline]
+    fn port_fault(&self, p: PortId) -> Option<u32> {
+        self.port_down.get(p.0 as usize).copied().flatten()
+    }
+
+    fn on_fault_start(&mut self, i: u32) {
+        self.fault_active[i as usize] = true;
+        match self.cfg.faults.events[i as usize].kind {
+            FaultKind::LinkDown { .. } | FaultKind::PortDown { .. } => {
+                self.recompute_port_faults();
+                self.flush_downed_ports();
+            }
+            FaultKind::PacerStall { .. } | FaultKind::PacerDrift { .. } => {
+                self.recompute_nic_faults();
+            }
+            FaultKind::TenantDown { tenant } => self.tenant_depart(tenant),
+            FaultKind::TenantUp { tenant } => self.tenant_admit(tenant),
+        }
+    }
+
+    fn on_fault_end(&mut self, i: u32) {
+        self.fault_active[i as usize] = false;
+        match self.cfg.faults.events[i as usize].kind {
+            FaultKind::LinkDown { .. } | FaultKind::PortDown { .. } => {
+                self.recompute_port_faults();
+                // A restored port restarts transmission if traffic queued
+                // behind it (possible when another fault flap raced the
+                // flush; normally the queue is empty).
+                for p in 0..self.port_down.len() {
+                    if self.port_down[p].is_none()
+                        && !self.ports[p].busy
+                        && !self.ports[p].is_empty()
+                    {
+                        self.start_tx(PortId(p as u32));
+                    }
+                }
+            }
+            FaultKind::PacerStall { host } => {
+                self.recompute_nic_faults();
+                // Wake the pacer: frames stamped during the stall are
+                // waiting in the batcher with no pull armed before now.
+                let h = host as usize;
+                if self.now >= self.nics[h].busy_until {
+                    if let Some(s) = self.nics[h].batcher.next_stamp() {
+                        let at = s.max(self.now);
+                        self.arm_nic(h, at);
+                    }
+                }
+            }
+            FaultKind::PacerDrift { .. } => self.recompute_nic_faults(),
+            FaultKind::TenantDown { tenant } => self.tenant_admit(tenant),
+            FaultKind::TenantUp { .. } => {}
+        }
+    }
+
+    /// Rebuild the downed-port map from the currently active events
+    /// (overlapping faults on one port resolve to the earliest).
+    fn recompute_port_faults(&mut self) {
+        for p in self.port_down.iter_mut() {
+            *p = None;
+        }
+        for (i, e) in self.cfg.faults.events.iter().enumerate() {
+            if !self.fault_active[i] {
+                continue;
+            }
+            match e.kind {
+                FaultKind::LinkDown { link } => {
+                    let l = silo_topology::LinkId(link);
+                    for p in [PortId::up(l), PortId::down(l)] {
+                        let slot = &mut self.port_down[p.0 as usize];
+                        if slot.is_none() {
+                            *slot = Some(i as u32);
+                        }
+                    }
+                }
+                FaultKind::PortDown { port } => {
+                    let slot = &mut self.port_down[port as usize];
+                    if slot.is_none() {
+                        *slot = Some(i as u32);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A dead port stops transmitting: everything it holds is lost, and
+    /// the loss is attributed to the fault that killed the port.
+    fn flush_downed_ports(&mut self) {
+        for p in 0..self.port_down.len() {
+            let Some(f) = self.port_down[p] else { continue };
+            while self.ports[p].dequeue().is_some() {
+                self.metrics.fault_drops[f as usize] += 1;
+            }
+        }
+    }
+
+    /// Rebuild per-host pacer stall/drift state from active events.
+    fn recompute_nic_faults(&mut self) {
+        for t in self.nic_stall_until.iter_mut() {
+            *t = Time::ZERO;
+        }
+        for d in self.nic_drift.iter_mut() {
+            *d = (Time::ZERO, 1.0);
+        }
+        for (i, e) in self.cfg.faults.events.iter().enumerate() {
+            if !self.fault_active[i] {
+                continue;
+            }
+            match e.kind {
+                FaultKind::PacerStall { host } => {
+                    let until = e.until.expect("validated: stalls have an end");
+                    let h = host as usize;
+                    self.nic_stall_until[h] = self.nic_stall_until[h].max(until);
+                }
+                FaultKind::PacerDrift { host, factor } => {
+                    let until = e.until.expect("validated: drifts have an end");
+                    self.nic_drift[host as usize] = (until, factor);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Defer a NIC pull timer per the host's active pacer fault: past
+    /// the stall horizon, and never before the drift gate (set after
+    /// each batch while a slow clock is active).
+    fn fault_nic_at(&self, host: usize, at: Time) -> Time {
+        let (until, _) = self.nic_drift[host];
+        let at = if self.now < until {
+            at.max(self.nic_drift_gate[host])
+        } else {
+            at
+        };
+        at.max(self.nic_stall_until[host])
+    }
+
+    /// Tenant departure: the workload generators die (their event chains
+    /// are gated), unsent and unfinished data is abandoned, timers are
+    /// disarmed. In-flight packets die at the receive gate.
+    fn tenant_depart(&mut self, ti: u16) {
+        if !self.tenant_up[ti as usize] {
+            return;
+        }
+        self.tenant_up[ti as usize] = false;
+        for &ci in &self.tenant_conns[ti as usize].clone() {
+            let c = &mut self.conns[ci as usize];
+            c.wr_end = c.una; // abandon everything not yet acknowledged
+            c.msgs.clear();
+            c.inflight_meta.clear();
+            c.rto_marker += 1; // disarm any pending RTO
+        }
+        if self.cfg.mode.paced() {
+            self.update_tenant_hose(ti);
+        }
+    }
+
+    /// Tenant (re-)admission: every connection restarts from a fresh
+    /// logical stream at the old send frontier (stale packets and ACKs
+    /// from the previous life arrive as duplicates), pacer buckets refill
+    /// to the full burst allowance, and the workload starts over — the
+    /// engine's view of "the placement layer re-admitted this tenant".
+    fn tenant_admit(&mut self, ti: u16) {
+        if self.tenant_up[ti as usize] {
+            return;
+        }
+        self.tenant_up[ti as usize] = true;
+        let init_cwnd = (self.cfg.init_cwnd * self.cfg.mss()) as f64;
+        for &ci in &self.tenant_conns[ti as usize].clone() {
+            let c = &mut self.conns[ci as usize];
+            let f = c.nxt.max(c.wr_end).max(c.delivered);
+            c.una = f;
+            c.nxt = f;
+            c.wr_end = f;
+            c.delivered = f;
+            c.high_tx = f;
+            c.recover = 0;
+            c.retx_upto = 0;
+            c.ooo.clear();
+            c.msgs.clear();
+            c.inflight_meta.clear();
+            c.cwnd = init_cwnd;
+            c.ssthresh = f64::INFINITY;
+            c.dupacks = 0;
+            c.in_recovery = false;
+            c.srtt = None;
+            c.rttvar = Dur::ZERO;
+            c.rto_backoff = 0;
+            c.rto_marker += 1;
+            c.pace_blocked = false;
+            c.alpha = 0.0;
+            c.ce_bytes = 0;
+            c.acked_bytes = 0;
+            c.dctcp_window_end = f;
+        }
+        let (b, s, bmax) = {
+            let t = &self.tenants[ti as usize];
+            (t.b, t.s, t.bmax)
+        };
+        for &vi in &self.tenant_vms[ti as usize].clone() {
+            let v = &mut self.vms[vi as usize];
+            v.tb_bs = TokenBucket::new(b, s);
+            v.tb_max = TokenBucket::new(bmax, self.cfg.mtu);
+            v.per_dst.clear();
+            v.rx_epoch_bytes = 0;
+            v.app = VmApp::None;
+        }
+        self.init_tenant_apps(ti as usize);
+        if self.cfg.mode.paced() {
+            self.update_tenant_hose(ti);
+        }
+    }
+
+    /// The first planned fault whose realized window overlaps a message
+    /// lifetime `[created, completed]` — the attribution recorded with a
+    /// guarantee violation.
+    fn attribute_fault(&self, created: Time, completed: Time) -> Option<u32> {
+        let horizon = Time::ZERO + self.cfg.duration;
+        for (i, e) in self.cfg.faults.events.iter().enumerate() {
+            if let Some((ws, we)) = e.window(horizon) {
+                if ws <= completed && created <= we {
+                    return Some(i as u32);
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
     // Driver
     // ------------------------------------------------------------------
 
@@ -1210,6 +1588,15 @@ impl Sim {
 
     fn run_inner(&mut self) {
         self.init_apps();
+        if self.faults_on {
+            let plan = self.cfg.faults.clone();
+            for (i, e) in plan.events.iter().enumerate() {
+                self.push(e.at, Ev::FaultStart(i as u32));
+                if let Some(u) = e.until {
+                    self.push(u, Ev::FaultEnd(i as u32));
+                }
+            }
+        }
         let horizon = Time::ZERO + self.cfg.duration;
         while let Some((t, ev)) = self.events.pop() {
             if t > horizon {
@@ -1231,9 +1618,14 @@ impl Sim {
                     self.try_send(conn);
                 }
                 Ev::BulkStart { src, dst, msg } => {
+                    if !self.tenant_alive(self.vms[src as usize].tenant) {
+                        continue;
+                    }
                     let c = self.conn_for(src, dst);
                     self.app_write(c, msg, None, None);
                 }
+                Ev::FaultStart(i) => self.on_fault_start(i),
+                Ev::FaultEnd(i) => self.on_fault_end(i),
             }
         }
     }
@@ -1267,6 +1659,35 @@ impl Sim {
         for c in &self.conns {
             self.metrics.goodput[c.tenant as usize] += c.goodput_bytes;
         }
+        if self.faults_on {
+            let horizon = Time::ZERO + dur;
+            self.metrics.fault_windows = self
+                .cfg
+                .faults
+                .events
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    e.window(horizon).map(|(start, end)| FaultWindow {
+                        fault: i as u32,
+                        label: e.kind.label(),
+                        start,
+                        end,
+                    })
+                })
+                .collect();
+        }
+        // Token-bucket conservation: any over-spend the pacer's checked
+        // invariant recorded surfaces here (must stay zero).
+        self.metrics.token_violations = self
+            .vms
+            .iter()
+            .map(|v| {
+                v.tb_bs.violations()
+                    + v.tb_max.violations()
+                    + v.per_dst.values().map(|b| b.violations()).sum::<u64>()
+            })
+            .sum();
         self.metrics.clone()
     }
 }

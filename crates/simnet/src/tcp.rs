@@ -164,10 +164,15 @@ impl TcpConn {
         self.una < self.wr_end
     }
 
-    /// Bytes the window permits sending right now.
-    pub fn window_avail(&self) -> u64 {
-        let w = self.cwnd.max(0.0) as u64;
-        w.saturating_sub(self.flight())
+    /// Bytes the window permits sending right now — fractional. The
+    /// window grows in sub-byte steps (congestion avoidance adds
+    /// `mss·acked/cwnd`, DCTCP scales by `1 − α/2`), so the credit must
+    /// stay `f64` until the final send decision: truncating the window
+    /// to whole bytes first would silently discard the accumulated
+    /// fraction each time it is read. Callers compare against the
+    /// candidate payload (`avail < payload as f64` blocks the send).
+    pub fn window_avail(&self) -> f64 {
+        (self.cwnd.max(0.0) - self.flight() as f64).max(0.0)
     }
 
     /// Current RTO (RFC 6298 with a floor and binary backoff).
@@ -429,6 +434,52 @@ mod tests {
         // Duplicate is a no-op.
         c.receive_segment(500, 100);
         assert_eq!(c.delivered, 3000);
+    }
+
+    #[test]
+    fn window_avail_keeps_fractional_credit() {
+        let mut c = conn();
+        let mss = 1440.0;
+        // A window a hair under 2 MSS with 1 MSS in flight must block a
+        // full-MSS send…
+        c.cwnd = 2.0 * mss - 0.25;
+        c.una = 0;
+        c.nxt = 1440;
+        assert!(c.window_avail() < mss);
+        // …and exactly 2 MSS must allow it: the old `cwnd as u64`
+        // truncation and the f64 comparison agree at integer boundaries.
+        c.cwnd = 2.0 * mss;
+        assert!(c.window_avail() >= mss);
+        // Fractional growth accumulates instead of being re-floored away:
+        // congestion avoidance adds mss²/cwnd per ACK (≈ 144 B here), so
+        // 100 ACKs grow the window by several MSS (analytically
+        // √(W₀² + 2·mss²·n) − W₀ ≈ 7.3 MSS), every step sub-MSS.
+        c.cwnd = 10.0 * mss;
+        c.ssthresh = 1.0; // force congestion avoidance
+        let before = c.cwnd;
+        for _ in 0..100 {
+            c.grow_cwnd(1440, mss);
+        }
+        assert!(
+            c.cwnd - before > 7.0 * mss,
+            "fractional growth lost: {} -> {}",
+            before,
+            c.cwnd
+        );
+        // And the growth is visible through window_avail (no truncation).
+        c.nxt = c.una;
+        assert!((c.window_avail() - c.cwnd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_avail_never_negative() {
+        let mut c = conn();
+        c.cwnd = 1440.0;
+        c.una = 0;
+        c.nxt = 10_000; // flight far above the (collapsed) window
+        assert_eq!(c.window_avail(), 0.0);
+        c.cwnd = -5.0; // DCTCP arithmetic can transiently undershoot
+        assert_eq!(c.window_avail(), 0.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn paced_bulk_throughput_matches_hose() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(2),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::BulkAllToAll {
             msg: Bytes::from_mb(1),
         },
@@ -56,6 +57,7 @@ fn fanout_pairs_share_the_hose_fairly() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(2),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::BulkAllToAll {
             msg: Bytes::from_mb(1),
         },
@@ -94,6 +96,7 @@ fn okto_static_rates_slow_bursts() {
             s: Bytes::from_kb(15),
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::OldiAllToOne {
                 msg_mean: Bytes::from_kb(13),
                 interval: Dur::from_ms(10),
@@ -126,6 +129,7 @@ fn etc_transaction_accounting() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(1),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::Etc {
             load: 0.1,
             concurrency: 2,
@@ -160,6 +164,7 @@ fn void_packets_only_in_paced_modes() {
             s: Bytes(1500),
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::BulkAllToAll {
                 msg: Bytes::from_mb(1),
             },

@@ -1,0 +1,309 @@
+//! Behavioral tests of the fault-injection layer: inertness when faults
+//! don't touch traffic, black-holing and recovery, tenant churn, pacer
+//! anomalies, and guarantee-violation attribution.
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use silo_simnet::{FaultPlan, Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn small_topo(servers: usize) -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 1,
+        servers_per_rack: servers,
+        vm_slots_per_server: 6,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+fn bulk_tenant(hosts: &[u32], msg: Bytes) -> TenantSpec {
+    TenantSpec {
+        vm_hosts: hosts.iter().map(|&h| HostId(h)).collect(),
+        b: Rate::from_gbps(3),
+        s: Bytes(1500),
+        bmax: Rate::from_gbps(10),
+        prio: 0,
+        delay: None,
+        workload: TenantWorkload::BulkAllToAll { msg },
+    }
+}
+
+fn periodic_tenant(hosts: &[u32], delay: Option<Dur>) -> TenantSpec {
+    TenantSpec {
+        vm_hosts: hosts.iter().map(|&h| HostId(h)).collect(),
+        b: Rate::from_mbps(500),
+        s: Bytes::from_kb(15),
+        bmax: Rate::from_gbps(1),
+        prio: 0,
+        delay,
+        workload: TenantWorkload::OldiPeriodic {
+            msg: Bytes::from_kb(15),
+            period: Dur::from_ms(2),
+        },
+    }
+}
+
+/// Everything canonical before the engine counters (messages, goodput,
+/// drops, port stats) — the part of the serialization that must not move
+/// when fault machinery runs but never touches any traffic.
+fn physics_prefix(json: &str) -> &str {
+    json.split("\"events_processed\"").next().unwrap()
+}
+
+#[test]
+fn fault_on_an_idle_link_does_not_perturb_traffic() {
+    // Tenant on hosts 0-1; the fault kills host 3's (idle) access link.
+    // Every packet-level outcome must be identical to the fault-free run:
+    // the fault layer only adds events, it must not reorder anything.
+    let mk = |faults: FaultPlan| {
+        let mut cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(20), 7);
+        cfg.faults = faults;
+        Sim::new(
+            small_topo(4),
+            cfg,
+            vec![bulk_tenant(&[0, 1], Bytes::from_mb(4))],
+        )
+        .run()
+    };
+    let clean = mk(FaultPlan::new());
+    let faulted = mk(FaultPlan::new().link_down(
+        Time::from_ms(5),
+        Some(Time::from_ms(15)),
+        3, // host 3's access link: carries nothing
+    ));
+    assert_eq!(
+        physics_prefix(&clean.canonical_json()),
+        physics_prefix(&faulted.canonical_json()),
+        "a fault that touches no traffic must not change any outcome"
+    );
+    // The fault itself is still on the record.
+    assert_eq!(faulted.fault_windows.len(), 1);
+    assert_eq!(faulted.fault_windows[0].label, "link_down(3)");
+    assert_eq!(faulted.fault_drops, vec![0]);
+    assert!(clean.fault_windows.is_empty());
+}
+
+#[test]
+fn link_outage_black_holes_packets_and_traffic_recovers() {
+    let mk = |faults: FaultPlan| {
+        let mut cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(60), 7);
+        cfg.faults = faults;
+        Sim::new(
+            small_topo(2),
+            cfg,
+            vec![bulk_tenant(&[0, 1], Bytes::from_mb(1))],
+        )
+        .run()
+    };
+    let clean = mk(FaultPlan::new());
+    let outage = mk(FaultPlan::new().link_down(
+        Time::from_ms(10),
+        Some(Time::from_ms(20)),
+        0, // host 0's access link
+    ));
+    assert!(
+        outage.fault_drops[0] > 0,
+        "packets crossing the dead link must be black-holed"
+    );
+    assert!(
+        outage.goodput[0] < clean.goodput[0],
+        "a 10 ms outage must cost goodput: {} vs {}",
+        outage.goodput[0],
+        clean.goodput[0]
+    );
+    // Senders retransmit after restoration: messages keep completing.
+    let after = outage
+        .messages
+        .iter()
+        .filter(|m| m.created + m.latency > Time::from_ms(20))
+        .count();
+    assert!(after > 0, "traffic must recover after the link heals");
+    assert!(outage.rtos > 0, "pure loss must trigger timeouts");
+}
+
+#[test]
+fn unidirectional_port_failure_kills_one_direction_only() {
+    // OLDI all-to-one: data flows host1 -> host0, ACKs host0 -> host1.
+    // Killing only host 0's *up* port kills the ACK path; data keeps
+    // arriving (messages complete at the receiver) while the sender sees
+    // silence and fires RTOs.
+    let mut cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(60), 11);
+    let up_port_of_host0 = 0; // PortId::up(link 0) = 2*0
+    cfg.faults =
+        FaultPlan::new().port_down(Time::from_ms(10), Some(Time::from_ms(30)), up_port_of_host0);
+    let t = TenantSpec {
+        vm_hosts: vec![HostId(0), HostId(1)],
+        b: Rate::from_gbps(1),
+        s: Bytes::from_kb(15),
+        bmax: Rate::from_gbps(10),
+        prio: 0,
+        delay: None,
+        workload: TenantWorkload::OldiPeriodic {
+            msg: Bytes::from_kb(15),
+            period: Dur::from_ms(2),
+        },
+    };
+    let m = Sim::new(small_topo(2), cfg, vec![t]).run();
+    assert!(m.fault_drops[0] > 0, "ACKs must die at the dead port");
+    assert!(m.rtos > 0, "unacknowledged data must time out");
+    // The forward direction stayed up: messages completed *during* the
+    // outage window (delivery is receiver-side, no ACK needed).
+    let during = m
+        .messages
+        .iter()
+        .filter(|r| {
+            let done = r.created + r.latency;
+            done > Time::from_ms(11) && done < Time::from_ms(30)
+        })
+        .count();
+    assert!(during > 0, "data direction must keep delivering");
+}
+
+#[test]
+fn tenant_churn_gates_the_workload_window() {
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(60), 3);
+    cfg.faults = FaultPlan::new().tenant_churn(0, Time::from_ms(15), Time::from_ms(35));
+    let tenants = vec![
+        periodic_tenant(&[0, 1], None),
+        bulk_tenant(&[2, 3], Bytes::from_kb(64)),
+    ];
+    let m = Sim::new(small_topo(4), cfg, tenants).run();
+    // Departure abandons in-flight messages: nothing of tenant 0
+    // completes inside the down window (1 ms of grace for deliveries
+    // already on the wire at the instant of departure).
+    let inside = m
+        .messages
+        .iter()
+        .filter(|r| r.tenant == 0)
+        .filter(|r| {
+            let done = r.created + r.latency;
+            done > Time::from_ms(16) && done < Time::from_ms(35)
+        })
+        .count();
+    assert_eq!(inside, 0, "a departed tenant must fall silent");
+    // Re-admission restarts the workload from fresh state.
+    let resumed = m
+        .messages
+        .iter()
+        .filter(|r| r.tenant == 0 && r.created >= Time::from_ms(35))
+        .count();
+    assert!(resumed > 0, "a re-admitted tenant must produce traffic");
+    // The bystander tenant ran throughout.
+    assert!(m.messages.iter().any(|r| r.tenant == 1));
+}
+
+#[test]
+fn deferred_tenant_joins_mid_run() {
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(40), 3);
+    cfg.faults = FaultPlan::new().tenant_up(Time::from_ms(20), 0);
+    let m = Sim::new(small_topo(2), cfg, vec![periodic_tenant(&[0, 1], None)]).run();
+    assert!(!m.messages.is_empty(), "the tenant must start eventually");
+    let earliest = m.messages.iter().map(|r| r.created).min().unwrap();
+    assert!(
+        earliest >= Time::from_ms(20),
+        "no traffic before the arrival instant, got {earliest:?}"
+    );
+}
+
+#[test]
+fn pacer_stall_delays_messages_and_is_attributed() {
+    let mk = |faults: FaultPlan| {
+        let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(60), 5);
+        cfg.faults = faults;
+        // Delay guarantee set: completed messages are checked against the
+        // §4.1 bound and violations recorded.
+        Sim::new(
+            small_topo(2),
+            cfg,
+            vec![periodic_tenant(&[0, 1], Some(Dur::from_ms(1)))],
+        )
+        .run()
+    };
+    let clean = mk(FaultPlan::new());
+    assert!(
+        clean.violations.is_empty(),
+        "conformant paced traffic must meet its bound: {:?}",
+        clean.violations.first()
+    );
+    // OLDI all-to-one: the data *sender* is VM 1 on host 1 (VM 0 is the
+    // aggregator) — stall the sender's pacer.
+    let stalled = mk(FaultPlan::new().pacer_stall(Time::from_ms(20), Time::from_ms(30), 1));
+    assert!(
+        !stalled.violations.is_empty(),
+        "a 10 ms pacer stall must break a ~1 ms bound"
+    );
+    for v in &stalled.violations {
+        assert_eq!(
+            v.fault,
+            Some(0),
+            "every violation here overlaps the stall window: {v:?}"
+        );
+    }
+    // The stall really holds batches back: something created in-window
+    // waits out most of it.
+    let worst = stalled.violations.iter().map(|v| v.latency).max().unwrap();
+    assert!(worst > Dur::from_ms(5), "worst latency {worst}");
+}
+
+#[test]
+fn pacer_drift_widens_gaps_without_stopping_traffic() {
+    // A backlogged paced sender is clocked by its pacer timers: a 4x-slow
+    // clock caps each pull cycle at 1/4 of the wire, so a near-line-rate
+    // hose must lose real throughput — without the NIC ever stopping.
+    let mk = |faults: FaultPlan| {
+        let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(60), 5);
+        cfg.faults = faults;
+        let t = TenantSpec {
+            vm_hosts: vec![HostId(0), HostId(1)],
+            b: Rate::from_gbps(9),
+            s: Bytes::from_kb(15),
+            bmax: Rate::from_gbps(10),
+            prio: 0,
+            delay: None,
+            workload: TenantWorkload::BulkAllToAll {
+                msg: Bytes::from_mb(4),
+            },
+        };
+        Sim::new(small_topo(2), cfg, vec![t]).run()
+    };
+    let clean = mk(FaultPlan::new());
+    let drifted = mk(FaultPlan::new().pacer_drift(Time::from_ms(10), Time::from_ms(50), 0, 4.0));
+    // Traffic still flows through the whole drift window…
+    let in_window = drifted
+        .messages
+        .iter()
+        .filter(|r| {
+            let done = r.created + r.latency;
+            done > Time::from_ms(10) && done < Time::from_ms(50)
+        })
+        .count();
+    assert!(in_window > 0, "drift must not stop the NIC");
+    // …but a 4x-slow pacing clock costs goodput.
+    assert!(
+        drifted.goodput[0] < (clean.goodput[0] * 9) / 10,
+        "{} vs {}",
+        drifted.goodput[0],
+        clean.goodput[0]
+    );
+}
+
+#[test]
+fn empty_plan_emits_no_fault_fields() {
+    let cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(10), 1);
+    let m = Sim::new(
+        small_topo(2),
+        cfg,
+        vec![bulk_tenant(&[0, 1], Bytes::from_kb(64))],
+    )
+    .run();
+    let json = m.canonical_json();
+    assert!(!json.contains("fault_windows"));
+    assert!(!json.contains("violations"));
+    assert!(m.fault_windows.is_empty() && m.violations.is_empty());
+    assert_eq!(m.token_violations, 0, "pacer conservation must hold");
+}

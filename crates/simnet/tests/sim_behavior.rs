@@ -28,6 +28,7 @@ fn bulk_tenant(hosts: &[u32], msg: Bytes) -> TenantSpec {
         s: Bytes(1500),
         bmax: Rate::from_gbps(10),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::BulkAllToAll { msg },
     }
 }
@@ -62,6 +63,7 @@ fn tcp_incast_causes_drops_and_rtos() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(10),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::OldiAllToOne {
             msg_mean: Bytes::from_kb(300),
             interval: Dur::from_ms(2),
@@ -84,6 +86,7 @@ fn silo_pacing_prevents_burst_drops() {
         s: Bytes::from_kb(15),
         bmax: Rate::from_gbps(1),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::OldiAllToOne {
             msg_mean: Bytes::from_kb(15),
             interval: Dur::from_ms(2),
@@ -108,6 +111,7 @@ fn memcached_alone_has_low_latency() {
         s: Bytes(1500),
         bmax: Rate::from_gbps(1),
         prio: 0,
+        delay: None,
         workload: TenantWorkload::Etc {
             load: 0.2,
             concurrency: 2,
@@ -134,6 +138,7 @@ fn contention_inflates_memcached_tail_and_silo_fixes_it() {
                 s: Bytes(3000),
                 bmax: Rate::from_gbps(1),
                 prio: 0,
+                delay: None,
                 workload: TenantWorkload::Etc {
                     load: 0.2,
                     concurrency: 2,
@@ -145,6 +150,7 @@ fn contention_inflates_memcached_tail_and_silo_fixes_it() {
                 s: Bytes(1500),
                 bmax: Rate::from_gbps(2),
                 prio: 0,
+                delay: None,
                 workload: TenantWorkload::BulkAllToAll {
                     msg: Bytes::from_mb(1),
                 },
@@ -208,6 +214,7 @@ fn best_effort_priority_yields_to_guaranteed() {
             s: Bytes::from_kb(15),
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::PoissonPairs {
                 pairs: vec![(0, 1)],
                 msg_mean: Bytes::from_kb(15),
@@ -220,6 +227,7 @@ fn best_effort_priority_yields_to_guaranteed() {
             s: Bytes(1500),
             bmax: Rate::from_gbps(10),
             prio: 1,
+            delay: None,
             workload: TenantWorkload::BulkAllToAll {
                 msg: Bytes::from_mb(2),
             },
@@ -244,6 +252,7 @@ fn deterministic_across_runs() {
             s: Bytes::from_kb(15),
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::OldiAllToOne {
                 msg_mean: Bytes::from_kb(15),
                 interval: Dur::from_ms(1),

@@ -334,6 +334,48 @@ impl Topology {
         self.path_ports(src, dst).len()
     }
 
+    /// The undirected links the `src → dst` path traverses, deduplicated.
+    /// In a tree this is also the `dst → src` link set, so "does this
+    /// path survive a link failure" is a membership test against it.
+    pub fn path_links(&self, src: HostId, dst: HostId) -> Vec<LinkId> {
+        let mut links: Vec<LinkId> = self
+            .path_ports(src, dst)
+            .into_iter()
+            .map(|p| p.link())
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+
+    /// Does the `src → dst` path avoid every link in `failed`? Same-host
+    /// pairs always do (the vswitch never crosses the fabric).
+    pub fn path_intact(&self, src: HostId, dst: HostId, failed: &[LinkId]) -> bool {
+        if failed.is_empty() || src == dst {
+            return true;
+        }
+        self.path_links(src, dst)
+            .iter()
+            .all(|l| !failed.contains(l))
+    }
+
+    /// The hosts severed from the rest of the tree when `l` fails: the
+    /// subtree below the link. Hosts inside it can still reach each other
+    /// (their paths stay below the failure); only cross-cut paths die.
+    pub fn hosts_below(&self, l: LinkId) -> Vec<HostId> {
+        let i = l.0 as usize;
+        if i < self.hosts {
+            vec![HostId(i as u32)]
+        } else if i < self.hosts + self.racks {
+            self.hosts_in_rack(i - self.hosts).collect()
+        } else {
+            let pod = i - self.hosts - self.racks;
+            self.racks_in_pod(pod)
+                .flat_map(|r| self.hosts_in_rack(r))
+                .collect()
+        }
+    }
+
     /// All ports whose queueing state a set of hosts can influence — the
     /// ports on any path between two of them. Used by placement to know
     /// which constraints to re-check.

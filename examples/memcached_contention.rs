@@ -20,6 +20,7 @@ fn tenants() -> Vec<TenantSpec> {
             s: Bytes(1500),
             bmax: Rate::from_gbps(1),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::Etc {
                 load: 0.09,
                 concurrency: 4,
@@ -31,6 +32,7 @@ fn tenants() -> Vec<TenantSpec> {
             s: Bytes(1500),
             bmax: Rate::from_mbps(3123),
             prio: 0,
+            delay: None,
             workload: TenantWorkload::BulkAllToAll {
                 msg: Bytes::from_mb(1),
             },

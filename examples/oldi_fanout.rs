@@ -69,6 +69,7 @@ fn main() {
             s: guarantee.s,
             bmax: guarantee.bmax,
             prio: 0,
+            delay: None,
             workload: workload.clone(),
         };
         let m = Sim::new(topo.clone(), cfg, vec![spec]).run();

@@ -4,19 +4,19 @@
 //! This umbrella crate re-exports the whole workspace so examples and
 //! downstream users need a single dependency:
 //!
-//! * [`core`](silo_core) — the Silo controller: tenant guarantees,
+//! * [`core`] — the Silo controller: tenant guarantees,
 //!   admission, pacer configuration, message-latency bounds.
-//! * [`placement`](silo_placement) — the network-calculus placement
+//! * [`placement`] — the network-calculus placement
 //!   manager plus the Oktopus and Locality baselines.
-//! * [`pacer`](silo_pacer) — token-bucket hierarchy and paced IO batching
+//! * [`pacer`] — token-bucket hierarchy and paced IO batching
 //!   with void packets.
-//! * [`netcalc`](silo_netcalc) — arrival/service curves and queue bounds.
-//! * [`topology`](silo_topology) — multi-rooted tree datacenters.
-//! * [`simnet`](silo_simnet) — the packet-level simulator (TCP, DCTCP,
+//! * [`netcalc`] — arrival/service curves and queue bounds.
+//! * [`topology`] — multi-rooted tree datacenters.
+//! * [`simnet`] — the packet-level simulator (TCP, DCTCP,
 //!   HULL, Oktopus, Silo datapaths).
-//! * [`flowsim`](silo_flowsim) — the datacenter-scale flow-level
+//! * [`flowsim`] — the datacenter-scale flow-level
 //!   simulator.
-//! * [`workload`](silo_workload) — ETC/memcached, Poisson, OLDI and
+//! * [`workload`] — ETC/memcached, Poisson, OLDI and
 //!   shuffle workload generators.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md

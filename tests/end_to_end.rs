@@ -61,6 +61,7 @@ fn admitted_tenant_meets_its_guarantee_end_to_end() {
         s: guarantee.s,
         bmax: guarantee.bmax,
         prio: 0,
+        delay: None,
         workload: TenantWorkload::OldiPeriodic {
             msg,
             period: Dur::from_ms(16),
@@ -162,6 +163,7 @@ fn full_stack_determinism() {
                 s: Bytes::from_kb(15),
                 bmax: Rate::from_gbps(1),
                 prio: 0,
+                delay: None,
                 workload: TenantWorkload::OldiAllToOne {
                     msg_mean: Bytes::from_kb(13),
                     interval: Dur::from_ms(2),
@@ -173,6 +175,7 @@ fn full_stack_determinism() {
                 s: Bytes(1500),
                 bmax: Rate::from_gbps(2),
                 prio: 0,
+                delay: None,
                 workload: TenantWorkload::BulkAllToAll {
                     msg: Bytes::from_mb(1),
                 },
