@@ -20,6 +20,25 @@
 //! `2^48` ps ≈ 281 s of horizon), so a push is O(1) and an entry cascades
 //! through at most 7 slots over its whole lifetime. Slot vectors are
 //! recycled through a pool, so steady-state operation allocates nothing.
+//!
+//! # Cancellation
+//!
+//! [`EventQueue::push_cancelable`] returns an [`EvKey`] — a slot index into
+//! a generation slab — and [`EventQueue::cancel`] removes that entry.
+//! While an entry sits in a wheel slot (or the overflow list) the slab
+//! tracks its exact position, so a cancel is an O(1) `swap_remove` — the
+//! entry never cascades, never reaches the head, and costs nothing after
+//! the cancel. Positions inside slot vectors carry no ordering (level-0
+//! slots are sorted by `seq` at drain time; higher levels re-file by
+//! expiry), so the swap cannot perturb the dequeue order. Entries already
+//! drained into the `ready` run — and everything under the reference heap
+//! backend, which has no O(1) delete — fall back to a lazy tombstone:
+//! marked dead in the slab and skipped at `pop`/`peek_time`. Because live
+//! entries keep their `(t, seq)` stamps either way, the dequeue sequence
+//! of survivors is byte-identical to the dispatch-time tombstone scheme
+//! this replaces, which the differential suite below proves. `len()` and
+//! `peak_len()` count *live* entries only, so the queue's high-water mark
+//! reflects real pending work rather than tombstone bloat.
 
 use crate::units::Time;
 use std::collections::{BinaryHeap, VecDeque};
@@ -29,10 +48,33 @@ const SLOTS: usize = 1 << BITS; // 64
 const LEVELS: usize = 8;
 const MASK: u64 = (SLOTS as u64) - 1;
 
+/// `Entry.key` value for plain (non-cancelable) pushes.
+const NO_KEY: u64 = u64::MAX;
+
+/// Handle to a pending cancelable entry: a slab index plus the generation
+/// it was issued under, packed `index << 32 | gen`. Stale keys (the entry
+/// already popped or cancelled) are detected by a generation mismatch, so
+/// holding a key past its entry's lifetime is always safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvKey(u64);
+
+impl EvKey {
+    #[inline]
+    fn pack(idx: u32, gen: u32) -> EvKey {
+        EvKey(((idx as u64) << 32) | gen as u64)
+    }
+    #[inline]
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry<E> {
     t: u64,
     seq: u64,
+    /// `NO_KEY`, or the packed [`EvKey`] this entry was issued under.
+    key: u64,
     item: E,
 }
 
@@ -110,19 +152,75 @@ impl<E> Wheel<E> {
         }
     }
 
-    fn file(&mut self, e: Entry<E>) {
+    fn file(&mut self, e: Entry<E>, slab: &mut Slab) {
         debug_assert!(e.t >= self.cur);
+        debug_assert!(!slab.entry_dead(e.key), "dead entry re-filed");
+        let key = e.key;
         let level = self.level_of(e.t);
         if level >= LEVELS {
             self.overflow.push(e);
+            if key != NO_KEY {
+                slab.set_loc(
+                    key,
+                    Loc::Overflow {
+                        idx: (self.overflow.len() - 1) as u32,
+                    },
+                );
+            }
             return;
         }
         let slot = Self::digit(e.t, level);
         self.slots[level][slot].push(e);
         self.occupied[level] |= 1 << slot;
+        if key != NO_KEY {
+            slab.set_loc(
+                key,
+                Loc::Slot {
+                    level: level as u8,
+                    slot: slot as u8,
+                    idx: (self.slots[level][slot].len() - 1) as u32,
+                },
+            );
+        }
     }
 
-    fn push(&mut self, e: Entry<E>) {
+    /// Physically unlink a tracked entry — O(1): `swap_remove` from its
+    /// slot (or overflow) vector, re-point the entry that got swapped into
+    /// its place, and clear the occupancy bit if the slot emptied.
+    fn remove(&mut self, loc: Loc, key: EvKey, slab: &mut Slab) {
+        let removed = match loc {
+            Loc::Slot { level, slot, idx } => {
+                let v = &mut self.slots[level as usize][slot as usize];
+                let e = v.swap_remove(idx as usize);
+                if let Some(moved) = v.get(idx as usize) {
+                    if moved.key != NO_KEY {
+                        slab.set_loc(moved.key, loc);
+                    }
+                }
+                if v.is_empty() {
+                    self.occupied[level as usize] &= !(1 << slot);
+                }
+                e
+            }
+            Loc::Overflow { idx } => {
+                let e = self.overflow.swap_remove(idx as usize);
+                if let Some(moved) = self.overflow.get(idx as usize) {
+                    if moved.key != NO_KEY {
+                        slab.set_loc(moved.key, Loc::Overflow { idx });
+                    }
+                }
+                e
+            }
+            Loc::Untracked => unreachable!("remove() called for an untracked entry"),
+        };
+        debug_assert_eq!(
+            removed.key, key.0,
+            "back-pointer pointed at a different entry"
+        );
+        self.len -= 1;
+    }
+
+    fn push(&mut self, e: Entry<E>, slab: &mut Slab) {
         self.len += 1;
         // An entry due before `cur` (a zero-delay or past-stamp push — the
         // NIC batcher pops stamps up to a whole batch window ahead of the
@@ -136,14 +234,21 @@ impl<E> Wheel<E> {
             };
         if into_ready {
             let pos = self.ready.partition_point(|r| (r.t, r.seq) < (e.t, e.seq));
+            if e.key != NO_KEY {
+                // Entries merged straight into `ready` have no stable
+                // position; cancellation falls back to the lazy mark.
+                slab.set_loc(e.key, Loc::Untracked);
+            }
             self.ready.insert(pos, e);
         } else {
-            self.file(e);
+            self.file(e, slab);
         }
     }
 
     /// Ensure `ready` holds the minimal pending entries (if any exist).
-    fn prime(&mut self) {
+    /// Only live entries ever sit in wheel slots — cancellation removes
+    /// its target on the spot — so cascades never move dead weight.
+    fn prime(&mut self, slab: &mut Slab) {
         if !self.ready.is_empty() || self.len == 0 {
             return;
         }
@@ -163,7 +268,7 @@ impl<E> Wheel<E> {
                 self.cur = self.cur.max(min_t);
                 let pending = std::mem::take(&mut self.overflow);
                 for e in pending {
-                    self.file(e);
+                    self.file(e, slab);
                 }
                 continue;
             };
@@ -182,7 +287,12 @@ impl<E> Wheel<E> {
                 self.cur = batch[0].t;
                 batch.sort_unstable_by_key(|e| e.seq);
                 debug_assert!(batch.iter().all(|e| e.t == self.cur));
-                self.ready.extend(batch.drain(..));
+                for e in batch.drain(..) {
+                    if e.key != NO_KEY {
+                        slab.set_loc(e.key, Loc::Untracked);
+                    }
+                    self.ready.push_back(e);
+                }
                 self.spare.push(batch);
                 return;
             }
@@ -192,22 +302,44 @@ impl<E> Wheel<E> {
                 | ((slot as u64) << (BITS * l as u32));
             self.cur = self.cur.max(base);
             for e in batch.drain(..) {
-                self.file(e);
+                self.file(e, slab);
             }
             self.spare.push(batch);
         }
     }
 
-    fn pop(&mut self) -> Option<Entry<E>> {
-        self.prime();
+    fn pop(&mut self, slab: &mut Slab) -> Option<Entry<E>> {
+        self.prime(slab);
         let e = self.ready.pop_front()?;
         self.len -= 1;
         Some(e)
     }
 
-    fn peek_time(&mut self) -> Option<Time> {
-        self.prime();
-        self.ready.front().map(|e| Time(e.t))
+    /// Earliest expiry among *filed* entries (slots + overflow), without
+    /// disturbing the structure. The global minimum is in the minimal
+    /// occupied slot of the minimal occupied level: any entry at a higher
+    /// level matches `cur` through this level's digit and exceeds it at
+    /// its own, and any entry in a later slot exceeds this slot's digit —
+    /// either way it expires later, whatever its low bits. Only the low
+    /// bits *within* the minimal slot vary, hence the scan.
+    fn peek_filed(&self) -> Option<u64> {
+        for (l, &bm) in self.occupied.iter().enumerate() {
+            if bm != 0 {
+                let slot = bm.trailing_zeros() as usize;
+                return self.slots[l][slot].iter().map(|e| e.t).min();
+            }
+        }
+        // Everything pending is beyond the wheel horizon.
+        self.overflow.iter().map(|e| e.t).min()
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.ready.reserve(n.min(4096));
+        self.overflow.reserve(n.min(1024));
+        // Seed the recycled-vector pool so early cascades don't allocate.
+        while self.spare.len() < 16 {
+            self.spare.push(Vec::with_capacity(n.min(256)));
+        }
     }
 }
 
@@ -236,11 +368,109 @@ enum Inner<E> {
     Heap(BinaryHeap<HeapEntry<E>>),
 }
 
+/// Where a live cancelable entry currently sits, for O(1) removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// No tracked position: the entry is in the `ready` run, under the
+    /// heap backend, or already gone. Cancellation falls back to a lazy
+    /// dead-mark skipped at the head.
+    Untracked,
+    /// `Wheel.slots[level][slot][idx]`.
+    Slot { level: u8, slot: u8, idx: u32 },
+    /// `Wheel.overflow[idx]`.
+    Overflow { idx: u32 },
+}
+
+/// Generation slab state for one cancelable slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    alive: bool,
+    loc: Loc,
+}
+
+/// The generation slab behind [`EvKey`]s, split out of [`EventQueue`] so
+/// the wheel can consult liveness mid-cascade without borrowing the whole
+/// queue.
+#[derive(Debug, Default)]
+struct Slab {
+    slots: Vec<Slot>,
+    /// Retired slab indices available for reuse.
+    free: Vec<u32>,
+    /// Cancelled entries still buried in the backend (pending deletes).
+    dead: usize,
+}
+
+impl Slab {
+    fn alloc(&mut self) -> EvKey {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    alive: false,
+                    loc: Loc::Untracked,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.alive = true;
+        slot.loc = Loc::Untracked;
+        EvKey::pack(idx, slot.gen)
+    }
+
+    /// Lazy cancellation for entries with no tracked position: mark dead
+    /// and let the head skip it.
+    fn cancel_lazy(&mut self, idx: u32) {
+        self.slots[idx as usize].alive = false;
+        self.dead += 1;
+    }
+
+    /// Record where the wheel just filed a keyed entry.
+    #[inline]
+    fn set_loc(&mut self, key: u64, loc: Loc) {
+        let (idx, gen) = EvKey(key).unpack();
+        let s = &mut self.slots[idx as usize];
+        debug_assert_eq!(s.gen, gen, "slot reused while its entry was queued");
+        s.loc = loc;
+    }
+
+    /// Retire the slab slot of a keyed entry that just left the backend.
+    /// Returns `true` if the entry was live (should be surfaced).
+    #[inline]
+    fn retire(&mut self, key: u64) -> bool {
+        let (idx, gen) = EvKey(key).unpack();
+        let s = &mut self.slots[idx as usize];
+        debug_assert_eq!(s.gen, gen, "slot reused while its entry was queued");
+        let was_live = s.alive;
+        s.alive = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(idx);
+        if !was_live {
+            self.dead -= 1;
+        }
+        was_live
+    }
+
+    /// Is the keyed entry still buried but cancelled? (`NO_KEY` is never
+    /// dead.)
+    #[inline]
+    fn entry_dead(&self, key: u64) -> bool {
+        if key == NO_KEY {
+            return false;
+        }
+        let (idx, _) = EvKey(key).unpack();
+        !self.slots[idx as usize].alive
+    }
+}
+
 /// A monotone discrete-event queue ordered by `(time, insertion order)`.
 pub struct EventQueue<E> {
     inner: Inner<E>,
     seq: u64,
     peak_len: usize,
+    slab: Slab,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -269,50 +499,132 @@ impl<E> EventQueue<E> {
             inner,
             seq: 0,
             peak_len: 0,
+            slab: Slab::default(),
         }
     }
 
-    pub fn push(&mut self, t: Time, item: E) {
+    /// Pre-size internal storage for roughly `n` concurrently pending
+    /// entries (derived from topology bounds by the simulator), so the
+    /// warm-up phase doesn't pay reallocation costs.
+    pub fn reserve(&mut self, n: usize) {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.reserve(n),
+            Inner::Heap(h) => h.reserve(n),
+        }
+        self.slab.slots.reserve(n.min(4096));
+        self.slab.free.reserve(n.min(4096));
+    }
+
+    fn push_entry(&mut self, t: Time, key: u64, item: E) {
         let e = Entry {
             t: t.as_ps(),
             seq: self.seq,
+            key,
             item,
         };
         self.seq += 1;
         match &mut self.inner {
-            Inner::Wheel(w) => w.push(e),
+            Inner::Wheel(w) => w.push(e, &mut self.slab),
             Inner::Heap(h) => h.push(HeapEntry(e)),
         }
         self.peak_len = self.peak_len.max(self.len());
     }
 
+    pub fn push(&mut self, t: Time, item: E) {
+        self.push_entry(t, NO_KEY, item);
+    }
+
+    /// Push an entry that can later be removed with [`EventQueue::cancel`].
+    /// Ordering is identical to [`EventQueue::push`]; the returned key is
+    /// valid until the entry pops or is cancelled, and harmlessly stale
+    /// afterwards.
+    pub fn push_cancelable(&mut self, t: Time, item: E) -> EvKey {
+        let key = self.slab.alloc();
+        self.push_entry(t, key.0, item);
+        key
+    }
+
+    /// Cancel a pending cancelable entry. Returns `true` if the entry was
+    /// still live (it will never be returned by `pop`); `false` if the key
+    /// is stale — already popped or already cancelled.
+    ///
+    /// Under the wheel backend an entry still filed in a slot is removed
+    /// physically in O(1); an entry already drained to the head run — or
+    /// anything under the heap backend — is marked dead and skipped there.
+    pub fn cancel(&mut self, key: EvKey) -> bool {
+        let (idx, gen) = key.unpack();
+        let loc = match self.slab.slots.get(idx as usize) {
+            Some(s) if s.gen == gen && s.alive => s.loc,
+            _ => return false,
+        };
+        match (&mut self.inner, loc) {
+            (Inner::Wheel(w), Loc::Slot { .. } | Loc::Overflow { .. }) => {
+                w.remove(loc, key, &mut self.slab);
+                self.slab.retire(key.0);
+            }
+            _ => self.slab.cancel_lazy(idx),
+        }
+        true
+    }
+
+    fn pop_raw(&mut self) -> Option<Entry<E>> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.pop(&mut self.slab),
+            Inner::Heap(h) => h.pop().map(|HeapEntry(e)| e),
+        }
+    }
+
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        match &mut self.inner {
-            Inner::Wheel(w) => w.pop().map(|e| (Time(e.t), e.item)),
-            Inner::Heap(h) => h.pop().map(|HeapEntry(e)| (Time(e.t), e.item)),
+        loop {
+            let e = self.pop_raw()?;
+            if e.key == NO_KEY || self.slab.retire(e.key) {
+                return Some((Time(e.t), e.item));
+            }
+            // Cancelled: skip and keep draining.
         }
     }
 
-    /// Earliest pending expiry without removing it.
+    /// Earliest *live* pending expiry without removing it. Dead entries at
+    /// the head (lazy-cancelled in the ready run or the heap) are drained
+    /// as a side effect; under the wheel, a far-future head is answered by
+    /// scanning its minimal slot instead of cascading it down — repeated
+    /// "anything due yet?" polls leave the structure untouched.
     pub fn peek_time(&mut self) -> Option<Time> {
-        match &mut self.inner {
-            Inner::Wheel(w) => w.peek_time(),
-            Inner::Heap(h) => h.peek().map(|he| Time(he.0.t)),
+        loop {
+            let (t, key) = match &mut self.inner {
+                Inner::Wheel(w) => match w.ready.front() {
+                    Some(e) => (e.t, e.key),
+                    // Filed entries are never dead (cancellation removes
+                    // them physically), so this needs no skip loop.
+                    None => return w.peek_filed().map(Time),
+                },
+                Inner::Heap(h) => {
+                    let e = &h.peek()?.0;
+                    (e.t, e.key)
+                }
+            };
+            if !self.slab.entry_dead(key) {
+                return Some(Time(t));
+            }
+            let e = self.pop_raw().expect("head exists");
+            self.slab.retire(e.key);
         }
     }
 
+    /// Number of *live* entries (cancelled-but-buried ones excluded).
     pub fn len(&self) -> usize {
-        match &self.inner {
+        let raw = match &self.inner {
             Inner::Wheel(w) => w.len,
             Inner::Heap(h) => h.len(),
-        }
+        };
+        raw - self.slab.dead
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// High-water mark of the queue depth over the queue's lifetime.
+    /// High-water mark of the *live* queue depth over the queue's lifetime.
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
@@ -437,5 +749,130 @@ mod tests {
         q.push(Time(100), ());
         assert_eq!(q.peak_len(), 10);
         assert_eq!(q.pushed(), 11);
+    }
+
+    #[test]
+    fn cancel_removes_entry_and_detects_stale_keys() {
+        let mut q = EventQueue::new();
+        let k1 = q.push_cancelable(Time(10), "a");
+        let k2 = q.push_cancelable(Time(20), "b");
+        q.push(Time(30), "c");
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(k1), "first cancel hits a live entry");
+        assert!(!q.cancel(k1), "double cancel is stale");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time(20)), "cancelled head skipped");
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert!(!q.cancel(k2), "cancel after pop is stale");
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_keeps_generations_distinct() {
+        let mut q = EventQueue::new();
+        let k1 = q.push_cancelable(Time(1), 1u32);
+        assert_eq!(q.pop(), Some((Time(1), 1)));
+        // The slab slot is recycled for k2; the stale k1 must not hit it.
+        let k2 = q.push_cancelable(Time(2), 2u32);
+        assert!(!q.cancel(k1));
+        assert!(q.cancel(k2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn live_len_and_peak_exclude_cancelled() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..8)
+            .map(|i| q.push_cancelable(Time(100 + i), i))
+            .collect();
+        for k in &keys[2..] {
+            assert!(q.cancel(*k));
+        }
+        assert_eq!(q.len(), 2);
+        // Pushing after mass-cancellation: peak reflects live depth only.
+        q.push(Time(500), 99);
+        assert_eq!(q.peak_len(), 8, "peak was 8 before the cancels");
+        assert_eq!(q.len(), 3);
+        let live: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(live, vec![0, 1, 99]);
+    }
+
+    /// The satellite differential suite: cancellation must dequeue the
+    /// surviving entries in exactly the order the old *tombstone* scheme
+    /// would (push everything, skip stale markers at dispatch). Runs the
+    /// same random churn against three implementations — wheel+cancel,
+    /// heap+cancel, and a tombstone model over a plain queue — and checks
+    /// the visible pop sequences are identical.
+    #[test]
+    fn cancel_matches_tombstone_dequeue_order() {
+        use std::collections::HashSet;
+        let mut rng = seeded_rng(99);
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::reference_heap();
+        let mut tomb = EventQueue::new();
+        let mut tomb_dead: HashSet<u64> = HashSet::new();
+        // Live cancelable keys: (wheel key, heap key, id).
+        let mut live: Vec<(EvKey, EvKey, u64)> = Vec::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        let tomb_pop = |q: &mut EventQueue<u64>, dead: &HashSet<u64>| loop {
+            match q.pop() {
+                Some((t, id)) if dead.contains(&id) => {
+                    // Tombstone: stale entry dispatched and dropped.
+                    let _ = t;
+                }
+                other => return other,
+            }
+        };
+        for _ in 0..30_000 {
+            let r = rng.random::<f64>();
+            if r < 0.45 || wheel.is_empty() {
+                let t = now + rng.random_range(0..10_000_000u64);
+                let id = next_id;
+                next_id += 1;
+                if rng.random::<f64>() < 0.5 {
+                    let kw = wheel.push_cancelable(Time(t), id);
+                    let kh = heap.push_cancelable(Time(t), id);
+                    live.push((kw, kh, id));
+                } else {
+                    wheel.push(Time(t), id);
+                    heap.push(Time(t), id);
+                }
+                tomb.push(Time(t), id);
+            } else if r < 0.60 && !live.is_empty() {
+                let i = rng.random_range(0..live.len());
+                let (kw, kh, id) = live.swap_remove(i);
+                // Both queues agree on cancellability; mirror into the
+                // tombstone model's dead set.
+                let cw = wheel.cancel(kw);
+                let ch = heap.cancel(kh);
+                assert_eq!(cw, ch);
+                if cw {
+                    tomb_dead.insert(id);
+                }
+            } else {
+                let a = wheel.pop();
+                let b = heap.pop();
+                let c = tomb_pop(&mut tomb, &tomb_dead);
+                assert_eq!(a, b, "wheel vs heap");
+                assert_eq!(a, c, "cancel vs tombstone");
+                if let Some((t, id)) = a {
+                    live.retain(|&(_, _, lid)| lid != id);
+                    now = t.as_ps();
+                }
+            }
+        }
+        loop {
+            let a = wheel.pop();
+            assert_eq!(a, heap.pop());
+            assert_eq!(a, tomb_pop(&mut tomb, &tomb_dead));
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.len(), 0);
+        assert_eq!(heap.len(), 0);
     }
 }

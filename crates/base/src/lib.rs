@@ -20,10 +20,12 @@
 
 pub mod dist;
 pub mod eventq;
+pub mod fxhash;
 pub mod stats;
 pub mod units;
 
 pub use dist::{exponential, gen_pareto, seeded_rng, GenPareto};
-pub use eventq::{EventQueue, QueueBackend};
+pub use eventq::{EvKey, EventQueue, QueueBackend};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use stats::{Cdf, Histogram, OnlineStats, Summary};
 pub use units::{Bytes, Dur, Rate, Time};

@@ -203,6 +203,60 @@ fn bench_eventq(h: &mut Harness) -> (f64, f64) {
     (wheel_ns, heap_ns)
 }
 
+/// The simulator's RTO pattern in miniature: 64 connections each re-arm a
+/// 10 ms timer every segment (~1.2 µs), so a timer is superseded ~8000
+/// times before it would fire. `cancel = false` models the tombstone
+/// scheme — dead timers stay buried until they surface and are skipped —
+/// and the standing population grows to the full horizon (~8 k dead
+/// entries); `cancel = true` removes each superseded timer at re-arm time
+/// and the queue holds only the 64 live ones. Returns ns per re-arm.
+fn rearm_churn(q: &mut EventQueue<u64>, ops: usize, cancel: bool) -> f64 {
+    const CONNS: usize = 64;
+    const REARM_PS: u64 = 1_200_000; // one MTU tx at 10 GbE
+    const RTO_PS: u64 = 10_000_000_000; // 10 ms min RTO
+    let mut keys = [None; CONNS];
+    let mut now = 0u64;
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let c = i % CONNS;
+        now += REARM_PS;
+        if cancel {
+            if let Some(k) = keys[c].take() {
+                q.cancel(k);
+            }
+            keys[c] = Some(q.push_cancelable(Time(now + RTO_PS), c as u64));
+        } else {
+            q.push(Time(now + RTO_PS), c as u64);
+        }
+        // Drain everything due (tombstones dominate in the no-cancel run).
+        while q.peek_time().is_some_and(|t| t.as_ps() <= now) {
+            q.pop();
+        }
+    }
+    t0.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn bench_timer_cancel(h: &mut Harness) -> (f64, f64) {
+    let ops = if h.quick { 200_000 } else { 2_000_000 };
+    let mut tomb = EventQueue::new();
+    let tomb_ns = rearm_churn(&mut tomb, ops, false);
+    println!(
+        "{:<44} {tomb_ns:>12.1} ns/op   ({ops} ops, peak {} entries)",
+        "eventq/rearm_tombstone",
+        tomb.peak_len()
+    );
+    h.results.push(("eventq/rearm_tombstone".into(), tomb_ns));
+    let mut canc = EventQueue::new();
+    let canc_ns = rearm_churn(&mut canc, ops, true);
+    println!(
+        "{:<44} {canc_ns:>12.1} ns/op   ({ops} ops, peak {} entries)",
+        "eventq/rearm_cancel",
+        canc.peak_len()
+    );
+    h.results.push(("eventq/rearm_cancel".into(), canc_ns));
+    (tomb_ns, canc_ns)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     // Cargo's bench runner passes --bench through; ignore it.
@@ -219,13 +273,29 @@ fn main() {
     bench_netcalc(&mut h);
     bench_waterfill(&mut h);
     let (wheel_ns, heap_ns) = bench_eventq(&mut h);
-    // Machine-independent regression gate: the timer wheel must stay
-    // within 2x of the reference heap on the simulator's event pattern
-    // (it is expected to be *faster*; 2x headroom absorbs CI noise).
+    let (tomb_ns, canc_ns) = bench_timer_cancel(&mut h);
+    // Machine-independent regression gates (ratios, so CI hardware
+    // variance doesn't matter):
+    // 1. The timer wheel must stay within 2x of the reference heap on the
+    //    simulator's event pattern (it is expected to be *faster*; 2x
+    //    headroom absorbs CI noise).
     let ratio = wheel_ns / heap_ns;
     println!("eventq wheel/heap ratio: {ratio:.2} (gate: < 2.0)");
-    if h.enforce && ratio >= 2.0 {
-        eprintln!("REGRESSION: timer wheel {ratio:.2}x slower than reference heap");
-        std::process::exit(1);
+    // 2. Cancellation must beat the tombstone scheme by >= 1.3x on the
+    //    RTO re-arm pattern — the win the simulator's cancel_timers
+    //    default is predicated on.
+    let cancel_gain = tomb_ns / canc_ns;
+    println!("eventq tombstone/cancel re-arm gain: {cancel_gain:.2}x (gate: >= 1.3)");
+    if h.enforce {
+        if ratio >= 2.0 {
+            eprintln!("REGRESSION: timer wheel {ratio:.2}x slower than reference heap");
+            std::process::exit(1);
+        }
+        if cancel_gain < 1.3 {
+            eprintln!(
+                "REGRESSION: timer cancellation only {cancel_gain:.2}x over tombstones (need 1.3x)"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -10,6 +10,9 @@ pub struct Args {
     pub occupancy: f64,
     /// Worker threads for sweep cells; 0 = one per available core.
     pub threads: usize,
+    /// `bench_simnet --profile`: print the event-profile table for one
+    /// cell instead of running the full benchmark grid.
+    pub profile: bool,
 }
 
 impl Default for Args {
@@ -21,6 +24,7 @@ impl Default for Args {
             runs: 3,
             occupancy: 0.9,
             threads: 0,
+            profile: false,
         }
     }
 }
@@ -34,6 +38,11 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i].as_str();
+            if key == "--profile" {
+                a.profile = true;
+                i += 1;
+                continue;
+            }
             let val = argv.get(i + 1).unwrap_or_else(|| {
                 panic!("missing value for {key}");
             });
@@ -47,7 +56,7 @@ impl Args {
                 "--occupancy" => a.occupancy = val.parse().expect("--occupancy takes a float"),
                 "--threads" => a.threads = val.parse().expect("--threads takes an integer"),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile"
                 ),
             }
             i += 2;

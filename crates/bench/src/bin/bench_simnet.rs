@@ -1,42 +1,50 @@
-//! Simnet engine microbenchmark: event-loop throughput (timer wheel vs
-//! the reference `BinaryHeap` backend) and sweep-level parallel speedup,
+//! Simnet engine microbenchmark: event-loop throughput across the queue
+//! backends (timer wheel vs reference `BinaryHeap`), the timer-cancellation
+//! engine win over the tombstone scheme, and sweep-level parallel speedup —
 //! written to `BENCH_simnet.json` in the current directory.
 //!
-//! Three phases run the **same** `(mode × seed)` cell grid:
+//! Four phases run the **same** `(mode × seed)` cell grid:
 //!
-//! 1. `heap/t1`   — reference heap backend, one worker thread (baseline);
-//! 2. `wheel/t1`  — timer wheel, one worker thread (engine speedup);
-//! 3. `wheel/tN`  — timer wheel, one worker per core (sweep speedup).
+//! 1. `heap/t1`           — reference heap backend, one thread;
+//! 2. `wheel_nocancel/t1` — timer wheel, tombstone timers (the
+//!    pre-cancellation engine baseline);
+//! 3. `wheel/t1`          — timer wheel + cancelable timers (the default
+//!    engine), one thread;
+//! 4. `wheel/tN`          — default engine, one worker per core.
 //!
-//! Results are bit-identical across all three phases (asserted here —
-//! this binary doubles as an end-to-end determinism check), so the only
-//! thing being compared is cost.
+//! Physical results are asserted byte-identical across all four phases
+//! (this binary doubles as an end-to-end equivalence check); engine
+//! counters are additionally identical wherever the engine config matches.
+//!
+//! `--profile` instead runs one Silo cell and prints the per-event-kind
+//! scheduled/fired/stale/cancelled table, failing if the cancellation
+//! layer did no work — the CI smoke test that the optimization stays live.
 
 use silo_base::QueueBackend;
-use silo_bench::ns2::{ns2_cells, run_ns2_cell_with_queue, Ns2Cell};
+use silo_bench::ns2::{ns2_cells, run_ns2_cell_with_engine, EngineOpts, Ns2Cell};
 use silo_bench::{auto_threads, run_cells_timed, Args, BenchCell, BenchReport};
 use silo_simnet::TransportMode;
 use std::time::Instant;
 
 struct Phase {
     report: BenchReport,
-    fingerprints: Vec<String>,
+    /// Full canonical fingerprints (physics + engine counters).
+    canonical: Vec<String>,
+    /// Physics-only fingerprints (what every engine config must agree on).
+    physics: Vec<String>,
+    peak_sum: u64,
 }
 
-fn run_phase(
-    tag: &str,
-    cells: &[Ns2Cell],
-    args: &Args,
-    queue: QueueBackend,
-    threads: usize,
-) -> Phase {
+fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads: usize) -> Phase {
     let t0 = Instant::now();
     let timed = run_cells_timed(cells, threads, |_, c| {
-        run_ns2_cell_with_queue(c, args, queue)
+        run_ns2_cell_with_engine(c, args, eng)
     });
     let total_wall_s = t0.elapsed().as_secs_f64();
     let mut bench_cells = Vec::with_capacity(cells.len());
-    let mut fingerprints = Vec::with_capacity(cells.len());
+    let mut canonical = Vec::with_capacity(cells.len());
+    let mut physics = Vec::with_capacity(cells.len());
+    let mut peak_sum = 0u64;
     for (cell, t) in cells.iter().zip(&timed) {
         let (_, m) = &t.result;
         bench_cells.push(BenchCell {
@@ -45,7 +53,9 @@ fn run_phase(
             events: m.events_processed,
             peak_event_queue: m.peak_event_queue,
         });
-        fingerprints.push(m.canonical_json());
+        canonical.push(m.canonical_json());
+        physics.push(m.physics_json());
+        peak_sum += m.peak_event_queue;
     }
     Phase {
         report: BenchReport {
@@ -56,12 +66,47 @@ fn run_phase(
             total_wall_s,
             cells: bench_cells,
         },
-        fingerprints,
+        canonical,
+        physics,
+        peak_sum,
     }
+}
+
+/// `--profile`: one Silo cell on the default engine, profile table to
+/// stdout. Exits nonzero when no timer was ever cancelled — that would
+/// mean the elision layer is configured out and the engine is silently
+/// back to dispatching tombstones.
+fn profile_smoke(args: &Args) -> ! {
+    let cell = Ns2Cell {
+        mode: TransportMode::Silo,
+        run: 0,
+        seed: args.seed,
+    };
+    let (_, m) = run_ns2_cell_with_engine(&cell, args, EngineOpts::default());
+    println!(
+        "Silo/seed{} ({} ms sim): {} events, peak queue {}",
+        args.seed, args.duration_ms, m.events_processed, m.peak_event_queue
+    );
+    print!("{}", m.profile.to_table());
+    let cancelled = m.profile.total_cancelled();
+    let stale = m.profile.total_stale();
+    if cancelled == 0 {
+        eprintln!("FAIL: no timers were cancelled — the cancellation layer is dead");
+        std::process::exit(1);
+    }
+    if stale > 0 {
+        eprintln!("FAIL: {stale} stale dispatches under cancel_timers — tombstones leaked");
+        std::process::exit(1);
+    }
+    println!("profile smoke OK: {cancelled} cancelled, 0 stale");
+    std::process::exit(0);
 }
 
 fn main() {
     let args = Args::parse();
+    if args.profile {
+        profile_smoke(&args);
+    }
     let modes = [
         TransportMode::Silo,
         TransportMode::Tcp,
@@ -80,36 +125,68 @@ fn main() {
         cores
     );
 
-    let heap1 = run_phase("heap/t1", &cells, &args, QueueBackend::Heap, 1);
-    let wheel1 = run_phase("wheel/t1", &cells, &args, QueueBackend::Wheel, 1);
+    let wheel = EngineOpts::default();
+    let heap = EngineOpts {
+        queue: QueueBackend::Heap,
+        ..wheel
+    };
+    let nocancel = EngineOpts {
+        cancel_timers: false,
+        ..wheel
+    };
+    let heap1 = run_phase("heap/t1", &cells, &args, heap, 1);
+    let base1 = run_phase("wheel_nocancel/t1", &cells, &args, nocancel, 1);
+    let wheel1 = run_phase("wheel/t1", &cells, &args, wheel, 1);
     let wheeln = run_phase(
         &format!("wheel/t{par_threads}"),
         &cells,
         &args,
-        QueueBackend::Wheel,
+        wheel,
         par_threads,
     );
 
-    // The backend and the thread count are pure cost knobs: results must
-    // not move. (Serialized metrics are compared byte for byte.)
+    // Physics must not move under any engine config; full canonical
+    // results (engine counters included) must not move across backends or
+    // thread counts when the engine config is the same.
     assert_eq!(
-        heap1.fingerprints, wheel1.fingerprints,
-        "heap and wheel backends diverged"
+        wheel1.physics, base1.physics,
+        "timer cancellation changed physical results"
     );
     assert_eq!(
-        wheel1.fingerprints, wheeln.fingerprints,
+        heap1.physics, wheel1.physics,
+        "queue backend changed physical results"
+    );
+    assert_eq!(
+        heap1.canonical, wheel1.canonical,
+        "heap and wheel backends diverged on engine counters"
+    );
+    assert_eq!(
+        wheel1.canonical, wheeln.canonical,
         "thread count changed results"
     );
 
     let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
     let engine_gain = eps(&wheel1) / eps(&heap1);
+    // Cancellation changes the event population, so its win is wall-clock
+    // per cell against the tombstone engine, not events/sec.
+    let cancel_speedup = base1.report.cell_wall_s() / wheel1.report.cell_wall_s();
+    let silo_cancel_speedup = base1.report.cells[0].wall_s / wheel1.report.cells[0].wall_s;
+    let peak_reduction = 1.0 - wheel1.peak_sum as f64 / base1.peak_sum.max(1) as f64;
     let parallel_speedup = wheel1.report.total_wall_s / wheeln.report.total_wall_s;
 
     let notes = format!(
-        "wheel-vs-heap events/sec gain {:.2}x (single thread); \
+        "timer cancellation {:.2}x wall-clock over tombstones ({:.2}x on {}; \
+         peak event-queue occupancy -{:.0}%); wheel-vs-heap events/sec gain {:.2}x; \
          {}-thread sweep speedup {:.2}x over 1 thread on a {}-core host; \
-         results byte-identical across backends and thread counts",
-        engine_gain, par_threads, parallel_speedup, cores
+         physics byte-identical across engines, backends and thread counts",
+        cancel_speedup,
+        silo_cancel_speedup,
+        wheel1.report.cells[0].label,
+        peak_reduction * 100.0,
+        engine_gain,
+        par_threads,
+        parallel_speedup,
+        cores
     );
 
     let mut out = String::new();
@@ -127,19 +204,30 @@ fn main() {
         cells.len()
     ));
     out.push_str(&format!(
+        "  \"cancel_vs_tombstone_speedup\": {cancel_speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"cancel_vs_tombstone_speedup_silo_seed{}\": {silo_cancel_speedup:.3},\n",
+        args.seed
+    ));
+    out.push_str(&format!(
+        "  \"peak_event_queue_reduction\": {peak_reduction:.3},\n"
+    ));
+    out.push_str(&format!(
         "  \"wheel_vs_heap_events_per_sec_gain\": {engine_gain:.3},\n"
     ));
     out.push_str(&format!(
         "  \"parallel_speedup_t{par_threads}\": {parallel_speedup:.3},\n"
     ));
     out.push_str("  \"phases\": [\n");
-    for (i, p) in [&heap1, &wheel1, &wheeln].iter().enumerate() {
+    let phases = [&heap1, &base1, &wheel1, &wheeln];
+    for (i, p) in phases.iter().enumerate() {
         for line in p.report.to_json().trim_end().lines() {
             out.push_str("    ");
             out.push_str(line);
             out.push('\n');
         }
-        if i < 2 {
+        if i + 1 < phases.len() {
             let last = out.pop();
             debug_assert_eq!(last, Some('\n'));
             out.push_str(",\n");

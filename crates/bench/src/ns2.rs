@@ -76,18 +76,39 @@ pub fn ns2_cells(modes: &[TransportMode], args: &Args) -> Vec<Ns2Cell> {
         .collect()
 }
 
-/// Execute one cell: place a population and run the packet simulator.
-pub fn run_ns2_cell(cell: &Ns2Cell, args: &Args) -> (Vec<NsTenant>, Metrics) {
-    run_ns2_cell_with_queue(cell, args, silo_base::QueueBackend::default())
+/// Engine cost knobs for before/after benchmarking. Both are pure
+/// engine-side switches: physical results are byte-identical across every
+/// combination (the simnet differential suite and `bench_simnet` assert
+/// it), only wall-clock and event-queue counters move.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOpts {
+    pub queue: silo_base::QueueBackend,
+    /// `SimConfig::cancel_timers`: off reproduces the tombstone timer
+    /// scheme (the pre-cancellation engine) for baseline phases.
+    pub cancel_timers: bool,
 }
 
-/// [`run_ns2_cell`] with an explicit event-queue backend — the simnet
-/// microbenchmark runs the same cells on the timer wheel and the
-/// reference heap to measure the event-loop speedup.
-pub fn run_ns2_cell_with_queue(
+impl Default for EngineOpts {
+    fn default() -> EngineOpts {
+        EngineOpts {
+            queue: silo_base::QueueBackend::default(),
+            cancel_timers: true,
+        }
+    }
+}
+
+/// Execute one cell: place a population and run the packet simulator.
+pub fn run_ns2_cell(cell: &Ns2Cell, args: &Args) -> (Vec<NsTenant>, Metrics) {
+    run_ns2_cell_with_engine(cell, args, EngineOpts::default())
+}
+
+/// [`run_ns2_cell`] with explicit engine knobs — the simnet
+/// microbenchmark runs the same cells across queue backends and the
+/// timer-cancellation toggle to measure engine speedups.
+pub fn run_ns2_cell_with_engine(
     cell: &Ns2Cell,
     args: &Args,
-    queue: silo_base::QueueBackend,
+    eng: EngineOpts,
 ) -> (Vec<NsTenant>, Metrics) {
     let topo = ns2_topology(args.scale);
     let mut rng = seeded_rng(cell.seed);
@@ -103,7 +124,8 @@ pub fn run_ns2_cell_with_queue(
     );
     // (Oktopus's no-burst semantics are applied by Sim::new itself.)
     let mut cfg = SimConfig::new(cell.mode, Dur::from_ms(args.duration_ms), cell.seed);
-    cfg.queue = queue;
+    cfg.queue = eng.queue;
+    cfg.cancel_timers = eng.cancel_timers;
     let specs = tenants.iter().map(|t| t.spec.clone()).collect();
     let m = Sim::new(topo, cfg, specs).run();
     (tenants, m)

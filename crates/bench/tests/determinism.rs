@@ -41,6 +41,7 @@ fn small_args(threads: usize) -> Args {
         runs: 2,
         occupancy: 0.9,
         threads,
+        profile: false,
     }
 }
 

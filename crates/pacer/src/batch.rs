@@ -53,6 +53,15 @@ pub struct Batch<P> {
 }
 
 impl<P> Batch<P> {
+    /// An empty batch with no frame storage — the seed value for the
+    /// scratch-reuse path ([`PacedBatcher::next_batch_into`]).
+    pub fn empty() -> Batch<P> {
+        Batch {
+            frames: Vec::new(),
+            done_at: Time::ZERO,
+        }
+    }
+
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
     }
@@ -139,18 +148,23 @@ impl<P> PacedBatcher<P> {
     /// * if nothing is due yet (`next_stamp() > now`), the batch is empty —
     ///   the NIC idles rather than transmit leading voids.
     pub fn next_batch(&mut self, now: Time) -> Batch<P> {
-        let mut frames = Vec::new();
+        let mut batch = Batch::empty();
+        self.next_batch_into(now, &mut batch);
+        batch
+    }
+
+    /// [`PacedBatcher::next_batch`] writing into caller-owned storage: the
+    /// frame vector is cleared and refilled, so a host pulling batches in
+    /// a loop reuses one allocation instead of building a fresh `Vec`
+    /// every 50 µs window. Identical schedule, byte for byte.
+    pub fn next_batch_into(&mut self, now: Time, out: &mut Batch<P>) {
+        out.frames.clear();
+        out.done_at = now;
         let Some(head_stamp) = self.queue.peek_time() else {
-            return Batch {
-                frames,
-                done_at: now,
-            };
+            return;
         };
         if head_stamp > now {
-            return Batch {
-                frames,
-                done_at: now,
-            };
+            return;
         }
         let mut cursor = now;
         let end = now + self.window;
@@ -161,7 +175,7 @@ impl<P> PacedBatcher<P> {
             if head_stamp <= cursor {
                 let (_, (size, payload)) = self.queue.pop().expect("nonempty");
                 let tx = self.link.tx_time(size);
-                frames.push(WireFrame {
+                out.frames.push(WireFrame {
                     start: cursor,
                     size,
                     kind: FrameKind::Data,
@@ -174,7 +188,7 @@ impl<P> PacedBatcher<P> {
                 let gap_bytes = self.link.bytes_in(gap_end - cursor).as_u64();
                 let void = gap_bytes.clamp(MIN_VOID_BYTES, self.mtu.as_u64());
                 let tx = self.link.tx_time(Bytes(void));
-                frames.push(WireFrame {
+                out.frames.push(WireFrame {
                     start: cursor,
                     size: Bytes(void),
                     kind: FrameKind::Void,
@@ -183,10 +197,12 @@ impl<P> PacedBatcher<P> {
                 cursor += tx;
             }
         }
-        Batch {
-            frames,
-            done_at: cursor,
-        }
+        out.done_at = cursor;
+    }
+
+    /// Pre-size the stamp queue (topology-derived bound from the host).
+    pub fn reserve(&mut self, n: usize) {
+        self.queue.reserve(n);
     }
 }
 

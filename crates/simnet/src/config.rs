@@ -169,6 +169,17 @@ pub struct SimConfig {
     /// benchmarking. Both dequeue in identical `(time, seq)` order, so
     /// results are bit-identical either way.
     pub queue: QueueBackend,
+    /// Cancelable RTO / NIC-pull timers (slot-generation keys in
+    /// `silo_base::eventq`). On (the default), a superseded timer is
+    /// removed from the queue at re-arm time; off reproduces the original
+    /// tombstone scheme exactly (stale events stay buried until they
+    /// fire and are skipped by marker). Physical outputs
+    /// ([`crate::Metrics::physics_json`]) are byte-identical either way —
+    /// a cancelled event's dispatch was a provable no-op — so the off
+    /// position is kept for the golden-equivalence suites and
+    /// before/after benchmarking. Only engine counters differ
+    /// (`events_processed`, `peak_event_queue`, the profile).
+    pub cancel_timers: bool,
     /// Injected failures ([`FaultPlan`]). Empty (the default) is a strict
     /// no-op: no events are scheduled and every metric is byte-identical
     /// to a run without the fault layer.
@@ -201,6 +212,7 @@ impl SimConfig {
             // tenant's small messages die behind a bulk tenant's bursts.
             nic_fifo: Bytes::from_kb(150),
             queue: QueueBackend::default(),
+            cancel_timers: true,
             faults: FaultPlan::default(),
         }
     }

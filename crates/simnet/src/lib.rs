@@ -36,5 +36,5 @@ pub mod tcp;
 
 pub use config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{FaultWindow, Metrics, MsgRecord, TenantStats, Violation};
+pub use metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, TenantStats, Violation};
 pub use sim::Sim;

@@ -2,6 +2,134 @@
 
 use silo_base::{Dur, Summary, Time};
 
+/// Event classes the engine dispatches, for profiling (one slot per
+/// `sim::Ev` variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum EvKind {
+    Arrive,
+    PortFree,
+    NicPull,
+    Rto,
+    EtcArrival,
+    Oldi,
+    PoissonMsg,
+    HoseEpoch,
+    PaceResume,
+    BulkStart,
+    FaultStart,
+    FaultEnd,
+}
+
+impl EvKind {
+    pub const COUNT: usize = 12;
+    pub const ALL: [EvKind; EvKind::COUNT] = [
+        EvKind::Arrive,
+        EvKind::PortFree,
+        EvKind::NicPull,
+        EvKind::Rto,
+        EvKind::EtcArrival,
+        EvKind::Oldi,
+        EvKind::PoissonMsg,
+        EvKind::HoseEpoch,
+        EvKind::PaceResume,
+        EvKind::BulkStart,
+        EvKind::FaultStart,
+        EvKind::FaultEnd,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EvKind::Arrive => "arrive",
+            EvKind::PortFree => "port_free",
+            EvKind::NicPull => "nic_pull",
+            EvKind::Rto => "rto",
+            EvKind::EtcArrival => "etc_arrival",
+            EvKind::Oldi => "oldi",
+            EvKind::PoissonMsg => "poisson_msg",
+            EvKind::HoseEpoch => "hose_epoch",
+            EvKind::PaceResume => "pace_resume",
+            EvKind::BulkStart => "bulk_start",
+            EvKind::FaultStart => "fault_start",
+            EvKind::FaultEnd => "fault_end",
+        }
+    }
+}
+
+/// Per-event-kind accounting of what the engine did with its events:
+/// `scheduled` were pushed into the queue, `fired` were dispatched,
+/// `stale` were dispatched but discarded as superseded (tombstone timers
+/// whose marker no longer matched — pure dispatch-loop waste), and
+/// `cancelled` were removed from the queue before firing (disarmed RTOs,
+/// superseded NIC pulls, under `SimConfig::cancel_timers`). The elision
+/// layer's win is `cancelled` plus the drop in `stale`: every cancelled
+/// timer is a tombstone the engine never had to store, cascade through
+/// the wheel, pop, and dispatch into a no-op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventProfile {
+    pub scheduled: [u64; EvKind::COUNT],
+    pub fired: [u64; EvKind::COUNT],
+    pub stale: [u64; EvKind::COUNT],
+    pub cancelled: [u64; EvKind::COUNT],
+}
+
+impl EventProfile {
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled.iter().sum()
+    }
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+    pub fn total_stale(&self) -> u64 {
+        self.stale.iter().sum()
+    }
+    pub fn total_cancelled(&self) -> u64 {
+        self.cancelled.iter().sum()
+    }
+
+    /// Accumulate another run's counts (for sweep-wide reporting).
+    pub fn merge(&mut self, other: &EventProfile) {
+        for i in 0..EvKind::COUNT {
+            self.scheduled[i] += other.scheduled[i];
+            self.fired[i] += other.fired[i];
+            self.stale[i] += other.stale[i];
+            self.cancelled[i] += other.cancelled[i];
+        }
+    }
+
+    /// Aligned text table for `bench_simnet --profile`.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14}\n",
+            "kind", "scheduled", "fired", "stale", "cancelled"
+        ));
+        for k in EvKind::ALL {
+            let i = k as usize;
+            if self.scheduled[i] + self.fired[i] + self.stale[i] + self.cancelled[i] == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12} {:>14} {:>14} {:>14} {:>14}\n",
+                k.label(),
+                self.scheduled[i],
+                self.fired[i],
+                self.stale[i],
+                self.cancelled[i]
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14}\n",
+            "total",
+            self.total_scheduled(),
+            self.total_fired(),
+            self.total_stale(),
+            self.total_cancelled()
+        ));
+        out
+    }
+}
+
 /// One completed application message.
 #[derive(Debug, Clone, Copy)]
 pub struct MsgRecord {
@@ -88,6 +216,11 @@ pub struct Metrics {
     /// release-mode invariant check (see `silo_pacer::TokenBucket`).
     /// Always checked; any non-zero value is a pacer bug.
     pub token_violations: u64,
+    /// Per-event-kind scheduled/fired/stale/cancelled counts. Engine
+    /// introspection only: deliberately absent from both serializations
+    /// below, so profiles may differ between equivalent engine
+    /// configurations without breaking fingerprint comparisons.
+    pub profile: EventProfile,
 }
 
 impl Metrics {
@@ -122,6 +255,20 @@ impl Metrics {
     /// serializations are byte-identical — the comparison the determinism
     /// tests rely on. Hand-rolled: the workspace is dependency-free.
     pub fn canonical_json(&self) -> String {
+        self.serialize(true)
+    }
+
+    /// [`Metrics::canonical_json`] minus the engine bookkeeping counters
+    /// (`events_processed`, `peak_event_queue`). Those counters describe
+    /// how the engine *got* to the answer, not the answer: timer
+    /// cancellation legitimately changes them while leaving every
+    /// physical observable untouched. The golden-equivalence
+    /// suites compare this serialization across engine configurations.
+    pub fn physics_json(&self) -> String {
+        self.serialize(false)
+    }
+
+    fn serialize(&self, engine_counters: bool) -> String {
         let mut out = String::with_capacity(64 * self.messages.len() + 1024);
         out.push_str("{\"messages\":[");
         for (i, m) in self.messages.iter().enumerate() {
@@ -158,10 +305,16 @@ impl Metrics {
         num_list(&mut out, "port_utilization", &self.port_utilization);
         num_list(&mut out, "port_drops", &self.port_drops);
         num_list(&mut out, "port_max_queue", &self.port_max_queue);
-        out.push_str(&format!(
-            "\"events_processed\":{},\"peak_event_queue\":{}",
-            self.events_processed, self.peak_event_queue,
-        ));
+        if engine_counters {
+            out.push_str(&format!(
+                "\"events_processed\":{},\"peak_event_queue\":{}",
+                self.events_processed, self.peak_event_queue,
+            ));
+        } else {
+            // Drop the trailing comma `num_list` left; the optional fault
+            // section below re-introduces its own separator.
+            out.pop();
+        }
         // Fault-layer fields are emitted only when present, so a run with
         // an empty `FaultPlan` (and a conservation-clean pacer) stays
         // byte-identical to the pre-fault-layer serialization.

@@ -45,7 +45,17 @@ pub struct PortState {
     /// FIFO per priority level (0 served strictly first).
     pub queues: [VecDeque<Packet>; 2],
     pub queued_bytes: u64,
-    pub busy: bool,
+    /// Instant the current (or last) transmission ends; the port is idle
+    /// whenever `now >= busy_until`.
+    pub busy_until: Time,
+    /// A `PortFree` wakeup event is in flight for `busy_until` — i.e. the
+    /// port is mid-transmission. Exactly one is armed per transmission
+    /// (see `Sim::start_tx`); an enqueue must never start service while
+    /// one is pending, or same-instant ordering shifts.
+    pub wakeup_armed: bool,
+    /// Bit `i` set ⇔ `queues[i]` nonempty (dequeue/is_empty without
+    /// scanning both VecDeques).
+    nonempty: u8,
     /// DCTCP marking threshold; `None` disables ECN.
     pub ecn_k: Option<Bytes>,
     pub phantom: Option<PhantomQueue>,
@@ -69,7 +79,9 @@ impl PortState {
             prop,
             queues: [VecDeque::new(), VecDeque::new()],
             queued_bytes: 0,
-            busy: false,
+            busy_until: Time::ZERO,
+            wakeup_armed: false,
+            nonempty: 0,
             ecn_k: None,
             phantom: None,
             drops: 0,
@@ -105,22 +117,27 @@ impl PortState {
         }
         let prio = (pkt.prio as usize).min(1);
         self.queues[prio].push_back(pkt);
+        self.nonempty |= 1 << prio;
         true
     }
 
     /// Pop the next packet to transmit (strict priority).
     pub fn dequeue(&mut self) -> Option<Packet> {
-        for q in &mut self.queues {
-            if let Some(p) = q.pop_front() {
-                self.queued_bytes -= p.size.as_u64();
-                return Some(p);
-            }
+        if self.nonempty == 0 {
+            return None;
         }
-        None
+        let i = self.nonempty.trailing_zeros() as usize;
+        let p = self.queues[i].pop_front().expect("mask says nonempty");
+        if self.queues[i].is_empty() {
+            self.nonempty &= !(1 << i);
+        }
+        self.queued_bytes -= p.size.as_u64();
+        Some(p)
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty())
+        self.nonempty == 0
     }
 
     /// Current utilization over a window (busy time / window).

@@ -3,16 +3,15 @@
 
 use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 use crate::faults::FaultKind;
-use crate::metrics::{FaultWindow, Metrics, MsgRecord, Violation};
+use crate::metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, Violation};
 use crate::packet::{Packet, PathId, PktKind};
 use crate::port::{PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
 use rand::rngs::StdRng;
-use silo_base::{exponential, seeded_rng, Bytes, Dur, EventQueue, Time};
-use silo_pacer::{FrameKind, PacedBatcher, TokenBucket};
+use silo_base::{exponential, seeded_rng, Bytes, Dur, EvKey, EventQueue, FxHashMap, Time};
+use silo_pacer::{Batch, FrameKind, PacedBatcher, TokenBucket};
 use silo_topology::{HostId, PortId, Topology};
 use silo_workload::EtcWorkload;
-use std::collections::HashMap;
 
 /// Events the engine dispatches.
 #[derive(Debug)]
@@ -44,6 +43,27 @@ enum Ev {
     FaultEnd(u32),
 }
 
+impl Ev {
+    /// Profile slot of this event ([`EventProfile`] indexing).
+    #[inline]
+    fn kind(&self) -> EvKind {
+        match self {
+            Ev::Arrive(_) => EvKind::Arrive,
+            Ev::PortFree(_) => EvKind::PortFree,
+            Ev::NicPull { .. } => EvKind::NicPull,
+            Ev::Rto { .. } => EvKind::Rto,
+            Ev::EtcArrival { .. } => EvKind::EtcArrival,
+            Ev::Oldi { .. } => EvKind::Oldi,
+            Ev::PoissonMsg { .. } => EvKind::PoissonMsg,
+            Ev::HoseEpoch => EvKind::HoseEpoch,
+            Ev::PaceResume { .. } => EvKind::PaceResume,
+            Ev::BulkStart { .. } => EvKind::BulkStart,
+            Ev::FaultStart(_) => EvKind::FaultStart,
+            Ev::FaultEnd(_) => EvKind::FaultEnd,
+        }
+    }
+}
+
 /// Per-VM state: pacer buckets and application role.
 struct Vm {
     tenant: u16,
@@ -53,7 +73,7 @@ struct Vm {
     /// `Bmax` cap (bottom of Fig. 8).
     tb_max: TokenBucket,
     /// Per-destination hose buckets (top of Fig. 8), keyed by global VM id.
-    per_dst: HashMap<u32, TokenBucket>,
+    per_dst: FxHashMap<u32, TokenBucket>,
     /// Bytes received this hose epoch (receiver congestion feedback).
     rx_epoch_bytes: u64,
     app: VmApp,
@@ -74,6 +94,10 @@ enum VmApp {
 struct HostNic {
     batcher: PacedBatcher<Packet>,
     pull_marker: u64,
+    /// Cancellation handle of the armed `NicPull`, when the engine runs
+    /// with cancelable timers (superseded pulls are removed, not
+    /// tombstoned).
+    pull_key: Option<EvKey>,
     busy_until: Time,
 }
 
@@ -90,7 +114,7 @@ pub struct Sim {
     events: EventQueue<Ev>,
     ports: Vec<PortState>,
     conns: Vec<TcpConn>,
-    conn_index: HashMap<(u32, u32), u32>,
+    conn_index: FxHashMap<(u32, u32), u32>,
     vms: Vec<Vm>,
     /// Global VM ids of each tenant, in tenant-local order.
     tenant_vms: Vec<Vec<u32>>,
@@ -101,13 +125,19 @@ pub struct Sim {
     /// entry per distinct (src host, dst host) pair plus one loopback
     /// entry per host — packets and connections carry the 4-byte id.
     path_table: Vec<Box<[PortId]>>,
-    path_ids: HashMap<(u32, u32), PathId>,
+    path_ids: FxHashMap<(u32, u32), PathId>,
     /// Per-host loopback path for same-host VM pairs (vswitch port).
     loopback_paths: Vec<PathId>,
     metrics: Metrics,
-    txn_starts: HashMap<u64, Time>,
+    txn_starts: FxHashMap<u64, Time>,
     next_txn: u64,
     ack_size: Bytes,
+    /// Per-event-kind scheduled/fired/stale/cancelled counters, copied
+    /// into `Metrics::profile` at the end of the run.
+    profile: EventProfile,
+    /// Reusable frame storage for the NIC pull path (allocation-light
+    /// dispatch: one `Vec` serves every batch of every host).
+    batch_scratch: Batch<Packet>,
     // ---- fault injection (all dormant when the plan is empty) ----
     /// `!cfg.faults.is_empty()`: gates every fault check off the hot path.
     faults_on: bool,
@@ -178,7 +208,7 @@ impl Sim {
                     host: h,
                     tb_bs: TokenBucket::new(t.b, t.s),
                     tb_max: TokenBucket::new(t.bmax, cfg.mtu),
-                    per_dst: HashMap::new(),
+                    per_dst: FxHashMap::default(),
                     rx_epoch_bytes: 0,
                     app: VmApp::None,
                 });
@@ -186,10 +216,19 @@ impl Sim {
             tenant_vms.push(ids);
         }
         let nics = (0..topo.num_hosts())
-            .map(|_| HostNic {
-                batcher: PacedBatcher::new(topo.params().host_link, cfg.batch_window, cfg.mtu),
-                pull_marker: 0,
-                busy_until: Time::ZERO,
+            .map(|_| {
+                let mut batcher =
+                    PacedBatcher::new(topo.params().host_link, cfg.batch_window, cfg.mtu);
+                // A host's stamp queue holds at most a couple of batch
+                // windows of MTU frames per backlogged VM; 256 covers the
+                // common case without over-reserving idle hosts.
+                batcher.reserve(256);
+                HostNic {
+                    batcher,
+                    pull_marker: 0,
+                    pull_key: None,
+                    busy_until: Time::ZERO,
+                }
             })
             .collect();
         // One loopback (vswitch) port per host for same-host VM pairs:
@@ -227,9 +266,15 @@ impl Sim {
             fault_drops: vec![0; nfaults],
             ..Metrics::default()
         };
-        let events = EventQueue::with_backend(cfg.queue);
+        let mut events = EventQueue::with_backend(cfg.queue);
         let num_hosts = topo.num_hosts();
         let num_switch_ports = topo.num_ports();
+        // Topology-derived occupancy bound: at steady state each directed
+        // port carries at most one in-flight transmission (Arrive +
+        // PortFree) and each host one NIC pull, one RTO per active
+        // connection (≈ VMs² in the worst case, but the wheel only needs a
+        // rough pre-size — excess grows organically).
+        events.reserve(2 * (num_switch_ports + num_hosts) + 8 * vms.len() + 256);
         Sim {
             topo,
             cfg,
@@ -239,17 +284,19 @@ impl Sim {
             events,
             ports,
             conns: Vec::new(),
-            conn_index: HashMap::new(),
+            conn_index: FxHashMap::default(),
             vms,
             tenant_vms,
             tenant_conns: vec![Vec::new(); ntenants],
             nics,
             path_table,
-            path_ids: HashMap::new(),
+            path_ids: FxHashMap::default(),
             loopback_paths,
             metrics,
-            txn_starts: HashMap::new(),
+            txn_starts: FxHashMap::default(),
             next_txn: 0,
+            profile: EventProfile::default(),
+            batch_scratch: Batch::empty(),
             faults_on,
             fault_active: vec![false; nfaults],
             port_down: vec![None; num_switch_ports],
@@ -267,7 +314,13 @@ impl Sim {
     }
 
     fn push(&mut self, t: Time, ev: Ev) {
+        self.profile.scheduled[ev.kind() as usize] += 1;
         self.events.push(t, ev);
+    }
+
+    fn push_cancelable(&mut self, t: Time, ev: Ev) -> EvKey {
+        self.profile.scheduled[ev.kind() as usize] += 1;
+        self.events.push_cancelable(t, ev)
     }
 
     fn path(&mut self, src: HostId, dst: HostId) -> PathId {
@@ -729,17 +782,47 @@ impl Sim {
             let base = self.now.max(c.last_depart);
             (c.rto_marker, base + c.rto(self.cfg.min_rto))
         };
-        self.push(at, Ev::Rto { conn, marker });
+        if self.cfg.cancel_timers {
+            // Re-arming supersedes the pending timer: remove it instead of
+            // leaving a tombstone to bloat the queue until it expires.
+            if let Some(k) = self.conns[conn as usize].rto_key.take() {
+                if self.events.cancel(k) {
+                    self.profile.cancelled[EvKind::Rto as usize] += 1;
+                }
+            }
+            let key = self.push_cancelable(at, Ev::Rto { conn, marker });
+            self.conns[conn as usize].rto_key = Some(key);
+        } else {
+            self.push(at, Ev::Rto { conn, marker });
+        }
     }
 
     fn disarm_rto(&mut self, conn: u32) {
-        self.conns[conn as usize].rto_marker += 1;
+        let c = &mut self.conns[conn as usize];
+        c.rto_marker += 1;
+        if let Some(k) = c.rto_key.take() {
+            if self.events.cancel(k) {
+                self.profile.cancelled[EvKind::Rto as usize] += 1;
+            }
+        }
     }
 
     fn on_rto(&mut self, conn: u32, marker: u32) {
         {
+            let c = &mut self.conns[conn as usize];
+            if c.rto_marker == marker {
+                // The armed timer just fired: its key left the queue.
+                c.rto_key = None;
+            } else {
+                // A tombstone from the marker scheme: the timer was
+                // superseded after this event was already buried in the
+                // queue. Pure dispatch waste (`cancel_timers` removes
+                // these at re-arm time instead).
+                self.profile.stale[EvKind::Rto as usize] += 1;
+                return;
+            }
             let c = &self.conns[conn as usize];
-            if c.rto_marker != marker || c.flight() == 0 {
+            if c.flight() == 0 {
                 return;
             }
             if self.faults_on && !self.tenant_up[c.tenant as usize] {
@@ -844,18 +927,31 @@ impl Sim {
         };
         self.nics[host].pull_marker += 1;
         let marker = self.nics[host].pull_marker;
-        self.push(
-            at,
-            Ev::NicPull {
-                host: host as u32,
-                marker,
-            },
-        );
+        let ev = Ev::NicPull {
+            host: host as u32,
+            marker,
+        };
+        if self.cfg.cancel_timers {
+            if let Some(k) = self.nics[host].pull_key.take() {
+                if self.events.cancel(k) {
+                    self.profile.cancelled[EvKind::NicPull as usize] += 1;
+                }
+            }
+            let key = self.push_cancelable(at, ev);
+            self.nics[host].pull_key = Some(key);
+        } else {
+            self.push(at, ev);
+        }
     }
 
     fn on_nic_pull(&mut self, host: u32, marker: u64) {
         let h = host as usize;
-        if self.nics[h].pull_marker != marker {
+        if self.nics[h].pull_marker == marker {
+            // The armed pull just fired: its key left the queue.
+            self.nics[h].pull_key = None;
+        } else {
+            // Superseded pull tombstone (see `on_rto`).
+            self.profile.stale[EvKind::NicPull as usize] += 1;
             return;
         }
         if self.faults_on && self.now < self.nic_stall_until[h] {
@@ -865,12 +961,16 @@ impl Sim {
             self.arm_nic(h, stall);
             return;
         }
-        let batch = self.nics[h].batcher.next_batch(self.now);
+        // Reuse one frame vector for every batch of every host (the pull
+        // path is the simulator's hottest allocation site otherwise).
+        let mut batch = std::mem::replace(&mut self.batch_scratch, Batch::empty());
+        self.nics[h].batcher.next_batch_into(self.now, &mut batch);
         if batch.is_empty() {
             if let Some(s) = self.nics[h].batcher.next_stamp() {
                 let at = s.max(self.now);
                 self.arm_nic(h, at);
             }
+            self.batch_scratch = batch;
             return;
         }
         let link = self.topo.params().host_link;
@@ -881,7 +981,7 @@ impl Sim {
         // NIC wire accounting on the host's uplink port (utilization).
         let up = PortId::up(self.topo.host_link(HostId(host))).0 as usize;
         self.ports[up].busy_time += batch.done_at - batch.frames[0].start;
-        for f in batch.frames {
+        for f in batch.frames.drain(..) {
             if f.kind == FrameKind::Data {
                 let mut pkt = f.payload.expect("data frame carries a packet");
                 if self.faults_on {
@@ -900,6 +1000,7 @@ impl Sim {
             // effect is the wire time already encoded in the schedule.
         }
         let done = batch.done_at;
+        self.batch_scratch = batch;
         if self.faults_on {
             // A pacer clock running slow by `factor` stretches the gap
             // between this batch and the next: what took `done − now` of
@@ -925,41 +1026,64 @@ impl Sim {
                 return;
             }
         }
+        let now = self.now;
         let ps = &mut self.ports[port.0 as usize];
-        if !ps.enqueue(self.now, pkt) {
+        if !ps.enqueue(now, pkt) {
             self.metrics.drops += 1;
             return;
         }
-        if !ps.busy {
+        // Invariant: `wakeup_armed` ⟺ exactly one PortFree in flight for
+        // this port (it doubles as the "transmitting" flag). While one is
+        // pending — even if it is due *this* instant — the queue must wait
+        // for it: starting inline would dequeue the head a sub-instant
+        // early, freeing buffer space before the in-flight wakeup would
+        // and flipping same-instant tail-drop decisions at a full port
+        // (decision record in DESIGN.md).
+        if !ps.wakeup_armed && now >= ps.busy_until {
             self.start_tx(port);
         }
     }
 
     fn start_tx(&mut self, port: PortId) {
-        let ps = &mut self.ports[port.0 as usize];
-        let Some(mut pkt) = ps.dequeue() else {
-            ps.busy = false;
-            return;
+        let now = self.now;
+        let (t_free, t_arrive, pkt) = {
+            let ps = &mut self.ports[port.0 as usize];
+            let Some(mut pkt) = ps.dequeue() else {
+                return;
+            };
+            let tx = ps.rate.tx_time(pkt.size);
+            ps.busy_time += tx;
+            ps.tx_bytes += pkt.size.as_u64();
+            ps.tx_packets += 1;
+            let prop = ps.prop;
+            pkt.hop += 1;
+            let t_free = now + tx;
+            ps.busy_until = t_free;
+            ps.wakeup_armed = true;
+            (t_free, t_free + prop, pkt)
         };
-        ps.busy = true;
-        let tx = ps.rate.tx_time(pkt.size);
-        ps.busy_time += tx;
-        ps.tx_bytes += pkt.size.as_u64();
-        ps.tx_packets += 1;
-        let prop = ps.prop;
-        pkt.hop += 1;
-        let t_free = self.now + tx;
-        let t_arrive = t_free + prop;
+        // The PortFree is always materialized, even when nothing is queued
+        // behind this transmission. Eliding the idle tail is tempting (it
+        // fires into a no-op ~2/3 of the time) but provably inexact: the
+        // wakeup's queue position is what serializes same-instant enqueues
+        // against the end of the transmission, so removing it — or
+        // re-creating it later with a fresher sequence number — shifts the
+        // within-instant service point and flips drop/occupancy decisions
+        // whenever events collide on the tx-time grid (see DESIGN.md).
         self.push(t_free, Ev::PortFree(port));
         self.push(t_arrive, Ev::Arrive(pkt));
     }
 
     fn on_port_free(&mut self, port: PortId) {
-        self.ports[port.0 as usize].busy = false;
+        // Clear the armed flag unconditionally: even when a fault check
+        // below bails out, this event has left the queue and a later
+        // enqueue must be able to arm a fresh wakeup.
+        self.ports[port.0 as usize].wakeup_armed = false;
         if self.faults_on && self.port_fault(port).is_some() {
             return; // port died mid-transmission; queue already flushed
         }
-        if !self.ports[port.0 as usize].is_empty() {
+        let ps = &self.ports[port.0 as usize];
+        if self.now >= ps.busy_until && !ps.is_empty() {
             self.start_tx(port);
         }
     }
@@ -1214,8 +1338,8 @@ impl Sim {
     /// current activity — Oktopus's central rate computation has no
     /// work-conserving feedback loop (paper §6.2: "VMs cannot burst").
     fn okto_epoch(&mut self) {
-        let mut out_deg: HashMap<u32, u32> = HashMap::new();
-        let mut in_deg: HashMap<u32, u32> = HashMap::new();
+        let mut out_deg: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut in_deg: FxHashMap<u32, u32> = FxHashMap::default();
         for c in &self.conns {
             if c.src_host != c.dst_host {
                 *out_deg.entry(c.src_vm).or_default() += 1;
@@ -1255,8 +1379,8 @@ impl Sim {
         if matches!(self.cfg.mode, TransportMode::Okto | TransportMode::OktoPlus) {
             return; // Oktopus rates are static, set by okto_epoch.
         }
-        let mut out_deg: HashMap<u32, u32> = HashMap::new();
-        let mut in_deg: HashMap<u32, u32> = HashMap::new();
+        let mut out_deg: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut in_deg: FxHashMap<u32, u32> = FxHashMap::default();
         let mut active: Vec<(u32, u32)> = Vec::new();
         for &ci in &self.tenant_conns[ti as usize] {
             let c = &self.conns[ci as usize];
@@ -1269,7 +1393,7 @@ impl Sim {
         let now = self.now;
         let b_bps = self.tenants[ti as usize].b.as_bps() as f64;
         let b = self.tenants[ti as usize].b;
-        let mut assigned: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut assigned: FxHashMap<(u32, u32), f64> = FxHashMap::default();
         for &(s, d) in &active {
             // 3% headroom: pair rates summing to exactly B would keep the
             // VM's {B, S} bucket permanently saturated and its backlog
@@ -1331,7 +1455,7 @@ impl Sim {
                 // flush; normally the queue is empty).
                 for p in 0..self.port_down.len() {
                     if self.port_down[p].is_none()
-                        && !self.ports[p].busy
+                        && self.now >= self.ports[p].busy_until
                         && !self.ports[p].is_empty()
                     {
                         self.start_tx(PortId(p as u32));
@@ -1452,6 +1576,12 @@ impl Sim {
             c.msgs.clear();
             c.inflight_meta.clear();
             c.rto_marker += 1; // disarm any pending RTO
+            let key = c.rto_key.take();
+            if let Some(k) = key {
+                if self.events.cancel(k) {
+                    self.profile.cancelled[EvKind::Rto as usize] += 1;
+                }
+            }
         }
         if self.cfg.mode.paced() {
             self.update_tenant_hose(ti);
@@ -1490,6 +1620,13 @@ impl Sim {
             c.rttvar = Dur::ZERO;
             c.rto_backoff = 0;
             c.rto_marker += 1;
+            let key = c.rto_key.take();
+            if let Some(k) = key {
+                if self.events.cancel(k) {
+                    self.profile.cancelled[EvKind::Rto as usize] += 1;
+                }
+            }
+            let c = &mut self.conns[ci as usize];
             c.pace_blocked = false;
             c.alpha = 0.0;
             c.ce_bytes = 0;
@@ -1604,6 +1741,7 @@ impl Sim {
             }
             self.now = t;
             self.metrics.events_processed += 1;
+            self.profile.fired[ev.kind() as usize] += 1;
             match ev {
                 Ev::Arrive(pkt) => self.on_arrive(pkt),
                 Ev::PortFree(p) => self.on_port_free(p),
@@ -1633,6 +1771,7 @@ impl Sim {
     fn finish_metrics(&mut self) -> Metrics {
         let dur = self.cfg.duration;
         self.metrics.peak_event_queue = self.events.peak_len() as u64;
+        self.metrics.profile = self.profile.clone();
         self.metrics.port_utilization = self
             .ports
             .iter()

@@ -6,7 +6,7 @@
 //! window logic free of simulator plumbing makes it unit-testable below.
 
 use crate::packet::PathId;
-use silo_base::{Dur, Time};
+use silo_base::{Dur, EvKey, Time};
 use silo_topology::HostId;
 use std::collections::VecDeque;
 
@@ -60,8 +60,13 @@ pub struct TcpConn {
     pub srtt: Option<Dur>,
     pub rttvar: Dur,
     pub rto_backoff: u32,
-    /// Monotone marker invalidating stale RTO timer events.
+    /// Monotone marker invalidating stale RTO timer events (the tombstone
+    /// scheme, kept as the semantic source of truth and exercised with
+    /// `SimConfig::cancel_timers = false`).
     pub rto_marker: u32,
+    /// Cancellation handle of the currently armed RTO event, when the
+    /// engine runs with cancelable timers.
+    pub rto_key: Option<EvKey>,
     /// Latest wire-departure stamp of any sent segment: the RTO clock
     /// starts here, not at the app write — hypervisor pacing delay is not
     /// network RTT (the guest's RTT estimator absorbs it in reality).
@@ -135,6 +140,7 @@ impl TcpConn {
             rttvar: Dur::ZERO,
             rto_backoff: 0,
             rto_marker: 0,
+            rto_key: None,
             last_depart: Time::ZERO,
             pace_blocked: false,
             retx_upto: 0,
