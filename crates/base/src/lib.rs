@@ -21,6 +21,7 @@
 pub mod dist;
 pub mod eventq;
 pub mod fxhash;
+pub mod prop;
 pub mod stats;
 pub mod units;
 

@@ -1,0 +1,197 @@
+//! Minimal property-based testing harness: `forall` with greedy shrinking.
+//!
+//! The workspace is dependency-free by policy (the build environment has
+//! no crate cache), so `proptest` is not available. This module carries
+//! the slice of it the netcalc verification suite needs:
+//!
+//! * seeded random generation over a caller-supplied generator;
+//! * a configurable number of cases (`SILO_PROP_CASES`, default 256);
+//! * a reproducible stream (`SILO_PROP_SEED`, fixed default — CI pins it
+//!   explicitly so failures replay bit-identically);
+//! * greedy shrinking: when a case fails, caller-supplied `shrink`
+//!   candidates are tried repeatedly until none of them still fail, and
+//!   the panic reports that locally-minimal counterexample.
+//!
+//! The harness is deliberately not generic over strategies: generators
+//! and shrinkers are plain closures, which is all the curve-algebra
+//! properties require.
+
+use crate::dist::seeded_rng;
+use std::fmt::Debug;
+
+pub use rand::rngs::StdRng;
+pub use rand::Rng;
+
+/// Knobs for one `forall` run, resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct PropConfig {
+    /// Base seed of the case stream (`SILO_PROP_SEED`).
+    pub seed: u64,
+    /// Number of random cases (`SILO_PROP_CASES`).
+    pub cases: usize,
+    /// Cap on accepted shrink steps, so a pathological shrinker cannot
+    /// loop forever.
+    pub max_shrink_steps: usize,
+}
+
+impl PropConfig {
+    pub fn from_env() -> PropConfig {
+        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok().and_then(|v| v.parse().ok())
+        }
+        PropConfig {
+            seed: parse("SILO_PROP_SEED").unwrap_or(0x5110_1234),
+            cases: parse("SILO_PROP_CASES").unwrap_or(256),
+            max_shrink_steps: 10_000,
+        }
+    }
+}
+
+/// Check `prop` on `cases` random inputs from `gen`; on failure, shrink
+/// greedily via `shrink` and panic with the minimal counterexample.
+///
+/// `shrink` returns candidate *simpler* inputs (it may return an empty
+/// vector to disable shrinking). A candidate is accepted as the new
+/// counterexample if the property still fails on it; the loop ends when
+/// no candidate fails.
+pub fn forall<T: Debug + Clone>(
+    name: &str,
+    mut gen: impl FnMut(&mut StdRng) -> T,
+    shrink: impl Fn(&T) -> Vec<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let cfg = PropConfig::from_env();
+    let mut rng = seeded_rng(cfg.seed);
+    for case in 0..cfg.cases {
+        let input = gen(&mut rng);
+        let Err(first_why) = prop(&input) else {
+            continue;
+        };
+        let mut cur = input;
+        let mut why = first_why;
+        let mut steps = 0;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            for cand in shrink(&cur) {
+                if let Err(w) = prop(&cand) {
+                    cur = cand;
+                    why = w;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property '{name}' failed on case {case}/{} (seed {}; rerun with \
+             SILO_PROP_SEED={} SILO_PROP_CASES={}):\n  counterexample \
+             (after {steps} shrink steps): {cur:?}\n  {why}",
+            cfg.cases, cfg.seed, cfg.seed, cfg.cases
+        );
+    }
+}
+
+/// Standard shrink candidates for a non-negative `f64`: zero, halves, and
+/// round numbers below it — enough to pull curve parameters down to small
+/// integers in a handful of steps.
+pub fn shrink_f64(x: f64) -> Vec<f64> {
+    if x == 0.0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0, x / 2.0, x.trunc()];
+    if x > 1.0 {
+        out.push(1.0);
+    }
+    out.retain(|&c| c.is_finite() && c >= 0.0 && c != x);
+    out.dedup();
+    out
+}
+
+/// Standard shrink candidates for a vector: drop each element in turn,
+/// then shrink each element in place with `elem`.
+pub fn shrink_vec<T: Clone>(v: &[T], elem: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if v.len() > 1 {
+        for i in 0..v.len() {
+            let mut smaller = v.to_vec();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+    }
+    for (i, x) in v.iter().enumerate() {
+        for cand in elem(x) {
+            let mut copy = v.to_vec();
+            copy[i] = cand;
+            out.push(copy);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        forall(
+            "u64 plus one is bigger",
+            |rng| rng.random_range(0u64..1_000_000),
+            |_| Vec::new(),
+            |&x| {
+                if x + 1 > x {
+                    Ok(())
+                } else {
+                    Err("overflow".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // x < 50 fails for every x ≥ 50; shrinking by halving/decrement
+        // must land exactly on the boundary value 50.
+        let res = std::panic::catch_unwind(|| {
+            forall(
+                "all values below 50",
+                |rng| rng.random_range(0u64..1_000_000),
+                |&x| {
+                    let mut c = vec![x / 2];
+                    if x > 0 {
+                        c.push(x - 1);
+                    }
+                    c
+                },
+                |&x| {
+                    if x < 50 {
+                        Ok(())
+                    } else {
+                        Err(format!("{x} is not below 50"))
+                    }
+                },
+            );
+        });
+        let msg = *res
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("counterexample"), "{msg}");
+        assert!(msg.contains(": 50"), "not shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn shrink_f64_pulls_toward_zero() {
+        assert!(shrink_f64(0.0).is_empty());
+        let c = shrink_f64(7.3);
+        assert!(c.contains(&0.0) && c.contains(&7.0) && c.contains(&1.0));
+    }
+
+    #[test]
+    fn shrink_vec_drops_and_shrinks_elements() {
+        let v = vec![3.0, 5.0];
+        let cands = shrink_vec(&v, |&x| shrink_f64(x));
+        assert!(cands.contains(&vec![3.0]));
+        assert!(cands.contains(&vec![5.0]));
+        assert!(cands.contains(&vec![0.0, 5.0]));
+    }
+}

@@ -13,6 +13,10 @@ pub struct Args {
     /// `bench_simnet --profile`: print the event-profile table for one
     /// cell instead of running the full benchmark grid.
     pub profile: bool,
+    /// Run with the invariant-audit layer enabled (`SimConfig::audit`)
+    /// and fail on unattributed violations. Physics are unchanged; only
+    /// wall-clock and the audit report differ.
+    pub audit: bool,
 }
 
 impl Default for Args {
@@ -25,6 +29,7 @@ impl Default for Args {
             occupancy: 0.9,
             threads: 0,
             profile: false,
+            audit: false,
         }
     }
 }
@@ -43,6 +48,11 @@ impl Args {
                 i += 1;
                 continue;
             }
+            if key == "--audit" {
+                a.audit = true;
+                i += 1;
+                continue;
+            }
             let val = argv.get(i + 1).unwrap_or_else(|| {
                 panic!("missing value for {key}");
             });
@@ -56,7 +66,7 @@ impl Args {
                 "--occupancy" => a.occupancy = val.parse().expect("--occupancy takes a float"),
                 "--threads" => a.threads = val.parse().expect("--threads takes an integer"),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit"
                 ),
             }
             i += 2;

@@ -3,22 +3,25 @@
 //! engine win over the tombstone scheme, and sweep-level parallel speedup —
 //! written to `BENCH_simnet.json` in the current directory.
 //!
-//! Four phases run the **same** `(mode × seed)` cell grid:
+//! Five phases run the **same** `(mode × seed)` cell grid:
 //!
 //! 1. `heap/t1`           — reference heap backend, one thread;
 //! 2. `wheel_nocancel/t1` — timer wheel, tombstone timers (the
 //!    pre-cancellation engine baseline);
 //! 3. `wheel/t1`          — timer wheel + cancelable timers (the default
 //!    engine), one thread;
-//! 4. `wheel/tN`          — default engine, one worker per core.
+//! 4. `wheel/tN`          — default engine, one worker per core;
+//! 5. `audit/t1`          — default engine with the invariant-audit layer
+//!    on (its wall-clock overhead and counters go into the report).
 //!
-//! Physical results are asserted byte-identical across all four phases
+//! Physical results are asserted byte-identical across all five phases
 //! (this binary doubles as an end-to-end equivalence check); engine
 //! counters are additionally identical wherever the engine config matches.
 //!
-//! `--profile` instead runs one Silo cell and prints the per-event-kind
-//! scheduled/fired/stale/cancelled table, failing if the cancellation
-//! layer did no work — the CI smoke test that the optimization stays live.
+//! `--profile` instead runs one Silo cell (audit on) and prints the
+//! per-event-kind scheduled/fired/stale/cancelled table plus the audit
+//! summary, failing if the cancellation layer did no work or the audit
+//! flags a healthy run — the CI smoke test that both stay live.
 
 use silo_base::QueueBackend;
 use silo_bench::ns2::{ns2_cells, run_ns2_cell_with_engine, EngineOpts, Ns2Cell};
@@ -33,6 +36,10 @@ struct Phase {
     /// Physics-only fingerprints (what every engine config must agree on).
     physics: Vec<String>,
     peak_sum: u64,
+    /// Summed invariant-audit counters (zeros unless the phase audits).
+    audit_events: u64,
+    audit_violations: u64,
+    audit_unattributed: u64,
 }
 
 fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads: usize) -> Phase {
@@ -45,6 +52,7 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
     let mut canonical = Vec::with_capacity(cells.len());
     let mut physics = Vec::with_capacity(cells.len());
     let mut peak_sum = 0u64;
+    let (mut audit_events, mut audit_violations, mut audit_unattributed) = (0u64, 0u64, 0u64);
     for (cell, t) in cells.iter().zip(&timed) {
         let (_, m) = &t.result;
         bench_cells.push(BenchCell {
@@ -56,6 +64,11 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
         canonical.push(m.canonical_json());
         physics.push(m.physics_json());
         peak_sum += m.peak_event_queue;
+        if let Some(a) = &m.audit {
+            audit_events += a.events_checked;
+            audit_violations += a.total();
+            audit_unattributed += a.unattributed;
+        }
     }
     Phase {
         report: BenchReport {
@@ -69,6 +82,9 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
         canonical,
         physics,
         peak_sum,
+        audit_events,
+        audit_violations,
+        audit_unattributed,
     }
 }
 
@@ -82,12 +98,22 @@ fn profile_smoke(args: &Args) -> ! {
         run: 0,
         seed: args.seed,
     };
-    let (_, m) = run_ns2_cell_with_engine(&cell, args, EngineOpts::default());
+    let eng = EngineOpts {
+        audit: true,
+        ..EngineOpts::default()
+    };
+    let (_, m) = run_ns2_cell_with_engine(&cell, args, eng);
     println!(
         "Silo/seed{} ({} ms sim): {} events, peak queue {}",
         args.seed, args.duration_ms, m.events_processed, m.peak_event_queue
     );
     print!("{}", m.profile.to_table());
+    let report = m.audit.as_ref().expect("profile runs audit");
+    println!("{}", report.summary());
+    if !report.is_clean() {
+        eprintln!("FAIL: invariant audit found violations on a healthy run");
+        std::process::exit(1);
+    }
     let cancelled = m.profile.total_cancelled();
     let stale = m.profile.total_stale();
     if cancelled == 0 {
@@ -134,6 +160,10 @@ fn main() {
         cancel_timers: false,
         ..wheel
     };
+    let audit_eng = EngineOpts {
+        audit: true,
+        ..wheel
+    };
     let heap1 = run_phase("heap/t1", &cells, &args, heap, 1);
     let base1 = run_phase("wheel_nocancel/t1", &cells, &args, nocancel, 1);
     let wheel1 = run_phase("wheel/t1", &cells, &args, wheel, 1);
@@ -144,6 +174,7 @@ fn main() {
         wheel,
         par_threads,
     );
+    let audit1 = run_phase("audit/t1", &cells, &args, audit_eng, 1);
 
     // Physics must not move under any engine config; full canonical
     // results (engine counters included) must not move across backends or
@@ -164,6 +195,17 @@ fn main() {
         wheel1.canonical, wheeln.canonical,
         "thread count changed results"
     );
+    // The invariant-audit layer is pure observation: same physics, same
+    // engine counters, and zero unattributed violations on healthy cells.
+    assert_eq!(
+        audit1.canonical, wheel1.canonical,
+        "audit layer changed physical results"
+    );
+    assert_eq!(
+        audit1.audit_unattributed, 0,
+        "healthy ns2 cells reported unattributed audit violations"
+    );
+    assert!(audit1.audit_events > 0, "audit phase checked no events");
 
     let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
     let engine_gain = eps(&wheel1) / eps(&heap1);
@@ -173,12 +215,15 @@ fn main() {
     let silo_cancel_speedup = base1.report.cells[0].wall_s / wheel1.report.cells[0].wall_s;
     let peak_reduction = 1.0 - wheel1.peak_sum as f64 / base1.peak_sum.max(1) as f64;
     let parallel_speedup = wheel1.report.total_wall_s / wheeln.report.total_wall_s;
+    let audit_overhead = audit1.report.cell_wall_s() / wheel1.report.cell_wall_s();
 
     let notes = format!(
         "timer cancellation {:.2}x wall-clock over tombstones ({:.2}x on {}; \
          peak event-queue occupancy -{:.0}%); wheel-vs-heap events/sec gain {:.2}x; \
          {}-thread sweep speedup {:.2}x over 1 thread on a {}-core host; \
-         physics byte-identical across engines, backends and thread counts",
+         invariant audit {:.2}x wall-clock, {} events checked, {} violations \
+         ({} unattributed); physics byte-identical across engines, backends, \
+         thread counts and audit on/off",
         cancel_speedup,
         silo_cancel_speedup,
         wheel1.report.cells[0].label,
@@ -186,7 +231,11 @@ fn main() {
         engine_gain,
         par_threads,
         parallel_speedup,
-        cores
+        cores,
+        audit_overhead,
+        audit1.audit_events,
+        audit1.audit_violations,
+        audit1.audit_unattributed
     );
 
     let mut out = String::new();
@@ -219,8 +268,16 @@ fn main() {
     out.push_str(&format!(
         "  \"parallel_speedup_t{par_threads}\": {parallel_speedup:.3},\n"
     ));
+    out.push_str(&format!(
+        "  \"audit_wall_overhead\": {audit_overhead:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"audit_events_checked\": {}, \"audit_violations\": {}, \
+         \"audit_unattributed\": {},\n",
+        audit1.audit_events, audit1.audit_violations, audit1.audit_unattributed
+    ));
     out.push_str("  \"phases\": [\n");
-    let phases = [&heap1, &base1, &wheel1, &wheeln];
+    let phases = [&heap1, &base1, &wheel1, &wheeln, &audit1];
     for (i, p) in phases.iter().enumerate() {
         for line in p.report.to_json().trim_end().lines() {
             out.push_str("    ");

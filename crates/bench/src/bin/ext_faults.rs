@@ -19,7 +19,9 @@
 use silo_base::{Bytes, Dur, Rate, Time};
 use silo_bench::{run_cells, Args};
 use silo_placement::{DegradeOutcome, Guarantee, Placer, SiloPlacer, TenantRequest};
-use silo_simnet::{FaultPlan, Metrics, Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode};
+use silo_simnet::{
+    AuditConfig, FaultPlan, Metrics, Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode,
+};
 use silo_topology::{HostId, Topology, TreeParams};
 
 fn cell_topo() -> Topology {
@@ -134,10 +136,36 @@ fn main() {
     let results = run_cells(&cells, args.effective_threads(cells.len()), |_, sc| {
         let mut cfg = SimConfig::new(TransportMode::Silo, dur, args.seed);
         cfg.faults = sc.plan.clone();
+        if args.audit {
+            cfg.audit = Some(AuditConfig::default());
+        }
         Sim::new(topo.clone(), cfg, cell_tenants()).run()
     });
     for (sc, m) in cells.iter().zip(&results) {
         report_row(sc.label, m, dur);
+    }
+
+    // With --audit, every scenario also ran under the invariant-audit
+    // layer: any violation it reports must be blamed on the injected
+    // fault whose window covers it — an unattributed one is an engine bug.
+    if args.audit {
+        println!("\n== invariant audit (per scenario) ==");
+        let mut unattributed_audit = 0u64;
+        for (sc, m) in cells.iter().zip(&results) {
+            let report = m.audit.as_ref().expect("audit was requested");
+            println!("{:<30} {}", sc.label, report.summary());
+            unattributed_audit += report.unattributed;
+            assert!(
+                report.early_releases == 0,
+                "{}: pacer released a frame before its stamp",
+                sc.label
+            );
+        }
+        assert_eq!(
+            unattributed_audit, 0,
+            "every audit violation must be attributed to an injected fault"
+        );
+        println!("all audit violations attributed to injected faults.");
     }
 
     // The headline property: a healthy admission-controlled run breaks no

@@ -6,87 +6,22 @@
 //! (simultaneous all-to-one bursts + backlogged shuffles) through the
 //! packet simulator, and compare every port's measured queue high-water
 //! mark against its admission-time backlog bound.
+//!
+//! With `--audit`, the same bounds are also checked *online* by the
+//! engine's invariant-audit layer (plus byte conservation, FIFO
+//! causality, wire exclusivity and per-VM curve conformance), and the run
+//! fails on any unattributed violation. The small-scale version of this
+//! check runs in CI as the tier-2 `queue_bounds` test.
 
-use rand::Rng;
-use silo_base::{exponential, seeded_rng, Bytes, Dur, Rate};
+use silo_base::Dur;
+use silo_bench::verify::{build_verify_population, run_verify};
 use silo_bench::Args;
-use silo_placement::{Guarantee, Placer, SiloPlacer, TenantRequest};
-use silo_simnet::{Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode};
-use silo_topology::{HostId, PortId, Topology, TreeParams};
+use silo_topology::{Topology, TreeParams};
 
 fn main() {
     let args = Args::parse();
     let topo = Topology::build(TreeParams::ns2_scaled(args.scale));
-    let mut placer = SiloPlacer::new(topo.clone());
-    let mut rng = seeded_rng(args.seed);
-    let mut specs = Vec::new();
-    let target = (topo.params().num_vm_slots() as f64 * args.occupancy) as usize;
-    let mut used = 0usize;
-    let mut rejects = 0;
-    while used < target && rejects < 50 {
-        let class_a = specs.len() % 2 == 0;
-        let n = if class_a {
-            16 + (rng.random_range(0..17usize))
-        } else {
-            8 + (rng.random_range(0..9usize))
-        };
-        let g = if class_a {
-            Guarantee {
-                b: Rate::from_bps(
-                    (exponential(&mut rng, 1.0 / 0.25e9) as u64).clamp(50_000_000, 1_000_000_000),
-                ),
-                s: Bytes((exponential(&mut rng, 1.0 / 15_000.0) as u64).clamp(1_500, 60_000)),
-                bmax: Rate::from_gbps(1),
-                delay: Some(Dur::from_us(1000)),
-            }
-        } else {
-            let b = Rate::from_bps(
-                (exponential(&mut rng, 1.0 / 2e9) as u64).clamp(250_000_000, 5_000_000_000),
-            );
-            Guarantee {
-                b,
-                s: Bytes(1500),
-                bmax: b,
-                delay: None,
-            }
-        };
-        let Ok(p) = placer.try_place(&TenantRequest::new(n, g)) else {
-            rejects += 1;
-            continue;
-        };
-        rejects = 0;
-        used += n;
-        let mut vm_hosts: Vec<HostId> = Vec::new();
-        for &(h, k) in &p.hosts {
-            for _ in 0..k {
-                vm_hosts.push(h);
-            }
-        }
-        let workload = if class_a {
-            // Worst case: every burst fully synchronized, message = 0.9 S.
-            let msg = Bytes((g.s.as_u64() * 9) / 10);
-            let interval = Dur::from_secs_f64(
-                (n - 1) as f64 * msg.bits() as f64 / (0.5 * g.b.as_bps() as f64),
-            );
-            TenantWorkload::OldiAllToOne {
-                msg_mean: msg,
-                interval,
-            }
-        } else {
-            TenantWorkload::BulkAllToAll {
-                msg: Bytes::from_mb(1),
-            }
-        };
-        specs.push(TenantSpec {
-            vm_hosts,
-            b: g.b,
-            s: g.s,
-            bmax: g.bmax,
-            prio: 0,
-            delay: None,
-            workload,
-        });
-    }
+    let (placer, specs, used) = build_verify_population(&topo, args.occupancy, args.seed);
     println!(
         "placed {} tenants on {} slots ({} hosts); running {} ms of worst-case traffic…",
         specs.len(),
@@ -94,59 +29,43 @@ fn main() {
         topo.num_hosts(),
         args.duration_ms.max(200)
     );
-    let mut cfg = SimConfig::new(
-        TransportMode::Silo,
+    let batch_us = std::env::var("SILO_BATCH_US")
+        .ok()
+        .map(|us| us.parse().expect("SILO_BATCH_US takes microseconds"));
+    let dbg_specs = specs.clone();
+    let out = run_verify(
+        &topo,
+        &placer,
+        specs,
         Dur::from_ms(args.duration_ms.max(200)),
         args.seed,
+        batch_us,
+        args.audit,
     );
-    if let Ok(us) = std::env::var("SILO_BATCH_US") {
-        cfg.batch_window = Dur::from_us(us.parse().unwrap());
-    }
-    let dbg_specs = specs.clone();
-    let (m, simdbg) = Sim::new(topo.clone(), cfg, specs).run_keep();
+    let m = &out.metrics;
 
     println!("drops: {} (must be 0)", m.drops);
     println!("\nport\tkind\tmeasured\tbound\tbuffer\tok");
-    let mut checked = 0;
-    let mut violations = 0;
-    for i in 0..topo.num_ports() {
-        let pid = PortId(i as u32);
-        let info = topo.port(pid);
-        if info.is_nic {
-            continue; // NIC queues live in host memory under the pacer
-        }
-        let measured = m.port_max_queue[i];
-        if measured == 0 {
-            continue;
-        }
-        // The fluid bound plus one batch window of bunching: paced-IO
-        // batching may delay packets by up to `batch_window` and then
-        // release them back-to-back, which the fluid curves don't model
-        // (the paper absorbs the same slack inside the ports' queue
-        // capacity margin).
-        let slack = info.rate.bytes_in(Dur::from_us(50)).as_u64();
-        let bound = placer.backlog_bound(pid).map(|b| b.as_u64()).unwrap_or(0) + slack;
-        checked += 1;
-        let ok = measured <= bound;
-        if !ok {
-            violations += 1;
-        }
-        if !ok || measured * 4 > info.buffer.as_u64() {
+    for row in &out.rows {
+        if !row.ok() || row.measured * 4 > row.buffer {
             println!(
-                "{i}\t{}\t{}\t{}\t{}\t{}",
-                if pid.is_up() { "up" } else { "down" },
-                measured,
-                bound,
-                info.buffer.as_u64(),
-                if ok { "yes" } else { "VIOLATION" }
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                row.port,
+                if row.up { "up" } else { "down" },
+                row.measured,
+                row.bound,
+                row.buffer,
+                if row.ok() { "yes" } else { "VIOLATION" }
             );
-            if !ok {
-                let (_, at) = simdbg.debug_port_peaks()[i];
-                println!("  peak at t = {at}");
+            if !row.ok() {
+                println!("  peak at t = {}", row.peak_at);
             }
         }
     }
-    println!("\n{checked} loaded switch ports checked, {violations} bound violations");
+    println!(
+        "\n{} loaded switch ports checked, {} bound violations",
+        out.checked, out.violations
+    );
     if std::env::var("SILO_DEBUG_HOST").is_ok() {
         let h: u32 = std::env::var("SILO_DEBUG_HOST").unwrap().parse().unwrap();
         for (ti, t) in dbg_specs.iter().enumerate() {
@@ -166,8 +85,16 @@ fn main() {
     }
     assert_eq!(m.drops, 0, "admitted, paced traffic must never be dropped");
     assert_eq!(
-        violations, 0,
+        out.violations, 0,
         "every measured queue must respect its admission-time bound"
     );
+    if let Some(report) = &out.audit {
+        println!("{}", report.summary());
+        assert!(
+            report.is_clean(),
+            "online audit must agree with the end-of-run check: {}",
+            report.summary()
+        );
+    }
     println!("VERIFIED: every switch queue stayed within its network-calculus bound.");
 }

@@ -18,6 +18,7 @@ pub mod ns2;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod verify;
 
 pub use args::Args;
 pub use report::{fmt_dur_us, print_cdf, print_header, print_row};
@@ -25,3 +26,4 @@ pub use runner::{auto_threads, run_cells, run_cells_timed, BenchCell, BenchRepor
 pub use scenario::{
     build_ns2_population, testbed_tenants, NsClass, NsTenant, PlacerKind, TestbedReq,
 };
+pub use verify::{build_verify_population, run_verify, VerifyOutcome, VerifyRow};

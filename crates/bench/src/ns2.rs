@@ -86,6 +86,10 @@ pub struct EngineOpts {
     /// `SimConfig::cancel_timers`: off reproduces the tombstone timer
     /// scheme (the pre-cancellation engine) for baseline phases.
     pub cancel_timers: bool,
+    /// Attach the invariant-audit layer (`SimConfig::audit`, default
+    /// config). Pure observation: physical results stay byte-identical;
+    /// the report lands in `Metrics::audit`.
+    pub audit: bool,
 }
 
 impl Default for EngineOpts {
@@ -93,6 +97,7 @@ impl Default for EngineOpts {
         EngineOpts {
             queue: silo_base::QueueBackend::default(),
             cancel_timers: true,
+            audit: false,
         }
     }
 }
@@ -126,6 +131,9 @@ pub fn run_ns2_cell_with_engine(
     let mut cfg = SimConfig::new(cell.mode, Dur::from_ms(args.duration_ms), cell.seed);
     cfg.queue = eng.queue;
     cfg.cancel_timers = eng.cancel_timers;
+    if eng.audit {
+        cfg.audit = Some(silo_simnet::AuditConfig::default());
+    }
     let specs = tenants.iter().map(|t| t.spec.clone()).collect();
     let m = Sim::new(topo, cfg, specs).run();
     (tenants, m)

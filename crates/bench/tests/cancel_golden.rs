@@ -21,6 +21,7 @@ fn small_args() -> Args {
         occupancy: 0.9,
         threads: 1,
         profile: false,
+        audit: false,
     }
 }
 

@@ -42,6 +42,7 @@ fn small_args(threads: usize) -> Args {
         occupancy: 0.9,
         threads,
         profile: false,
+        audit: false,
     }
 }
 

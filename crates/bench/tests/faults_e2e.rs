@@ -60,12 +60,35 @@ fn tor_outage_attributes_violations_and_readmitted_tenant_is_clean() {
     let down = Time::from_ms(20);
     let up = Time::from_ms(30);
     let readmit = Time::from_ms(35);
-    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(80), 7);
-    cfg.faults = FaultPlan::new()
-        .link_down(down, Some(up), tor0)
-        .tenant_churn(0, down, readmit);
-    let tenants = vec![cross_rack_tenant(0, 4), cross_rack_tenant(1, 5)];
-    let m = Sim::new(topo, cfg, tenants).run();
+    let run = |audit: bool| {
+        let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(80), 7);
+        cfg.faults = FaultPlan::new()
+            .link_down(down, Some(up), tor0)
+            .tenant_churn(0, down, readmit);
+        if audit {
+            cfg.audit = Some(silo_simnet::AuditConfig::default());
+        }
+        let tenants = vec![cross_rack_tenant(0, 4), cross_rack_tenant(1, 5)];
+        Sim::new(topo.clone(), cfg, tenants).run()
+    };
+    let m = run(false);
+
+    // Acceptance gate on the invariant-audit layer: running the same
+    // faulted scenario audited must not perturb the physics, and every
+    // violation the auditor records must be blamed on an injected fault.
+    let audited = run(true);
+    assert_eq!(
+        m.canonical_json(),
+        audited.canonical_json(),
+        "audit layer must be pure observation"
+    );
+    let report = audited.audit.expect("audit was requested");
+    assert_eq!(
+        report.unattributed,
+        0,
+        "unattributed audit violation under an injected-fault scenario: {}",
+        report.summary()
+    );
 
     // The surviving tenant's guarantees broke during the outage…
     let t1_overlapping: Vec<_> = m

@@ -1,0 +1,60 @@
+//! Tier-2 promotion of the `verify_queue_bounds` binary: the C1 theorem
+//! check (placed + paced ⇒ every switch queue within its admission-time
+//! bound) at a CI-friendly scale, with the engine's invariant-audit layer
+//! checking the same bounds online.
+//!
+//! These are `#[ignore]`d in the default tier-1 run — they simulate
+//! hundreds of VMs for hundreds of milliseconds — and run explicitly in
+//! the CI audit job via `cargo test -p silo-bench --test queue_bounds
+//! --release -- --ignored`.
+
+use silo_base::Dur;
+use silo_bench::verify::{build_verify_population, run_verify};
+use silo_topology::{Topology, TreeParams};
+
+#[test]
+#[ignore = "tier-2: run explicitly (CI audit job)"]
+fn placed_and_paced_traffic_respects_queue_bounds() {
+    let topo = Topology::build(TreeParams::ns2_scaled(0.12));
+    let (placer, specs, used) = build_verify_population(&topo, 0.9, 1);
+    assert!(used > 0, "population must admit tenants at this scale");
+    let out = run_verify(&topo, &placer, specs, Dur::from_ms(200), 1, None, true);
+    assert_eq!(
+        out.metrics.drops, 0,
+        "admitted, paced traffic must never be dropped"
+    );
+    assert!(out.checked > 0, "the run must load switch ports");
+    assert_eq!(
+        out.violations, 0,
+        "every measured queue must respect its admission-time bound"
+    );
+    let report = out.audit.expect("audit was requested");
+    assert!(report.events_checked > 0);
+    assert!(
+        report.is_clean(),
+        "online audit (conservation, FIFO, wire, conformance, online queue \
+         bounds) must be violation-free: {}",
+        report.summary()
+    );
+}
+
+#[test]
+#[ignore = "tier-2: run explicitly (CI audit job)"]
+fn online_and_offline_bound_checks_agree() {
+    // Second seed + tighter batching (25 µs): the audit layer's online
+    // per-enqueue comparison and the end-of-run high-water-mark
+    // comparison must reach the same verdict.
+    let topo = Topology::build(TreeParams::ns2_scaled(0.12));
+    let (placer, specs, _) = build_verify_population(&topo, 0.9, 7);
+    let out = run_verify(&topo, &placer, specs, Dur::from_ms(200), 7, Some(25), true);
+    let report = out.audit.expect("audit was requested");
+    assert_eq!(
+        out.violations == 0,
+        report.queue_bound == 0,
+        "offline violations {} vs online queue-bound violations {}",
+        out.violations,
+        report.queue_bound
+    );
+    assert_eq!(out.violations, 0);
+    assert!(report.is_clean(), "{}", report.summary());
+}

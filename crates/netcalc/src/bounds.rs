@@ -5,7 +5,7 @@
 //! `β`'s latency knee), so all three functions are exact, not numerical
 //! approximations.
 
-use crate::curve::Curve;
+use crate::curve::{same_breakpoint, Curve};
 use crate::service::ServiceCurve;
 
 /// Maximum *horizontal* deviation `q = sup_t inf{ d ≥ 0 : A(t) ≤ β(t+d) }`
@@ -19,6 +19,13 @@ pub fn queue_delay_bound(a: &Curve, s: &ServiceCurve) -> Option<f64> {
     }
     // d(t) = β⁻¹(A(t)) − t is concave PL; max over breakpoints of A.
     let mut best = 0.0f64;
+    if a.burst() == 0.0 && a.slope_at(0.0) > 0.0 {
+        // A burstless source makes d(0) = β⁻¹(0) − 0 = 0 exactly, yet the
+        // limit from the right is the full scheduling latency (the first
+        // byte still waits out T). The sup lives at t → 0⁺, which no
+        // breakpoint candidate sees.
+        best = s.latency;
+    }
     for t in a.breakpoints() {
         let d = s.inverse(a.eval(t)) - t;
         best = best.max(d);
@@ -53,7 +60,12 @@ pub fn backlog_bound(a: &Curve, s: &ServiceCurve) -> Option<f64> {
 /// `None` if it never drains.
 pub fn drain_time(a: &Curve, s: &ServiceCurve) -> Option<f64> {
     let g0 = a.eval(0.0) - s.eval(0.0);
-    if g0 <= 0.0 && a.long_term_rate() <= s.rate {
+    if g0 <= 0.0 && s.latency == 0.0 && a.slope_at(0.0) <= s.rate {
+        // A(0) ≤ β(0) with no dead time and an initial slope already at or
+        // below the service rate: concavity keeps A under β forever.
+        // (The old `long_term_rate() ≤ s.rate` version wrongly returned 0
+        // for burstless sources facing a latency knee or a steep initial
+        // slope — both build queue before the long-term rate takes over.)
         return Some(0.0);
     }
     if a.long_term_rate() >= s.rate {
@@ -66,7 +78,7 @@ pub fn drain_time(a: &Curve, s: &ServiceCurve) -> Option<f64> {
     let mut cands = a.breakpoints();
     cands.push(s.latency);
     cands.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    cands.dedup_by(|x, y| (*x - *y).abs() < 1e-15);
+    cands.dedup_by(|x, y| same_breakpoint(*x, *y));
     // Last candidate with g > 0.
     let mut t0 = 0.0;
     for &t in &cands {
@@ -76,15 +88,24 @@ pub fn drain_time(a: &Curve, s: &ServiceCurve) -> Option<f64> {
     }
     let g_t0 = a.eval(t0) - s.eval(t0);
     // In the segment after t0 the slope of g is (A' − R) < 0 (t0 is past
-    // the latency knee because A > 0 ≥ β before it).
+    // the latency knee because A > 0 ≥ β before it). But when the final
+    // arrival rate sits within rounding of the service rate — under the
+    // `>=` check above only by float noise, yet `slope_at`'s tie handling
+    // can still report a slope at or above `s.rate` — the difference is
+    // 0.0 or even slightly positive, and extrapolating along it yields an
+    // infinite, absurdly large, or negative drain time. Treat anything
+    // less than a relative margin below zero as "never drains".
     let slope = a.slope_at(t0) - s.rate;
-    debug_assert!(slope < 0.0);
+    if slope >= -1e-12 * s.rate.max(1.0) || slope.is_nan() {
+        return None;
+    }
     Some(t0 + g_t0 / (-slope))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::curve::Line;
     use silo_base::{Bytes, Dur, Rate};
 
     #[test]
@@ -199,5 +220,121 @@ mod tests {
         // But the queue bound is finite: the burst waits S/C.
         let q = queue_delay_bound(&a, &s).unwrap();
         assert!((q - 1500.0 / 1.25e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn drain_time_near_equal_rate_boundary_is_none() {
+        // Arrival rate a hair *below* the service rate: the strict `>=`
+        // overload check passes, but the drain slope is float noise. The
+        // old code extrapolated along it — a ~1.2e7-second "drain time" —
+        // or tripped `debug_assert!(slope < 0.0)` when the difference
+        // rounded to exactly 0.0. Both must be reported as "never drains".
+        let c = 1.25e9; // 10 Gbps in bytes/sec
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        for slack in [0.0, 1e-16, 1e-14, 1e-13] {
+            let a = Curve::from_lines(vec![Line {
+                rate: c * (1.0 - slack),
+                burst: 1500.0,
+            }]);
+            assert_eq!(
+                drain_time(&a, &s),
+                None,
+                "slack {slack}: rate within rounding of service rate must not drain"
+            );
+        }
+        // Just outside the guard band the exact formula still applies.
+        let slack = 1e-9;
+        let a = Curve::from_lines(vec![Line {
+            rate: c * (1.0 - slack),
+            burst: 1500.0,
+        }]);
+        let p = drain_time(&a, &s).unwrap();
+        assert!((p - 1500.0 / (c * slack)).abs() / p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn drain_time_dual_slope_equal_final_rate_is_none() {
+        // Multi-line curve whose *final* rate equals the service rate
+        // exactly: the burst region queues, the tail never drains it.
+        let a = Curve::dual_slope(
+            Rate::from_gbps(10),
+            Bytes::from_kb(100),
+            Rate::from_gbps(40),
+            Bytes(1500),
+        );
+        let s = ServiceCurve::constant_rate(Rate::from_gbps(10));
+        assert_eq!(drain_time(&a, &s), None);
+    }
+
+    #[test]
+    fn burstless_source_still_waits_out_the_latency() {
+        // A(0) = 0 used to make the t = 0 candidate evaluate to
+        // inverse(0) − 0 = 0 and the bound came out 0; the sup is the
+        // limit t → 0⁺, where the first byte waits the full latency.
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes(0));
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(100));
+        let q = queue_delay_bound(&a, &s).unwrap();
+        assert!((q - 100e-6).abs() < 1e-15, "q = {q}");
+        // The zero curve really does have a zero bound, though: no
+        // traffic, no delay.
+        assert_eq!(queue_delay_bound(&Curve::zero(), &s), Some(0.0));
+    }
+
+    #[test]
+    fn burstless_source_builds_queue_during_latency() {
+        // Old early-out returned Some(0.0) whenever A(0) = 0 and the
+        // long-term rate fit, ignoring both the latency knee and a steep
+        // initial slope. A 1G burstless source into a 10G port with
+        // 100 us dead time queues until R·(t−T) catches up:
+        // p = R·T/(R−B) = 1.25e9·1e-4/1.125e9.
+        let a = Curve::token_bucket(Rate::from_gbps(1), Bytes(0));
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(100));
+        let p = drain_time(&a, &s).unwrap();
+        let expected = 1.25e9 * 100e-6 / (1.25e9 - 1.25e8);
+        assert!((p - expected).abs() < 1e-12, "p = {p}");
+
+        // Steep start, shallow tail, no burst, no latency: drains where
+        // the first-segment surplus is worked off.
+        let a = Curve::from_lines(vec![
+            Line {
+                rate: 20.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 1.0,
+                burst: 19.0, // breakpoint at t = 1
+            },
+        ]);
+        let s = ServiceCurve {
+            rate: 10.0,
+            latency: 0.0,
+        };
+        // g(1) = 20 − 10 = 10, then slope 1 − 10 = −9: p = 1 + 10/9.
+        let p = drain_time(&a, &s).unwrap();
+        assert!((p - (1.0 + 10.0 / 9.0)).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn drain_time_second_scale_breakpoints() {
+        // Breakpoints at second scale: the old absolute 1e-15 dedup kept
+        // near-duplicate candidates. The exact drain point must still come
+        // out: A = min(2t + 0.5, t + 2.5) vs β = 1.2·t crosses last where
+        // t + 2.5 = 1.2 t  →  p = 12.5 s.
+        let a = Curve::from_lines(vec![
+            Line {
+                rate: 2.0,
+                burst: 0.5,
+            },
+            Line {
+                rate: 1.0,
+                burst: 2.5, // breakpoint at t = 2 s
+            },
+        ]);
+        let s = ServiceCurve {
+            rate: 1.2,
+            latency: 0.0,
+        };
+        let p = drain_time(&a, &s).unwrap();
+        assert!((p - 12.5).abs() < 1e-9, "p = {p}");
     }
 }

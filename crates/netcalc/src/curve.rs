@@ -16,6 +16,18 @@ impl Line {
     }
 }
 
+/// True when two breakpoint abscissae are the same point up to float
+/// rounding. Breakpoints come out of `(Δburst)/(Δrate)` divisions whose
+/// rounding error is *relative* to the magnitude of the result, so an
+/// absolute window cannot work at every timescale: near `t = 1 s` genuine
+/// duplicates differ by ~1e-15 (a few ULPs) while at microsecond scale the
+/// same window would be six orders of magnitude too wide. Use a relative
+/// tolerance with a small absolute floor so sub-microsecond breakpoints
+/// keep the old exact-ish behaviour.
+pub(crate) fn same_breakpoint(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1e-3)
+}
+
 /// A concave, non-decreasing, piecewise-linear arrival curve on `t ≥ 0`,
 /// stored as the pointwise **minimum** of its lines.
 ///
@@ -173,14 +185,17 @@ impl Curve {
             .chain(other.breakpoints())
             .collect();
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+        ts.dedup_by(|a, b| same_breakpoint(*a, *b));
         let mut lines = Vec::with_capacity(ts.len());
         for &t in &ts {
             let v = self.eval(t) + other.eval(t);
             let s = self.slope_at(t) + other.slope_at(t);
             lines.push(Line {
                 rate: s,
-                burst: v - s * t,
+                // `v - s·t` is mathematically ≥ 0 for concave non-negative
+                // operands but can round a few ULPs below zero when a line
+                // passes near the origin; clamp so `from_lines` accepts it.
+                burst: (v - s * t).max(0.0),
             });
         }
         Curve::from_lines(lines)
@@ -213,9 +228,16 @@ impl Curve {
     /// Restore the invariant: keep exactly the lower envelope on `t ≥ 0`.
     fn normalize(&mut self) {
         // 1. Pareto-prune: a line with both rate ≥ and burst ≥ another is
-        //    never strictly below it on t ≥ 0.
-        self.lines
-            .sort_by(|a, b| a.rate.partial_cmp(&b.rate).unwrap());
+        //    never strictly below it on t ≥ 0. Ties on rate break by
+        //    burst so the cheaper duplicate is scanned (and kept) first —
+        //    otherwise two equal-rate lines could both survive and the
+        //    hull pass below would divide by their zero rate difference.
+        self.lines.sort_by(|a, b| {
+            a.rate
+                .partial_cmp(&b.rate)
+                .unwrap()
+                .then(a.burst.partial_cmp(&b.burst).unwrap())
+        });
         let mut pareto: Vec<Line> = Vec::with_capacity(self.lines.len());
         // Scan from shallowest to steepest; keep a line only if its burst is
         // strictly below every burst seen so far (shallower lines).
@@ -309,6 +331,40 @@ mod tests {
         ]);
         assert_eq!(c.lines().len(), 1);
         assert_eq!(c.long_term_rate(), 10.0);
+    }
+
+    #[test]
+    fn equal_rate_lines_keep_the_cheaper_burst() {
+        // Regardless of input order, duplicate rates must collapse to the
+        // lower intercept — two surviving equal-rate lines would give the
+        // hull pass a zero rate difference to divide by.
+        for lines in [
+            vec![
+                Line {
+                    rate: 5.0,
+                    burst: 2.0,
+                },
+                Line {
+                    rate: 5.0,
+                    burst: 7.0,
+                },
+            ],
+            vec![
+                Line {
+                    rate: 5.0,
+                    burst: 7.0,
+                },
+                Line {
+                    rate: 5.0,
+                    burst: 2.0,
+                },
+            ],
+        ] {
+            let c = Curve::from_lines(lines);
+            assert_eq!(c.lines().len(), 1);
+            assert_eq!(c.burst(), 2.0);
+            assert_eq!(c.long_term_rate(), 5.0);
+        }
     }
 
     #[test]
@@ -424,6 +480,108 @@ mod tests {
         let m = a.min_with(&cap);
         assert_eq!(m.burst(), 1500.0);
         assert_eq!(m.long_term_rate(), 5e7);
+    }
+
+    #[test]
+    fn add_merges_near_duplicate_breakpoints_at_second_scale() {
+        // Two operands whose crossings both land near t = 2 s but differ by
+        // ~1e-13 (well beyond ULP noise at microsecond scale, well within
+        // it relative to seconds). The old absolute 1e-15 dedup kept both
+        // candidates and built the summed curve on near-duplicate regions;
+        // the relative tolerance must merge them into one region.
+        let a = Curve::from_lines(vec![
+            Line {
+                rate: 10.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 1.0,
+                burst: 18.0, // crossing at t = 2
+            },
+        ]);
+        let b = Curve::from_lines(vec![
+            Line {
+                rate: 20.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 2.0,
+                burst: 36.0 * (1.0 + 1e-13), // crossing at t = 2 + 2e-13
+            },
+        ]);
+        let s = a.add(&b);
+        // One region boundary, two lines — not three.
+        assert_eq!(s.lines().len(), 2, "near-dup regions kept: {:?}", s.lines());
+        // And the sum still agrees pointwise, including around t = 2.
+        for i in 0..400 {
+            let t = i as f64 * 0.01;
+            assert!(
+                (s.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9,
+                "mismatch at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_keeps_distinct_second_scale_breakpoints() {
+        // Distinct breakpoints at second scale (1.0 and 1.000001) must NOT
+        // be merged by the relative tolerance.
+        let a = Curve::from_lines(vec![
+            Line {
+                rate: 10.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 1.0,
+                burst: 9.0, // crossing at t = 1
+            },
+        ]);
+        let b = Curve::from_lines(vec![
+            Line {
+                rate: 20.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 2.0,
+                burst: 18.000018, // crossing at t = 1.000001
+            },
+        ]);
+        let s = a.add(&b);
+        assert_eq!(s.lines().len(), 3);
+        for i in 0..300 {
+            let t = 0.99 + i as f64 * 1e-4;
+            assert!(
+                (s.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9,
+                "mismatch at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_clamps_rounded_negative_intercepts() {
+        // Lines through the origin with rates that are not exactly
+        // representable make `v - s·t` round a few ULPs negative at the
+        // crossing; `add` must clamp instead of panicking in `from_lines`.
+        let a = Curve::from_lines(vec![
+            Line {
+                rate: 1.0 / 3.0,
+                burst: 0.0,
+            },
+            Line {
+                rate: 0.1,
+                burst: 0.7,
+            },
+        ]);
+        let b = Curve::from_lines(vec![Line {
+            rate: 1.0 / 7.0,
+            burst: 0.0,
+        }]);
+        let s = a.add(&b);
+        assert!(s.burst() >= 0.0);
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            assert!((s.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9);
+        }
     }
 
     #[test]

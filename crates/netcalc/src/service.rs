@@ -41,9 +41,14 @@ impl ServiceCurve {
 
     /// Earliest `t` with `β(t) ≥ y` — used by the horizontal-deviation
     /// computation (`β` is invertible past its latency for `rate > 0`).
+    ///
+    /// Total over all of `f64`: `y ≤ 0` (exactly zero for a burstless
+    /// source at `t = 0`, or pushed below zero by float cancellation in a
+    /// caller) is already served at `t = 0` since `β(0) = 0 ≥ y`. The
+    /// result is never negative, so delay terms `inverse(A(t)) − t` folded
+    /// through `max(0, ·)` can never drag a bound below zero.
     pub fn inverse(&self, y: f64) -> f64 {
-        debug_assert!(y >= 0.0);
-        if y == 0.0 {
+        if y <= 0.0 {
             return 0.0;
         }
         assert!(self.rate > 0.0, "cannot invert a zero-rate service curve");
@@ -86,6 +91,36 @@ mod tests {
         let t = s.inverse(y);
         assert!((s.eval(t) - y).abs() < 1e-6);
         assert_eq!(s.inverse(0.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_zero_with_latency_is_zero() {
+        // β(0) = 0 already serves y = 0, latency or not: the earliest
+        // time is 0, not `latency`. Pinned so `queue_delay_bound`'s
+        // per-breakpoint delays stay exact when A(0) = 0.
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(100));
+        assert_eq!(s.inverse(0.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_negative_is_clamped_to_zero() {
+        // Negative y can reach `inverse` via float cancellation in
+        // callers; the result must never be a negative time (the old
+        // code debug-asserted and then returned latency + y/rate, which
+        // goes negative for y < -latency·rate).
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(10), Dur::from_us(10));
+        assert_eq!(s.inverse(-1.0), 0.0);
+        assert_eq!(s.inverse(-1e12), 0.0);
+        assert_eq!(s.inverse(f64::MIN), 0.0);
+    }
+
+    #[test]
+    fn inverse_is_never_negative() {
+        let s = ServiceCurve::rate_latency(Rate::from_gbps(1), Dur::from_us(50));
+        for i in -100..100 {
+            let y = i as f64 * 1e3;
+            assert!(s.inverse(y) >= 0.0, "inverse({y}) went negative");
+        }
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Property-based verification of the curve algebra (ISSUE 4 tentpole b).
+//!
+//! Every algebraic operation the placement bounds rest on — `add`,
+//! `min_with`, `scale`, `propagate_egress` — is checked for closure
+//! (results are valid normalized concave curves), pointwise agreement
+//! with the defining formula, and concavity, on randomized curves whose
+//! breakpoints span microseconds to seconds. The three bound functions
+//! are checked against dense numerical scans: soundness (the claimed
+//! bound is never exceeded anywhere on a fine grid) and tightness (the
+//! scan attains it). Counterexamples shrink to small round numbers via
+//! `silo_base::prop`.
+//!
+//! Run with `SILO_PROP_SEED`/`SILO_PROP_CASES` to reproduce or widen a
+//! search; CI pins the seed.
+
+use silo_base::prop::{forall, shrink_f64, shrink_vec, Rng, StdRng};
+use silo_base::{Bytes, Dur, Rate};
+use silo_netcalc::{
+    backlog_bound, drain_time, propagate_egress, queue_delay_bound, Curve, Line, ServiceCurve,
+};
+
+/// Random affine lines whose crossings land near a per-case timescale
+/// drawn from {µs, ms, s} — the second-scale cases are what the old
+/// absolute breakpoint tolerances mishandled.
+fn gen_lines(rng: &mut StdRng) -> Vec<Line> {
+    let n = rng.random_range(1usize..5);
+    let timescale = [1e-6, 1e-3, 1.0][rng.random_range(0usize..3)];
+    (0..n)
+        .map(|_| {
+            let rate = 10f64.powf(3.0 + 6.0 * rng.random::<f64>()); // 1e3..1e9 B/s
+            let burst = if rng.random_bool(0.15) {
+                0.0
+            } else {
+                rng.random::<f64>() * rate * timescale
+            };
+            Line { rate, burst }
+        })
+        .collect()
+}
+
+fn gen_service(rng: &mut StdRng) -> ServiceCurve {
+    ServiceCurve {
+        rate: 10f64.powf(3.0 + 6.0 * rng.random::<f64>()),
+        latency: if rng.random_bool(0.5) {
+            0.0
+        } else {
+            rng.random::<f64>() * 1e-3
+        },
+    }
+}
+
+fn shrink_lines(lines: &[Line]) -> Vec<Vec<Line>> {
+    shrink_vec(lines, |l| {
+        let mut out = Vec::new();
+        for r in shrink_f64(l.rate) {
+            if r > 0.0 {
+                out.push(Line { rate: r, ..*l });
+            }
+        }
+        for b in shrink_f64(l.burst) {
+            out.push(Line { burst: b, ..*l });
+        }
+        out
+    })
+}
+
+/// Evaluation grid: both operands' breakpoints, midpoints between
+/// consecutive ones, the service latency, near-zero epsilons and a tail
+/// past the last breakpoint.
+fn grid(curves: &[&Curve], s: Option<&ServiceCurve>) -> Vec<f64> {
+    let mut ts = vec![0.0, 1e-12, 1e-9, 1e-6, 1e-3, 1.0, 10.0];
+    for c in curves {
+        ts.extend(c.breakpoints());
+    }
+    if let Some(s) = s {
+        ts.push(s.latency);
+        ts.push(s.latency + 1e-9);
+    }
+    ts.retain(|t| t.is_finite() && *t >= 0.0);
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = ts.clone();
+    for w in ts.windows(2) {
+        out.push(0.5 * (w[0] + w[1]));
+    }
+    if let Some(&last) = ts.last() {
+        out.push(last * 2.0 + 1.0);
+        out.push(last * 10.0 + 10.0);
+    }
+    out
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Structural invariants `Curve::normalize` promises.
+fn check_closure(c: &Curve) -> Result<(), String> {
+    if c.lines().is_empty() {
+        return Err("curve with no lines".into());
+    }
+    for l in c.lines() {
+        if !(l.rate >= 0.0 && l.burst >= 0.0 && l.rate.is_finite() && l.burst.is_finite()) {
+            return Err(format!("invalid line {l:?}"));
+        }
+    }
+    for w in c.lines().windows(2) {
+        if w[0].rate <= w[1].rate {
+            return Err(format!("rates not strictly decreasing: {:?}", c.lines()));
+        }
+        if w[0].burst >= w[1].burst {
+            return Err(format!("bursts not strictly increasing: {:?}", c.lines()));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn add_is_pointwise_sum_and_closed() {
+    forall(
+        "add agrees pointwise and stays a valid concave curve",
+        |rng| (gen_lines(rng), gen_lines(rng)),
+        |(a, b)| {
+            let mut out: Vec<_> = shrink_lines(a)
+                .into_iter()
+                .map(|a| (a, b.clone()))
+                .collect();
+            out.extend(shrink_lines(b).into_iter().map(|b| (a.clone(), b)));
+            out
+        },
+        |(la, lb)| {
+            let a = Curve::from_lines(la.clone());
+            let b = Curve::from_lines(lb.clone());
+            let s = a.add(&b);
+            check_closure(&s)?;
+            for t in grid(&[&a, &b, &s], None) {
+                let want = a.eval(t) + b.eval(t);
+                if !rel_close(s.eval(t), want, 1e-7) {
+                    return Err(format!("sum mismatch at t={t}: {} vs {want}", s.eval(t)));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn min_with_is_pointwise_min_and_closed() {
+    forall(
+        "min_with agrees pointwise and stays a valid concave curve",
+        |rng| (gen_lines(rng), gen_lines(rng)),
+        |(a, b)| {
+            let mut out: Vec<_> = shrink_lines(a)
+                .into_iter()
+                .map(|a| (a, b.clone()))
+                .collect();
+            out.extend(shrink_lines(b).into_iter().map(|b| (a.clone(), b)));
+            out
+        },
+        |(la, lb)| {
+            let a = Curve::from_lines(la.clone());
+            let b = Curve::from_lines(lb.clone());
+            let m = a.min_with(&b);
+            check_closure(&m)?;
+            for t in grid(&[&a, &b, &m], None) {
+                let want = a.eval(t).min(b.eval(t));
+                if !rel_close(m.eval(t), want, 1e-7) {
+                    return Err(format!("min mismatch at t={t}: {} vs {want}", m.eval(t)));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn algebra_results_are_concave() {
+    forall(
+        "midpoint concavity of add/min_with results",
+        |rng| (gen_lines(rng), gen_lines(rng)),
+        |(a, b)| {
+            let mut out: Vec<_> = shrink_lines(a)
+                .into_iter()
+                .map(|a| (a, b.clone()))
+                .collect();
+            out.extend(shrink_lines(b).into_iter().map(|b| (a.clone(), b)));
+            out
+        },
+        |(la, lb)| {
+            let a = Curve::from_lines(la.clone());
+            let b = Curve::from_lines(lb.clone());
+            for c in [a.add(&b), a.min_with(&b)] {
+                let ts = grid(&[&c], None);
+                for i in 0..ts.len() {
+                    for j in (i + 1)..ts.len().min(i + 8) {
+                        let (t1, t2) = (ts[i], ts[j]);
+                        let mid = 0.5 * (t1 + t2);
+                        let chord = 0.5 * (c.eval(t1) + c.eval(t2));
+                        if c.eval(mid) < chord - 1e-7 * chord.abs().max(1.0) {
+                            return Err(format!(
+                                "not concave between t={t1} and t={t2}: mid {} < chord {chord}",
+                                c.eval(mid)
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn normalize_is_pointwise_idempotent() {
+    forall(
+        "re-normalizing a curve's own lines changes nothing pointwise",
+        gen_lines,
+        |lines| shrink_lines(lines),
+        |lines| {
+            let c = Curve::from_lines(lines.clone());
+            let c2 = Curve::from_lines(c.lines().to_vec());
+            for t in grid(&[&c], None) {
+                if !rel_close(c.eval(t), c2.eval(t), 1e-9) {
+                    return Err(format!(
+                        "idempotence broken at t={t}: {} vs {}",
+                        c.eval(t),
+                        c2.eval(t)
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn queue_delay_bound_is_sound_and_tight() {
+    forall(
+        "queue_delay_bound vs dense horizontal-deviation scan",
+        |rng| (gen_lines(rng), gen_service(rng)),
+        |(a, s)| shrink_lines(a).into_iter().map(|a| (a, *s)).collect(),
+        |(lines, s)| {
+            let a = Curve::from_lines(lines.clone());
+            let Some(q) = queue_delay_bound(&a, s) else {
+                if a.long_term_rate() <= s.rate {
+                    return Err("bounded arrival reported as unbounded".into());
+                }
+                return Ok(());
+            };
+            if q < 0.0 {
+                return Err(format!("negative delay bound {q}"));
+            }
+            let mut scan_max = 0.0f64;
+            for t in grid(&[&a], Some(s)) {
+                // Independent horizontal deviation at t: earliest d ≥ 0
+                // with A(t) ≤ β(t+d).
+                let y = a.eval(t);
+                let d = if y <= 0.0 {
+                    0.0
+                } else {
+                    (s.latency + y / s.rate - t).max(0.0)
+                };
+                // Soundness: no point on the grid may beat the bound
+                // (1e-11·t absorbs the deliberate 1e-12 overload slack).
+                if d > q + 1e-9 + 1e-7 * q + 1e-11 * t {
+                    return Err(format!("delay {d} at t={t} exceeds bound {q}"));
+                }
+                scan_max = scan_max.max(d);
+            }
+            // The t → 0⁺ limit for burstless sources.
+            if a.burst() == 0.0 && a.slope_at(0.0) > 0.0 {
+                scan_max = scan_max.max(s.latency);
+            }
+            if q > scan_max + 1e-9 + 1e-7 * scan_max {
+                return Err(format!("bound {q} not attained; scan max {scan_max}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backlog_bound_matches_dense_scan() {
+    forall(
+        "backlog_bound vs dense vertical-deviation scan",
+        |rng| (gen_lines(rng), gen_service(rng)),
+        |(a, s)| shrink_lines(a).into_iter().map(|a| (a, *s)).collect(),
+        |(lines, s)| {
+            let a = Curve::from_lines(lines.clone());
+            let Some(bound) = backlog_bound(&a, s) else {
+                if a.long_term_rate() <= s.rate {
+                    return Err("bounded arrival reported as unbounded".into());
+                }
+                return Ok(());
+            };
+            if bound < 0.0 {
+                return Err(format!("negative backlog bound {bound}"));
+            }
+            let mut scan_max = 0.0f64;
+            for t in grid(&[&a], Some(s)) {
+                let v = a.eval(t) - s.eval(t);
+                if v > bound + 1e-6 + 1e-7 * bound + 1e-11 * s.rate * t {
+                    return Err(format!("backlog {v} at t={t} exceeds bound {bound}"));
+                }
+                scan_max = scan_max.max(v);
+            }
+            if bound > scan_max + 1e-6 + 1e-7 * scan_max {
+                return Err(format!("bound {bound} not attained; scan max {scan_max}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn drain_time_matches_dense_scan() {
+    forall(
+        "drain_time vs dense positive-region scan",
+        |rng| (gen_lines(rng), gen_service(rng)),
+        |(a, s)| shrink_lines(a).into_iter().map(|a| (a, *s)).collect(),
+        |(lines, s)| {
+            let a = Curve::from_lines(lines.clone());
+            let g = |t: f64| a.eval(t) - s.eval(t);
+            match drain_time(&a, s) {
+                None => {
+                    // Never drains only when the final rate is at (or
+                    // within rounding of) the service rate, or above it.
+                    if a.long_term_rate() < s.rate * (1.0 - 1e-9) {
+                        return Err(format!(
+                            "None but long-term rate {} clears service rate {}",
+                            a.long_term_rate(),
+                            s.rate
+                        ));
+                    }
+                    Ok(())
+                }
+                Some(p) => {
+                    if p < 0.0 || !p.is_finite() {
+                        return Err(format!("drain time {p} not a finite non-negative value"));
+                    }
+                    // Soundness: past p the queue stays empty.
+                    for t in grid(&[&a], Some(s)) {
+                        let t_past = p + t + 1e-12;
+                        let slack = 1e-6 + 1e-9 * s.rate * t_past.max(1.0);
+                        if g(t_past) > slack {
+                            return Err(format!(
+                                "queue still positive ({}) at t={t_past} past drain point {p}",
+                                g(t_past)
+                            ));
+                        }
+                    }
+                    // Tightness: just before a positive p the queue is
+                    // still (numerically) nonempty.
+                    if p > 0.0 {
+                        let before = p * (1.0 - 1e-6);
+                        if g(before) < -(1e-6 + 1e-6 * s.rate * p) {
+                            return Err(format!(
+                                "queue already drained ({}) before claimed drain point {p}",
+                                g(before)
+                            ));
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn propagate_egress_is_closed_and_conservative() {
+    forall(
+        "propagate_egress keeps the rate, inflates the burst to A(c)",
+        |rng| {
+            (
+                gen_lines(rng),
+                rng.random_range(1u64..200_000), // queue capacity in µs
+                rng.random_bool(0.5),
+            )
+        },
+        |(a, c, line)| {
+            shrink_lines(a)
+                .into_iter()
+                .map(|a| (a, *c, *line))
+                .collect()
+        },
+        |(lines, cap_us, with_line)| {
+            let a = Curve::from_lines(lines.clone());
+            let cap = Dur::from_us(*cap_us);
+            let line_rate = with_line.then(|| Rate::from_gbps(10));
+            let out = propagate_egress(&a, cap, line_rate, Bytes(1500));
+            check_closure(&out)?;
+            if !rel_close(
+                out.long_term_rate(),
+                a.long_term_rate()
+                    .min(line_rate.map_or(f64::INFINITY, |r| r.bytes_per_sec())),
+                1e-9,
+            ) {
+                return Err(format!(
+                    "long-term rate moved: {} vs {}",
+                    out.long_term_rate(),
+                    a.long_term_rate()
+                ));
+            }
+            // The egress burst is exactly A(c); under a line cap it is
+            // additionally limited to the cap curve's MTU intercept.
+            let expect_burst = if line_rate.is_some() {
+                a.eval(cap.as_secs_f64()).min(1500.0)
+            } else {
+                a.eval(cap.as_secs_f64())
+            };
+            if !rel_close(out.burst(), expect_burst, 1e-9) {
+                return Err(format!("burst {} vs A(c) {}", out.burst(), expect_burst));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn service_inverse_never_negative_and_rounds_trip() {
+    forall(
+        "β⁻¹ is total, non-negative, and inverts β above zero",
+        |rng| {
+            (
+                10f64.powf(3.0 + 6.0 * rng.random::<f64>()),
+                rng.random::<f64>() * 1e-3,
+                (rng.random::<f64>() - 0.5) * 2e9,
+            )
+        },
+        |&(r, l, y)| shrink_f64(y.abs()).into_iter().map(|y| (r, l, y)).collect(),
+        |&(rate, latency, y)| {
+            let s = ServiceCurve { rate, latency };
+            let t = s.inverse(y);
+            if t < 0.0 {
+                return Err(format!("inverse({y}) = {t} is negative"));
+            }
+            if y > 0.0 && !rel_close(s.eval(t), y, 1e-9) {
+                return Err(format!("β(β⁻¹({y})) = {} does not round-trip", s.eval(t)));
+            }
+            Ok(())
+        },
+    );
+}

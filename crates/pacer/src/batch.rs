@@ -91,6 +91,12 @@ pub struct PacedBatcher<P> {
     window: Dur,
     mtu: Bytes,
     queue: EventQueue<(Bytes, P)>,
+    /// Data frames scheduled *before* their stamp — release-causality
+    /// violations. Structurally impossible (a packet is only popped once
+    /// `head_stamp <= cursor`), so this stays zero; the audit layer folds
+    /// it into its report as a checked invariant rather than trusting the
+    /// code by inspection.
+    early_releases: u64,
 }
 
 impl<P> PacedBatcher<P> {
@@ -116,7 +122,14 @@ impl<P> PacedBatcher<P> {
             window,
             mtu,
             queue: EventQueue::with_backend(backend),
+            early_releases: 0,
         }
+    }
+
+    /// Number of data frames ever scheduled ahead of their stamp (always
+    /// zero for a correct batcher; see the field doc).
+    pub fn early_releases(&self) -> u64 {
+        self.early_releases
     }
 
     /// Hand a timestamped packet to the NIC queue (any stamp order; equal
@@ -174,6 +187,9 @@ impl<P> PacedBatcher<P> {
             };
             if head_stamp <= cursor {
                 let (_, (size, payload)) = self.queue.pop().expect("nonempty");
+                if cursor < head_stamp {
+                    self.early_releases += 1;
+                }
                 let tx = self.link.tx_time(size);
                 out.frames.push(WireFrame {
                     start: cursor,
@@ -337,6 +353,23 @@ mod tests {
         let batch2 = b.next_batch(batch.done_at);
         assert!(!batch2.is_empty());
         assert_eq!(batch2.frames[0].start, batch.done_at);
+    }
+
+    #[test]
+    fn no_early_releases_across_batches() {
+        let mut b = batcher();
+        for i in 0..50u32 {
+            b.enqueue(Time::from_us(3 * i as u64), Bytes(1500), i);
+        }
+        let mut now = Time::ZERO;
+        while b.pending() > 0 {
+            let batch = b.next_batch(now);
+            for f in &batch.frames {
+                assert!(f.start >= now);
+            }
+            now = batch.done_at.max(now + Dur::from_us(1));
+        }
+        assert_eq!(b.early_releases(), 0);
     }
 
     #[test]

@@ -268,6 +268,23 @@ impl SiloPlacer {
         self.loads[p.0 as usize].backlog(info.rate, self.topo.ingress_capacity(p))
     }
 
+    /// [`SiloPlacer::backlog_bound`] for every switch port at once, in
+    /// `PortId` order — the shape `silo_simnet::AuditConfig::port_bounds`
+    /// consumes. NIC ports are `None`: their queues live in host memory
+    /// under the pacer and have no switch-buffer bound to enforce.
+    pub fn backlog_bounds(&self) -> Vec<Option<Bytes>> {
+        (0..self.topo.num_ports())
+            .map(|i| {
+                let p = PortId(i as u32);
+                if self.topo.port(p).is_nic {
+                    None
+                } else {
+                    self.backlog_bound(p)
+                }
+            })
+            .collect()
+    }
+
     /// Worst-case queueing delay currently reserved at a port (for
     /// reporting and tests).
     pub fn queue_bound(&self, p: PortId) -> Option<Dur> {

@@ -1,6 +1,7 @@
 //! Simulation configuration: transport modes, tenant descriptions, and
 //! the protocol constants of §6's experiments.
 
+use crate::audit::AuditConfig;
 use crate::faults::FaultPlan;
 use silo_base::{Bytes, Dur, QueueBackend, Rate};
 use silo_topology::HostId;
@@ -184,6 +185,11 @@ pub struct SimConfig {
     /// no-op: no events are scheduled and every metric is byte-identical
     /// to a run without the fault layer.
     pub faults: FaultPlan,
+    /// Invariant auditing ([`AuditConfig`]). `None` (the default) skips
+    /// every check; `Some` runs the full audit layer, which observes but
+    /// never perturbs the simulation — physical outputs are byte-identical
+    /// either way, and the results land in [`crate::Metrics::audit`].
+    pub audit: Option<AuditConfig>,
 }
 
 impl SimConfig {
@@ -214,6 +220,7 @@ impl SimConfig {
             queue: QueueBackend::default(),
             cancel_timers: true,
             faults: FaultPlan::default(),
+            audit: None,
         }
     }
 

@@ -25,6 +25,7 @@
 //! [`msgqueue`] is a self-contained fluid model of a single guaranteed
 //! sender used to regenerate Table 1.
 
+pub mod audit;
 pub mod config;
 pub mod faults;
 pub mod metrics;
@@ -34,6 +35,7 @@ pub mod port;
 pub mod sim;
 pub mod tcp;
 
+pub use audit::{AuditConfig, AuditKind, AuditReport, AuditViolation};
 pub use config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, TenantStats, Violation};

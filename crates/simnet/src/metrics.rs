@@ -1,5 +1,6 @@
 //! Simulation results: per-message records and per-tenant aggregates.
 
+use crate::audit::AuditReport;
 use silo_base::{Dur, Summary, Time};
 
 /// Event classes the engine dispatches, for profiling (one slot per
@@ -221,6 +222,11 @@ pub struct Metrics {
     /// below, so profiles may differ between equivalent engine
     /// configurations without breaking fingerprint comparisons.
     pub profile: EventProfile,
+    /// Invariant-audit results; `Some` iff the run set `SimConfig::audit`.
+    /// Like `profile`, deliberately absent from both serializations: the
+    /// audit layer observes the run without becoming part of its
+    /// fingerprint, so audited and unaudited runs stay byte-comparable.
+    pub audit: Option<AuditReport>,
 }
 
 impl Metrics {

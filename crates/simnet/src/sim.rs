@@ -1,6 +1,7 @@
 //! The discrete-event engine: hosts, VMs, pacers, switches, TCP plumbing
 //! and applications wired together.
 
+use crate::audit::{AuditSink, VmCurve};
 use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 use crate::faults::FaultKind;
 use crate::metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, Violation};
@@ -156,6 +157,10 @@ pub struct Sim {
     nic_drift_gate: Vec<Time>,
     /// Tenant liveness under churn (all true without churn events).
     tenant_up: Vec<bool>,
+    /// Invariant-audit observer (`Some` iff `cfg.audit` is set). Pure
+    /// observation: nothing it computes feeds back into the engine, so an
+    /// audited run is byte-identical to an unaudited one.
+    audit: Option<AuditSink>,
 }
 
 impl Sim {
@@ -275,6 +280,39 @@ impl Sim {
         // connection (≈ VMs² in the worst case, but the wheel only needs a
         // rough pre-size — excess grows organically).
         events.reserve(2 * (num_switch_ports + num_hosts) + 8 * vms.len() + 256);
+        // The audit observer sees the post-mode-mutation tenant curves (an
+        // Okto run is audited against the guarantee Okto actually
+        // enforces) and the realized fault windows, so violations during a
+        // planned outage attribute correctly.
+        let audit = cfg.audit.as_ref().map(|ac| {
+            let horizon = Time::ZERO + cfg.duration;
+            let windows = cfg
+                .faults
+                .events
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.window(horizon).map(|(ws, we)| (i as u32, ws, we)))
+                .collect();
+            let vm_curves: Vec<VmCurve> = vms
+                .iter()
+                .map(|v| {
+                    let t = &tenants[v.tenant as usize];
+                    VmCurve {
+                        b: t.b,
+                        s: t.s,
+                        bmax: t.bmax,
+                    }
+                })
+                .collect();
+            AuditSink::new(
+                ac.clone(),
+                ports.len(),
+                num_hosts,
+                &vm_curves,
+                cfg.mtu,
+                windows,
+            )
+        });
         Sim {
             topo,
             cfg,
@@ -304,6 +342,7 @@ impl Sim {
             nic_drift: vec![(Time::ZERO, 1.0); num_hosts],
             nic_drift_gate: vec![Time::ZERO; num_hosts],
             tenant_up: vec![true; ntenants],
+            audit,
             // ACKs are modeled as a zero-cost control channel. Charging
             // their ~4% wire share would structurally oversubscribe NICs
             // whose capacity admission filled with data guarantees — an
@@ -982,8 +1021,23 @@ impl Sim {
         let up = PortId::up(self.topo.host_link(HostId(host))).0 as usize;
         self.ports[up].busy_time += batch.done_at - batch.frames[0].start;
         for f in batch.frames.drain(..) {
+            if let Some(a) = self.audit.as_mut() {
+                // Every frame — data and void — claims a wire interval.
+                a.on_wire_frame(h, f.start, f.size, link);
+            }
             if f.kind == FrameKind::Data {
                 let mut pkt = f.payload.expect("data frame carries a packet");
+                if self.audit.is_some() && pkt.kind == PktKind::Data {
+                    // Wire-level conformance of the sending VM against its
+                    // admitted curve, at the instant the first bit leaves.
+                    // ACKs bypass the buckets by design and are excluded.
+                    // A frame a dead link is about to eat still counts: it
+                    // occupied this wire slot.
+                    let vm = self.conns[pkt.conn as usize].src_vm as usize;
+                    if let Some(a) = self.audit.as_mut() {
+                        a.on_wire_data(f.start, vm, f.size);
+                    }
+                }
                 if self.faults_on {
                     // Paced frames skip enqueue_port for the NIC wire
                     // (hop 0), so a dead host link is enforced here.
@@ -1027,11 +1081,18 @@ impl Sim {
             }
         }
         let now = self.now;
+        let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
         let ps = &mut self.ports[port.0 as usize];
-        if !ps.enqueue(now, pkt) {
+        let accepted = ps.enqueue(now, pkt);
+        let queued = ps.queued_bytes;
+        if let Some(a) = self.audit.as_mut() {
+            a.on_enqueue(now, port.0 as usize, size, prio, queued, accepted);
+        }
+        if !accepted {
             self.metrics.drops += 1;
             return;
         }
+        let ps = &mut self.ports[port.0 as usize];
         // Invariant: `wakeup_armed` ⟺ exactly one PortFree in flight for
         // this port (it doubles as the "transmitting" flag). While one is
         // pending — even if it is due *this* instant — the queue must wait
@@ -1062,6 +1123,13 @@ impl Sim {
             ps.wakeup_armed = true;
             (t_free, t_free + prop, pkt)
         };
+        if self.audit.is_some() {
+            let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
+            let queued = self.ports[port.0 as usize].queued_bytes;
+            if let Some(a) = self.audit.as_mut() {
+                a.on_dequeue(now, port.0 as usize, size, prio, queued);
+            }
+        }
         // The PortFree is always materialized, even when nothing is queued
         // behind this transmission. Eliding the idle tail is tempting (it
         // fires into a no-op ~2/3 of the time) but provably inexact: the
@@ -1514,10 +1582,18 @@ impl Sim {
     /// A dead port stops transmitting: everything it holds is lost, and
     /// the loss is attributed to the fault that killed the port.
     fn flush_downed_ports(&mut self) {
+        let now = self.now;
         for p in 0..self.port_down.len() {
             let Some(f) = self.port_down[p] else { continue };
-            while self.ports[p].dequeue().is_some() {
+            while let Some(pkt) = self.ports[p].dequeue() {
                 self.metrics.fault_drops[f as usize] += 1;
+                if self.audit.is_some() {
+                    let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
+                    let queued = self.ports[p].queued_bytes;
+                    if let Some(a) = self.audit.as_mut() {
+                        a.on_flush(now, p, size, prio, queued);
+                    }
+                }
             }
         }
     }
@@ -1644,6 +1720,15 @@ impl Sim {
             v.per_dst.clear();
             v.rx_epoch_bytes = 0;
             v.app = VmApp::None;
+        }
+        if let Some(a) = self.audit.as_mut() {
+            // The re-admitted tenant's buckets restarted full above; the
+            // reference meters must agree or the first burst after
+            // readmission would be a false conformance violation.
+            let now = self.now;
+            for &vi in &self.tenant_vms[ti as usize] {
+                a.reset_vm(now, vi as usize);
+            }
         }
         self.init_tenant_apps(ti as usize);
         if self.cfg.mode.paced() {
@@ -1827,6 +1912,10 @@ impl Sim {
                     + v.per_dst.values().map(|b| b.violations()).sum::<u64>()
             })
             .sum();
+        if let Some(a) = self.audit.as_mut() {
+            let early: u64 = self.nics.iter().map(|n| n.batcher.early_releases()).sum();
+            self.metrics.audit = Some(a.finish(early));
+        }
         self.metrics.clone()
     }
 }

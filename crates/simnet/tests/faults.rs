@@ -293,6 +293,51 @@ fn pacer_drift_widens_gaps_without_stopping_traffic() {
 }
 
 #[test]
+fn fault_suite_is_clean_under_audit() {
+    // Every fault shape in one plan, run with the invariant-audit layer
+    // on: the physics must match the unaudited run byte-for-byte, and any
+    // violation the auditor finds must be attributed to one of the
+    // injected faults — an unattributed violation would be an engine bug
+    // the fault suite flushed out.
+    use silo_simnet::AuditConfig;
+    let plan = FaultPlan::new()
+        .link_down(Time::from_ms(10), Some(Time::from_ms(18)), 0)
+        .pacer_stall(Time::from_ms(25), Time::from_ms(32), 1)
+        .tenant_churn(1, Time::from_ms(40), Time::from_ms(48));
+    let mk = |audit: bool| {
+        let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(60), 7);
+        cfg.faults = plan.clone();
+        if audit {
+            cfg.audit = Some(AuditConfig::default());
+        }
+        Sim::new(
+            small_topo(2),
+            cfg,
+            vec![
+                periodic_tenant(&[0, 1], Some(Dur::from_ms(2))),
+                bulk_tenant(&[0, 1], Bytes::from_kb(256)),
+            ],
+        )
+        .run()
+    };
+    let (plain, audited) = (mk(false), mk(true));
+    assert_eq!(
+        plain.canonical_json(),
+        audited.canonical_json(),
+        "the audit layer must be pure observation"
+    );
+    let report = audited.audit.expect("audit was requested");
+    assert!(report.events_checked > 0);
+    assert_eq!(
+        report.unattributed,
+        0,
+        "all audit violations must trace to an injected fault: {}",
+        report.summary()
+    );
+    assert_eq!(report.early_releases, 0);
+}
+
+#[test]
 fn empty_plan_emits_no_fault_fields() {
     let cfg = SimConfig::new(TransportMode::Tcp, Dur::from_ms(10), 1);
     let m = Sim::new(
