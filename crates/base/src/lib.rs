@@ -28,5 +28,5 @@ pub mod units;
 pub use dist::{exponential, gen_pareto, seeded_rng, GenPareto};
 pub use eventq::{EvKey, EventQueue, QueueBackend};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use stats::{Cdf, Histogram, OnlineStats, Summary};
+pub use stats::{Cdf, Histogram, LogHistogram, OnlineStats, Summary};
 pub use units::{Bytes, Dur, Rate, Time};

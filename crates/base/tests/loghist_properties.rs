@@ -1,0 +1,107 @@
+//! Property-based verification of `LogHistogram` against the exact
+//! `Summary` order statistics, via the hand-rolled `prop::forall` harness
+//! (seed/cases via `SILO_PROP_SEED`/`SILO_PROP_CASES`).
+
+use silo_base::prop::{forall, shrink_vec, Rng, StdRng};
+use silo_base::{LogHistogram, Summary};
+
+/// Random sample vectors spanning the dynamic range the histogram has to
+/// cover in practice (latencies in picoseconds go up to ~2^47).
+fn gen_samples(rng: &mut StdRng) -> Vec<u64> {
+    let n = rng.random_range(1usize..200);
+    (0..n)
+        .map(|_| {
+            let bits = rng.random_range(0u32..48);
+            rng.random_range(0u64..(1u64 << bits) + 1)
+        })
+        .collect()
+}
+
+fn shrink_samples(v: &[u64]) -> Vec<Vec<u64>> {
+    shrink_vec(v, |&x| {
+        let mut c = vec![x / 2];
+        if x > 0 {
+            c.push(x - 1);
+        }
+        c.retain(|&y| y != x);
+        c
+    })
+}
+
+#[test]
+fn quantile_estimate_within_one_bucket_of_exact() {
+    forall(
+        "LogHistogram quantile brackets the exact Summary quantile",
+        gen_samples,
+        |v| shrink_samples(v),
+        |v| {
+            let mut h = LogHistogram::new(5);
+            let mut s = Summary::new();
+            for &x in v {
+                h.record(x);
+                s.record(x as f64);
+            }
+            for &p in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let est = h.quantile(p).unwrap();
+                let exact = s.quantile(p).unwrap() as u64;
+                let (lo, hi) = h.bucket_bounds_of(est);
+                if !(lo <= exact && exact <= hi) {
+                    return Err(format!(
+                        "p={p}: exact {exact} not in bucket [{lo},{hi}] of estimate {est}"
+                    ));
+                }
+            }
+            if h.min() != Some(*v.iter().min().unwrap()) {
+                return Err("min not exact".into());
+            }
+            if h.max() != Some(*v.iter().max().unwrap()) {
+                return Err("max not exact".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_equals_histogram_of_concatenation() {
+    forall(
+        "merge(a,b) == histogram(a ++ b)",
+        |rng| (gen_samples(rng), gen_samples(rng)),
+        |(a, b)| {
+            let mut out: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
+            for sa in shrink_samples(a) {
+                out.push((sa, b.clone()));
+            }
+            for sb in shrink_samples(b) {
+                out.push((a.clone(), sb));
+            }
+            out
+        },
+        |(a, b)| {
+            let mut ha = LogHistogram::new(5);
+            let mut hb = LogHistogram::new(5);
+            let mut hall = LogHistogram::new(5);
+            for &x in a {
+                ha.record(x);
+                hall.record(x);
+            }
+            for &x in b {
+                hb.record(x);
+                hall.record(x);
+            }
+            ha.merge(&hb);
+            if ha.count() != hall.count() {
+                return Err("merged count differs".into());
+            }
+            if ha.min() != hall.min() || ha.max() != hall.max() || ha.mean() != hall.mean() {
+                return Err("merged min/max/mean differ".into());
+            }
+            for &p in &[0.0, 0.5, 0.99, 1.0] {
+                if ha.quantile(p) != hall.quantile(p) {
+                    return Err(format!("merged quantile p={p} differs"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

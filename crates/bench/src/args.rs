@@ -17,6 +17,14 @@ pub struct Args {
     /// and fail on unattributed violations. Physics are unchanged; only
     /// wall-clock and the audit report differ.
     pub audit: bool,
+    /// Record a flight-recorder trace (`SimConfig::trace`) and write the
+    /// compact JSONL event stream to this path. Physics are unchanged
+    /// (the simnet trace suite asserts byte-identity); only wall-clock
+    /// and the exported file differ.
+    pub trace: Option<String>,
+    /// Also write the Chrome/Perfetto `trace_event` JSON to this path
+    /// (open at <https://ui.perfetto.dev>). Implies trace recording.
+    pub trace_perfetto: Option<String>,
 }
 
 impl Default for Args {
@@ -30,6 +38,8 @@ impl Default for Args {
             threads: 0,
             profile: false,
             audit: false,
+            trace: None,
+            trace_perfetto: None,
         }
     }
 }
@@ -65,13 +75,20 @@ impl Args {
                 "--runs" => a.runs = val.parse().expect("--runs takes an integer"),
                 "--occupancy" => a.occupancy = val.parse().expect("--occupancy takes a float"),
                 "--threads" => a.threads = val.parse().expect("--threads takes an integer"),
+                "--trace" => a.trace = Some(val.clone()),
+                "--trace-perfetto" => a.trace_perfetto = Some(val.clone()),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --trace --trace-perfetto"
                 ),
             }
             i += 2;
         }
         a
+    }
+
+    /// Flight-recorder tracing requested by any flag?
+    pub fn trace_requested(&self) -> bool {
+        self.trace.is_some() || self.trace_perfetto.is_some()
     }
 
     /// Threads to use for a sweep of `cells` cells (resolves the `0 =

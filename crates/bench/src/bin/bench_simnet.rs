@@ -3,7 +3,7 @@
 //! engine win over the tombstone scheme, and sweep-level parallel speedup —
 //! written to `BENCH_simnet.json` in the current directory.
 //!
-//! Five phases run the **same** `(mode × seed)` cell grid:
+//! Six phases run the **same** `(mode × seed)` cell grid:
 //!
 //! 1. `heap/t1`           — reference heap backend, one thread;
 //! 2. `wheel_nocancel/t1` — timer wheel, tombstone timers (the
@@ -12,16 +12,19 @@
 //!    engine), one thread;
 //! 4. `wheel/tN`          — default engine, one worker per core;
 //! 5. `audit/t1`          — default engine with the invariant-audit layer
-//!    on (its wall-clock overhead and counters go into the report).
+//!    on (its wall-clock overhead and counters go into the report);
+//! 6. `trace/t1`          — default engine with the flight recorder on
+//!    (its wall-clock overhead and event counts go into the report).
 //!
-//! Physical results are asserted byte-identical across all five phases
+//! Physical results are asserted byte-identical across all six phases
 //! (this binary doubles as an end-to-end equivalence check); engine
 //! counters are additionally identical wherever the engine config matches.
 //!
 //! `--profile` instead runs one Silo cell (audit on) and prints the
-//! per-event-kind scheduled/fired/stale/cancelled table plus the audit
-//! summary, failing if the cancellation layer did no work or the audit
-//! flags a healthy run — the CI smoke test that both stay live.
+//! per-event-kind scheduled/fired/stale/cancelled table, per-tenant
+//! streaming latency histograms, and the audit summary, failing if the
+//! cancellation layer did no work or the audit flags a healthy run — the
+//! CI smoke test that both stay live.
 
 use silo_base::QueueBackend;
 use silo_bench::ns2::{ns2_cells, run_ns2_cell_with_engine, EngineOpts, Ns2Cell};
@@ -40,6 +43,9 @@ struct Phase {
     audit_events: u64,
     audit_violations: u64,
     audit_unattributed: u64,
+    /// Summed flight-recorder counters (zeros unless the phase traces).
+    trace_events: u64,
+    trace_dropped: u64,
 }
 
 fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads: usize) -> Phase {
@@ -53,6 +59,7 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
     let mut physics = Vec::with_capacity(cells.len());
     let mut peak_sum = 0u64;
     let (mut audit_events, mut audit_violations, mut audit_unattributed) = (0u64, 0u64, 0u64);
+    let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
     for (cell, t) in cells.iter().zip(&timed) {
         let (_, m) = &t.result;
         bench_cells.push(BenchCell {
@@ -68,6 +75,10 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
             audit_events += a.events_checked;
             audit_violations += a.total();
             audit_unattributed += a.unattributed;
+        }
+        if let Some(t) = &m.trace {
+            trace_events += t.events.len() as u64;
+            trace_dropped += t.dropped;
         }
     }
     Phase {
@@ -85,6 +96,8 @@ fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads
         audit_events,
         audit_violations,
         audit_unattributed,
+        trace_events,
+        trace_dropped,
     }
 }
 
@@ -108,6 +121,33 @@ fn profile_smoke(args: &Args) -> ! {
         args.seed, args.duration_ms, m.events_processed, m.peak_event_queue
     );
     print!("{}", m.profile.to_table());
+    // Streaming per-tenant latency histograms: always on, fixed memory,
+    // exact min/max/mean with ≤3.2% quantile error (sub_bits = 5). The
+    // noisiest tenants by p99 head the list.
+    println!(
+        "\n{} messages over {} tenants (streaming histograms):",
+        m.messages_total,
+        m.latency_hist.len()
+    );
+    let mut order: Vec<u16> = (0..m.latency_hist.len() as u16)
+        .filter(|&t| m.latency_hist(t).is_some_and(|h| !h.is_empty()))
+        .collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(m.latency_hist(t).unwrap().quantile(0.99)));
+    for &t in order.iter().take(8) {
+        let h = m.latency_hist(t).unwrap();
+        let q = |p: f64| h.quantile(p).unwrap_or(0) as f64 / 1e6;
+        println!(
+            "  tenant {t:<3} {:>7} msgs  p50 {:>9.1} us  p99 {:>9.1} us  p99.9 {:>9.1} us  max {:>9.1} us",
+            h.count(),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            h.max().unwrap_or(0) as f64 / 1e6,
+        );
+    }
+    if order.len() > 8 {
+        println!("  ... {} more tenants", order.len() - 8);
+    }
     let report = m.audit.as_ref().expect("profile runs audit");
     println!("{}", report.summary());
     if !report.is_clean() {
@@ -164,6 +204,10 @@ fn main() {
         audit: true,
         ..wheel
     };
+    let trace_eng = EngineOpts {
+        trace: true,
+        ..wheel
+    };
     let heap1 = run_phase("heap/t1", &cells, &args, heap, 1);
     let base1 = run_phase("wheel_nocancel/t1", &cells, &args, nocancel, 1);
     let wheel1 = run_phase("wheel/t1", &cells, &args, wheel, 1);
@@ -175,6 +219,7 @@ fn main() {
         par_threads,
     );
     let audit1 = run_phase("audit/t1", &cells, &args, audit_eng, 1);
+    let trace1 = run_phase("trace/t1", &cells, &args, trace_eng, 1);
 
     // Physics must not move under any engine config; full canonical
     // results (engine counters included) must not move across backends or
@@ -206,6 +251,13 @@ fn main() {
         "healthy ns2 cells reported unattributed audit violations"
     );
     assert!(audit1.audit_events > 0, "audit phase checked no events");
+    // The flight recorder is pure observation too: canonical results are
+    // byte-identical with tracing on, and the rings actually recorded.
+    assert_eq!(
+        trace1.canonical, wheel1.canonical,
+        "flight recorder changed physical results"
+    );
+    assert!(trace1.trace_events > 0, "trace phase recorded no events");
 
     let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
     let engine_gain = eps(&wheel1) / eps(&heap1);
@@ -216,14 +268,16 @@ fn main() {
     let peak_reduction = 1.0 - wheel1.peak_sum as f64 / base1.peak_sum.max(1) as f64;
     let parallel_speedup = wheel1.report.total_wall_s / wheeln.report.total_wall_s;
     let audit_overhead = audit1.report.cell_wall_s() / wheel1.report.cell_wall_s();
+    let trace_overhead = trace1.report.cell_wall_s() / wheel1.report.cell_wall_s();
 
     let notes = format!(
         "timer cancellation {:.2}x wall-clock over tombstones ({:.2}x on {}; \
          peak event-queue occupancy -{:.0}%); wheel-vs-heap events/sec gain {:.2}x; \
          {}-thread sweep speedup {:.2}x over 1 thread on a {}-core host; \
          invariant audit {:.2}x wall-clock, {} events checked, {} violations \
-         ({} unattributed); physics byte-identical across engines, backends, \
-         thread counts and audit on/off",
+         ({} unattributed); flight recorder {:.2}x wall-clock, {} events retained \
+         ({} evicted from rings); physics byte-identical across engines, backends, \
+         thread counts, audit on/off and trace on/off",
         cancel_speedup,
         silo_cancel_speedup,
         wheel1.report.cells[0].label,
@@ -235,7 +289,10 @@ fn main() {
         audit_overhead,
         audit1.audit_events,
         audit1.audit_violations,
-        audit1.audit_unattributed
+        audit1.audit_unattributed,
+        trace_overhead,
+        trace1.trace_events,
+        trace1.trace_dropped
     );
 
     let mut out = String::new();
@@ -276,8 +333,15 @@ fn main() {
          \"audit_unattributed\": {},\n",
         audit1.audit_events, audit1.audit_violations, audit1.audit_unattributed
     ));
+    out.push_str(&format!(
+        "  \"trace_wall_overhead\": {trace_overhead:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"trace_events_retained\": {}, \"trace_events_evicted\": {},\n",
+        trace1.trace_events, trace1.trace_dropped
+    ));
     out.push_str("  \"phases\": [\n");
-    let phases = [&heap1, &base1, &wheel1, &wheeln, &audit1];
+    let phases = [&heap1, &base1, &wheel1, &wheeln, &audit1, &trace1];
     for (i, p) in phases.iter().enumerate() {
         for line in p.report.to_json().trim_end().lines() {
             out.push_str("    ");

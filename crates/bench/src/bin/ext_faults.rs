@@ -133,16 +133,35 @@ fn main() {
         cells.len(),
         dur_ms
     );
-    let results = run_cells(&cells, args.effective_threads(cells.len()), |_, sc| {
+    let results = run_cells(&cells, args.effective_threads(cells.len()), |i, sc| {
         let mut cfg = SimConfig::new(TransportMode::Silo, dur, args.seed);
         cfg.faults = sc.plan.clone();
         if args.audit {
             cfg.audit = Some(AuditConfig::default());
         }
+        // Flight-record the ToR-outage scenario (the interesting one:
+        // fault markers, flush drops and recovery all in one window).
+        if args.trace_requested() && i == 1 {
+            cfg.trace = Some(silo_simnet::TraceConfig::default());
+        }
         Sim::new(topo.clone(), cfg, cell_tenants()).run()
     });
     for (sc, m) in cells.iter().zip(&results) {
         report_row(sc.label, m, dur);
+    }
+    if let Some(log) = results[1].trace.as_ref() {
+        if let Some(path) = &args.trace {
+            std::fs::write(path, log.to_jsonl()).expect("write trace jsonl");
+            println!(
+                "trace ({}): {} events -> {path}",
+                cells[1].label,
+                log.events.len()
+            );
+        }
+        if let Some(path) = &args.trace_perfetto {
+            std::fs::write(path, log.to_perfetto()).expect("write perfetto json");
+            println!("perfetto trace -> {path} (open at ui.perfetto.dev)");
+        }
     }
 
     // With --audit, every scenario also ran under the invariant-audit

@@ -6,11 +6,13 @@
 //! propagation, and empirically in the packet simulator.
 
 use silo_base::{Bytes, Dur, Rate};
+use silo_bench::Args;
 use silo_netcalc::{propagate_egress, Curve};
-use silo_simnet::{Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode};
+use silo_simnet::{Sim, SimConfig, TenantSpec, TenantWorkload, TraceConfig, TransportMode};
 use silo_topology::{HostId, Topology, TreeParams};
 
 fn main() {
+    let args = Args::parse();
     let c = Rate::from_gbps(10);
     let pkt = Bytes(1500);
 
@@ -53,8 +55,21 @@ fn main() {
             msg: Bytes::from_mb(1),
         },
     };
-    let cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(20), 7);
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(20), 7);
+    if args.trace_requested() {
+        cfg.trace = Some(TraceConfig::default());
+    }
     let m = Sim::new(topo, cfg, vec![mk(0, c / 2), mk(1, c / 4)]).run();
+    if let Some(log) = &m.trace {
+        if let Some(path) = &args.trace {
+            std::fs::write(path, log.to_jsonl()).expect("write trace jsonl");
+            println!("trace: {} events -> {path}", log.events.len());
+        }
+        if let Some(path) = &args.trace_perfetto {
+            std::fs::write(path, log.to_perfetto()).expect("write perfetto json");
+            println!("perfetto trace -> {path} (open at ui.perfetto.dev)");
+        }
+    }
     // BulkAllToAll runs both directions; report per-direction goodput.
     println!(
         "f1 goodput: {:.2} Gbps per direction (paced to C/2 = 5 Gbps)",

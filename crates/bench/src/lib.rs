@@ -18,6 +18,7 @@ pub mod ns2;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod tracefile;
 pub mod verify;
 
 pub use args::Args;
@@ -25,5 +26,8 @@ pub use report::{fmt_dur_us, print_cdf, print_header, print_row};
 pub use runner::{auto_threads, run_cells, run_cells_timed, BenchCell, BenchReport, Timed};
 pub use scenario::{
     build_ns2_population, testbed_tenants, NsClass, NsTenant, PlacerKind, TestbedReq,
+};
+pub use tracefile::{
+    check_perfetto, first_divergence, parse_jsonl, summarize, Divergence, Json, TraceFile, TraceRow,
 };
 pub use verify::{build_verify_population, run_verify, VerifyOutcome, VerifyRow};

@@ -90,6 +90,10 @@ pub struct EngineOpts {
     /// config). Pure observation: physical results stay byte-identical;
     /// the report lands in `Metrics::audit`.
     pub audit: bool,
+    /// Attach the flight recorder (`SimConfig::trace`, default ring
+    /// sizes). Pure observation like `audit`: physics stay
+    /// byte-identical; the log lands in `Metrics::trace`.
+    pub trace: bool,
 }
 
 impl Default for EngineOpts {
@@ -98,6 +102,7 @@ impl Default for EngineOpts {
             queue: silo_base::QueueBackend::default(),
             cancel_timers: true,
             audit: false,
+            trace: false,
         }
     }
 }
@@ -133,6 +138,9 @@ pub fn run_ns2_cell_with_engine(
     cfg.cancel_timers = eng.cancel_timers;
     if eng.audit {
         cfg.audit = Some(silo_simnet::AuditConfig::default());
+    }
+    if eng.trace {
+        cfg.trace = Some(silo_simnet::TraceConfig::default());
     }
     let specs = tenants.iter().map(|t| t.spec.clone()).collect();
     let m = Sim::new(topo, cfg, specs).run();

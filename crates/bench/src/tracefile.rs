@@ -1,0 +1,574 @@
+//! Reader side of the flight-recorder interchange formats: a minimal
+//! JSON parser (no external crates, like everything else in the
+//! workspace), the JSONL trace-file loader, the first-divergence
+//! locator behind `silo-trace diff`, and a structural validator for the
+//! Perfetto export.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are kept as `f64` (the format's own
+/// model); the trace formats only emit integers that fit exactly, and
+/// [`Json::as_u64`] rejects anything that doesn't round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                expect(b, i, b':')?;
+                let val = parse_value(b, i)?;
+                fields.push((key, val));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+            tok.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{tok}' at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    expect(b, i, b'"')?;
+    let mut s = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(s);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'u') => {
+                        let hex = std::str::from_utf8(b.get(*i + 1..*i + 5).ok_or("bad \\u")?)
+                            .map_err(|e| e.to_string())?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        s.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}")),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through unmodified.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(*i..*i + len).ok_or("truncated utf8")?;
+                s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *i += len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// One event row of a silo-trace-v1 JSONL file. `raw` keeps the exact
+/// source line for byte-level diff reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    pub seq: u64,
+    pub t_ps: u64,
+    pub dur_ps: u64,
+    pub kind: String,
+    pub loc: u64,
+    pub aux: u64,
+    pub conn: u64,
+    pub pseq: u64,
+    pub size: u64,
+    pub tenant: u64,
+    pub pkt: String,
+    pub retx: bool,
+    pub raw: String,
+}
+
+/// A loaded silo-trace-v1 file: the header's totals plus every row.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    pub events: u64,
+    pub dropped: u64,
+    pub tenants: u64,
+    pub rows: Vec<TraceRow>,
+}
+
+/// Parse the JSONL interchange format ([`TraceLog::to_jsonl`]'s output):
+/// a header object, then one event object per line.
+///
+/// [`TraceLog::to_jsonl`]: silo_simnet::TraceLog::to_jsonl
+pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty trace file")?;
+    let header = Json::parse(header_line).map_err(|e| format!("header: {e}"))?;
+    match header.get("format").and_then(Json::as_str) {
+        Some("silo-trace-v1") => {}
+        other => return Err(format!("not a silo-trace-v1 file (format: {other:?})")),
+    }
+    let field = |obj: &Json, line: usize, key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {line}: missing integer field '{key}'"))
+    };
+    let mut file = TraceFile {
+        events: field(&header, 1, "events")?,
+        dropped: field(&header, 1, "dropped")?,
+        tenants: field(&header, 1, "tenants")?,
+        rows: Vec::with_capacity(file_hint(&header)),
+    };
+    for (n, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = n + 2;
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let strf = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {lineno}: missing string field '{key}'"))
+        };
+        file.rows.push(TraceRow {
+            seq: field(&v, lineno, "seq")?,
+            t_ps: field(&v, lineno, "t_ps")?,
+            dur_ps: field(&v, lineno, "dur_ps")?,
+            kind: strf("kind")?,
+            loc: field(&v, lineno, "loc")?,
+            aux: field(&v, lineno, "aux")?,
+            conn: field(&v, lineno, "conn")?,
+            pseq: field(&v, lineno, "pseq")?,
+            size: field(&v, lineno, "size")?,
+            tenant: field(&v, lineno, "tenant")?,
+            pkt: strf("pkt")?,
+            retx: v
+                .get("retx")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("line {lineno}: missing bool field 'retx'"))?,
+            raw: line.to_string(),
+        });
+    }
+    if file.rows.len() as u64 != file.events {
+        return Err(format!(
+            "header claims {} events, file holds {}",
+            file.events,
+            file.rows.len()
+        ));
+    }
+    Ok(file)
+}
+
+fn file_hint(header: &Json) -> usize {
+    header
+        .get("events")
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+        .min(1 << 22) as usize
+}
+
+/// Where two traces first part ways.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Row index (0-based into `rows`) of the first mismatch; equals the
+    /// shorter file's length when one trace is a strict prefix.
+    pub index: usize,
+    pub left: Option<TraceRow>,
+    pub right: Option<TraceRow>,
+}
+
+impl Divergence {
+    /// Human-readable report: when and where the schedules split, and
+    /// both recorders' view of that instant.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let at = |r: &Option<TraceRow>| match r {
+            Some(r) => format!(
+                "t={} ps  {}  conn={} pseq={} ({})",
+                r.t_ps, r.kind, r.conn, r.pseq, r.pkt
+            ),
+            None => "<end of trace>".to_string(),
+        };
+        let _ = writeln!(out, "first divergent event: index {}", self.index);
+        let _ = writeln!(out, "  left:  {}", at(&self.left));
+        let _ = writeln!(out, "  right: {}", at(&self.right));
+        if let (Some(l), Some(r)) = (&self.left, &self.right) {
+            let _ = writeln!(out, "  left raw:  {}", l.raw);
+            let _ = writeln!(out, "  right raw: {}", r.raw);
+        }
+        out
+    }
+}
+
+/// Locate the first event where the two traces disagree (byte-level on
+/// the canonical row encoding, so any field counts). `None` means the
+/// event streams are identical — including their lengths.
+pub fn first_divergence(a: &TraceFile, b: &TraceFile) -> Option<Divergence> {
+    let n = a.rows.len().min(b.rows.len());
+    for i in 0..n {
+        if a.rows[i].raw != b.rows[i].raw {
+            return Some(Divergence {
+                index: i,
+                left: Some(a.rows[i].clone()),
+                right: Some(b.rows[i].clone()),
+            });
+        }
+    }
+    if a.rows.len() != b.rows.len() {
+        return Some(Divergence {
+            index: n,
+            left: a.rows.get(n).cloned(),
+            right: b.rows.get(n).cloned(),
+        });
+    }
+    None
+}
+
+/// Per-kind counts and the headline physical facts of one trace —
+/// `silo-trace summarize`'s output.
+pub fn summarize(f: &TraceFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "events {}  (dropped from rings: {})  tenants {}",
+        f.rows.len(),
+        f.dropped,
+        f.tenants
+    );
+    if let (Some(first), Some(last)) = (f.rows.first(), f.rows.last()) {
+        let _ = writeln!(
+            out,
+            "span {:.3} ms .. {:.3} ms",
+            first.t_ps as f64 / 1e9,
+            (last.t_ps + last.dur_ps) as f64 / 1e9
+        );
+    }
+    let mut kinds: Vec<(&str, usize)> = Vec::new();
+    for r in &f.rows {
+        match kinds.iter_mut().find(|(k, _)| *k == r.kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((&r.kind, 1)),
+        }
+    }
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (k, n) in &kinds {
+        let _ = writeln!(out, "  {k:<12} {n}");
+    }
+    // Message latency per tenant from the retained msg_done spans.
+    for t in 0..f.tenants {
+        let mut lat: Vec<u64> = f
+            .rows
+            .iter()
+            .filter(|r| r.kind == "msg_done" && r.tenant == t)
+            .map(|r| r.dur_ps)
+            .collect();
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        let q = |p: f64| lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)];
+        let _ = writeln!(
+            out,
+            "  tenant {t}: {} msgs  p50 {:.1} us  p99 {:.1} us  max {:.1} us",
+            lat.len(),
+            q(0.50) as f64 / 1e6,
+            q(0.99) as f64 / 1e6,
+            lat[lat.len() - 1] as f64 / 1e6,
+        );
+    }
+    out
+}
+
+/// Structural validation of a Perfetto `trace_event` export: the JSON
+/// parses, the three process tracks are declared, every event carries
+/// the mandatory fields, and (when demanded) per-tenant tracks and
+/// fault markers are present.
+pub fn check_perfetto(
+    text: &str,
+    expect_tenant_tracks: bool,
+    expect_fault_markers: bool,
+) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array")?;
+    let mut process_names = 0usize;
+    let mut tenant_tracks = 0usize;
+    let mut fault_markers = 0usize;
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: no ph"))?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: no name"))?;
+        e.get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: no pid"))?;
+        match ph {
+            "M" => {
+                if name == "process_name" {
+                    process_names += 1;
+                }
+                if name == "thread_name"
+                    && e.get("pid").and_then(Json::as_u64) == Some(3)
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.starts_with("tenant"))
+                {
+                    tenant_tracks += 1;
+                }
+            }
+            "X" => {
+                spans += 1;
+                // Spans need ts + dur; ts is a fixed-point decimal string
+                // of microseconds in our export.
+                for key in ["ts", "dur"] {
+                    let ok = match e.get(key) {
+                        Some(Json::Num(_)) => true,
+                        Some(Json::Str(s)) => s.parse::<f64>().is_ok(),
+                        _ => false,
+                    };
+                    if !ok {
+                        return Err(format!("event {i}: span without numeric {key}"));
+                    }
+                }
+            }
+            "i" => {
+                if name.starts_with("fault ") {
+                    fault_markers += 1;
+                }
+            }
+            other => return Err(format!("event {i}: unknown ph '{other}'")),
+        }
+    }
+    if process_names != 3 {
+        return Err(format!("expected 3 process tracks, found {process_names}"));
+    }
+    if spans == 0 {
+        return Err("no duration spans in trace".into());
+    }
+    if expect_tenant_tracks && tenant_tracks == 0 {
+        return Err("no per-tenant thread tracks".into());
+    }
+    if expect_fault_markers && fault_markers == 0 {
+        return Err("no fault-window markers".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_the_shapes_we_emit() {
+        let v = Json::parse(r#"{"a":1,"b":"x","c":[true,null,2.5],"d":{"e":false}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Json::as_arr).unwrap().len(), 3);
+        assert_eq!(
+            v.get("d").and_then(|d| d.get("e")).and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    fn mini_trace(lat: &[u64]) -> String {
+        let mut s = format!(
+            "{{\"format\":\"silo-trace-v1\",\"events\":{},\"dropped\":0,\"tenants\":1}}\n",
+            lat.len()
+        );
+        for (i, l) in lat.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"seq\":{i},\"t_ps\":{},\"dur_ps\":{l},\"kind\":\"msg_done\",\"loc\":0,\"aux\":0,\"conn\":0,\"pseq\":0,\"size\":100,\"tenant\":0,\"pkt\":\"none\",\"retx\":false}}\n",
+                i * 10
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn jsonl_parse_and_diff_locate_first_mismatch() {
+        let a = parse_jsonl(&mini_trace(&[5, 6, 7])).unwrap();
+        let b = parse_jsonl(&mini_trace(&[5, 9, 7])).unwrap();
+        assert!(first_divergence(&a, &a).is_none());
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.unwrap().dur_ps, 6);
+        assert_eq!(d.right.unwrap().dur_ps, 9);
+    }
+
+    #[test]
+    fn diff_reports_prefix_truncation() {
+        let a = parse_jsonl(&mini_trace(&[5, 6, 7])).unwrap();
+        let b = parse_jsonl(&mini_trace(&[5, 6])).unwrap();
+        let d = first_divergence(&a, &b).expect("length mismatch diverges");
+        assert_eq!(d.index, 2);
+        assert!(d.right.is_none());
+    }
+
+    #[test]
+    fn header_event_count_is_enforced() {
+        let mut s = mini_trace(&[1, 2]);
+        let extra = mini_trace(&[3]);
+        s.push_str(extra.lines().nth(1).unwrap()); // row not in header count
+        s.push('\n');
+        assert!(parse_jsonl(&s).is_err());
+    }
+
+    #[test]
+    fn summarize_names_kinds_and_tenants() {
+        let f = parse_jsonl(&mini_trace(&[5_000_000, 6_000_000])).unwrap();
+        let s = summarize(&f);
+        assert!(s.contains("msg_done"));
+        assert!(s.contains("tenant 0: 2 msgs"));
+    }
+}

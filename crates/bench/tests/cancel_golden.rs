@@ -22,6 +22,8 @@ fn small_args() -> Args {
         threads: 1,
         profile: false,
         audit: false,
+        trace: None,
+        trace_perfetto: None,
     }
 }
 

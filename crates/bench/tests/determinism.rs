@@ -43,6 +43,8 @@ fn small_args(threads: usize) -> Args {
         threads,
         profile: false,
         audit: false,
+        trace: None,
+        trace_perfetto: None,
     }
 }
 

@@ -42,6 +42,16 @@ pub struct WireFrame<P> {
     pub payload: Option<P>,
 }
 
+impl<P> WireFrame<P> {
+    /// The wire interval this frame occupies on a link of rate `line`:
+    /// `(start, serialization time)`. This is the span the flight
+    /// recorder records per emitted frame — data and void alike claim
+    /// wire time, which is the whole point of void batching.
+    pub fn span(&self, line: Rate) -> (Time, Dur) {
+        (self.start, line.tx_time(self.size))
+    }
+}
+
 /// One NIC batch: frames transmitted back-to-back plus the DMA-completion
 /// instant at which the next batch should be pulled.
 #[derive(Debug, Clone, PartialEq)]

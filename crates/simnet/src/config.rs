@@ -3,6 +3,7 @@
 
 use crate::audit::AuditConfig;
 use crate::faults::FaultPlan;
+use crate::trace::TraceConfig;
 use silo_base::{Bytes, Dur, QueueBackend, Rate};
 use silo_topology::HostId;
 
@@ -190,6 +191,21 @@ pub struct SimConfig {
     /// never perturbs the simulation — physical outputs are byte-identical
     /// either way, and the results land in [`crate::Metrics::audit`].
     pub audit: Option<AuditConfig>,
+    /// Flight-recorder tracing ([`TraceConfig`]). `None` (the default)
+    /// records nothing; `Some` attaches per-host ring buffers capturing
+    /// every packet lifecycle event, exported via
+    /// [`crate::Metrics::trace`]. Same discipline as `audit`: pure
+    /// observation, physical outputs byte-identical either way.
+    pub trace: Option<TraceConfig>,
+    /// Cap on retained per-message records in [`crate::Metrics`]. `None`
+    /// (the default) keeps every record — fine for experiment runs that
+    /// post-process them, unbounded memory for long sweeps. `Some(cap)`
+    /// keeps only the first `cap` records; the always-on per-tenant
+    /// streaming histograms ([`crate::Metrics::latency_hist`]) and
+    /// `messages_total` still see every message, so tail quantiles
+    /// survive the cap. The cap changes only what is *retained*, never
+    /// the physics.
+    pub msg_record_cap: Option<usize>,
 }
 
 impl SimConfig {
@@ -221,6 +237,8 @@ impl SimConfig {
             cancel_timers: true,
             faults: FaultPlan::default(),
             audit: None,
+            trace: None,
+            msg_record_cap: None,
         }
     }
 

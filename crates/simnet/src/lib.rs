@@ -34,9 +34,11 @@ pub mod packet;
 pub mod port;
 pub mod sim;
 pub mod tcp;
+pub mod trace;
 
 pub use audit::{AuditConfig, AuditKind, AuditReport, AuditViolation};
 pub use config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, TenantStats, Violation};
 pub use sim::Sim;
+pub use trace::{PktTag, TraceConfig, TraceEvent, TraceKind, TraceLog};

@@ -1,7 +1,12 @@
 //! Simulation results: per-message records and per-tenant aggregates.
 
 use crate::audit::AuditReport;
-use silo_base::{Dur, Summary, Time};
+use crate::trace::TraceLog;
+use silo_base::{Dur, LogHistogram, Summary, Time};
+
+/// Sub-bucket resolution of the per-tenant streaming latency histograms:
+/// 32 sub-buckets per octave ⇒ quantile error ≤ 3.2%, ~15 KB per tenant.
+pub const LATENCY_HIST_SUB_BITS: u32 = 5;
 
 /// Event classes the engine dispatches, for profiling (one slot per
 /// `sim::Ev` variant).
@@ -227,9 +232,65 @@ pub struct Metrics {
     /// audit layer observes the run without becoming part of its
     /// fingerprint, so audited and unaudited runs stay byte-comparable.
     pub audit: Option<AuditReport>,
+    /// Flight-recorder trace; `Some` iff the run set `SimConfig::trace`.
+    /// Same serialization discipline as `audit`: never part of the
+    /// fingerprint (it has its own exporters — see [`TraceLog`]).
+    pub trace: Option<TraceLog>,
+    /// Every message ever completed, including those dropped by
+    /// `SimConfig::msg_record_cap`. Equals `messages.len()` when no cap
+    /// is set. Excluded from the serializations (engine bookkeeping).
+    pub messages_total: u64,
+    /// Per-tenant streaming latency histograms (picoseconds), fed by
+    /// *every* completed message regardless of `msg_record_cap`, so tail
+    /// quantiles survive capped sweeps at bounded memory. Excluded from
+    /// the serializations: the exact per-message records remain the
+    /// fingerprint; these are derived observers.
+    pub latency_hist: Vec<LogHistogram>,
 }
 
 impl Metrics {
+    /// Record one completed message: always counted into `messages_total`
+    /// and the tenant's streaming histogram; retained in `messages` only
+    /// while under `cap` (`None` = unbounded, the historical behavior).
+    /// With a cap the record vector is pre-sized exactly once, so the
+    /// retained footprint is `cap × size_of::<MsgRecord>()` — the bound
+    /// `tests` pin down — instead of a doubling-growth overshoot.
+    pub fn record_message(&mut self, rec: MsgRecord, cap: Option<usize>) {
+        self.messages_total += 1;
+        if let Some(h) = self.latency_hist.get_mut(rec.tenant as usize) {
+            h.record(rec.latency.0);
+        }
+        match cap {
+            Some(c) => {
+                if self.messages.len() < c {
+                    if self.messages.capacity() < c.min(1 << 20) {
+                        self.messages
+                            .reserve_exact(c.min(1 << 20) - self.messages.len());
+                    }
+                    self.messages.push(rec);
+                }
+            }
+            None => self.messages.push(rec),
+        }
+    }
+
+    /// Bytes retained by per-message records and the streaming
+    /// histograms — the quantity `msg_record_cap` bounds.
+    pub fn retained_message_bytes(&self) -> usize {
+        self.messages.capacity() * std::mem::size_of::<MsgRecord>()
+            + self
+                .latency_hist
+                .iter()
+                .map(|h| h.mem_bytes())
+                .sum::<usize>()
+    }
+
+    /// One tenant's streaming latency histogram (picoseconds), if the
+    /// run tracked that tenant.
+    pub fn latency_hist(&self, tenant: u16) -> Option<&LogHistogram> {
+        self.latency_hist.get(tenant as usize)
+    }
+
     /// Message latencies of one tenant, in microseconds.
     pub fn latencies_us(&self, tenant: u16) -> Summary {
         let mut s = Summary::new();

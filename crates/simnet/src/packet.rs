@@ -45,6 +45,10 @@ pub struct Packet {
     pub prio: u8,
     /// When the segment was handed to the wire path (for delay metrics).
     pub sent_at: Time,
+    /// When the packet entered its current port FIFO (set by
+    /// `PortState::enqueue`; read only by the flight recorder for
+    /// head-of-line wait spans — never by the physics).
+    pub enq_at: Time,
     pub path: PathId,
     pub hop: usize,
 }

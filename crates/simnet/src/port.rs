@@ -96,6 +96,7 @@ impl PortState {
     /// Try to enqueue; applies ECN/phantom marking. Returns false on a
     /// tail drop.
     pub fn enqueue(&mut self, now: Time, mut pkt: Packet) -> bool {
+        pkt.enq_at = now;
         if self.queued_bytes + pkt.size.as_u64() > self.buffer.as_u64() {
             self.drops += 1;
             return false;
@@ -167,6 +168,7 @@ mod tests {
             ecn_echo: false,
             prio,
             sent_at: Time::ZERO,
+            enq_at: Time::ZERO,
             path: PathId(0),
             hop: 0,
         }

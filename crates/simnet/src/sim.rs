@@ -4,12 +4,17 @@
 use crate::audit::{AuditSink, VmCurve};
 use crate::config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 use crate::faults::FaultKind;
-use crate::metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, Violation};
+use crate::metrics::{
+    EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, Violation, LATENCY_HIST_SUB_BITS,
+};
 use crate::packet::{Packet, PathId, PktKind};
 use crate::port::{PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
+use crate::trace::{PktMeta, PktTag, TraceSink};
 use rand::rngs::StdRng;
-use silo_base::{exponential, seeded_rng, Bytes, Dur, EvKey, EventQueue, FxHashMap, Time};
+use silo_base::{
+    exponential, seeded_rng, Bytes, Dur, EvKey, EventQueue, FxHashMap, LogHistogram, Time,
+};
 use silo_pacer::{Batch, FrameKind, PacedBatcher, TokenBucket};
 use silo_topology::{HostId, PortId, Topology};
 use silo_workload::EtcWorkload;
@@ -161,6 +166,9 @@ pub struct Sim {
     /// observation: nothing it computes feeds back into the engine, so an
     /// audited run is byte-identical to an unaudited one.
     audit: Option<AuditSink>,
+    /// Flight recorder (`Some` iff `cfg.trace` is set). Same discipline
+    /// as `audit`: pure observation, zero behavioural effect.
+    trace: Option<TraceSink>,
 }
 
 impl Sim {
@@ -269,6 +277,9 @@ impl Sim {
             goodput: vec![0; tenants.len()],
             duration: cfg.duration,
             fault_drops: vec![0; nfaults],
+            latency_hist: (0..tenants.len())
+                .map(|_| LogHistogram::new(LATENCY_HIST_SUB_BITS))
+                .collect(),
             ..Metrics::default()
         };
         let mut events = EventQueue::with_backend(cfg.queue);
@@ -313,6 +324,7 @@ impl Sim {
                 windows,
             )
         });
+        let trace = cfg.trace.as_ref().map(|tc| TraceSink::new(tc, num_hosts));
         Sim {
             topo,
             cfg,
@@ -343,6 +355,7 @@ impl Sim {
             nic_drift_gate: vec![Time::ZERO; num_hosts],
             tenant_up: vec![true; ntenants],
             audit,
+            trace,
             // ACKs are modeled as a zero-cost control channel. Charging
             // their ~4% wire share would structurally oversubscribe NICs
             // whose capacity admission filled with data guarantees — an
@@ -380,6 +393,27 @@ impl Sim {
     #[inline]
     fn hops(&self, id: PathId) -> &[PortId] {
         &self.path_table[id.0 as usize]
+    }
+
+    /// Flight-recorder identity of a packet: which host's ring records
+    /// its lifecycle (the emitting host — data traces at the sender, acks
+    /// at the receiver that generated them) plus the labels the exported
+    /// trace carries. Pure read; only called when tracing is on.
+    fn trace_meta(&self, pkt: &Packet) -> PktMeta {
+        let c = &self.conns[pkt.conn as usize];
+        let (host, pk) = match pkt.kind {
+            PktKind::Data => (c.src_host.0, PktTag::Data),
+            PktKind::Ack => (c.dst_host.0, PktTag::Ack),
+        };
+        PktMeta {
+            host,
+            conn: pkt.conn,
+            tenant: c.tenant,
+            pk,
+            pseq: pkt.seq,
+            size: pkt.size.as_u64(),
+            retx: pkt.retx,
+        }
     }
 
     /// Is this port the host vswitch loopback (not a NIC/switch port)?
@@ -698,6 +732,7 @@ impl Sim {
                 ecn_echo: false,
                 prio,
                 sent_at: self.now,
+                enq_at: Time::ZERO,
                 path,
                 hop: 0,
             };
@@ -772,6 +807,7 @@ impl Sim {
             ecn_echo: false,
             prio,
             sent_at: self.now,
+            enq_at: Time::ZERO,
             path,
             hop: 0,
         };
@@ -805,6 +841,7 @@ impl Sim {
             ecn_echo: false,
             prio,
             sent_at: self.now,
+            enq_at: Time::ZERO,
             path,
             hop: 0,
         };
@@ -816,6 +853,7 @@ impl Sim {
         let (marker, at) = {
             let c = &mut self.conns[conn as usize];
             c.rto_marker += 1;
+            c.rto_armed_at = self.now;
             // Clock from the latest wire departure: time spent queued in
             // the hypervisor pacer must not fire spurious timeouts.
             let base = self.now.max(c.last_depart);
@@ -869,6 +907,14 @@ impl Sim {
             }
         }
         self.metrics.rtos += 1;
+        if self.trace.is_some() {
+            let c = &self.conns[conn as usize];
+            let (armed, host, tenant) = (c.rto_armed_at, c.src_host.0, c.tenant);
+            let now = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.rto_fire(armed, now, host, conn, tenant);
+            }
+        }
         let mss = self.cfg.mss() as f64;
         self.conns[conn as usize].on_rto(mss);
         // Go-back-N: nxt was rewound; try_send re-emits from una.
@@ -909,6 +955,13 @@ impl Sim {
             {
                 let c = &mut self.conns[pkt.conn as usize];
                 c.last_depart = c.last_depart.max(stamp);
+            }
+            if self.trace.is_some() && pkt.kind == PktKind::Data && stamp > self.now {
+                let m = self.trace_meta(&pkt);
+                let now = self.now;
+                if let Some(t) = self.trace.as_mut() {
+                    t.token_wait(now, vm, stamp - now, m);
+                }
             }
             let host = self.vms[vm as usize].host.0 as usize;
             self.nics[host].batcher.enqueue(stamp, pkt.size, pkt);
@@ -1043,12 +1096,33 @@ impl Sim {
                     // (hop 0), so a dead host link is enforced here.
                     if let Some(fault) = self.port_fault(self.hops(pkt.path)[0]) {
                         self.metrics.fault_drops[fault as usize] += 1;
+                        if self.trace.is_some() {
+                            let m = self.trace_meta(&pkt);
+                            let eaten_at = self.hops(pkt.path)[0].0;
+                            let now = self.now;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.drop_fault(now, eaten_at, fault, m);
+                            }
+                        }
                         continue;
+                    }
+                }
+                if self.trace.is_some() {
+                    let m = self.trace_meta(&pkt);
+                    let (start, tx) = f.span(link);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.nic_data(start, tx, m);
                     }
                 }
                 pkt.hop = 1; // the NIC wire is hop 0
                 let arrive = f.start + link.tx_time(f.size) + prop;
                 self.push(arrive, Ev::Arrive(pkt));
+            } else if self.trace.is_some() {
+                let (start, tx) = f.span(link);
+                let size = f.size.as_u64();
+                if let Some(t) = self.trace.as_mut() {
+                    t.nic_void(host, start, tx, size);
+                }
             }
             // Void frames: dropped by the first-hop switch. Their only
             // effect is the wire time already encoded in the schedule.
@@ -1077,6 +1151,13 @@ impl Sim {
             if let Some(f) = self.port_fault(port) {
                 // Black hole: the packet reached a dead port.
                 self.metrics.fault_drops[f as usize] += 1;
+                if self.trace.is_some() {
+                    let m = self.trace_meta(&pkt);
+                    let now = self.now;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.drop_fault(now, port.0, f, m);
+                    }
+                }
                 return;
             }
         }
@@ -1087,6 +1168,16 @@ impl Sim {
         let queued = ps.queued_bytes;
         if let Some(a) = self.audit.as_mut() {
             a.on_enqueue(now, port.0 as usize, size, prio, queued, accepted);
+        }
+        if self.trace.is_some() {
+            let m = self.trace_meta(&pkt);
+            if let Some(t) = self.trace.as_mut() {
+                if accepted {
+                    t.enqueue(now, port.0, queued, m);
+                } else {
+                    t.drop_tail(now, port.0, queued, m);
+                }
+            }
         }
         if !accepted {
             self.metrics.drops += 1;
@@ -1128,6 +1219,13 @@ impl Sim {
             let queued = self.ports[port.0 as usize].queued_bytes;
             if let Some(a) = self.audit.as_mut() {
                 a.on_dequeue(now, port.0 as usize, size, prio, queued);
+            }
+        }
+        if self.trace.is_some() {
+            let m = self.trace_meta(&pkt);
+            let wait = now.since(pkt.enq_at);
+            if let Some(t) = self.trace.as_mut() {
+                t.wire_start(now, port.0, t_free - now, wait, m);
             }
         }
         // The PortFree is always materialized, even when nothing is queued
@@ -1178,6 +1276,14 @@ impl Sim {
         if self.faults_on && !self.tenant_alive(self.conns[conn as usize].tenant) {
             return; // the receiving VM is gone; the packet dies silently
         }
+        if self.trace.is_some() {
+            let m = self.trace_meta(&pkt);
+            let arr = self.conns[conn as usize].dst_host.0;
+            let now = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.deliver(now, arr, m);
+            }
+        }
         let (completions, dst_vm, src_vm, prio, rpath, tenant, adv) = {
             let c = &mut self.conns[conn as usize];
             let prev = c.receive_segment(pkt.seq, pkt.payload);
@@ -1197,6 +1303,7 @@ impl Sim {
         };
         self.vms[dst_vm as usize].rx_epoch_bytes += adv;
         let same_host = self.conns[conn as usize].src_host == self.conns[conn as usize].dst_host;
+        let dst_host = self.conns[conn as usize].dst_host.0;
         for m in &completions {
             let txn_latency = match (m.respond, m.txn) {
                 // A response arriving back at the client closes the txn.
@@ -1204,15 +1311,25 @@ impl Sim {
                 _ => None,
             };
             let latency = self.now - m.created;
-            self.metrics.messages.push(MsgRecord {
-                tenant,
-                size: m.size,
-                latency,
-                rto: m.rto_hit,
-                created: m.created,
-                txn_latency,
-                same_host,
-            });
+            let cap = self.cfg.msg_record_cap;
+            self.metrics.record_message(
+                MsgRecord {
+                    tenant,
+                    size: m.size,
+                    latency,
+                    rto: m.rto_hit,
+                    created: m.created,
+                    txn_latency,
+                    same_host,
+                },
+                cap,
+            );
+            if self.trace.is_some() {
+                let (created, now, size) = (m.created, self.now, m.size);
+                if let Some(ts) = self.trace.as_mut() {
+                    ts.msg_done(created, now, dst_host, tenant, size);
+                }
+            }
             // Guarantee check: a tenant with a delay guarantee must see
             // every message inside its §4.1 bound; anything late is a
             // violation, attributed to an overlapping fault if one is
@@ -1252,6 +1369,7 @@ impl Sim {
             ecn_echo: pkt.ce,
             prio,
             sent_at: self.now,
+            enq_at: Time::ZERO,
             path: rpath,
             hop: 0,
         };
@@ -1296,6 +1414,14 @@ impl Sim {
         let conn = pkt.conn;
         if self.faults_on && !self.tenant_alive(self.conns[conn as usize].tenant) {
             return;
+        }
+        if self.trace.is_some() {
+            let m = self.trace_meta(&pkt);
+            let arr = self.conns[conn as usize].src_host.0;
+            let now = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.deliver(now, arr, m);
+            }
         }
         let ack = pkt.seq;
         let mss = self.cfg.mss() as f64;
@@ -1500,6 +1626,12 @@ impl Sim {
 
     fn on_fault_start(&mut self, i: u32) {
         self.fault_active[i as usize] = true;
+        if self.trace.is_some() {
+            let now = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.fault(now, i, true);
+            }
+        }
         match self.cfg.faults.events[i as usize].kind {
             FaultKind::LinkDown { .. } | FaultKind::PortDown { .. } => {
                 self.recompute_port_faults();
@@ -1515,6 +1647,12 @@ impl Sim {
 
     fn on_fault_end(&mut self, i: u32) {
         self.fault_active[i as usize] = false;
+        if self.trace.is_some() {
+            let now = self.now;
+            if let Some(t) = self.trace.as_mut() {
+                t.fault(now, i, false);
+            }
+        }
         match self.cfg.faults.events[i as usize].kind {
             FaultKind::LinkDown { .. } | FaultKind::PortDown { .. } => {
                 self.recompute_port_faults();
@@ -1592,6 +1730,12 @@ impl Sim {
                     let queued = self.ports[p].queued_bytes;
                     if let Some(a) = self.audit.as_mut() {
                         a.on_flush(now, p, size, prio, queued);
+                    }
+                }
+                if self.trace.is_some() {
+                    let m = self.trace_meta(&pkt);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.drop_fault(now, p as u32, f, m);
                     }
                 }
             }
@@ -1915,6 +2059,27 @@ impl Sim {
         if let Some(a) = self.audit.as_mut() {
             let early: u64 = self.nics.iter().map(|n| n.batcher.early_releases()).sum();
             self.metrics.audit = Some(a.finish(early));
+        }
+        if let Some(ts) = self.trace.take() {
+            // Port labels: switch/NIC ports first (matching PortId), then
+            // the per-host vswitch loopbacks appended by `Sim::new`.
+            let mut labels: Vec<String> = (0..self.topo.num_ports())
+                .map(|i| {
+                    if self.topo.port(PortId(i as u32)).is_nic {
+                        format!("nic_p{i}")
+                    } else {
+                        format!("sw_p{i}")
+                    }
+                })
+                .collect();
+            for h in 0..self.topo.num_hosts() {
+                labels.push(format!("lo_h{h}"));
+            }
+            self.metrics.trace = Some(ts.finish(
+                labels,
+                self.metrics.fault_windows.clone(),
+                self.tenants.len(),
+            ));
         }
         self.metrics.clone()
     }

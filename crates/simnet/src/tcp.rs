@@ -67,6 +67,9 @@ pub struct TcpConn {
     /// Cancellation handle of the currently armed RTO event, when the
     /// engine runs with cancelable timers.
     pub rto_key: Option<EvKey>,
+    /// When the currently armed RTO was set (read only by the flight
+    /// recorder for RTO spans — never by the protocol logic).
+    pub rto_armed_at: Time,
     /// Latest wire-departure stamp of any sent segment: the RTO clock
     /// starts here, not at the app write — hypervisor pacing delay is not
     /// network RTT (the guest's RTT estimator absorbs it in reality).
@@ -141,6 +144,7 @@ impl TcpConn {
             rto_backoff: 0,
             rto_marker: 0,
             rto_key: None,
+            rto_armed_at: Time::ZERO,
             last_depart: Time::ZERO,
             pace_blocked: false,
             retx_upto: 0,

@@ -1,0 +1,773 @@
+//! Flight-recorder tracing: bounded-memory per-packet lifecycle capture.
+//!
+//! A [`TraceSink`] is attached to the engine when `SimConfig::trace` is
+//! set. It records one [`TraceEvent`] per packet lifecycle step — enqueue,
+//! wire-start (with the head-of-line wait), NIC frame emission, pacer
+//! token wait, delivery, drops, RTO spans, message completions — plus
+//! fault edges, into fixed-capacity per-host ring buffers. When a ring is
+//! full the *oldest* event is evicted (flight-recorder semantics: the
+//! most recent history survives), so memory stays bounded no matter how
+//! long the run is.
+//!
+//! **Zero-effect discipline** (same contract as `crate::audit`): the sink
+//! is pure observation. It never mutates engine state, takes no
+//! randomness, and schedules no events, so a traced run is byte-identical
+//! to an untraced one (`tests/trace_identical.rs` asserts it across
+//! transport modes and a faulted run, and `bench_simnet`'s trace phase
+//! asserts it on the ns2 grid while measuring the wall-clock overhead).
+//!
+//! Every event gets a globally monotone sequence number at record time,
+//! which gives the merged log a deterministic total order — the property
+//! `silo-trace diff` relies on to report the *first* divergent event
+//! between two runs.
+//!
+//! Ring attribution keeps one packet's whole lifecycle in one ring: every
+//! event of a packet lands in the ring of the host that emitted it
+//! (`src_host` for data, `dst_host` for ACKs), void frames land in their
+//! NIC's host ring, and fault edges land in a small global ring.
+
+use crate::metrics::FaultWindow;
+use silo_base::{Dur, Time};
+use std::collections::VecDeque;
+
+/// Ring-buffer sizing for the flight recorder. Defaults keep a worst-case
+/// full trace under ~5 MB per host (64 Ki events × 72 B) while holding
+/// several batch windows of history at 10 GbE line rate — see DESIGN.md
+/// for the sizing record.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Events retained per host ring (oldest evicted beyond this).
+    pub per_host_cap: usize,
+    /// Events retained in the global ring (fault edges).
+    pub global_cap: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            per_host_cap: 65_536,
+            global_cap: 4_096,
+        }
+    }
+}
+
+/// What a trace event marks. Span kinds carry a non-zero duration
+/// (`dur` = the span length, `at` = its start); instant kinds have
+/// `dur == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum TraceKind {
+    /// Packet accepted into a port FIFO (`loc` = port, `aux` = queued
+    /// bytes after the enqueue).
+    Enqueue,
+    /// Port begins transmitting a packet (span: `dur` = serialization
+    /// time, `aux` = head-of-line wait in ps since its enqueue).
+    WireStart,
+    /// Paced NIC puts a data frame on the host wire (span; `loc` = host).
+    NicData,
+    /// Paced NIC puts a void frame on the host wire (span; `loc` = host).
+    NicVoid,
+    /// Pacer token-bucket wait: the stamp lies in the future (span from
+    /// now to the stamp; `loc` = host, `aux` = VM).
+    TokenWait,
+    /// An RTO fired (span from arming to firing; `loc` = src host).
+    RtoFire,
+    /// Packet fully received at its destination (`loc` = host).
+    Deliver,
+    /// Application message completed (span from creation to delivery;
+    /// `loc` = destination host, `size` = message bytes).
+    MsgDone,
+    /// Tail drop at a full port FIFO (`loc` = port, `aux` = queued bytes).
+    DropTail,
+    /// Packet black-holed by an injected fault (`loc` = port,
+    /// `aux` = fault index).
+    DropFault,
+    /// An injected fault strikes (`loc` = fault index; global ring).
+    FaultStart,
+    /// An injected fault heals (`loc` = fault index; global ring).
+    FaultEnd,
+}
+
+impl TraceKind {
+    pub const COUNT: usize = 12;
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::Enqueue,
+        TraceKind::WireStart,
+        TraceKind::NicData,
+        TraceKind::NicVoid,
+        TraceKind::TokenWait,
+        TraceKind::RtoFire,
+        TraceKind::Deliver,
+        TraceKind::MsgDone,
+        TraceKind::DropTail,
+        TraceKind::DropFault,
+        TraceKind::FaultStart,
+        TraceKind::FaultEnd,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Enqueue => "enqueue",
+            TraceKind::WireStart => "wire_start",
+            TraceKind::NicData => "nic_data",
+            TraceKind::NicVoid => "nic_void",
+            TraceKind::TokenWait => "token_wait",
+            TraceKind::RtoFire => "rto_fire",
+            TraceKind::Deliver => "deliver",
+            TraceKind::MsgDone => "msg_done",
+            TraceKind::DropTail => "drop_tail",
+            TraceKind::DropFault => "drop_fault",
+            TraceKind::FaultStart => "fault_start",
+            TraceKind::FaultEnd => "fault_end",
+        }
+    }
+
+    /// Spans render as Perfetto complete events; the rest as instants.
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            TraceKind::WireStart
+                | TraceKind::NicData
+                | TraceKind::NicVoid
+                | TraceKind::TokenWait
+                | TraceKind::RtoFire
+                | TraceKind::MsgDone
+        )
+    }
+}
+
+/// What kind of wire object an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktTag {
+    Data,
+    Ack,
+    Void,
+    /// Event not tied to a packet (faults, message completions).
+    None,
+}
+
+impl PktTag {
+    pub fn label(self) -> &'static str {
+        match self {
+            PktTag::Data => "data",
+            PktTag::Ack => "ack",
+            PktTag::Void => "void",
+            PktTag::None => "none",
+        }
+    }
+}
+
+/// One recorded event. Flat and `Copy`; field meaning varies per
+/// [`TraceKind`] (documented on the variants). `u32::MAX` / `u16::MAX`
+/// mean "not applicable".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global record order (monotone across all rings).
+    pub seq: u64,
+    /// Event instant, or span start.
+    pub at: Time,
+    /// Span length (zero for instants).
+    pub dur: Dur,
+    pub kind: TraceKind,
+    /// Location: port id, host id, or fault index (kind-dependent).
+    pub loc: u32,
+    /// Auxiliary value: queue depth, head-of-line wait (ps), VM id, or
+    /// fault index (kind-dependent).
+    pub aux: u64,
+    /// Owning connection (`u32::MAX` when not packet-bound).
+    pub conn: u32,
+    /// Packet stream sequence (data: first stream byte; ack: cumulative).
+    pub pseq: u64,
+    /// Wire or message size in bytes.
+    pub size: u64,
+    /// Owning tenant (`u16::MAX` when not tenant-bound).
+    pub tenant: u16,
+    pub pk: PktTag,
+    pub retx: bool,
+}
+
+pub const NO_CONN: u32 = u32::MAX;
+pub const NO_TENANT: u16 = u16::MAX;
+
+/// The packet-identity fields shared by every packet-bound event; the
+/// engine resolves them once per hook (`Sim::trace_meta`).
+#[derive(Debug, Clone, Copy)]
+pub struct PktMeta {
+    /// Ring attribution: the host that emitted this packet.
+    pub host: u32,
+    pub conn: u32,
+    pub tenant: u16,
+    pub pk: PktTag,
+    pub pseq: u64,
+    pub size: u64,
+    pub retx: bool,
+}
+
+/// Fixed-capacity event ring: oldest evicted first.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// The flight recorder attached to a running simulation.
+#[derive(Debug)]
+pub struct TraceSink {
+    rings: Vec<Ring>,
+    global: Ring,
+    next_seq: u64,
+}
+
+impl TraceSink {
+    pub fn new(cfg: &TraceConfig, num_hosts: usize) -> TraceSink {
+        TraceSink {
+            rings: (0..num_hosts)
+                .map(|_| Ring::new(cfg.per_host_cap))
+                .collect(),
+            global: Ring::new(cfg.global_cap),
+            next_seq: 0,
+        }
+    }
+
+    fn record(&mut self, host: Option<u32>, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        match host {
+            Some(h) => self.rings[h as usize].push(ev),
+            None => self.global.push(ev),
+        }
+    }
+
+    fn pkt_event(
+        kind: TraceKind,
+        at: Time,
+        dur: Dur,
+        loc: u32,
+        aux: u64,
+        m: PktMeta,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at,
+            dur,
+            kind,
+            loc,
+            aux,
+            conn: m.conn,
+            pseq: m.pseq,
+            size: m.size,
+            tenant: m.tenant,
+            pk: m.pk,
+            retx: m.retx,
+        }
+    }
+
+    pub fn enqueue(&mut self, now: Time, port: u32, depth: u64, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::Enqueue, now, Dur::ZERO, port, depth, m);
+        self.record(Some(m.host), ev);
+    }
+
+    pub fn drop_tail(&mut self, now: Time, port: u32, depth: u64, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::DropTail, now, Dur::ZERO, port, depth, m);
+        self.record(Some(m.host), ev);
+    }
+
+    pub fn drop_fault(&mut self, now: Time, port: u32, fault: u32, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::DropFault, now, Dur::ZERO, port, fault as u64, m);
+        self.record(Some(m.host), ev);
+    }
+
+    /// `tx` = serialization time, `wait` = head-of-line wait since the
+    /// packet's enqueue at this port.
+    pub fn wire_start(&mut self, now: Time, port: u32, tx: Dur, wait: Dur, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::WireStart, now, tx, port, wait.0, m);
+        self.record(Some(m.host), ev);
+    }
+
+    /// A paced NIC data frame hits the host wire (`start`/`tx` from the
+    /// batcher's wire schedule).
+    pub fn nic_data(&mut self, start: Time, tx: Dur, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::NicData, start, tx, m.host, 0, m);
+        self.record(Some(m.host), ev);
+    }
+
+    pub fn nic_void(&mut self, host: u32, start: Time, tx: Dur, size: u64) {
+        let ev = TraceEvent {
+            seq: 0,
+            at: start,
+            dur: tx,
+            kind: TraceKind::NicVoid,
+            loc: host,
+            aux: 0,
+            conn: NO_CONN,
+            pseq: 0,
+            size,
+            tenant: NO_TENANT,
+            pk: PktTag::Void,
+            retx: false,
+        };
+        self.record(Some(host), ev);
+    }
+
+    /// The pacer stamped this packet `wait` into the future.
+    pub fn token_wait(&mut self, now: Time, vm: u32, wait: Dur, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::TokenWait, now, wait, m.host, vm as u64, m);
+        self.record(Some(m.host), ev);
+    }
+
+    /// An RTO fired: span from its arming instant to now.
+    pub fn rto_fire(&mut self, armed: Time, now: Time, host: u32, conn: u32, tenant: u16) {
+        let ev = TraceEvent {
+            seq: 0,
+            at: armed,
+            dur: now.since(armed),
+            kind: TraceKind::RtoFire,
+            loc: host,
+            aux: 0,
+            conn,
+            pseq: 0,
+            size: 0,
+            tenant,
+            pk: PktTag::None,
+            retx: false,
+        };
+        self.record(Some(host), ev);
+    }
+
+    /// Packet fully received at `arr_host` (its destination).
+    pub fn deliver(&mut self, now: Time, arr_host: u32, m: PktMeta) {
+        let ev = Self::pkt_event(TraceKind::Deliver, now, Dur::ZERO, arr_host, 0, m);
+        self.record(Some(m.host), ev);
+    }
+
+    /// Application message completed: span from creation to delivery.
+    pub fn msg_done(&mut self, created: Time, now: Time, host: u32, tenant: u16, size: u64) {
+        let ev = TraceEvent {
+            seq: 0,
+            at: created,
+            dur: now.since(created),
+            kind: TraceKind::MsgDone,
+            loc: host,
+            aux: 0,
+            conn: NO_CONN,
+            pseq: 0,
+            size,
+            tenant,
+            pk: PktTag::None,
+            retx: false,
+        };
+        self.record(Some(host), ev);
+    }
+
+    /// A fault edge (global ring).
+    pub fn fault(&mut self, now: Time, idx: u32, start: bool) {
+        let kind = if start {
+            TraceKind::FaultStart
+        } else {
+            TraceKind::FaultEnd
+        };
+        let ev = TraceEvent {
+            seq: 0,
+            at: now,
+            dur: Dur::ZERO,
+            kind,
+            loc: idx,
+            aux: 0,
+            conn: NO_CONN,
+            pseq: 0,
+            size: 0,
+            tenant: NO_TENANT,
+            pk: PktTag::None,
+            retx: false,
+        };
+        self.record(None, ev);
+    }
+
+    /// Events recorded so far (including later-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Merge the rings into the final log: all surviving events in global
+    /// record order, plus bookkeeping for the exporters.
+    pub fn finish(
+        self,
+        port_labels: Vec<String>,
+        fault_windows: Vec<FaultWindow>,
+        tenants: usize,
+    ) -> TraceLog {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut dropped = self.global.dropped;
+        for r in &self.rings {
+            dropped += r.dropped;
+        }
+        for r in self.rings {
+            events.extend(r.buf);
+        }
+        events.extend(self.global.buf);
+        // Record order is the deterministic total order of the trace.
+        events.sort_unstable_by_key(|e| e.seq);
+        TraceLog {
+            events,
+            dropped,
+            port_labels,
+            fault_windows,
+            tenants,
+        }
+    }
+}
+
+/// A finished trace: the merged, seq-ordered event log plus the run
+/// context the exporters need. Carried in `Metrics::trace` but — like
+/// `profile` and `audit` — deliberately absent from both metric
+/// serializations, so traced and untraced runs stay byte-comparable.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// Surviving events, sorted by `seq` (global record order).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from full rings (0 ⇒ the trace is complete).
+    pub dropped: u64,
+    /// Display label per port id (switch/NIC ports, then per-host
+    /// loopbacks).
+    pub port_labels: Vec<String>,
+    /// Realized fault windows (for Perfetto markers).
+    pub fault_windows: Vec<FaultWindow>,
+    /// Number of tenants in the run (Perfetto track layout).
+    pub tenants: usize,
+}
+
+impl TraceLog {
+    /// Count of surviving events of one kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Compact deterministic JSONL dump: one header object, then one
+    /// event object per line, all times exact integer picoseconds. This
+    /// is the interchange format `silo-trace` consumes; two runs are
+    /// identical iff their dumps are byte-identical.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128 * self.events.len() + 256);
+        out.push_str(&format!(
+            "{{\"format\":\"silo-trace-v1\",\"events\":{},\"dropped\":{},\"tenants\":{}}}\n",
+            self.events.len(),
+            self.dropped,
+            self.tenants
+        ));
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"t_ps\":{},\"dur_ps\":{},\"kind\":\"{}\",\"loc\":{},\"aux\":{},\"conn\":{},\"pseq\":{},\"size\":{},\"tenant\":{},\"pkt\":\"{}\",\"retx\":{}}}\n",
+                e.seq,
+                e.at.0,
+                e.dur.0,
+                e.kind.label(),
+                e.loc,
+                e.aux,
+                e.conn,
+                e.pseq,
+                e.size,
+                e.tenant,
+                e.pk.label(),
+                e.retx,
+            ));
+        }
+        out
+    }
+
+    /// Chrome/Perfetto `trace_event` JSON (load at `ui.perfetto.dev`).
+    /// Track layout: pid 1 = fabric ports (one thread per port), pid 2 =
+    /// host NICs (one thread per host), pid 3 = tenants (one thread per
+    /// tenant, carrying message spans and RTO spans). Fault windows
+    /// render as global instant markers. Timestamps are microseconds
+    /// (the format's unit), emitted at fixed 6-decimal (= picosecond)
+    /// precision so the export is deterministic.
+    pub fn to_perfetto(&self) -> String {
+        fn us(t: u64) -> String {
+            format!("{}.{:06}", t / 1_000_000, t % 1_000_000)
+        }
+        let mut out = String::with_capacity(192 * self.events.len() + 4096);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, s: String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            out.push_str(&s);
+        };
+        for (pid, name) in [(1, "fabric ports"), (2, "host NICs"), (3, "tenants")] {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+        for (i, label) in self.port_labels.iter().enumerate() {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"args\":{{\"name\":\"{label}\"}}}}"
+                ),
+            );
+        }
+        for t in 0..self.tenants {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":{t},\"args\":{{\"name\":\"tenant {t}\"}}}}"
+                ),
+            );
+        }
+        for w in &self.fault_windows {
+            for (edge, t) in [("start", w.start), ("end", w.end)] {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"fault {}: {} {edge}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":0}}",
+                        w.fault,
+                        w.label,
+                        us(t.0),
+                    ),
+                );
+            }
+        }
+        for e in &self.events {
+            let (pid, tid) = match e.kind {
+                TraceKind::Enqueue
+                | TraceKind::WireStart
+                | TraceKind::DropTail
+                | TraceKind::DropFault => (1, e.loc as usize),
+                TraceKind::NicData | TraceKind::NicVoid | TraceKind::TokenWait => {
+                    (2, e.loc as usize)
+                }
+                TraceKind::Deliver => (2, e.loc as usize),
+                TraceKind::MsgDone | TraceKind::RtoFire => (3, e.tenant as usize),
+                TraceKind::FaultStart | TraceKind::FaultEnd => (1, 0),
+            };
+            let name = match e.kind {
+                TraceKind::NicData | TraceKind::NicVoid | TraceKind::WireStart => {
+                    format!("{} {}", e.kind.label(), e.pk.label())
+                }
+                _ => e.kind.label().to_string(),
+            };
+            let args = format!(
+                "{{\"seq\":{},\"conn\":{},\"pseq\":{},\"size\":{},\"tenant\":{},\"aux\":{},\"retx\":{}}}",
+                e.seq, e.conn, e.pseq, e.size, e.tenant, e.aux, e.retx
+            );
+            if e.kind.is_span() {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+                        us(e.at.0),
+                        us(e.dur.0),
+                    ),
+                );
+            } else {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+                        us(e.at.0),
+                    ),
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EvKind;
+
+    fn mk(kind: TraceKind, seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at: Time::from_us(seq),
+            dur: Dur::ZERO,
+            kind,
+            loc: 0,
+            aux: 0,
+            conn: NO_CONN,
+            pseq: 0,
+            size: 0,
+            tenant: NO_TENANT,
+            pk: PktTag::None,
+            retx: false,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(mk(TraceKind::Enqueue, i));
+        }
+        assert_eq!(r.dropped, 2);
+        let seqs: Vec<u64> = r.buf.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "most recent history survives");
+    }
+
+    #[test]
+    fn finish_merges_in_record_order() {
+        let cfg = TraceConfig::default();
+        let mut s = TraceSink::new(&cfg, 2);
+        let m0 = PktMeta {
+            host: 0,
+            conn: 1,
+            tenant: 0,
+            pk: PktTag::Data,
+            pseq: 0,
+            size: 1500,
+            retx: false,
+        };
+        let m1 = PktMeta { host: 1, ..m0 };
+        s.enqueue(Time::from_us(1), 3, 1500, m0);
+        s.enqueue(Time::from_us(2), 4, 1500, m1);
+        s.fault(Time::from_us(3), 0, true);
+        s.enqueue(Time::from_us(4), 3, 3000, m0);
+        let log = s.finish(vec!["sw_p3".into(), "sw_p4".into()], Vec::new(), 1);
+        let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "seq order survives the merge");
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.count(TraceKind::Enqueue), 3);
+        assert_eq!(log.count(TraceKind::FaultStart), 1);
+    }
+
+    #[test]
+    fn jsonl_is_line_per_event_with_header() {
+        let cfg = TraceConfig::default();
+        let mut s = TraceSink::new(&cfg, 1);
+        s.fault(Time::from_ms(1), 2, true);
+        let log = s.finish(Vec::new(), Vec::new(), 0);
+        let txt = log.to_jsonl();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"format\":\"silo-trace-v1\""));
+        assert!(lines[1].contains("\"kind\":\"fault_start\""));
+        assert!(lines[1].contains("\"t_ps\":1000000000"));
+    }
+
+    // ------------------------------------------------------------------
+    // Exhaustiveness: every engine event kind must declare its trace
+    // coverage, and every trace kind must have a label. Adding a variant
+    // to either enum without updating these maps is a compile error in
+    // this test — new engine events cannot silently ship untraced.
+    // ------------------------------------------------------------------
+
+    /// Which trace kinds each engine event class can emit (empty = the
+    /// event is pure bookkeeping with no wire-visible effect of its own;
+    /// its consequences surface through the packet-path events).
+    fn trace_coverage(k: EvKind) -> &'static [TraceKind] {
+        match k {
+            EvKind::Arrive => &[
+                TraceKind::Enqueue,
+                TraceKind::DropTail,
+                TraceKind::DropFault,
+                TraceKind::Deliver,
+                TraceKind::MsgDone,
+            ],
+            EvKind::PortFree => &[TraceKind::WireStart],
+            EvKind::NicPull => &[TraceKind::NicData, TraceKind::NicVoid, TraceKind::DropFault],
+            EvKind::Rto => &[TraceKind::RtoFire],
+            // Workload generators emit through the send path.
+            EvKind::EtcArrival => &[TraceKind::TokenWait, TraceKind::Enqueue],
+            EvKind::Oldi => &[TraceKind::TokenWait, TraceKind::Enqueue],
+            EvKind::PoissonMsg => &[TraceKind::TokenWait, TraceKind::Enqueue],
+            EvKind::HoseEpoch => &[],
+            EvKind::PaceResume => &[TraceKind::TokenWait, TraceKind::Enqueue],
+            EvKind::BulkStart => &[TraceKind::TokenWait, TraceKind::Enqueue],
+            EvKind::FaultStart => &[TraceKind::FaultStart, TraceKind::DropFault],
+            EvKind::FaultEnd => &[TraceKind::FaultEnd],
+        }
+    }
+
+    #[test]
+    fn every_event_kind_declares_trace_coverage() {
+        assert_eq!(EvKind::ALL.len(), EvKind::COUNT);
+        for k in EvKind::ALL {
+            // The match in trace_coverage is exhaustive (no wildcard);
+            // calling it for every variant also exercises the labels.
+            let _ = trace_coverage(k);
+            assert!(!k.label().is_empty());
+        }
+        let mut labels: Vec<&str> = EvKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EvKind::COUNT, "profile labels must be unique");
+    }
+
+    #[test]
+    fn every_trace_kind_has_unique_label_and_span_class() {
+        assert_eq!(TraceKind::ALL.len(), TraceKind::COUNT);
+        let mut labels: Vec<&str> = TraceKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            TraceKind::COUNT,
+            "trace labels must be unique"
+        );
+        // Spans and instants partition the kinds (is_span is exhaustive
+        // by construction of the matches! list; this pins the split).
+        let spans = TraceKind::ALL.iter().filter(|k| k.is_span()).count();
+        assert_eq!(spans, 6);
+    }
+
+    #[test]
+    fn perfetto_export_has_tracks_and_markers() {
+        let cfg = TraceConfig::default();
+        let mut s = TraceSink::new(&cfg, 1);
+        let m = PktMeta {
+            host: 0,
+            conn: 0,
+            tenant: 1,
+            pk: PktTag::Data,
+            pseq: 0,
+            size: 1500,
+            retx: false,
+        };
+        s.wire_start(Time::from_us(5), 2, Dur::from_ns(1200), Dur::ZERO, m);
+        s.msg_done(Time::from_us(1), Time::from_us(9), 0, 1, 20_000);
+        let log = s.finish(
+            vec!["sw_p0".into()],
+            vec![FaultWindow {
+                fault: 0,
+                label: "link_down(0)".into(),
+                start: Time::from_ms(1),
+                end: Time::from_ms(2),
+            }],
+            2,
+        );
+        let json = log.to_perfetto();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("fabric ports"));
+        assert!(json.contains("tenant 1"));
+        assert!(json.contains("fault 0: link_down(0) start"));
+        assert!(json.contains("\"ph\":\"X\""));
+        // 5 µs in exact microsecond fixed-point.
+        assert!(json.contains("\"ts\":5.000000"));
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end tests of the flight-recorder layer: tracing never perturbs
+//! physics (byte-identical metrics across transport modes and under
+//! faults), rings stay bounded, the streaming histograms agree with the
+//! retained message records, and the message-record cap changes retention
+//! only — never the physics.
+
+use silo_base::{Bytes, Dur, LogHistogram, Rate, Time};
+use silo_simnet::metrics::LATENCY_HIST_SUB_BITS;
+use silo_simnet::{
+    FaultPlan, Metrics, MsgRecord, Sim, SimConfig, TenantSpec, TenantWorkload, TraceConfig,
+    TraceKind, TransportMode,
+};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn small_topo(servers: usize) -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 1,
+        servers_per_rack: servers,
+        vm_slots_per_server: 6,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+fn periodic_tenant(hosts: &[u32]) -> TenantSpec {
+    TenantSpec {
+        vm_hosts: hosts.iter().map(|&h| HostId(h)).collect(),
+        b: Rate::from_mbps(500),
+        s: Bytes::from_kb(15),
+        bmax: Rate::from_gbps(1),
+        prio: 0,
+        delay: None,
+        workload: TenantWorkload::OldiPeriodic {
+            msg: Bytes::from_kb(15),
+            period: Dur::from_ms(2),
+        },
+    }
+}
+
+fn bulk_tenant(hosts: &[u32]) -> TenantSpec {
+    TenantSpec {
+        vm_hosts: hosts.iter().map(|&h| HostId(h)).collect(),
+        b: Rate::from_gbps(3),
+        s: Bytes(1500),
+        bmax: Rate::from_gbps(10),
+        prio: 1,
+        delay: None,
+        workload: TenantWorkload::BulkAllToAll {
+            msg: Bytes::from_kb(256),
+        },
+    }
+}
+
+fn run_cfg(mode: TransportMode, faults: FaultPlan, mutate: impl FnOnce(&mut SimConfig)) -> Metrics {
+    let mut cfg = SimConfig::new(mode, Dur::from_ms(40), 7);
+    cfg.faults = faults;
+    mutate(&mut cfg);
+    let tenants = vec![periodic_tenant(&[0, 1]), bulk_tenant(&[2, 3])];
+    Sim::new(small_topo(4), cfg, tenants).run()
+}
+
+fn run(mode: TransportMode, trace: bool, faults: FaultPlan) -> Metrics {
+    run_cfg(mode, faults, |cfg| {
+        if trace {
+            cfg.trace = Some(TraceConfig::default());
+        }
+    })
+}
+
+#[test]
+fn tracing_observes_without_perturbing_physics() {
+    for mode in [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Dctcp,
+    ] {
+        let off = run(mode, false, FaultPlan::new());
+        let on = run(mode, true, FaultPlan::new());
+        assert_eq!(
+            off.canonical_json(),
+            on.canonical_json(),
+            "{mode:?}: tracing must not change any outcome"
+        );
+        assert!(off.trace.is_none());
+        let log = on.trace.expect("traced run must carry a log");
+        assert!(!log.events.is_empty(), "{mode:?}: trace saw no events");
+        assert!(
+            log.count(TraceKind::Deliver) > 0,
+            "{mode:?}: deliveries must be recorded"
+        );
+        assert!(
+            log.count(TraceKind::MsgDone) > 0,
+            "{mode:?}: message completions must be recorded"
+        );
+    }
+}
+
+#[test]
+fn tracing_is_identical_under_faults() {
+    // A mid-run link outage exercises the flush / fault-drop paths; the
+    // recorder observes them (DropFault + fault markers) without moving a
+    // single physical byte.
+    let faults = || FaultPlan::new().link_down(Time::from_ms(10), Some(Time::from_ms(20)), 0);
+    let off = run(TransportMode::Tcp, false, faults());
+    let on = run(TransportMode::Tcp, true, faults());
+    assert_eq!(off.canonical_json(), on.canonical_json());
+    assert!(off.fault_drops[0] > 0, "outage must actually drop packets");
+    let log = on.trace.expect("log");
+    assert!(
+        log.count(TraceKind::DropFault) > 0,
+        "fault drops must be recorded"
+    );
+    assert_eq!(log.count(TraceKind::FaultStart), 1);
+    assert_eq!(log.count(TraceKind::FaultEnd), 1);
+    assert_eq!(log.fault_windows.len(), 1, "windows ride along for export");
+}
+
+#[test]
+fn trace_log_stays_out_of_serializations() {
+    let on = run(TransportMode::Silo, true, FaultPlan::new());
+    assert!(
+        !on.canonical_json().contains("trace"),
+        "trace must not enter the fingerprint"
+    );
+    assert!(!on.physics_json().contains("trace"));
+}
+
+#[test]
+fn rings_are_bounded_and_keep_recent_history() {
+    // Tiny rings on a busy run: memory stays bounded (evictions counted,
+    // not silently lost) and what survives is the most recent history.
+    let tiny = TraceConfig {
+        per_host_cap: 64,
+        global_cap: 4,
+    };
+    let m = run_cfg(TransportMode::Silo, FaultPlan::new(), |cfg| {
+        cfg.trace = Some(tiny);
+    });
+    let full = run(TransportMode::Silo, true, FaultPlan::new());
+    let log = m.trace.expect("log");
+    let hosts = small_topo(4).num_hosts();
+    assert!(log.events.len() <= hosts * 64 + 4, "rings must cap memory");
+    assert!(log.dropped > 0, "a busy run must evict from tiny rings");
+    let full_log = full.trace.expect("log");
+    assert_eq!(
+        log.dropped + log.events.len() as u64,
+        full_log.dropped + full_log.events.len() as u64,
+        "evicted + retained must equal the same record stream either way"
+    );
+    assert!(
+        log.dropped > full_log.dropped,
+        "tiny rings must evict more than default rings"
+    );
+    // Eviction drops the oldest: the retained tail is a suffix of the
+    // full stream per ring, so every retained seq also exists there.
+    let last = log.events.last().expect("nonempty");
+    let full_last = full_log.events.last().expect("nonempty");
+    assert_eq!(last.seq, full_last.seq, "most recent event must survive");
+}
+
+#[test]
+fn streaming_histograms_agree_with_retained_records() {
+    let m = run(TransportMode::Silo, false, FaultPlan::new());
+    assert_eq!(m.messages_total, m.messages.len() as u64);
+    for tenant in 0..2u16 {
+        let exact: Vec<u64> = m
+            .messages
+            .iter()
+            .filter(|r| r.tenant == tenant)
+            .map(|r| r.latency.0)
+            .collect();
+        let h = m.latency_hist(tenant).expect("histogram per tenant");
+        assert_eq!(h.count(), exact.len() as u64, "tenant {tenant}");
+        assert!(!exact.is_empty(), "tenant {tenant} must complete messages");
+        assert_eq!(h.min(), exact.iter().copied().min());
+        assert_eq!(h.max(), exact.iter().copied().max());
+    }
+}
+
+#[test]
+fn msg_record_cap_changes_retention_never_physics() {
+    let full = run(TransportMode::Silo, false, FaultPlan::new());
+    let cap = 100usize;
+    assert!(full.messages.len() > cap, "run must exceed the cap");
+    let capped = run_cfg(TransportMode::Silo, FaultPlan::new(), |cfg| {
+        cfg.msg_record_cap = Some(cap);
+    });
+    // Retention: exactly the first `cap` records survive, the totals and
+    // histograms still see every message.
+    assert_eq!(capped.messages.len(), cap);
+    assert_eq!(capped.messages_total, full.messages_total);
+    for (a, b) in capped.messages.iter().zip(full.messages.iter()) {
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.created, b.created);
+        assert_eq!(a.tenant, b.tenant);
+    }
+    for tenant in 0..2u16 {
+        assert_eq!(
+            capped.latency_hist(tenant).unwrap().count(),
+            full.latency_hist(tenant).unwrap().count(),
+            "histograms keep the tail the cap discards"
+        );
+        assert_eq!(
+            capped.latency_hist(tenant).unwrap().quantile(0.99),
+            full.latency_hist(tenant).unwrap().quantile(0.99),
+        );
+    }
+    // Physics: every scalar observable is untouched.
+    assert_eq!(capped.goodput, full.goodput);
+    assert_eq!(capped.drops, full.drops);
+    assert_eq!(capped.rtos, full.rtos);
+    assert_eq!(capped.wire_data_bytes, full.wire_data_bytes);
+    assert_eq!(capped.port_max_queue, full.port_max_queue);
+}
+
+#[test]
+fn million_message_run_stays_under_byte_budget() {
+    // Regression for the unbounded-memory footgun: with a cap of 10k, a
+    // 10^6-message run retains under 1 MiB of message records +
+    // histograms (the documented budget: cap × sizeof(MsgRecord), plus
+    // ~15 KiB per tenant histogram) no matter how long the run is.
+    let mut m = Metrics {
+        latency_hist: vec![LogHistogram::new(LATENCY_HIST_SUB_BITS)],
+        ..Metrics::default()
+    };
+    let cap = Some(10_000);
+    for i in 0..1_000_000u64 {
+        m.record_message(
+            MsgRecord {
+                tenant: 0,
+                size: 15_000,
+                latency: Dur::from_us(500 + (i % 997)),
+                rto: false,
+                created: Time(i),
+                txn_latency: None,
+                same_host: false,
+            },
+            cap,
+        );
+    }
+    assert_eq!(m.messages_total, 1_000_000);
+    assert_eq!(m.messages.len(), 10_000);
+    assert_eq!(m.latency_hist(0).unwrap().count(), 1_000_000);
+    assert!(
+        m.retained_message_bytes() < 1 << 20,
+        "retained {} bytes, budget is 1 MiB",
+        m.retained_message_bytes()
+    );
+}
