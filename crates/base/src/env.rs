@@ -1,0 +1,55 @@
+//! Environment-variable parsing shared by every harness that takes
+//! `SILO_*` knobs.
+//!
+//! Both the property harness ([`crate::prop`]) and the fault-schedule
+//! explorer read `SILO_PROP_SEED` / `SILO_PROP_CASES`; this module is the
+//! single parser so the two can never drift on precedence or error
+//! handling. Policy: an *unset* variable falls back to the default; a set
+//! but *unparsable* one is ignored the same way (a typo must not silently
+//! re-seed a CI run with garbage, and panicking on unrelated environment
+//! noise would be worse) — exactly the behavior `prop` has always had.
+
+/// Parse `key` from the environment; `None` when unset or unparsable.
+pub fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// [`parse`] with a fallback for the unset/unparsable cases.
+pub fn parse_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    parse(key).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global environment: each test uses its own key so parallel
+    // test threads can't race on a shared variable.
+
+    #[test]
+    fn unset_falls_back() {
+        assert_eq!(parse::<u64>("SILO_ENV_TEST_UNSET"), None);
+        assert_eq!(parse_or("SILO_ENV_TEST_UNSET", 7u64), 7);
+    }
+
+    #[test]
+    fn set_value_parses() {
+        std::env::set_var("SILO_ENV_TEST_SET", "1234");
+        assert_eq!(parse::<u64>("SILO_ENV_TEST_SET"), Some(1234));
+        assert_eq!(parse_or("SILO_ENV_TEST_SET", 7u64), 1234);
+        std::env::remove_var("SILO_ENV_TEST_SET");
+    }
+
+    #[test]
+    fn garbage_is_ignored_like_unset() {
+        std::env::set_var("SILO_ENV_TEST_BAD", "not-a-number");
+        assert_eq!(parse::<u64>("SILO_ENV_TEST_BAD"), None);
+        assert_eq!(parse_or("SILO_ENV_TEST_BAD", 7u64), 7);
+        // Other types can still parse the same variable.
+        assert_eq!(
+            parse::<String>("SILO_ENV_TEST_BAD").as_deref(),
+            Some("not-a-number")
+        );
+        std::env::remove_var("SILO_ENV_TEST_BAD");
+    }
+}

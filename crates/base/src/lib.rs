@@ -19,8 +19,10 @@
 //! Everything downstream of this crate is deterministic given a seed.
 
 pub mod dist;
+pub mod env;
 pub mod eventq;
 pub mod fxhash;
+pub mod json;
 pub mod prop;
 pub mod stats;
 pub mod units;
@@ -28,5 +30,6 @@ pub mod units;
 pub use dist::{exponential, gen_pareto, seeded_rng, GenPareto};
 pub use eventq::{EvKey, EventQueue, QueueBackend};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use json::Json;
 pub use stats::{Cdf, Histogram, LogHistogram, OnlineStats, Summary};
 pub use units::{Bytes, Dur, Rate, Time};

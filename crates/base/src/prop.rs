@@ -34,16 +34,66 @@ pub struct PropConfig {
     pub max_shrink_steps: usize,
 }
 
+/// Environment variable naming the base seed of the case stream. Shared
+/// with the fault-schedule explorer so one knob replays both harnesses.
+pub const SEED_VAR: &str = "SILO_PROP_SEED";
+/// Environment variable naming the number of random cases.
+pub const CASES_VAR: &str = "SILO_PROP_CASES";
+
 impl PropConfig {
     pub fn from_env() -> PropConfig {
-        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-            std::env::var(key).ok().and_then(|v| v.parse().ok())
-        }
         PropConfig {
-            seed: parse("SILO_PROP_SEED").unwrap_or(0x5110_1234),
-            cases: parse("SILO_PROP_CASES").unwrap_or(256),
+            seed: crate::env::parse_or(SEED_VAR, 0x5110_1234),
+            cases: crate::env::parse_or(CASES_VAR, 256),
             max_shrink_steps: 10_000,
         }
+    }
+}
+
+/// A locally-minimal counterexample produced by [`shrink_failure`].
+#[derive(Debug, Clone)]
+pub struct Shrunk<T> {
+    /// The shrunken input; no `shrink` candidate of it still fails.
+    pub input: T,
+    /// The failure message the property produced on `input`.
+    pub why: String,
+    /// Accepted shrink steps taken from the original input.
+    pub steps: usize,
+}
+
+/// Greedily shrink a failing input: repeatedly try the `shrink`
+/// candidates of the current counterexample, adopting the first that
+/// still fails, until none does (or `max_steps` accepted steps).
+///
+/// This is the engine under [`forall`]'s reporting, exposed on its own
+/// so non-property harnesses can minimize failures too — the
+/// fault-schedule explorer feeds it whole `FaultPlan`s with "the
+/// simulated run still exhibits the violation" as `fails`.
+pub fn shrink_failure<T: Clone>(
+    input: T,
+    first_why: String,
+    shrink: impl Fn(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> Option<String>,
+    max_steps: usize,
+) -> Shrunk<T> {
+    let mut cur = input;
+    let mut why = first_why;
+    let mut steps = 0;
+    'shrinking: while steps < max_steps {
+        for cand in shrink(&cur) {
+            if let Some(w) = fails(&cand) {
+                cur = cand;
+                why = w;
+                steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    Shrunk {
+        input: cur,
+        why,
+        steps,
     }
 }
 
@@ -67,25 +117,18 @@ pub fn forall<T: Debug + Clone>(
         let Err(first_why) = prop(&input) else {
             continue;
         };
-        let mut cur = input;
-        let mut why = first_why;
-        let mut steps = 0;
-        'shrinking: while steps < cfg.max_shrink_steps {
-            for cand in shrink(&cur) {
-                if let Err(w) = prop(&cand) {
-                    cur = cand;
-                    why = w;
-                    steps += 1;
-                    continue 'shrinking;
-                }
-            }
-            break;
-        }
+        let min = shrink_failure(
+            input,
+            first_why,
+            &shrink,
+            |cand| prop(cand).err(),
+            cfg.max_shrink_steps,
+        );
         panic!(
             "property '{name}' failed on case {case}/{} (seed {}; rerun with \
              SILO_PROP_SEED={} SILO_PROP_CASES={}):\n  counterexample \
-             (after {steps} shrink steps): {cur:?}\n  {why}",
-            cfg.cases, cfg.seed, cfg.seed, cfg.cases
+             (after {} shrink steps): {:?}\n  {}",
+            cfg.cases, cfg.seed, cfg.seed, cfg.cases, min.steps, min.input, min.why
         );
     }
 }
@@ -177,6 +220,41 @@ mod tests {
             .unwrap();
         assert!(msg.contains("counterexample"), "{msg}");
         assert!(msg.contains(": 50"), "not shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn shrink_failure_works_outside_forall() {
+        // Minimize a vector against "sum >= 10" the way the explorer
+        // minimizes fault plans: drop elements, then shrink them.
+        let v = vec![7u64, 8, 9];
+        let min = shrink_failure(
+            v,
+            "seed".into(),
+            |v| {
+                let mut c: Vec<Vec<u64>> = (0..v.len())
+                    .map(|i| {
+                        let mut s = v.clone();
+                        s.remove(i);
+                        s
+                    })
+                    .collect();
+                c.extend((0..v.len()).map(|i| {
+                    let mut s = v.clone();
+                    s[i] /= 2;
+                    s
+                }));
+                c
+            },
+            |v| {
+                let sum: u64 = v.iter().sum();
+                (sum >= 10).then(|| format!("sum {sum}"))
+            },
+            1_000,
+        );
+        assert!(min.input.iter().sum::<u64>() >= 10);
+        // Locally minimal: no single drop or halving still fails.
+        assert_eq!(min.input, vec![1, 9], "greedy floor for this shrinker");
+        assert!(min.steps > 0 && min.why.starts_with("sum"));
     }
 
     #[test]

@@ -16,59 +16,17 @@
 //! affected tenant being re-placed on surviving capacity or explicitly
 //! downgraded to best-effort; then heal the link and show restoration.
 
-use silo_base::{Bytes, Dur, Rate, Time};
+use silo_base::Dur;
 use silo_bench::{run_cells, Args};
+use silo_explorer::{cell_tenants, cell_topo, seed_plans};
 use silo_placement::{DegradeOutcome, Guarantee, Placer, SiloPlacer, TenantRequest};
-use silo_simnet::{
-    AuditConfig, FaultPlan, Metrics, Sim, SimConfig, TenantSpec, TenantWorkload, TransportMode,
-};
-use silo_topology::{HostId, Topology, TreeParams};
+use silo_simnet::{AuditConfig, FaultPlan, Metrics, Sim, SimConfig, TransportMode};
+use silo_topology::Topology;
 
-fn cell_topo() -> Topology {
-    Topology::build(TreeParams {
-        pods: 1,
-        racks_per_pod: 2,
-        servers_per_rack: 4,
-        vm_slots_per_server: 4,
-        host_link: Rate::from_gbps(10),
-        tor_oversub: 1.0,
-        agg_oversub: 1.0,
-        switch_buffer: Bytes::from_kb(312),
-        nic_buffer: Bytes::from_kb(64),
-        prop_delay: Dur::from_ns(500),
-    })
-}
-
-/// Tenant 0: guaranteed OLDI spanning both racks (hosts 0 and 4), with an
-/// explicit delay bound so violations are checked and recorded.
-/// Tenant 1: intra-rack bulk on rack 1 — a bystander for every scenario.
-fn cell_tenants() -> Vec<TenantSpec> {
-    vec![
-        TenantSpec {
-            vm_hosts: vec![HostId(0), HostId(4)],
-            b: Rate::from_mbps(500),
-            s: Bytes::from_kb(15),
-            bmax: Rate::from_gbps(1),
-            prio: 0,
-            delay: Some(Dur::from_ms(2)),
-            workload: TenantWorkload::OldiPeriodic {
-                msg: Bytes::from_kb(15),
-                period: Dur::from_ms(2),
-            },
-        },
-        TenantSpec {
-            vm_hosts: vec![HostId(5), HostId(6)],
-            b: Rate::from_gbps(3),
-            s: Bytes(1500),
-            bmax: Rate::from_gbps(10),
-            prio: 0,
-            delay: None,
-            workload: TenantWorkload::BulkAllToAll {
-                msg: Bytes::from_kb(256),
-            },
-        },
-    ]
-}
+// The cell itself — topology, tenants, and the six hand-written
+// schedules — lives in `silo_explorer::cell`, shared with the
+// coverage-guided schedule search so that a schedule recorded by either
+// harness replays bit-identically in the other.
 
 struct Scenario {
     label: &'static str,
@@ -76,36 +34,19 @@ struct Scenario {
 }
 
 fn scenarios(topo: &Topology, dur_ms: u64) -> Vec<Scenario> {
-    let (q1, q2) = (Time::from_ms(dur_ms / 4), Time::from_ms(dur_ms / 2));
-    let tor0 = topo.tor_link(0).0;
-    vec![
-        Scenario {
-            label: "baseline (no faults)",
-            plan: FaultPlan::new(),
-        },
-        Scenario {
-            label: "ToR uplink outage, restored",
-            plan: FaultPlan::new().link_down(q1, Some(q2), tor0),
-        },
-        Scenario {
-            label: "host 0 link dies, permanent",
-            plan: FaultPlan::new().link_down(Time::from_ms(dur_ms / 3), None, 0),
-        },
-        Scenario {
-            // OLDI all-to-one aggregates at VM 0; the data sender is the
-            // VM on host 4 — stall *its* hypervisor pacer.
-            label: "pacer stall at the sender",
-            plan: FaultPlan::new().pacer_stall(q1, q2, 4),
-        },
-        Scenario {
-            label: "pacer clock 8x slow",
-            plan: FaultPlan::new().pacer_drift(q1, q2, 4, 8.0),
-        },
-        Scenario {
-            label: "tenant 0 churn (down, back)",
-            plan: FaultPlan::new().tenant_churn(0, q1, q2),
-        },
-    ]
+    let mut out: Vec<Scenario> = seed_plans(topo, dur_ms)
+        .into_iter()
+        .map(|(label, plan)| Scenario { label, plan })
+        .collect();
+    // Schedules the explorer found interesting, promoted to goldens: the
+    // sweep runs them alongside the hand-written six under the same
+    // attribution asserts.
+    out.extend(
+        silo_bench::corpus::explorer_goldens()
+            .into_iter()
+            .map(|(label, plan)| Scenario { label, plan }),
+    );
+    out
 }
 
 fn report_row(label: &str, m: &Metrics, dur: Dur) {

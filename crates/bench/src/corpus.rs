@@ -1,0 +1,77 @@
+//! The committed explorer corpus: fault schedules the coverage-guided
+//! search found interesting, promoted to golden scenarios.
+//!
+//! Each entry is a `silo-faultplan-v1` JSON file under
+//! `crates/bench/corpus/explorer/`, embedded at compile time so the fault
+//! suite and the tier-2 regression test replay them without a working
+//! directory. Promotion workflow (see EXPERIMENTS.md):
+//!
+//! 1. `silo-explorer search --corpus-out /tmp/corpus ...`
+//! 2. pick schedules whose signatures cover behavior the hand-written
+//!    suite does not (check `report.txt`),
+//! 3. `silo-explorer replay <file> --strict` — must exit 0,
+//! 4. copy into `corpus/explorer/` with a descriptive name and add it to
+//!    [`GOLDENS`].
+
+use silo_simnet::FaultPlan;
+
+/// `(label, embedded JSON)` of every committed schedule.
+pub const GOLDENS: &[(&str, &str)] = &[
+    // Sender-pacer stall with a port kill overlapping its window: the
+    // only committed schedule that trips (attributed) conformance audits.
+    (
+        "corpus: stall + port kill",
+        include_str!("../corpus/explorer/stall_port_down_overlap.json"),
+    ),
+    // A link kill plus three mutually-overlapping kill/restore windows
+    // on one port — the overlapping-fault bookkeeping stress case.
+    (
+        "corpus: overlapping port kills",
+        include_str!("../corpus/explorer/overlapping_port_kills.json"),
+    ),
+    // Five faults of four kinds at once: double tenant churn, a port
+    // kill, a bystander-host stall and a slow drift from t≈0.
+    (
+        "corpus: drift+churn+stall mix",
+        include_str!("../corpus/explorer/drift_churn_stall_mix.json"),
+    ),
+    // Bulk-tenant churn where the second strike is a zero-length window
+    // (down and back at one instant).
+    (
+        "corpus: zero-length strike",
+        include_str!("../corpus/explorer/zero_length_strike_churn.json"),
+    ),
+];
+
+/// Parse every committed schedule. Panics on a malformed file — the
+/// corpus is compiled in, so that is a build artifact error, not input.
+pub fn explorer_goldens() -> Vec<(&'static str, FaultPlan)> {
+    GOLDENS
+        .iter()
+        .map(|(label, text)| {
+            (
+                *label,
+                FaultPlan::from_json(text)
+                    .unwrap_or_else(|e| panic!("corpus entry '{label}' is malformed: {e}")),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_golden_parses_and_round_trips() {
+        for (label, text) in GOLDENS {
+            let plan = FaultPlan::from_json(text).expect(label);
+            assert!(!plan.events.is_empty(), "{label}: empty plan is not golden");
+            assert_eq!(
+                plan.to_json(),
+                **text,
+                "{label}: committed file is not in canonical dump form"
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! `--scale 1` for the paper's full dimensions.
 
 pub mod args;
+pub mod corpus;
 pub mod ns2;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,117 @@
+//! The fixed simulation cell every schedule is evaluated on.
+//!
+//! This is the *same* two-rack cell the fault suite (`ext_faults`) sweeps
+//! its hand-written scenarios over — the suite imports these constructors,
+//! so a schedule the explorer records replays bit-identically in the
+//! suite and vice versa. One guaranteed cross-rack OLDI tenant (with an
+//! explicit delay bound, so guarantee misses are recorded) and one
+//! intra-rack bulk bystander.
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use silo_simnet::{
+    AuditConfig, FaultPlan, Metrics, PlanBounds, Sim, SimConfig, TenantSpec, TenantWorkload,
+    TraceConfig, TransportMode,
+};
+use silo_topology::{HostId, Topology, TreeParams};
+
+/// Two racks of four servers under one ToR pair, 10 Gbps access links.
+pub fn cell_topo() -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 2,
+        servers_per_rack: 4,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+/// Tenant 0: guaranteed OLDI spanning both racks (hosts 0 and 4), with an
+/// explicit delay bound so violations are checked and recorded.
+/// Tenant 1: intra-rack bulk on rack 1 — a bystander for every scenario.
+pub fn cell_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            vm_hosts: vec![HostId(0), HostId(4)],
+            b: Rate::from_mbps(500),
+            s: Bytes::from_kb(15),
+            bmax: Rate::from_gbps(1),
+            prio: 0,
+            delay: Some(Dur::from_ms(2)),
+            workload: TenantWorkload::OldiPeriodic {
+                msg: Bytes::from_kb(15),
+                period: Dur::from_ms(2),
+            },
+        },
+        TenantSpec {
+            vm_hosts: vec![HostId(5), HostId(6)],
+            b: Rate::from_gbps(3),
+            s: Bytes(1500),
+            bmax: Rate::from_gbps(10),
+            prio: 0,
+            delay: None,
+            workload: TenantWorkload::BulkAllToAll {
+                msg: Bytes::from_kb(256),
+            },
+        },
+    ]
+}
+
+/// [`PlanBounds`] of this cell for a run of `dur`: what the explorer
+/// sanitizes and mutates schedules against.
+pub fn cell_bounds(topo: &Topology, dur: Dur) -> PlanBounds {
+    PlanBounds::of(topo, cell_tenants().len(), Time(dur.0))
+}
+
+/// The fault suite's six hand-written schedules, which double as the
+/// explorer's initial frontier: each already produces a distinct coverage
+/// signature, so mutation starts from six different corners of the space
+/// instead of cold.
+pub fn seed_plans(topo: &Topology, dur_ms: u64) -> Vec<(&'static str, FaultPlan)> {
+    let (q1, q2) = (Time::from_ms(dur_ms / 4), Time::from_ms(dur_ms / 2));
+    let tor0 = topo.tor_link(0).0;
+    vec![
+        ("baseline (no faults)", FaultPlan::new()),
+        (
+            "ToR uplink outage, restored",
+            FaultPlan::new().link_down(q1, Some(q2), tor0),
+        ),
+        (
+            "host 0 link dies, permanent",
+            FaultPlan::new().link_down(Time::from_ms(dur_ms / 3), None, 0),
+        ),
+        (
+            // OLDI all-to-one aggregates at VM 0; the data sender is the
+            // VM on host 4 — stall *its* hypervisor pacer.
+            "pacer stall at the sender",
+            FaultPlan::new().pacer_stall(q1, q2, 4),
+        ),
+        (
+            "pacer clock 8x slow",
+            FaultPlan::new().pacer_drift(q1, q2, 4, 8.0),
+        ),
+        (
+            "tenant 0 churn (down, back)",
+            FaultPlan::new().tenant_churn(0, q1, q2),
+        ),
+    ]
+}
+
+/// Run one schedule on the cell. With `observe`, the invariant-audit
+/// layer and the flight recorder are both on — the explorer always
+/// observes; replay for byte-comparison against physics fingerprints may
+/// not (neither layer perturbs `canonical_json`, but the knob keeps the
+/// configurations identical when it matters).
+pub fn run_plan(topo: &Topology, plan: &FaultPlan, dur: Dur, seed: u64, observe: bool) -> Metrics {
+    let mut cfg = SimConfig::new(TransportMode::Silo, dur, seed);
+    cfg.faults = plan.clone();
+    if observe {
+        cfg.audit = Some(AuditConfig::default());
+        cfg.trace = Some(TraceConfig::default());
+    }
+    Sim::new(topo.clone(), cfg, cell_tenants()).run()
+}

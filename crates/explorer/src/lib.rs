@@ -1,0 +1,36 @@
+//! Coverage-guided fault-schedule search.
+//!
+//! The fault suite (`ext_faults`) checks six hand-written schedules. This
+//! crate searches the space those six were sampled from: link kill/restore
+//! timings, pacer stalls and clock drift, tenant churn interleavings —
+//! looking for a schedule under which the engine breaks one of its
+//! *attribution* guarantees:
+//!
+//! * an audit violation no injected fault explains,
+//! * a pacer frame released before its stamp,
+//! * a token-bucket conservation failure, or
+//! * a guarantee miss that is neither covered by a fault window nor a
+//!   bounded post-restoration aftershock.
+//!
+//! The search is AFL-style: a frontier of *interesting* schedules is
+//! mutated ([`silo_simnet::FaultPlan::mutate`]), each mutant is simulated on a fixed
+//! two-rack cell, and a mutant joins the frontier when its **coverage
+//! signature** — log2-bucketed audit counters, event-profile shape, and
+//! the first point where its flight-recorder trace diverges from the
+//! no-fault baseline — has not been seen before. Counterexamples are
+//! minimized with `silo_base::prop::shrink_failure` (fewest faults,
+//! shortest windows, earliest strike) and serialized as replayable
+//! `silo-faultplan-v1` JSON.
+//!
+//! Everything is deterministic: a pinned seed and a fixed budget produce
+//! the same frontier, the same corpus and a byte-identical report.
+
+pub mod cell;
+pub mod explore;
+pub mod signature;
+
+pub use cell::{cell_bounds, cell_tenants, cell_topo, run_plan, seed_plans};
+pub use explore::{
+    explore, failure, minimize, replay, Counterexample, ExploreConfig, ExploreReport,
+};
+pub use signature::Signature;

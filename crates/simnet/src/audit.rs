@@ -166,6 +166,25 @@ impl AuditReport {
         self.total() == 0 && self.early_releases == 0
     }
 
+    /// The violation-counter vector in a fixed order, for coverage
+    /// signatures: `[conservation, fifo, wire_overlap, conformance,
+    /// queue_bound, early_releases, attributed, unattributed]`. The
+    /// schedule explorer log2-buckets these, so two schedules tripping
+    /// the same invariant classes at the same magnitude collapse to one
+    /// frontier entry.
+    pub fn counters(&self) -> [u64; 8] {
+        [
+            self.conservation,
+            self.fifo,
+            self.wire_overlap,
+            self.conformance,
+            self.queue_bound,
+            self.early_releases,
+            self.attributed,
+            self.unattributed,
+        ]
+    }
+
     /// One-line summary for benchmark / fault-suite output.
     pub fn summary(&self) -> String {
         format!(

@@ -13,7 +13,9 @@
 //! layer reacts (budget reclaim, re-validation, downgrade to best-effort)
 //! lives in `silo-placement`'s `degrade` module.
 
-use silo_base::Time;
+use rand::rngs::StdRng;
+use rand::Rng;
+use silo_base::{Json, Time};
 
 /// One class of injected failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,12 +173,17 @@ impl FaultPlan {
             .collect()
     }
 
-    /// Panic on a structurally invalid plan (out-of-range targets, empty
-    /// windows, a stall without an end). Called by `Sim::new`.
+    /// Panic on a structurally invalid plan (out-of-range targets,
+    /// inverted windows, a stall without an end). Called by `Sim::new`.
+    ///
+    /// Zero-length windows (`until == at`) are *valid*: the fault strikes
+    /// and heals at the same instant (start is dispatched before end —
+    /// push order breaks the tie), which the schedule explorer generates
+    /// when it shrinks a window to nothing. Only inverted windows reject.
     pub fn validate(&self, num_links: usize, num_ports: usize, num_hosts: usize, tenants: usize) {
         for e in &self.events {
             if let Some(u) = e.until {
-                assert!(u > e.at, "fault window must be non-empty: {e:?}");
+                assert!(u >= e.at, "fault window must not be inverted: {e:?}");
             }
             match e.kind {
                 FaultKind::LinkDown { link } => {
@@ -206,9 +213,407 @@ impl FaultPlan {
     }
 }
 
+/// Structural bounds of one simulation cell: how many links, directed
+/// ports, hosts and tenants a plan may target, and the run horizon its
+/// instants must fall inside. The schedule explorer generates, mutates
+/// and sanitizes plans against these; [`Sim::new`](crate::Sim) enforces
+/// the same ranges via [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanBounds {
+    pub num_links: usize,
+    pub num_ports: usize,
+    pub num_hosts: usize,
+    pub tenants: usize,
+    /// Fault instants are clamped into `[0, horizon]`.
+    pub horizon: Time,
+}
+
+impl PlanBounds {
+    /// Bounds of a cell built from `topo` with `tenants` tenants running
+    /// for `horizon`.
+    pub fn of(topo: &silo_topology::Topology, tenants: usize, horizon: Time) -> PlanBounds {
+        PlanBounds {
+            num_links: topo.num_links(),
+            num_ports: topo.num_ports(),
+            num_hosts: topo.num_hosts(),
+            tenants,
+            horizon,
+        }
+    }
+}
+
+/// Version tag of the replayable fault-schedule interchange format.
+pub const FAULTPLAN_FORMAT: &str = "silo-faultplan-v1";
+
+impl FaultKind {
+    /// Stable serialization name (the `kind` field of the JSON format).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown { .. } => "link_down",
+            FaultKind::PortDown { .. } => "port_down",
+            FaultKind::PacerStall { .. } => "pacer_stall",
+            FaultKind::PacerDrift { .. } => "pacer_drift",
+            FaultKind::TenantDown { .. } => "tenant_down",
+            FaultKind::TenantUp { .. } => "tenant_up",
+        }
+    }
+
+    /// The link/port/host/tenant index this fault targets.
+    pub fn target(&self) -> u32 {
+        match *self {
+            FaultKind::LinkDown { link } => link,
+            FaultKind::PortDown { port } => port,
+            FaultKind::PacerStall { host } => host,
+            FaultKind::PacerDrift { host, .. } => host,
+            FaultKind::TenantDown { tenant } => tenant as u32,
+            FaultKind::TenantUp { tenant } => tenant as u32,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Serialize to the versioned `silo-faultplan-v1` JSON format: a
+    /// header object with one event object per line. Deterministic and
+    /// exact (times in integer picoseconds, the drift factor in Rust's
+    /// shortest round-trip formatting): two plans are equal **iff** their
+    /// dumps are byte-identical, and [`FaultPlan::from_json`] recovers
+    /// the plan exactly — the round-trip property the explorer's corpus
+    /// and the regression suite rely on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 * self.events.len() + 64);
+        out.push_str(&format!("{{\"format\":\"{FAULTPLAN_FORMAT}\",\"events\":["));
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"at_ps\":{},\"until_ps\":{},\"kind\":\"{}\",\"target\":{}",
+                e.at.0,
+                e.until.map_or("null".to_string(), |u| u.0.to_string()),
+                e.kind.name(),
+                e.kind.target(),
+            ));
+            if let FaultKind::PacerDrift { factor, .. } = e.kind {
+                out.push_str(&format!(",\"factor\":{factor:?}"));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parse a `silo-faultplan-v1` document. Structural errors (wrong
+    /// format tag, missing fields, unknown kinds) are reported with the
+    /// offending event index; range checking against a cell stays with
+    /// [`FaultPlan::validate`].
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let doc = Json::parse(text.trim_end())?;
+        match doc.get("format").and_then(Json::as_str) {
+            Some(FAULTPLAN_FORMAT) => {}
+            other => return Err(format!("not a {FAULTPLAN_FORMAT} file (format: {other:?})")),
+        }
+        let events = doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("no events array")?;
+        let mut plan = FaultPlan::new();
+        for (i, e) in events.iter().enumerate() {
+            let at = Time(
+                e.get("at_ps")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: missing integer at_ps"))?,
+            );
+            let until = match e.get("until_ps") {
+                None => return Err(format!("event {i}: missing until_ps")),
+                Some(Json::Null) => None,
+                Some(v) => Some(Time(v.as_u64().ok_or_else(|| {
+                    format!("event {i}: until_ps must be null or an integer")
+                })?)),
+            };
+            let target = e
+                .get("target")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event {i}: missing integer target"))?;
+            let kind = match e.get("kind").and_then(Json::as_str) {
+                Some("link_down") => FaultKind::LinkDown {
+                    link: target as u32,
+                },
+                Some("port_down") => FaultKind::PortDown {
+                    port: target as u32,
+                },
+                Some("pacer_stall") => FaultKind::PacerStall {
+                    host: target as u32,
+                },
+                Some("pacer_drift") => FaultKind::PacerDrift {
+                    host: target as u32,
+                    factor: e
+                        .get("factor")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("event {i}: pacer_drift needs a factor"))?,
+                },
+                Some("tenant_down") => FaultKind::TenantDown {
+                    tenant: target as u16,
+                },
+                Some("tenant_up") => FaultKind::TenantUp {
+                    tenant: target as u16,
+                },
+                other => return Err(format!("event {i}: unknown kind {other:?}")),
+            };
+            plan.events.push(FaultEvent { at, until, kind });
+        }
+        Ok(plan)
+    }
+
+    /// Coerce an arbitrary (e.g. freshly mutated) plan into one
+    /// [`FaultPlan::validate`] accepts for a cell of shape `b`: instants
+    /// clamped into `[0, horizon]`, inverted windows collapsed to
+    /// zero-length, targets wrapped into range, kind-specific shape fixed
+    /// (stalls/drifts get an end, `tenant_up` loses its window, drift
+    /// factors clamped to `[1, 64]`). Events targeting a dimension the
+    /// cell doesn't have (e.g. a link fault with `num_links == 0`) are
+    /// dropped. Event order — and therefore the fault indices violations
+    /// attribute to — is preserved for the survivors.
+    pub fn sanitize(&self, b: &PlanBounds) -> FaultPlan {
+        let horizon = b.horizon;
+        let mut out = FaultPlan::new();
+        for e in &self.events {
+            let at = Time(e.at.0.min(horizon.0));
+            let until = e.until.map(|u| Time(u.0.clamp(at.0, horizon.0)));
+            let wrap = |t: u32, n: usize| -> Option<u32> { (n > 0).then(|| t % n as u32) };
+            let kind = match e.kind {
+                FaultKind::LinkDown { link } => match wrap(link, b.num_links) {
+                    Some(link) => FaultKind::LinkDown { link },
+                    None => continue,
+                },
+                FaultKind::PortDown { port } => match wrap(port, b.num_ports) {
+                    Some(port) => FaultKind::PortDown { port },
+                    None => continue,
+                },
+                FaultKind::PacerStall { host } => match wrap(host, b.num_hosts) {
+                    Some(host) => FaultKind::PacerStall { host },
+                    None => continue,
+                },
+                FaultKind::PacerDrift { host, factor } => match wrap(host, b.num_hosts) {
+                    Some(host) => FaultKind::PacerDrift {
+                        host,
+                        factor: if factor.is_finite() {
+                            factor.clamp(1.0, 64.0)
+                        } else {
+                            1.0
+                        },
+                    },
+                    None => continue,
+                },
+                FaultKind::TenantDown { tenant } => match wrap(tenant as u32, b.tenants) {
+                    Some(t) => FaultKind::TenantDown { tenant: t as u16 },
+                    None => continue,
+                },
+                FaultKind::TenantUp { tenant } => match wrap(tenant as u32, b.tenants) {
+                    Some(t) => FaultKind::TenantUp { tenant: t as u16 },
+                    None => continue,
+                },
+            };
+            // Kind-specific window shape (validate's other asserts).
+            let until = match kind {
+                FaultKind::PacerStall { .. } | FaultKind::PacerDrift { .. } => {
+                    Some(until.unwrap_or(horizon))
+                }
+                FaultKind::TenantUp { .. } => None,
+                _ => until,
+            };
+            out.events.push(FaultEvent { at, until, kind });
+        }
+        out
+    }
+
+    /// One random structure-preserving edit, AFL-style: shift a window,
+    /// resize it, split it in two, merge two same-target windows, clone
+    /// one onto an overlapping window, retarget, add a fresh event, or
+    /// drop one. The result is [`FaultPlan::sanitize`]d, so it is always
+    /// a plan `Sim::new` accepts for a cell of shape `b`. Deterministic:
+    /// the same `rng` state produces the same mutant.
+    pub fn mutate(&self, rng: &mut StdRng, b: &PlanBounds) -> FaultPlan {
+        let mut plan = self.clone();
+        let horizon = b.horizon.0.max(1);
+        // Window nudges work at 1/16 of the horizon: big enough to move a
+        // fault across batch/RTO timescales, small enough to stay local.
+        let step = (horizon / 16).max(1);
+        let op = if plan.events.is_empty() {
+            6 // only "add" makes sense on an empty plan
+        } else {
+            rng.random_range(0..8u32)
+        };
+        match op {
+            // Shift a whole window (start and end together).
+            0 => {
+                let i = rng.random_range(0..plan.events.len());
+                let delta = rng.random_range(0..2 * step) as i128 - step as i128;
+                let e = &mut plan.events[i];
+                let at = (e.at.0 as i128 + delta).clamp(0, horizon as i128) as u64;
+                let moved = at as i128 - e.at.0 as i128;
+                e.at = Time(at);
+                e.until = e
+                    .until
+                    .map(|u| Time((u.0 as i128 + moved).clamp(0, horizon as i128) as u64));
+            }
+            // Resize: move only the end (may collapse to zero-length).
+            1 => {
+                let i = rng.random_range(0..plan.events.len());
+                let delta = rng.random_range(0..2 * step) as i128 - step as i128;
+                let e = &mut plan.events[i];
+                if let Some(u) = e.until {
+                    e.until = Some(Time(
+                        (u.0 as i128 + delta).clamp(e.at.0 as i128, horizon as i128) as u64,
+                    ));
+                }
+            }
+            // Split one window into two with a gap between the halves —
+            // a kill/restore flap where one outage was.
+            2 => {
+                let i = rng.random_range(0..plan.events.len());
+                let e = plan.events[i];
+                if let Some(u) = e.until {
+                    let span = u.0 - e.at.0;
+                    if span >= 4 {
+                        let cut = e.at.0 + rng.random_range(1..span);
+                        let gap = rng.random_range(0..step.min(span));
+                        plan.events[i].until = Some(Time(cut));
+                        plan.events.push(FaultEvent {
+                            at: Time((cut + gap).min(u.0)),
+                            until: Some(u),
+                            kind: e.kind,
+                        });
+                    }
+                }
+            }
+            // Merge two windows of the same kind+target into one span.
+            3 => {
+                let i = rng.random_range(0..plan.events.len());
+                let key = (plan.events[i].kind.name(), plan.events[i].kind.target());
+                if let Some(j) = (0..plan.events.len()).find(|&j| {
+                    j != i && (plan.events[j].kind.name(), plan.events[j].kind.target()) == key
+                }) {
+                    let (a, b2) = (plan.events[i], plan.events[j]);
+                    let at = a.at.min(b2.at);
+                    let until = match (a.until, b2.until) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        _ => None,
+                    };
+                    plan.events[i] = FaultEvent {
+                        at,
+                        until,
+                        kind: a.kind,
+                    };
+                    plan.events.remove(j);
+                }
+            }
+            // Clone an event onto an overlapping, jittered window —
+            // overlapping kill/restore on the same target.
+            4 => {
+                let i = rng.random_range(0..plan.events.len());
+                let e = plan.events[i];
+                let jitter = rng.random_range(0..step);
+                plan.events.push(FaultEvent {
+                    at: Time((e.at.0 + jitter).min(horizon)),
+                    until: e.until.map(|u| Time((u.0 + jitter).min(horizon))),
+                    kind: e.kind,
+                });
+            }
+            // Retarget within the same kind.
+            5 => {
+                let i = rng.random_range(0..plan.events.len());
+                let t = rng.random_range(0..u32::MAX as u64) as u32;
+                let e = &mut plan.events[i];
+                e.kind = match e.kind {
+                    FaultKind::LinkDown { .. } => FaultKind::LinkDown { link: t },
+                    FaultKind::PortDown { .. } => FaultKind::PortDown { port: t },
+                    FaultKind::PacerStall { .. } => FaultKind::PacerStall { host: t },
+                    FaultKind::PacerDrift { factor, .. } => {
+                        FaultKind::PacerDrift { host: t, factor }
+                    }
+                    FaultKind::TenantDown { .. } => FaultKind::TenantDown { tenant: t as u16 },
+                    FaultKind::TenantUp { .. } => FaultKind::TenantUp { tenant: t as u16 },
+                };
+            }
+            // Add a fresh random event.
+            6 => {
+                let at = Time(rng.random_range(0..horizon));
+                let until = if rng.random_bool(0.75) {
+                    // `at < horizon`, so the exclusive range is non-empty.
+                    Some(Time(rng.random_range(at.0..horizon)))
+                } else {
+                    None
+                };
+                let t = rng.random_range(0..u32::MAX as u64) as u32;
+                let kind = match rng.random_range(0..6u32) {
+                    0 => FaultKind::LinkDown { link: t },
+                    1 => FaultKind::PortDown { port: t },
+                    2 => FaultKind::PacerStall { host: t },
+                    3 => FaultKind::PacerDrift {
+                        host: t,
+                        factor: 1.0 + rng.random::<f64>() * 15.0,
+                    },
+                    4 => FaultKind::TenantDown { tenant: t as u16 },
+                    _ => FaultKind::TenantUp { tenant: t as u16 },
+                };
+                plan.events.push(FaultEvent { at, until, kind });
+            }
+            // Drop one event.
+            _ => {
+                let i = rng.random_range(0..plan.events.len());
+                plan.events.remove(i);
+            }
+        }
+        plan.sanitize(b)
+    }
+
+    /// Shrink candidates for counterexample minimization, in preference
+    /// order: fewest faults first (drop each event), then shortest
+    /// windows (halve each span), then earliest strike (halve each
+    /// offset, keeping the span — pulls the divergence toward t = 0),
+    /// then tamest drift factors. Feed to
+    /// `silo_base::prop::shrink_failure` with "the replayed schedule
+    /// still fails" as the predicate.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        for i in 0..self.events.len() {
+            let mut p = self.clone();
+            p.events.remove(i);
+            out.push(p);
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(u) = e.until {
+                let span = u.0 - e.at.0;
+                if span > 0 {
+                    let mut p = self.clone();
+                    p.events[i].until = Some(Time(e.at.0 + span / 2));
+                    out.push(p);
+                }
+            }
+            if e.at.0 > 0 {
+                let mut p = self.clone();
+                let at = e.at.0 / 2;
+                p.events[i].at = Time(at);
+                p.events[i].until = e.until.map(|u| Time(u.0 - (e.at.0 - at)));
+                out.push(p);
+            }
+            if let FaultKind::PacerDrift { host, factor } = e.kind {
+                if factor > 1.0 {
+                    let mut p = self.clone();
+                    p.events[i].kind = FaultKind::PacerDrift {
+                        host,
+                        factor: 1.0 + (factor - 1.0) / 2.0,
+                    };
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     #[test]
     fn windows_clamp_to_horizon() {
@@ -244,10 +649,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be non-empty")]
-    fn empty_window_rejected() {
+    fn zero_length_window_accepted() {
+        // The explorer shrinks windows to nothing; strike-and-heal at one
+        // instant is structurally valid.
         FaultPlan::new()
             .link_down(Time::from_ms(5), Some(Time::from_ms(5)), 0)
+            .validate(4, 8, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be inverted")]
+    fn inverted_window_rejected() {
+        FaultPlan::new()
+            .link_down(Time::from_ms(5), Some(Time::from_ms(4)), 0)
             .validate(4, 8, 2, 1);
     }
 
@@ -257,5 +671,131 @@ mod tests {
         FaultPlan::new()
             .link_down(Time::from_ms(5), None, 99)
             .validate(4, 8, 2, 1);
+    }
+
+    fn rich_plan() -> FaultPlan {
+        FaultPlan::new()
+            .link_down(Time::from_ms(5), Some(Time::from_ms(10)), 2)
+            .port_down(Time::from_ms(1), None, 3)
+            .pacer_stall(Time::from_ms(2), Time::from_ms(3), 0)
+            .pacer_drift(Time::from_ms(4), Time::from_ms(6), 1, 7.3)
+            .tenant_churn(0, Time::from_ms(7), Time::from_ms(8))
+            .tenant_up(Time::from_ms(9), 1)
+    }
+
+    fn bounds() -> PlanBounds {
+        PlanBounds {
+            num_links: 4,
+            num_ports: 8,
+            num_hosts: 2,
+            tenants: 2,
+            horizon: Time::from_ms(20),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let plan = rich_plan();
+        let text = plan.to_json();
+        assert!(text.contains(FAULTPLAN_FORMAT));
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(back, plan);
+        // Byte-determinism: dump(parse(dump(p))) == dump(p).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        assert!(FaultPlan::from_json("{}").is_err());
+        assert!(FaultPlan::from_json("{\"format\":\"silo-trace-v1\"}").is_err());
+        let bad_kind = "{\"format\":\"silo-faultplan-v1\",\"events\":[\n{\"at_ps\":0,\"until_ps\":null,\"kind\":\"meteor\",\"target\":0}\n]}";
+        let err = FaultPlan::from_json(bad_kind).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        let frac = "{\"format\":\"silo-faultplan-v1\",\"events\":[\n{\"at_ps\":0.5,\"until_ps\":null,\"kind\":\"link_down\",\"target\":0}\n]}";
+        assert!(FaultPlan::from_json(frac).is_err());
+    }
+
+    #[test]
+    fn sanitize_yields_valid_plans() {
+        let b = bounds();
+        // Wild inputs: out-of-range targets, inverted window, missing
+        // stall end, absurd drift factor, instants past the horizon.
+        let wild = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: Time::from_ms(50),
+                    until: Some(Time::from_ms(4)),
+                    kind: FaultKind::LinkDown { link: 999 },
+                },
+                FaultEvent {
+                    at: Time::from_ms(1),
+                    until: None,
+                    kind: FaultKind::PacerStall { host: 17 },
+                },
+                FaultEvent {
+                    at: Time::from_ms(2),
+                    until: Some(Time::from_ms(3)),
+                    kind: FaultKind::PacerDrift {
+                        host: 5,
+                        factor: f64::INFINITY,
+                    },
+                },
+                FaultEvent {
+                    at: Time::from_ms(6),
+                    until: Some(Time::from_ms(9)),
+                    kind: FaultKind::TenantUp { tenant: 7 },
+                },
+            ],
+        };
+        let clean = wild.sanitize(&b);
+        assert_eq!(clean.events.len(), 4);
+        clean.validate(b.num_links, b.num_ports, b.num_hosts, b.tenants);
+        // A plan with no valid dimension for an event drops it.
+        let no_links = PlanBounds { num_links: 0, ..b };
+        assert_eq!(wild.sanitize(&no_links).events.len(), 3);
+    }
+
+    #[test]
+    fn mutants_always_validate_and_are_deterministic() {
+        let b = bounds();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut plan = rich_plan();
+        for _ in 0..200 {
+            plan = plan.mutate(&mut rng, &b);
+            plan.validate(b.num_links, b.num_ports, b.num_hosts, b.tenants);
+        }
+        // Same seed, same trajectory.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let mut plan2 = rich_plan();
+        for _ in 0..200 {
+            plan2 = plan2.mutate(&mut rng2, &b);
+        }
+        assert_eq!(plan, plan2);
+        // Empty plans grow instead of panicking.
+        let grown = FaultPlan::new().mutate(&mut rng, &b);
+        grown.validate(b.num_links, b.num_ports, b.num_hosts, b.tenants);
+    }
+
+    #[test]
+    fn shrink_candidates_are_simpler_and_valid() {
+        let b = bounds();
+        let plan = rich_plan();
+        let cands = plan.shrink_candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            // Shrinks of a sanitized plan stay valid (only drop, shorten,
+            // advance, or tame events).
+            c.sanitize(&b)
+                .validate(b.num_links, b.num_ports, b.num_hosts, b.tenants);
+            assert!(c.events.len() <= plan.events.len());
+        }
+        // Every single-event drop is offered: fewest-faults-first.
+        assert!(
+            cands
+                .iter()
+                .filter(|c| c.events.len() == plan.events.len() - 1)
+                .count()
+                >= plan.events.len()
+        );
     }
 }

@@ -93,6 +93,20 @@ impl EventProfile {
         self.cancelled.iter().sum()
     }
 
+    /// Log2 buckets of the per-kind `fired` counts (`0` for zero fires,
+    /// else `1 + floor(log2 n)`), the event-shape component of the
+    /// schedule explorer's coverage signature. Bucketing deliberately
+    /// discards exact counts: a schedule is novel when it changes the
+    /// *order of magnitude* of some event class (say, 10x more RTO
+    /// fires), not when noise moves a counter by one.
+    pub fn fired_buckets(&self) -> [u8; EvKind::COUNT] {
+        let mut out = [0u8; EvKind::COUNT];
+        for (b, &n) in out.iter_mut().zip(self.fired.iter()) {
+            *b = if n == 0 { 0 } else { 1 + n.ilog2() as u8 };
+        }
+        out
+    }
+
     /// Accumulate another run's counts (for sweep-wide reporting).
     pub fn merge(&mut self, other: &EventProfile) {
         for i in 0..EvKind::COUNT {
