@@ -799,6 +799,109 @@ mod tests {
         assert_eq!(live, vec![0, 1, 99]);
     }
 
+    /// Whole-slot cancellation must advance `peek_time`: when every entry
+    /// in the minimal occupied wheel slot is cancelled, the slot's
+    /// occupancy bit must clear so `peek_filed` reports the next *live*
+    /// minimum — a stale minimum here would make a runner cascade a slot
+    /// that pops nothing. Cancellation of filed entries is physical
+    /// (swap_remove + occupancy clear in `Wheel::remove`); this is the
+    /// regression test that keeps it that way.
+    #[test]
+    fn cancelling_entire_minimal_slot_advances_peek_time() {
+        let mut q = EventQueue::new();
+        // Three entries in one level-0 slot, one entry far away (distinct
+        // slot on a higher level), one in overflow.
+        let near: Vec<EvKey> = (0..3).map(|i| q.push_cancelable(Time(40), i)).collect();
+        let far = q.push_cancelable(Time(90_000), 10u64);
+        q.push(Time(1u64 << 50), 11);
+        assert_eq!(q.peek_time(), Some(Time(40)));
+        for k in near {
+            assert!(q.cancel(k));
+        }
+        assert_eq!(
+            q.peek_time(),
+            Some(Time(90_000)),
+            "minimal slot is all-dead; peek_time must advance to the next live entry"
+        );
+        assert_eq!(q.pop(), Some((Time(90_000), 10)));
+        // Cancelling the remaining tracked entry leaves only overflow.
+        assert!(!q.cancel(far), "already popped");
+        assert_eq!(q.peek_time(), Some(Time(1 << 50)));
+        assert_eq!(q.pop(), Some((Time(1 << 50), 11)));
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Same scenario after the slot was drained into the ready run: those
+    /// entries are only lazily dead-marked, and `peek_time` must skip the
+    /// dead prefix rather than report a cancelled entry's stamp.
+    #[test]
+    fn cancelling_drained_ready_run_advances_peek_time() {
+        for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time(40), 0u64);
+            let b = q.push_cancelable(Time(40), 1);
+            let c = q.push_cancelable(Time(40), 2);
+            q.push(Time(200), 3);
+            // Popping the slot head moves the whole same-time cohort into
+            // the ready run (wheel) or leaves it in the heap; either way
+            // the cancels below can only dead-mark.
+            assert_eq!(q.pop(), Some((Time(40), 0)));
+            assert!(q.cancel(b));
+            assert!(q.cancel(c));
+            assert_eq!(
+                q.peek_time(),
+                Some(Time(200)),
+                "{backend:?}: dead ready/heap prefix must not mask the live minimum"
+            );
+            assert_eq!(q.pop(), Some((Time(200), 3)));
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    /// `peek_time` differential under cancel churn: after every operation
+    /// the wheel and the reference heap must agree on the live minimum —
+    /// including the all-cancelled-slot states the two tests above pin.
+    #[test]
+    fn peek_time_matches_heap_under_cancel_churn() {
+        let mut rng = seeded_rng(4242);
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::reference_heap();
+        let mut live: Vec<(EvKey, EvKey)> = Vec::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        for step in 0..20_000 {
+            let r = rng.random::<f64>();
+            if r < 0.5 || wheel.is_empty() {
+                // Cluster stamps so whole slots get cancelled together.
+                let t = now + rng.random_range(0..64u64) * 1000;
+                let id = next_id;
+                next_id += 1;
+                let kw = wheel.push_cancelable(Time(t), id);
+                let kh = heap.push_cancelable(Time(t), id);
+                live.push((kw, kh));
+            } else if r < 0.8 && !live.is_empty() {
+                // Cancel a run of neighbors — often an entire slot.
+                let i = rng.random_range(0..live.len());
+                for _ in 0..rng.random_range(1..8usize) {
+                    if i >= live.len() {
+                        break;
+                    }
+                    let (kw, kh) = live.swap_remove(i);
+                    assert_eq!(wheel.cancel(kw), heap.cancel(kh));
+                }
+            } else {
+                let a = wheel.pop();
+                assert_eq!(a, heap.pop(), "step {step}");
+                if let Some((t, _)) = a {
+                    now = t.as_ps();
+                }
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time(), "step {step}");
+            assert_eq!(wheel.len(), heap.len(), "step {step}");
+        }
+    }
+
     /// The satellite differential suite: cancellation must dequeue the
     /// surviving entries in exactly the order the old *tombstone* scheme
     /// would (push everything, skip stale markers at dispatch). Runs the

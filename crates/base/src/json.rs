@@ -79,6 +79,26 @@ impl Json {
     }
 }
 
+/// Emit an `f64` in shortest-round-trip form for the workspace's
+/// hand-written JSON writers (`FaultPlan::to_json` drift factors). The
+/// contract the round-trip property tests lean on:
+///
+/// * shortest decimal that parses back to the same bits (`{:?}`);
+/// * `-0.0` keeps its sign (`"-0.0"`, never `"0"` — the sign bit is
+///   observable through `f64::to_bits` and a byte-exact format must not
+///   lose it);
+/// * subnormals emit exactly (`5e-324` round-trips to the same bits);
+/// * non-finite values are rejected: JSON has no NaN/Infinity, and every
+///   workspace format validates finiteness before writing.
+pub fn fmt_f64(x: f64) -> String {
+    assert!(x.is_finite(), "JSON cannot represent {x}");
+    // `{:?}` is shortest-round-trip and sign-preserving for every finite
+    // f64 (including -0.0 and subnormals); the tests below pin that
+    // contract so a formatting regression in the writer path is caught
+    // here rather than as a golden mismatch three layers up.
+    format!("{x:?}")
+}
+
 fn skip_ws(b: &[u8], i: &mut usize) {
     while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
         *i += 1;
@@ -243,6 +263,36 @@ mod tests {
             let v = Json::parse(&format!("{x:?}")).unwrap();
             assert_eq!(v.as_f64(), Some(x));
         }
+    }
+
+    #[test]
+    fn fmt_f64_preserves_negative_zero_and_subnormals() {
+        // -0.0 must keep its sign: `-0.0 == 0.0` under PartialEq, so only
+        // a bit-level check catches a writer that normalizes it away.
+        assert_eq!(fmt_f64(-0.0), "-0.0");
+        assert_eq!(fmt_f64(0.0), "0.0");
+        let back = Json::parse(&fmt_f64(-0.0)).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Smallest positive subnormal and a mid-range subnormal.
+        for x in [f64::from_bits(1), f64::from_bits(0x000f_ffff_ffff_ffff)] {
+            assert!(x != 0.0 && !x.is_normal(), "test value must be subnormal");
+            let s = fmt_f64(x);
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "subnormal {s} round-trip");
+        }
+        // Dump(parse(dump(x))) is a fixed point — the byte-determinism
+        // the fault-plan golden suite depends on.
+        for x in [-0.0, 5e-324, 1.5, -2.75e17] {
+            let s = fmt_f64(x);
+            let re = fmt_f64(Json::parse(&s).unwrap().as_f64().unwrap());
+            assert_eq!(re, s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot represent")]
+    fn fmt_f64_rejects_non_finite() {
+        fmt_f64(f64::NAN);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use silo_base::{seeded_rng, Bytes, Dur, EventQueue, Rate, Time};
 use silo_flowsim::{waterfill, Allocator};
 use silo_netcalc::{backlog_bound, Curve, ServiceCurve};
-use silo_pacer::{BucketChain, PacedBatcher, TokenBucket};
+use silo_pacer::{Batch, BucketChain, PacedBatcher, TokenBucket};
 use silo_placement::{Guarantee, Placer, SiloPlacer, TenantRequest};
 use silo_topology::{HostId, Topology, TreeParams};
 use std::time::Instant;
@@ -236,6 +236,62 @@ fn rearm_churn(q: &mut EventQueue<u64>, ops: usize, cancel: bool) -> f64 {
     t0.elapsed().as_nanos() as f64 / ops as f64
 }
 
+/// Silo's void-dominated NIC drain in miniature: two MTU packets per
+/// 50 µs window (~480 Mbps of a 10 GbE link) leave ~95% of each batch
+/// void, so the per-chunk batcher materializes ~40 MTU void frames per
+/// window where the coalescing one emits a single run per gap. The timed
+/// loop includes the consumer walk over the emitted frames — the
+/// per-frame engine touch is exactly what coalescing dies to avoid.
+/// Returns (ns per window, total frames emitted).
+fn void_drain(windows: usize, coalesce: bool) -> (f64, u64) {
+    let mut b: PacedBatcher<u32> =
+        PacedBatcher::new(Rate::from_gbps(10), Dur::from_us(50), Bytes(1500));
+    b.coalesce_voids(coalesce);
+    for i in 0..windows as u64 {
+        b.enqueue(Time::from_us(50 * i + 11), Bytes(1500), i as u32);
+        b.enqueue(Time::from_us(50 * i + 37), Bytes(1500), i as u32);
+    }
+    let mut out = Batch::empty();
+    let mut now = Time::ZERO;
+    let mut frames = 0u64;
+    let t0 = Instant::now();
+    while b.pending() > 0 {
+        b.next_batch_into(now, &mut out);
+        for f in &out.frames {
+            frames += 1;
+            std::hint::black_box((f.start, f.size));
+        }
+        now = if out.is_empty() {
+            b.next_stamp().expect("pending").max(now)
+        } else {
+            out.done_at
+        };
+    }
+    (t0.elapsed().as_nanos() as f64 / windows as f64, frames)
+}
+
+fn bench_void_coalesce(h: &mut Harness) -> (f64, f64) {
+    let windows = if h.quick { 20_000 } else { 200_000 };
+    let (plain_ns, plain_frames) = void_drain(windows, false);
+    println!(
+        "{:<44} {plain_ns:>12.1} ns/win   ({windows} windows, {plain_frames} frames)",
+        "pacer/void_drain_per_chunk"
+    );
+    h.results
+        .push(("pacer/void_drain_per_chunk".into(), plain_ns));
+    let (co_ns, co_frames) = void_drain(windows, true);
+    println!(
+        "{:<44} {co_ns:>12.1} ns/win   ({windows} windows, {co_frames} frames)",
+        "pacer/void_drain_coalesced"
+    );
+    h.results.push(("pacer/void_drain_coalesced".into(), co_ns));
+    assert!(
+        plain_frames > 2 * co_frames,
+        "coalescing must shrink the frame population ({plain_frames} vs {co_frames})"
+    );
+    (plain_ns, co_ns)
+}
+
 fn bench_timer_cancel(h: &mut Harness) -> (f64, f64) {
     let ops = if h.quick { 200_000 } else { 2_000_000 };
     let mut tomb = EventQueue::new();
@@ -274,6 +330,7 @@ fn main() {
     bench_waterfill(&mut h);
     let (wheel_ns, heap_ns) = bench_eventq(&mut h);
     let (tomb_ns, canc_ns) = bench_timer_cancel(&mut h);
+    let (plain_ns, co_ns) = bench_void_coalesce(&mut h);
     // Machine-independent regression gates (ratios, so CI hardware
     // variance doesn't matter):
     // 1. The timer wheel must stay within 2x of the reference heap on the
@@ -286,6 +343,11 @@ fn main() {
     //    default is predicated on.
     let cancel_gain = tomb_ns / canc_ns;
     println!("eventq tombstone/cancel re-arm gain: {cancel_gain:.2}x (gate: >= 1.3)");
+    // 3. Coalesced void emission must beat per-chunk emission by >= 2x on
+    //    a void-dominated Silo drain (emission + consumer walk) — the win
+    //    the simnet `coalesce_voids` default is predicated on.
+    let void_gain = plain_ns / co_ns;
+    println!("pacer per-chunk/coalesced void-drain gain: {void_gain:.2}x (gate: >= 2.0)");
     if h.enforce {
         if ratio >= 2.0 {
             eprintln!("REGRESSION: timer wheel {ratio:.2}x slower than reference heap");
@@ -294,6 +356,12 @@ fn main() {
         if cancel_gain < 1.3 {
             eprintln!(
                 "REGRESSION: timer cancellation only {cancel_gain:.2}x over tombstones (need 1.3x)"
+            );
+            std::process::exit(1);
+        }
+        if void_gain < 2.0 {
+            eprintln!(
+                "REGRESSION: void coalescing only {void_gain:.2}x over per-chunk emission (need 2x)"
             );
             std::process::exit(1);
         }

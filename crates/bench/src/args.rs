@@ -25,6 +25,11 @@ pub struct Args {
     /// Also write the Chrome/Perfetto `trace_event` JSON to this path
     /// (open at <https://ui.perfetto.dev>). Implies trace recording.
     pub trace_perfetto: Option<String>,
+    /// Run with the hot-path event diet off (`SimConfig::coalesce_voids`
+    /// and `SimConfig::elide_nic_pulls` both false) — the pre-diet
+    /// engine, for the CI coalesce-differential (trace-diff) gate.
+    /// Physics and observer streams are byte-identical either way.
+    pub no_coalesce: bool,
 }
 
 impl Default for Args {
@@ -40,6 +45,7 @@ impl Default for Args {
             audit: false,
             trace: None,
             trace_perfetto: None,
+            no_coalesce: false,
         }
     }
 }
@@ -63,6 +69,11 @@ impl Args {
                 i += 1;
                 continue;
             }
+            if key == "--no-coalesce" {
+                a.no_coalesce = true;
+                i += 1;
+                continue;
+            }
             let val = argv.get(i + 1).unwrap_or_else(|| {
                 panic!("missing value for {key}");
             });
@@ -78,7 +89,7 @@ impl Args {
                 "--trace" => a.trace = Some(val.clone()),
                 "--trace-perfetto" => a.trace_perfetto = Some(val.clone()),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --trace --trace-perfetto"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --no-coalesce --trace --trace-perfetto"
                 ),
             }
             i += 2;

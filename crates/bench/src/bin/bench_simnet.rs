@@ -3,20 +3,22 @@
 //! engine win over the tombstone scheme, and sweep-level parallel speedup —
 //! written to `BENCH_simnet.json` in the current directory.
 //!
-//! Six phases run the **same** `(mode × seed)` cell grid:
+//! Seven phases run the **same** `(mode × seed)` cell grid:
 //!
 //! 1. `heap/t1`           — reference heap backend, one thread;
 //! 2. `wheel_nocancel/t1` — timer wheel, tombstone timers (the
 //!    pre-cancellation engine baseline);
-//! 3. `wheel/t1`          — timer wheel + cancelable timers (the default
-//!    engine), one thread;
-//! 4. `wheel/tN`          — default engine, one worker per core;
-//! 5. `audit/t1`          — default engine with the invariant-audit layer
+//! 3. `coalesce_off/t1`   — default engine with the hot-path event diet
+//!    off (per-chunk void frames, eager NIC pulls: the pre-diet engine);
+//! 4. `wheel/t1`          — timer wheel + cancelable timers + event diet
+//!    (the default engine), one thread;
+//! 5. `wheel/tN`          — default engine, one worker per core;
+//! 6. `audit/t1`          — default engine with the invariant-audit layer
 //!    on (its wall-clock overhead and counters go into the report);
-//! 6. `trace/t1`          — default engine with the flight recorder on
+//! 7. `trace/t1`          — default engine with the flight recorder on
 //!    (its wall-clock overhead and event counts go into the report).
 //!
-//! Physical results are asserted byte-identical across all six phases
+//! Physical results are asserted byte-identical across all seven phases
 //! (this binary doubles as an end-to-end equivalence check); engine
 //! counters are additionally identical wherever the engine config matches.
 //!
@@ -200,6 +202,10 @@ fn main() {
         cancel_timers: false,
         ..wheel
     };
+    let nodiet = EngineOpts {
+        coalesce: false,
+        ..wheel
+    };
     let audit_eng = EngineOpts {
         audit: true,
         ..wheel
@@ -210,6 +216,7 @@ fn main() {
     };
     let heap1 = run_phase("heap/t1", &cells, &args, heap, 1);
     let base1 = run_phase("wheel_nocancel/t1", &cells, &args, nocancel, 1);
+    let nodiet1 = run_phase("coalesce_off/t1", &cells, &args, nodiet, 1);
     let wheel1 = run_phase("wheel/t1", &cells, &args, wheel, 1);
     let wheeln = run_phase(
         &format!("wheel/t{par_threads}"),
@@ -231,6 +238,18 @@ fn main() {
     assert_eq!(
         heap1.physics, wheel1.physics,
         "queue backend changed physical results"
+    );
+    // The event diet (coalesced voids + elided pulls) is an engine-only
+    // change: same physics, strictly fewer dispatched events.
+    assert_eq!(
+        nodiet1.physics, wheel1.physics,
+        "the void-coalesce/fast-forward diet changed physical results"
+    );
+    assert!(
+        wheel1.report.total_events() < nodiet1.report.total_events(),
+        "the event diet must shed dispatches ({} vs {})",
+        wheel1.report.total_events(),
+        nodiet1.report.total_events()
     );
     assert_eq!(
         heap1.canonical, wheel1.canonical,
@@ -261,6 +280,15 @@ fn main() {
 
     let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
     let engine_gain = eps(&wheel1) / eps(&heap1);
+    // The diet changes the event population, so its win is measured in
+    // *pre-diet event units*: the same simulated workload used to take
+    // `nodiet` events — the dieted engine retires it in less wall time,
+    // so (pre-diet events)/(dieted wall) over (pre-diet events)/(pre-diet
+    // wall) is the events/sec gain, which reduces to the wall ratio. The
+    // event cut itself is reported alongside.
+    let void_event_cut = nodiet1.report.total_events() as f64 / wheel1.report.total_events() as f64;
+    let void_eps_gain = nodiet1.report.cell_wall_s() / wheel1.report.cell_wall_s();
+    let silo_void_eps_gain = nodiet1.report.cells[0].wall_s / wheel1.report.cells[0].wall_s;
     // Cancellation changes the event population, so its win is wall-clock
     // per cell against the tombstone engine, not events/sec.
     let cancel_speedup = base1.report.cell_wall_s() / wheel1.report.cell_wall_s();
@@ -272,16 +300,21 @@ fn main() {
 
     let notes = format!(
         "timer cancellation {:.2}x wall-clock over tombstones ({:.2}x on {}; \
-         peak event-queue occupancy -{:.0}%); wheel-vs-heap events/sec gain {:.2}x; \
+         peak event-queue occupancy -{:.0}%); event diet (coalesced voids + \
+         elided pulls) {:.2}x events/sec in pre-diet units ({:.2}x on the Silo \
+         cell; {:.2}x fewer dispatches); wheel-vs-heap events/sec gain {:.2}x; \
          {}-thread sweep speedup {:.2}x over 1 thread on a {}-core host; \
          invariant audit {:.2}x wall-clock, {} events checked, {} violations \
          ({} unattributed); flight recorder {:.2}x wall-clock, {} events retained \
          ({} evicted from rings); physics byte-identical across engines, backends, \
-         thread counts, audit on/off and trace on/off",
+         thread counts, diet on/off, audit on/off and trace on/off",
         cancel_speedup,
         silo_cancel_speedup,
         wheel1.report.cells[0].label,
         peak_reduction * 100.0,
+        void_eps_gain,
+        silo_void_eps_gain,
+        void_event_cut,
         engine_gain,
         par_threads,
         parallel_speedup,
@@ -320,6 +353,16 @@ fn main() {
         "  \"peak_event_queue_reduction\": {peak_reduction:.3},\n"
     ));
     out.push_str(&format!(
+        "  \"void_coalesce_events_per_sec_gain\": {void_eps_gain:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"void_coalesce_events_per_sec_gain_silo_seed{}\": {silo_void_eps_gain:.3},\n",
+        args.seed
+    ));
+    out.push_str(&format!(
+        "  \"void_coalesce_event_reduction\": {void_event_cut:.3},\n"
+    ));
+    out.push_str(&format!(
         "  \"wheel_vs_heap_events_per_sec_gain\": {engine_gain:.3},\n"
     ));
     out.push_str(&format!(
@@ -341,7 +384,7 @@ fn main() {
         trace1.trace_events, trace1.trace_dropped
     ));
     out.push_str("  \"phases\": [\n");
-    let phases = [&heap1, &base1, &wheel1, &wheeln, &audit1, &trace1];
+    let phases = [&heap1, &base1, &nodiet1, &wheel1, &wheeln, &audit1, &trace1];
     for (i, p) in phases.iter().enumerate() {
         for line in p.report.to_json().trim_end().lines() {
             out.push_str("    ");

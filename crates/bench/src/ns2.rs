@@ -94,6 +94,11 @@ pub struct EngineOpts {
     /// sizes). Pure observation like `audit`: physics stay
     /// byte-identical; the log lands in `Metrics::trace`.
     pub trace: bool,
+    /// Hot-path event diet (`SimConfig::coalesce_voids` +
+    /// `SimConfig::elide_nic_pulls`). Off reproduces the pre-diet engine
+    /// — one event per void chunk, one pull per batch boundary — for the
+    /// `void_coalesce` before/after phase.
+    pub coalesce: bool,
 }
 
 impl Default for EngineOpts {
@@ -103,6 +108,7 @@ impl Default for EngineOpts {
             cancel_timers: true,
             audit: false,
             trace: false,
+            coalesce: true,
         }
     }
 }
@@ -136,6 +142,8 @@ pub fn run_ns2_cell_with_engine(
     let mut cfg = SimConfig::new(cell.mode, Dur::from_ms(args.duration_ms), cell.seed);
     cfg.queue = eng.queue;
     cfg.cancel_timers = eng.cancel_timers;
+    cfg.coalesce_voids = eng.coalesce;
+    cfg.elide_nic_pulls = eng.coalesce;
     if eng.audit {
         cfg.audit = Some(silo_simnet::AuditConfig::default());
     }

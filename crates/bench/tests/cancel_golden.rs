@@ -24,30 +24,32 @@ fn small_args() -> Args {
         audit: false,
         trace: None,
         trace_perfetto: None,
+        no_coalesce: false,
     }
 }
 
-/// Engine configurations that must all agree on physics: the default
-/// (wheel + cancel), the tombstone baseline, and the reference heap with
-/// and without cancellation.
-fn engine_grid() -> [EngineOpts; 4] {
-    let wheel = EngineOpts::default();
-    let heap = EngineOpts {
-        queue: silo_base::QueueBackend::Heap,
-        ..wheel
-    };
-    [
-        wheel,
-        EngineOpts {
-            cancel_timers: false,
-            ..wheel
-        },
-        heap,
-        EngineOpts {
-            cancel_timers: false,
-            ..heap
-        },
-    ]
+/// Engine configurations that must all agree on physics: the full
+/// `{wheel, heap} x {cancel on, off} x {event diet on, off}` cross
+/// product — the default engine, the tombstone baseline, the reference
+/// heap, and the pre-diet (per-chunk voids, un-elided pulls) engine.
+fn engine_grid() -> Vec<EngineOpts> {
+    let mut grid = Vec::with_capacity(8);
+    for queue in [
+        silo_base::QueueBackend::default(),
+        silo_base::QueueBackend::Heap,
+    ] {
+        for cancel_timers in [true, false] {
+            for coalesce in [true, false] {
+                grid.push(EngineOpts {
+                    queue,
+                    cancel_timers,
+                    coalesce,
+                    ..EngineOpts::default()
+                });
+            }
+        }
+    }
+    grid
 }
 
 #[test]
@@ -122,6 +124,8 @@ fn faulted_run_is_physics_identical_across_engines() {
             let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(60), 7);
             cfg.queue = eng.queue;
             cfg.cancel_timers = eng.cancel_timers;
+            cfg.coalesce_voids = eng.coalesce;
+            cfg.elide_nic_pulls = eng.coalesce;
             cfg.faults =
                 FaultPlan::new().link_down(Time::from_ms(20), Some(Time::from_ms(30)), tor0);
             let m = Sim::new(t, cfg, vec![tenant(0, 4), tenant(1, 5)]).run();

@@ -45,6 +45,7 @@ fn small_args(threads: usize) -> Args {
         audit: false,
         trace: None,
         trace_perfetto: None,
+        no_coalesce: false,
     }
 }
 

@@ -6,8 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use silo_base::prop::forall;
 use silo_base::Dur;
+use silo_base::Time;
 use silo_explorer::{cell_bounds, cell_topo, run_plan};
-use silo_simnet::FaultPlan;
+use silo_simnet::{FaultKind, FaultPlan};
 
 /// A random plan: a few mutation steps from empty, which exercises every
 /// kind, windowed and open-ended events, and zero-length windows.
@@ -42,6 +43,45 @@ fn faultplan_json_round_trips_structurally() {
             Ok(())
         },
     );
+}
+
+/// Drift-factor edge values: `-0.0` and subnormals are outside what
+/// `validate` admits for a runnable plan, but the interchange format is
+/// exact for *every* plan (the explorer serializes raw mutants before
+/// sanitizing, and a byte-lossy writer would silently corrupt a corpus).
+/// `FaultPlan`'s `PartialEq` uses `f64` equality, where `-0.0 == 0.0` —
+/// only the byte-level dump comparison can catch a writer that
+/// normalizes the sign away, so this test pins bits, not values.
+#[test]
+fn faultplan_json_round_trips_float_edge_factors() {
+    let factors = [
+        -0.0,
+        0.0,
+        5e-324,                                // smallest subnormal
+        f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+        1.0 + f64::EPSILON,                    // smallest runnable drift > 1
+        64.0,
+    ];
+    for (i, &factor) in factors.iter().enumerate() {
+        let plan =
+            FaultPlan::new().pacer_drift(Time::from_ms(1), Time::from_ms(2), i as u32, factor);
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("reparse");
+        assert_eq!(back, plan, "factor {factor:?} changed structurally");
+        assert_eq!(
+            back.to_json(),
+            text,
+            "factor {factor:?} dump is not byte-stable"
+        );
+        let FaultKind::PacerDrift { factor: f, .. } = back.events[0].kind else {
+            panic!("kind changed");
+        };
+        assert_eq!(
+            f.to_bits(),
+            factor.to_bits(),
+            "factor {factor:?} lost bits (e.g. -0.0 sign) in the round trip"
+        );
+    }
 }
 
 #[test]

@@ -35,11 +35,19 @@ pub enum FrameKind {
 pub struct WireFrame<P> {
     /// Instant the first bit hits the wire.
     pub start: Time,
-    /// Wire size (including Ethernet overheads for voids).
+    /// Wire size (including Ethernet overheads for voids). For a
+    /// coalesced void run this is the run's total bytes — the sum of the
+    /// chunk sizes [`VoidChunks`] yields, not a single frame's.
     pub size: Bytes,
     pub kind: FrameKind,
     /// The tenant packet for data frames; `None` for voids.
     pub payload: Option<P>,
+    /// `Some(gap boundary)` on a coalesced void run: the
+    /// `head_stamp.min(window_end)` value that drove the chunk math, so
+    /// an observer can re-expand the run into the exact per-chunk frames
+    /// an uncoalesced batcher emits (`VoidChunks::new(start, gap_end,
+    /// link, mtu)`). `None` on data frames and uncoalesced voids.
+    pub gap_end: Option<Time>,
 }
 
 impl<P> WireFrame<P> {
@@ -47,8 +55,99 @@ impl<P> WireFrame<P> {
     /// `(start, serialization time)`. This is the span the flight
     /// recorder records per emitted frame — data and void alike claim
     /// wire time, which is the whole point of void batching.
+    ///
+    /// Not meaningful for a coalesced void run (`gap_end.is_some()`):
+    /// integer rounding makes `tx_time(total)` differ from the sum of
+    /// the per-chunk times by up to a few picoseconds per chunk —
+    /// re-expand with [`VoidChunks`] instead.
     pub fn span(&self, line: Rate) -> (Time, Dur) {
         (self.start, line.tx_time(self.size))
+    }
+}
+
+/// The void chunks filling the gap `[cursor, gap_end)` on a link of rate
+/// `link`, exactly as [`PacedBatcher::next_batch_into`] emits them when
+/// coalescing is off: each chunk covers the remaining gap clamped to
+/// `[MIN_VOID_BYTES, mtu]`, and the cursor advances by the chunk's own
+/// integer-rounded serialization time (so the final cursor — which may
+/// overshoot `gap_end` by a sub-84 B round-up — is reproduced bit for
+/// bit). Yields `(start, size)` per chunk; [`VoidChunks::cursor`] exposes
+/// the post-run cursor.
+#[derive(Debug, Clone)]
+pub struct VoidChunks {
+    cursor: Time,
+    gap_end: Time,
+    link: Rate,
+    mtu: u64,
+}
+
+impl VoidChunks {
+    pub fn new(cursor: Time, gap_end: Time, link: Rate, mtu: Bytes) -> VoidChunks {
+        VoidChunks {
+            cursor,
+            gap_end,
+            link,
+            mtu: mtu.as_u64(),
+        }
+    }
+
+    /// Where the wire cursor stands after the chunks yielded so far.
+    pub fn cursor(&self) -> Time {
+        self.cursor
+    }
+
+    /// Consume the whole run and return `(total bytes, final cursor)` —
+    /// exactly what driving the iterator to exhaustion yields, but with
+    /// the full-MTU prefix skipped in O(1) instead of walked chunk by
+    /// chunk (the coalescing batcher's hot path: a mostly-idle 50 µs
+    /// window is one ~40-chunk run).
+    ///
+    /// Exactness argument: while at least `mtu` gap bytes remain, every
+    /// chunk is exactly `mtu` and the cursor step is the constant
+    /// `tx_time(mtu)`, so `k` verified steps land where `k` iterations
+    /// would (integer picoseconds are associative). The per-step
+    /// predicate "chunk `i` is a full MTU" is monotone non-increasing in
+    /// `i` (the cursor only advances, `bytes_in` is monotone), so
+    /// checking it at `k − 1` proves it for every skipped step — no
+    /// rounding model of `bytes_in`/`tx_time` is assumed. The tail runs
+    /// through [`Iterator::next`] itself.
+    pub fn drain_total(mut self) -> (Bytes, Time) {
+        let t_mtu = self.link.tx_time(Bytes(self.mtu));
+        let mut total = 0u64;
+        if self.cursor < self.gap_end {
+            let gap_bytes = self.link.bytes_in(self.gap_end - self.cursor).as_u64();
+            // Idealized full-chunk count; verified (and lowered if the
+            // integer rounding shaved a chunk) before the jump.
+            let mut k = gap_bytes / self.mtu;
+            let full_at = |i: u64| {
+                let c = self.cursor + t_mtu * i;
+                c < self.gap_end && self.link.bytes_in(self.gap_end - c).as_u64() >= self.mtu
+            };
+            while k > 0 && !full_at(k - 1) {
+                k -= 1;
+            }
+            total += k * self.mtu;
+            self.cursor += t_mtu * k;
+        }
+        for (_, size) in self.by_ref() {
+            total += size.as_u64();
+        }
+        (Bytes(total), self.cursor)
+    }
+}
+
+impl Iterator for VoidChunks {
+    type Item = (Time, Bytes);
+
+    fn next(&mut self) -> Option<(Time, Bytes)> {
+        if self.cursor >= self.gap_end {
+            return None;
+        }
+        let gap_bytes = self.link.bytes_in(self.gap_end - self.cursor).as_u64();
+        let void = gap_bytes.clamp(MIN_VOID_BYTES, self.mtu);
+        let start = self.cursor;
+        self.cursor += self.link.tx_time(Bytes(void));
+        Some((start, Bytes(void)))
     }
 }
 
@@ -101,6 +200,9 @@ pub struct PacedBatcher<P> {
     window: Dur,
     mtu: Bytes,
     queue: EventQueue<(Bytes, P)>,
+    /// Collapse each gap's run of void chunks into one frame (see
+    /// [`PacedBatcher::coalesce_voids`]).
+    coalesce: bool,
     /// Data frames scheduled *before* their stamp — release-causality
     /// violations. Structurally impossible (a packet is only popped once
     /// `head_stamp <= cursor`), so this stays zero; the audit layer folds
@@ -132,8 +234,21 @@ impl<P> PacedBatcher<P> {
             window,
             mtu,
             queue: EventQueue::with_backend(backend),
+            coalesce: false,
             early_releases: 0,
         }
+    }
+
+    /// Switch coalesced void emission on or off (off by default — the
+    /// unit-level contract is stated in per-chunk frames). Coalescing
+    /// changes only the *representation* of a gap: one
+    /// [`FrameKind::Void`] frame carrying the run's total bytes and its
+    /// [`WireFrame::gap_end`], instead of one frame per chunk. The wire
+    /// schedule — data frame starts, `done_at`, total void bytes — is
+    /// byte-identical, because the cursor still advances through the
+    /// exact per-chunk math ([`VoidChunks`]).
+    pub fn coalesce_voids(&mut self, on: bool) {
+        self.coalesce = on;
     }
 
     /// Number of data frames ever scheduled ahead of their stamp (always
@@ -206,21 +321,41 @@ impl<P> PacedBatcher<P> {
                     size,
                     kind: FrameKind::Data,
                     payload: Some(payload),
+                    gap_end: None,
                 });
                 cursor += tx;
             } else {
                 // Fill the gap up to the stamp (or window end) with voids.
+                // The head stamp cannot change until the next pop, so the
+                // whole gap's chunk run is emitted here: one frame per
+                // chunk, or — coalesced — one frame for the run. Either
+                // way the cursor walks the same per-chunk rounding.
                 let gap_end = head_stamp.min(end);
-                let gap_bytes = self.link.bytes_in(gap_end - cursor).as_u64();
-                let void = gap_bytes.clamp(MIN_VOID_BYTES, self.mtu.as_u64());
-                let tx = self.link.tx_time(Bytes(void));
-                out.frames.push(WireFrame {
-                    start: cursor,
-                    size: Bytes(void),
-                    kind: FrameKind::Void,
-                    payload: None,
-                });
-                cursor += tx;
+                let chunks = VoidChunks::new(cursor, gap_end, self.link, self.mtu);
+                if self.coalesce {
+                    let start = cursor;
+                    let (total, after) = chunks.drain_total();
+                    out.frames.push(WireFrame {
+                        start,
+                        size: total,
+                        kind: FrameKind::Void,
+                        payload: None,
+                        gap_end: Some(gap_end),
+                    });
+                    cursor = after;
+                } else {
+                    let mut chunks = chunks;
+                    for (start, size) in chunks.by_ref() {
+                        out.frames.push(WireFrame {
+                            start,
+                            size,
+                            kind: FrameKind::Void,
+                            payload: None,
+                            gap_end: None,
+                        });
+                    }
+                    cursor = chunks.cursor();
+                }
             }
         }
         out.done_at = cursor;
@@ -380,6 +515,152 @@ mod tests {
             now = batch.done_at.max(now + Dur::from_us(1));
         }
         assert_eq!(b.early_releases(), 0);
+    }
+
+    /// Feed both a coalesced and an uncoalesced batcher the same stamp
+    /// stream and pull batches in lockstep, returning the two batch
+    /// sequences (driven off the uncoalesced batcher's `done_at`, which
+    /// the test asserts equal anyway).
+    fn lockstep(
+        stamps: &[(u64, u64, u32)], // (stamp µs, size B, payload)
+    ) -> (Vec<Batch<u32>>, Vec<Batch<u32>>) {
+        let mut plain = batcher();
+        let mut co = batcher();
+        co.coalesce_voids(true);
+        for &(us, size, p) in stamps {
+            plain.enqueue(Time::from_us(us), Bytes(size), p);
+            co.enqueue(Time::from_us(us), Bytes(size), p);
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut now = Time::ZERO;
+        while plain.pending() > 0 || co.pending() > 0 {
+            let x = plain.next_batch(now);
+            let y = co.next_batch(now);
+            assert_eq!(x.done_at, y.done_at, "done_at diverged at {now:?}");
+            now = if x.is_empty() {
+                plain.next_stamp().expect("pending").max(now)
+            } else {
+                x.done_at
+            };
+            a.push(x);
+            b.push(y);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn coalescing_preserves_the_wire_schedule() {
+        // Fig. 9 shape plus a jittered tail: multi-chunk gaps, a sub-84 B
+        // round-up, and a window-clipped gap all appear.
+        let mut stamps: Vec<(u64, u64, u32)> = (0..8).map(|i| (6 * i, 1500, i as u32)).collect();
+        stamps.push((100, 1500, 100));
+        stamps.push((101, 84, 101));
+        let (plain, co) = lockstep(&stamps);
+        for (x, y) in plain.iter().zip(&co) {
+            let data = |b: &Batch<u32>| -> Vec<(Time, Bytes, Option<u32>)> {
+                b.frames
+                    .iter()
+                    .filter(|f| f.kind == FrameKind::Data)
+                    .map(|f| (f.start, f.size, f.payload))
+                    .collect()
+            };
+            assert_eq!(data(x), data(y), "data schedule must be untouched");
+            assert_eq!(x.void_bytes(), y.void_bytes(), "total void bytes");
+            assert_eq!(x.data_bytes(), y.data_bytes());
+        }
+        let frames = |b: &[Batch<u32>]| b.iter().map(|x| x.frames.len()).sum::<usize>();
+        assert!(
+            frames(&co) < frames(&plain),
+            "coalescing must shrink the frame count ({} vs {})",
+            frames(&co),
+            frames(&plain)
+        );
+    }
+
+    #[test]
+    fn coalesced_runs_reexpand_to_the_exact_chunk_frames() {
+        // Every coalesced void run, expanded through VoidChunks with its
+        // recorded gap boundary, reproduces the uncoalesced frames bit
+        // for bit — starts, sizes, order, and the post-run cursor.
+        let stamps: Vec<(u64, u64, u32)> = vec![
+            (0, 1500, 0),
+            (6, 1500, 1),
+            (30, 300, 2),
+            (31, 84, 3),
+            (70, 1500, 4),
+        ];
+        let (plain, co) = lockstep(&stamps);
+        let link = Rate::from_gbps(10);
+        for (x, y) in plain.iter().zip(&co) {
+            let mut expanded: Vec<(Time, Bytes)> = Vec::new();
+            for f in &y.frames {
+                match f.kind {
+                    FrameKind::Data => {}
+                    FrameKind::Void => {
+                        let gap_end = f.gap_end.expect("coalesced voids carry their gap");
+                        let mut chunks = VoidChunks::new(f.start, gap_end, link, Bytes(1500));
+                        let run: Vec<(Time, Bytes)> = chunks.by_ref().collect();
+                        assert_eq!(
+                            run.iter().map(|(_, s)| s.as_u64()).sum::<u64>(),
+                            f.size.as_u64(),
+                            "run total must equal the coalesced frame size"
+                        );
+                        expanded.extend(run);
+                    }
+                }
+            }
+            let voids: Vec<(Time, Bytes)> = x
+                .frames
+                .iter()
+                .filter(|f| f.kind == FrameKind::Void)
+                .map(|f| (f.start, f.size))
+                .collect();
+            assert_eq!(expanded, voids, "re-expansion must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn drain_total_matches_the_iterator_exactly() {
+        // The O(1) full-MTU bulk skip must agree with chunk-by-chunk
+        // iteration — total bytes AND final cursor — across gap lengths
+        // that hit every regime: sub-minimum, between 84 B and MTU, exact
+        // MTU multiples, off-grid picosecond offsets, and multi-window
+        // runs. Two link rates exercise different tx-time roundings.
+        for link in [Rate::from_gbps(10), Rate::from_gbps(40)] {
+            for mtu in [Bytes(1500), Bytes(9000)] {
+                for ps in [
+                    1u64,
+                    17,
+                    66_000,
+                    67_200,
+                    67_201,
+                    1_200_000,
+                    1_200_001,
+                    2_400_000,
+                    3_600_007,
+                    50_000_000,
+                    50_000_001,
+                    49_999_999,
+                    123_456_789,
+                    1_000_000_007,
+                ] {
+                    let start = Time::from_ns(3); // off-grid cursor
+                    let gap_end = start + Dur::from_ps(ps);
+                    let it = VoidChunks::new(start, gap_end, link, mtu);
+                    let mut total = 0u64;
+                    let mut walked = it.clone();
+                    for (_, size) in walked.by_ref() {
+                        total += size.as_u64();
+                    }
+                    let (fast_total, fast_cursor) = it.drain_total();
+                    assert_eq!(
+                        (fast_total.as_u64(), fast_cursor),
+                        (total, walked.cursor()),
+                        "bulk skip diverged at link={link:?} mtu={mtu:?} gap={ps}ps"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

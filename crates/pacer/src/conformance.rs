@@ -142,6 +142,7 @@ mod tests {
                 size: Bytes(1500),
                 kind: FrameKind::Data,
                 payload: Some(0u32),
+                gap_end: None,
             });
             t += link.tx_time(Bytes(1500));
         }

@@ -40,7 +40,7 @@ pub mod conformance;
 pub mod cpu;
 pub mod hose;
 
-pub use batch::{Batch, FrameKind, PacedBatcher, WireFrame, MIN_VOID_BYTES};
+pub use batch::{Batch, FrameKind, PacedBatcher, VoidChunks, WireFrame, MIN_VOID_BYTES};
 pub use bucket::{BucketChain, TokenBucket};
 pub use conformance::{check_conformance, min_data_gap};
 pub use cpu::CpuModel;

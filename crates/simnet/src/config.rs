@@ -182,6 +182,27 @@ pub struct SimConfig {
     /// before/after benchmarking. Only engine counters differ
     /// (`events_processed`, `peak_event_queue`, the profile).
     pub cancel_timers: bool,
+    /// Coalesced void emission: the batcher collapses each inter-packet
+    /// gap's run of void frames into one [`silo_pacer::WireFrame`]
+    /// carrying the run's total bytes and the gap boundary that drove the
+    /// chunk math. On (the default), the NIC pull loop touches one frame
+    /// per gap instead of one per 84 B–MTU chunk; observers re-expand the
+    /// run into the exact per-chunk frames (`silo_pacer::VoidChunks`), so
+    /// the wire schedule, the audit report and the flight-recorder log
+    /// are byte-identical either way — the off position exists for the
+    /// golden-equivalence suites and before/after benchmarking.
+    pub coalesce_voids: bool,
+    /// Idle-pacer fast-forward: skip the NIC pull that is provably going
+    /// to find nothing due (queue drained, or the next stamp beyond the
+    /// just-emitted batch) and arm directly at the instant the next batch
+    /// can start; an enqueue that lowers that instant re-arms the pull
+    /// (`Sim::ensure_pull`). Batch-emitting pulls fire at exactly the
+    /// instants the eager scheme produces, so physical outputs are
+    /// byte-identical — only the event counters move. Automatically
+    /// disabled while a fault plan is active: stall/drift clamps are
+    /// applied per armed pull, so eliding intermediate pulls under an
+    /// active pacer fault would change where the clamp lands.
+    pub elide_nic_pulls: bool,
     /// Injected failures ([`FaultPlan`]). Empty (the default) is a strict
     /// no-op: no events are scheduled and every metric is byte-identical
     /// to a run without the fault layer.
@@ -235,6 +256,8 @@ impl SimConfig {
             nic_fifo: Bytes::from_kb(150),
             queue: QueueBackend::default(),
             cancel_timers: true,
+            coalesce_voids: true,
+            elide_nic_pulls: true,
             faults: FaultPlan::default(),
             audit: None,
             trace: None,

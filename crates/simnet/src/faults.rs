@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use silo_base::{Json, Time};
+use silo_base::{json, Json, Time};
 
 /// One class of injected failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -292,7 +292,10 @@ impl FaultPlan {
                 e.kind.target(),
             ));
             if let FaultKind::PacerDrift { factor, .. } = e.kind {
-                out.push_str(&format!(",\"factor\":{factor:?}"));
+                // `json::fmt_f64` pins the emission contract (shortest
+                // round-trip, `-0.0` keeps its sign, subnormals exact) so
+                // byte-determinism of plan dumps survives writer changes.
+                out.push_str(&format!(",\"factor\":{}", json::fmt_f64(factor)));
             }
             out.push('}');
         }

@@ -66,3 +66,166 @@ impl Packet {
         self.hop >= path.len()
     }
 }
+
+/// Handle to a packet slot in a [`PktArena`]. Four bytes instead of the
+/// ~96-byte [`Packet`]: events, port FIFOs and the NIC stamp queue carry
+/// the handle, so an event dispatch moves one index instead of the whole
+/// struct, and the packet bytes stay put in the arena for the packet's
+/// entire flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PktId(u32);
+
+/// Slab of in-flight packets with a LIFO free list. Allocation order is
+/// fully deterministic (`Vec` growth plus LIFO reuse), so two identical
+/// runs assign identical handles — handle values never feed back into
+/// physics, but determinism keeps debugging sane.
+///
+/// Debug builds (and therefore the whole test suite) track per-slot
+/// liveness and panic on use-after-free or double-free; release builds
+/// carry no overhead beyond the slab itself.
+#[derive(Debug, Default)]
+pub struct PktArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
+}
+
+impl PktArena {
+    pub fn new() -> PktArena {
+        PktArena::default()
+    }
+
+    pub fn with_capacity(n: usize) -> PktArena {
+        PktArena {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            #[cfg(debug_assertions)]
+            live: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern a packet for its flight; returns the handle that names it
+    /// until [`PktArena::free`].
+    pub fn alloc(&mut self, pkt: Packet) -> PktId {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = pkt;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(!self.live[i as usize], "free list held a live slot");
+                self.live[i as usize] = true;
+            }
+            PktId(i)
+        } else {
+            let i = self.slots.len() as u32;
+            self.slots.push(pkt);
+            #[cfg(debug_assertions)]
+            self.live.push(true);
+            PktId(i)
+        }
+    }
+
+    /// Release a slot for reuse. The packet has left the simulation —
+    /// delivered, tail-dropped, or eaten by a fault.
+    pub fn free(&mut self, id: PktId) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.live[id.0 as usize], "double free of {id:?}");
+            self.live[id.0 as usize] = false;
+        }
+        self.free.push(id.0);
+    }
+
+    /// Packets currently in flight.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// High-water mark of concurrently live packets (slab length: slots
+    /// are only added when no freed one is available).
+    pub fn peak(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl std::ops::Index<PktId> for PktArena {
+    type Output = Packet;
+    #[inline]
+    fn index(&self, id: PktId) -> &Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[id.0 as usize], "read of freed {id:?}");
+        &self.slots[id.0 as usize]
+    }
+}
+
+impl std::ops::IndexMut<PktId> for PktArena {
+    #[inline]
+    fn index_mut(&mut self, id: PktId) -> &mut Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[id.0 as usize], "write to freed {id:?}");
+        &mut self.slots[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            conn: 0,
+            kind: PktKind::Data,
+            seq,
+            payload: 1440,
+            size: Bytes(1500),
+            retx: false,
+            ce: false,
+            ecn_echo: false,
+            prio: 0,
+            sent_at: Time::ZERO,
+            enq_at: Time::ZERO,
+            path: PathId(0),
+            hop: 0,
+        }
+    }
+
+    #[test]
+    fn arena_reuses_slots_lifo_and_tracks_liveness() {
+        let mut a = PktArena::new();
+        let x = a.alloc(pkt(1));
+        let y = a.alloc(pkt(2));
+        assert_ne!(x, y);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a[x].seq, 1);
+        a[x].hop = 3;
+        assert_eq!(a[x].hop, 3);
+        a.free(x);
+        assert_eq!(a.live(), 1);
+        // LIFO reuse: the freed slot comes back first, fully overwritten.
+        let z = a.alloc(pkt(9));
+        assert_eq!(z, x, "freed slot must be reused");
+        assert_eq!(a[z].seq, 9);
+        assert_eq!(a[z].hop, 0, "stale fields must not leak through reuse");
+        assert_eq!(a.peak(), 2, "peak counts concurrent flights, not allocs");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn arena_catches_double_free_in_debug() {
+        let mut a = PktArena::new();
+        let x = a.alloc(pkt(1));
+        a.free(x);
+        a.free(x);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "read of freed")]
+    fn arena_catches_use_after_free_in_debug() {
+        let mut a = PktArena::new();
+        let x = a.alloc(pkt(1));
+        a.free(x);
+        let _ = a[x].seq;
+    }
+}

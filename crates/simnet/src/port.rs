@@ -1,7 +1,7 @@
 //! Switch egress-port model: tail-drop FIFO with two 802.1q priority
 //! levels, optional DCTCP ECN marking, and optional HULL phantom queues.
 
-use crate::packet::Packet;
+use crate::packet::PktId;
 use silo_base::{Bytes, Dur, Rate, Time};
 use std::collections::VecDeque;
 
@@ -36,6 +36,27 @@ impl PhantomQueue {
     }
 }
 
+/// A packet sitting in a port FIFO: the arena handle plus its wire size
+/// (duplicated here so occupancy accounting never touches the arena).
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPkt {
+    pub id: PktId,
+    pub size: Bytes,
+}
+
+/// Outcome of [`PortState::enqueue`]. The port decides; the caller owns
+/// the packet state and applies the decision (sets `enq_at`, the CE
+/// mark) through the arena — the port never dereferences the handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    Accepted {
+        /// ECN/phantom says mark this packet CE.
+        mark_ce: bool,
+    },
+    /// Tail drop: the buffer is full. The drop is already counted.
+    Dropped,
+}
+
 /// Runtime state of one directed egress port.
 #[derive(Debug, Clone)]
 pub struct PortState {
@@ -43,7 +64,7 @@ pub struct PortState {
     pub buffer: Bytes,
     pub prop: Dur,
     /// FIFO per priority level (0 served strictly first).
-    pub queues: [VecDeque<Packet>; 2],
+    pub queues: [VecDeque<QueuedPkt>; 2],
     pub queued_bytes: u64,
     /// Instant the current (or last) transmission ends; the port is idle
     /// whenever `now >= busy_until`.
@@ -93,37 +114,38 @@ impl PortState {
         }
     }
 
-    /// Try to enqueue; applies ECN/phantom marking. Returns false on a
-    /// tail drop.
-    pub fn enqueue(&mut self, now: Time, mut pkt: Packet) -> bool {
-        pkt.enq_at = now;
-        if self.queued_bytes + pkt.size.as_u64() > self.buffer.as_u64() {
+    /// Try to enqueue; decides tail drop and ECN/phantom marking from the
+    /// wire size alone. Returns the decision for the caller to apply to
+    /// the arena-resident packet.
+    pub fn enqueue(&mut self, now: Time, id: PktId, size: Bytes, prio: u8) -> Enqueue {
+        if self.queued_bytes + size.as_u64() > self.buffer.as_u64() {
             self.drops += 1;
-            return false;
+            return Enqueue::Dropped;
         }
+        let mut mark_ce = false;
         if let Some(k) = self.ecn_k {
-            if self.queued_bytes + pkt.size.as_u64() > k.as_u64() {
-                pkt.ce = true;
+            if self.queued_bytes + size.as_u64() > k.as_u64() {
+                mark_ce = true;
             }
         }
         if let Some(pq) = &mut self.phantom {
-            if pq.on_arrival(now, pkt.size) {
-                pkt.ce = true;
+            if pq.on_arrival(now, size) {
+                mark_ce = true;
             }
         }
-        self.queued_bytes += pkt.size.as_u64();
+        self.queued_bytes += size.as_u64();
         if self.queued_bytes > self.max_queued {
             self.max_queued = self.queued_bytes;
             self.max_at = now;
         }
-        let prio = (pkt.prio as usize).min(1);
-        self.queues[prio].push_back(pkt);
+        let prio = (prio as usize).min(1);
+        self.queues[prio].push_back(QueuedPkt { id, size });
         self.nonempty |= 1 << prio;
-        true
+        Enqueue::Accepted { mark_ce }
     }
 
     /// Pop the next packet to transmit (strict priority).
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self) -> Option<QueuedPkt> {
         if self.nonempty == 0 {
             return None;
         }
@@ -154,12 +176,12 @@ impl PortState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::PathId;
+    use crate::packet::{Packet, PathId, PktArena, PktKind};
 
     fn pkt(size: u64, prio: u8) -> Packet {
         Packet {
             conn: 0,
-            kind: crate::packet::PktKind::Data,
+            kind: PktKind::Data,
             seq: 0,
             payload: size - 60,
             size: Bytes(size),
@@ -174,36 +196,61 @@ mod tests {
         }
     }
 
+    /// Intern a packet and offer its handle to the port, mirroring what
+    /// `Sim::enqueue_port` does (apply `mark_ce` through the arena, free
+    /// the slot on a tail drop).
+    fn offer(p: &mut PortState, a: &mut PktArena, now: Time, size: u64, prio: u8) -> bool {
+        let id = a.alloc(pkt(size, prio));
+        match p.enqueue(now, id, Bytes(size), prio) {
+            Enqueue::Accepted { mark_ce } => {
+                a[id].enq_at = now;
+                if mark_ce {
+                    a[id].ce = true;
+                }
+                true
+            }
+            Enqueue::Dropped => {
+                a.free(id);
+                false
+            }
+        }
+    }
+
     #[test]
     fn tail_drop_at_buffer_limit() {
+        let mut a = PktArena::new();
         let mut p = PortState::new(Rate::from_gbps(10), Bytes(3000), Dur::ZERO);
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
-        assert!(!p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(offer(&mut p, &mut a, Time::ZERO, 1500, 0));
+        assert!(offer(&mut p, &mut a, Time::ZERO, 1500, 0));
+        assert!(!offer(&mut p, &mut a, Time::ZERO, 1500, 0));
         assert_eq!(p.drops, 1);
         assert_eq!(p.queued_bytes, 3000);
+        assert_eq!(a.live(), 2, "the dropped packet's slot must be freed");
     }
 
     #[test]
     fn strict_priority_dequeue() {
+        let mut a = PktArena::new();
         let mut p = PortState::new(Rate::from_gbps(10), Bytes(10_000), Dur::ZERO);
-        assert!(p.enqueue(Time::ZERO, pkt(1000, 1)));
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
+        assert!(offer(&mut p, &mut a, Time::ZERO, 1000, 1));
+        assert!(offer(&mut p, &mut a, Time::ZERO, 1500, 0));
         let first = p.dequeue().unwrap();
-        assert_eq!(first.prio, 0, "high priority preempts");
-        assert_eq!(p.dequeue().unwrap().prio, 1);
+        assert_eq!(a[first.id].prio, 0, "high priority preempts");
+        assert_eq!(first.size, Bytes(1500), "queue entry carries the wire size");
+        assert_eq!(a[p.dequeue().unwrap().id].prio, 1);
         assert!(p.dequeue().is_none());
         assert_eq!(p.queued_bytes, 0);
     }
 
     #[test]
     fn ecn_marks_above_k() {
+        let mut a = PktArena::new();
         let mut p = PortState::new(Rate::from_gbps(10), Bytes(100_000), Dur::ZERO);
         p.ecn_k = Some(Bytes(3000));
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
-        assert!(p.enqueue(Time::ZERO, pkt(1500, 0)));
-        let marks: Vec<bool> = (0..3).map(|_| p.dequeue().unwrap().ce).collect();
+        for _ in 0..3 {
+            assert!(offer(&mut p, &mut a, Time::ZERO, 1500, 0));
+        }
+        let marks: Vec<bool> = (0..3).map(|_| a[p.dequeue().unwrap().id].ce).collect();
         assert_eq!(marks, vec![false, false, true]);
     }
 
@@ -213,18 +260,18 @@ mod tests {
         // but the phantom (drained at 95%) accumulates 5% per packet and
         // eventually marks.
         let line = Rate::from_gbps(10);
+        let mut a = PktArena::new();
         let mut p = PortState::new(line, Bytes::from_mb(1), Dur::ZERO);
         p.phantom = Some(PhantomQueue::new(line, 0.95, Bytes(6_000)));
         let mut now = Time::ZERO;
         let mut marked = 0;
         for _ in 0..200 {
-            let mut pk = pkt(1500, 0);
-            pk.ce = false;
-            assert!(p.enqueue(now, pk));
+            assert!(offer(&mut p, &mut a, now, 1500, 0));
             let got = p.dequeue().unwrap();
-            if got.ce {
+            if a[got.id].ce {
                 marked += 1;
             }
+            a.free(got.id);
             now += line.tx_time(Bytes(1500));
         }
         assert!(marked > 0, "phantom queue must mark at sustained line rate");

@@ -7,15 +7,15 @@ use crate::faults::FaultKind;
 use crate::metrics::{
     EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, Violation, LATENCY_HIST_SUB_BITS,
 };
-use crate::packet::{Packet, PathId, PktKind};
-use crate::port::{PhantomQueue, PortState};
+use crate::packet::{Packet, PathId, PktArena, PktId, PktKind};
+use crate::port::{Enqueue, PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
 use crate::trace::{PktMeta, PktTag, TraceSink};
 use rand::rngs::StdRng;
 use silo_base::{
     exponential, seeded_rng, Bytes, Dur, EvKey, EventQueue, FxHashMap, LogHistogram, Time,
 };
-use silo_pacer::{Batch, FrameKind, PacedBatcher, TokenBucket};
+use silo_pacer::{Batch, FrameKind, PacedBatcher, TokenBucket, VoidChunks};
 use silo_topology::{HostId, PortId, Topology};
 use silo_workload::EtcWorkload;
 
@@ -23,8 +23,9 @@ use silo_workload::EtcWorkload;
 #[derive(Debug)]
 enum Ev {
     /// A packet finished traversing hop `pkt.hop − 1` and arrives at the
-    /// next node (or its destination).
-    Arrive(Packet),
+    /// next node (or its destination). Carries the arena handle: the
+    /// dispatch moves 4 bytes, the packet itself stays put in the slab.
+    Arrive(PktId),
     /// An egress port finished a transmission.
     PortFree(PortId),
     /// DMA-completion / soft-timer pull of the next paced batch.
@@ -98,12 +99,17 @@ enum VmApp {
 
 /// Per-host NIC state for the paced modes.
 struct HostNic {
-    batcher: PacedBatcher<Packet>,
+    batcher: PacedBatcher<PktId>,
     pull_marker: u64,
     /// Cancellation handle of the armed `NicPull`, when the engine runs
     /// with cancelable timers (superseded pulls are removed, not
     /// tombstoned).
     pull_key: Option<EvKey>,
+    /// Instant of the armed `NicPull`, `None` when no live pull is
+    /// pending (superseded pulls don't count — the marker kills them).
+    /// The fast-forward path (`Sim::ensure_pull`) compares against it to
+    /// skip re-arms that would land at the same instant.
+    pull_at: Option<Time>,
     busy_until: Time,
 }
 
@@ -143,7 +149,12 @@ pub struct Sim {
     profile: EventProfile,
     /// Reusable frame storage for the NIC pull path (allocation-light
     /// dispatch: one `Vec` serves every batch of every host).
-    batch_scratch: Batch<Packet>,
+    batch_scratch: Batch<PktId>,
+    /// In-flight packet slab: a packet's bytes live here from creation to
+    /// delivery (or drop); events, port FIFOs and the NIC stamp queue
+    /// carry 4-byte [`PktId`] handles, so per-event packet touch is an
+    /// index deref instead of a ~96-byte struct move.
+    arena: PktArena,
     // ---- fault injection (all dormant when the plan is empty) ----
     /// `!cfg.faults.is_empty()`: gates every fault check off the hot path.
     faults_on: bool,
@@ -232,6 +243,7 @@ impl Sim {
             .map(|_| {
                 let mut batcher =
                     PacedBatcher::new(topo.params().host_link, cfg.batch_window, cfg.mtu);
+                batcher.coalesce_voids(cfg.coalesce_voids);
                 // A host's stamp queue holds at most a couple of batch
                 // windows of MTU frames per backlogged VM; 256 covers the
                 // common case without over-reserving idle hosts.
@@ -240,6 +252,7 @@ impl Sim {
                     batcher,
                     pull_marker: 0,
                     pull_key: None,
+                    pull_at: None,
                     busy_until: Time::ZERO,
                 }
             })
@@ -347,6 +360,7 @@ impl Sim {
             next_txn: 0,
             profile: EventProfile::default(),
             batch_scratch: Batch::empty(),
+            arena: PktArena::with_capacity(256),
             faults_on,
             fault_active: vec![false; nfaults],
             port_down: vec![None; num_switch_ports],
@@ -736,7 +750,8 @@ impl Sim {
                 path,
                 hop: 0,
             };
-            self.send_from_vm(src_vm, pkt);
+            let id = self.arena.alloc(pkt);
+            self.send_from_vm(src_vm, id);
             self.arm_rto(conn);
         }
     }
@@ -811,7 +826,8 @@ impl Sim {
             path,
             hop: 0,
         };
-        self.send_from_vm(src_vm, pkt);
+        let id = self.arena.alloc(pkt);
+        self.send_from_vm(src_vm, id);
         self.arm_rto(conn);
     }
 
@@ -845,7 +861,8 @@ impl Sim {
             path,
             hop: 0,
         };
-        self.send_from_vm(src_vm, pkt);
+        let id = self.arena.alloc(pkt);
+        self.send_from_vm(src_vm, id);
         self.arm_rto(conn);
     }
 
@@ -932,13 +949,16 @@ impl Sim {
     // Host egress: pacing + NIC
     // ------------------------------------------------------------------
 
-    fn send_from_vm(&mut self, vm: u32, mut pkt: Packet) {
+    fn send_from_vm(&mut self, vm: u32, id: PktId) {
+        // Copy the ~96-byte struct once for the reads below; the arena
+        // slot stays the single source of truth for the flight.
+        let pkt = self.arena[id];
         let first_port = self.hops(pkt.path)[0];
         if self.is_loopback(first_port) {
             // Same-host delivery through the vswitch: serialized at the
             // loopback port, never paced (it does not cross the NIC).
-            pkt.hop = 0;
-            self.enqueue_port(first_port, pkt);
+            self.arena[id].hop = 0;
+            self.enqueue_port(first_port, id);
             return;
         }
         if self.cfg.mode.paced() {
@@ -964,8 +984,12 @@ impl Sim {
                 }
             }
             let host = self.vms[vm as usize].host.0 as usize;
-            self.nics[host].batcher.enqueue(stamp, pkt.size, pkt);
-            if self.now >= self.nics[host].busy_until {
+            self.nics[host].batcher.enqueue(stamp, pkt.size, id);
+            if self.fast_forward() {
+                // Enqueue-resurrection: arm (or tighten) the pull only if
+                // the new stamp moves the next batch start earlier.
+                self.ensure_pull(host);
+            } else if self.now >= self.nics[host].busy_until {
                 let at = self.nics[host]
                     .batcher
                     .next_stamp()
@@ -974,8 +998,8 @@ impl Sim {
                 self.arm_nic(host, at);
             }
         } else {
-            pkt.hop = 0;
-            self.enqueue_port(first_port, pkt);
+            self.arena[id].hop = 0;
+            self.enqueue_port(first_port, id);
         }
     }
 
@@ -1019,6 +1043,7 @@ impl Sim {
         };
         self.nics[host].pull_marker += 1;
         let marker = self.nics[host].pull_marker;
+        self.nics[host].pull_at = Some(at);
         let ev = Ev::NicPull {
             host: host as u32,
             marker,
@@ -1036,11 +1061,38 @@ impl Sim {
         }
     }
 
+    /// Fast-forward arming: ensure a pull is pending at the earliest
+    /// instant the next batch could start, `max(next stamp, busy_until,
+    /// now)`. Between pulls the stamp frontier only moves *earlier* (new
+    /// enqueues), so the wanted instant only tightens; a pull already
+    /// armed there is left alone — the eager scheme would re-arm it at
+    /// the same instant with a fresh marker, pure event churn with an
+    /// identical wire schedule (equivalence argument in DESIGN.md).
+    /// Empty queue: nothing armed, the NIC sleeps until the next enqueue.
+    fn ensure_pull(&mut self, host: usize) {
+        let Some(s) = self.nics[host].batcher.next_stamp() else {
+            return;
+        };
+        let want = s.max(self.nics[host].busy_until).max(self.now);
+        if self.nics[host].pull_at.is_none_or(|cur| cur > want) {
+            self.arm_nic(host, want);
+        }
+    }
+
+    /// Eligible for the idle-pacer fast-forward? Fault plans disable it:
+    /// stall/drift clamps apply per armed pull, so eliding intermediate
+    /// pulls would move where the clamp lands.
+    #[inline]
+    fn fast_forward(&self) -> bool {
+        self.cfg.elide_nic_pulls && !self.faults_on
+    }
+
     fn on_nic_pull(&mut self, host: u32, marker: u64) {
         let h = host as usize;
         if self.nics[h].pull_marker == marker {
             // The armed pull just fired: its key left the queue.
             self.nics[h].pull_key = None;
+            self.nics[h].pull_at = None;
         } else {
             // Superseded pull tombstone (see `on_rto`).
             self.profile.stale[EvKind::NicPull as usize] += 1;
@@ -1073,13 +1125,15 @@ impl Sim {
         // NIC wire accounting on the host's uplink port (utilization).
         let up = PortId::up(self.topo.host_link(HostId(host))).0 as usize;
         self.ports[up].busy_time += batch.done_at - batch.frames[0].start;
+        let mtu = self.cfg.mtu;
         for f in batch.frames.drain(..) {
-            if let Some(a) = self.audit.as_mut() {
-                // Every frame — data and void — claims a wire interval.
-                a.on_wire_frame(h, f.start, f.size, link);
-            }
             if f.kind == FrameKind::Data {
-                let mut pkt = f.payload.expect("data frame carries a packet");
+                if let Some(a) = self.audit.as_mut() {
+                    // Every frame — data and void — claims a wire interval.
+                    a.on_wire_frame(h, f.start, f.size, link);
+                }
+                let id = f.payload.expect("data frame carries a packet");
+                let pkt = self.arena[id];
                 if self.audit.is_some() && pkt.kind == PktKind::Data {
                     // Wire-level conformance of the sending VM against its
                     // admitted curve, at the instant the first bit leaves.
@@ -1104,6 +1158,7 @@ impl Sim {
                                 t.drop_fault(now, eaten_at, fault, m);
                             }
                         }
+                        self.arena.free(id);
                         continue;
                     }
                 }
@@ -1114,14 +1169,39 @@ impl Sim {
                         t.nic_data(start, tx, m);
                     }
                 }
-                pkt.hop = 1; // the NIC wire is hop 0
+                self.arena[id].hop = 1; // the NIC wire is hop 0
                 let arrive = f.start + link.tx_time(f.size) + prop;
-                self.push(arrive, Ev::Arrive(pkt));
-            } else if self.trace.is_some() {
-                let (start, tx) = f.span(link);
-                let size = f.size.as_u64();
-                if let Some(t) = self.trace.as_mut() {
-                    t.nic_void(host, start, tx, size);
+                self.push(arrive, Ev::Arrive(id));
+            } else if let Some(gap_end) = f.gap_end {
+                // A coalesced void run: one frame stands for the whole
+                // gap. Observers must see the exact per-chunk frames an
+                // uncoalesced batcher emits, so the run is re-expanded
+                // through the same chunk math (byte-identical audit
+                // report and flight-recorder log — the CI differential
+                // gate diffs the traces).
+                if self.audit.is_some() || self.trace.is_some() {
+                    for (s, size) in VoidChunks::new(f.start, gap_end, link, mtu) {
+                        if let Some(a) = self.audit.as_mut() {
+                            a.on_wire_frame(h, s, size, link);
+                        }
+                        if self.trace.is_some() {
+                            let tx = link.tx_time(size);
+                            if let Some(t) = self.trace.as_mut() {
+                                t.nic_void(host, s, tx, size.as_u64());
+                            }
+                        }
+                    }
+                }
+            } else {
+                if let Some(a) = self.audit.as_mut() {
+                    a.on_wire_frame(h, f.start, f.size, link);
+                }
+                if self.trace.is_some() {
+                    let (start, tx) = f.span(link);
+                    let size = f.size.as_u64();
+                    if let Some(t) = self.trace.as_mut() {
+                        t.nic_void(host, start, tx, size);
+                    }
                 }
             }
             // Void frames: dropped by the first-hop switch. Their only
@@ -1139,38 +1219,61 @@ impl Sim {
                 self.nic_drift_gate[h] = self.now + Dur::from_ps(dilated as u64);
             }
         }
-        self.arm_nic(h, done);
+        if self.fast_forward() {
+            // Arm directly at the instant the next batch can start: at
+            // `done` when data is already due, at the future head stamp
+            // (skipping the eager scheme's intermediate empty pull at
+            // `done`), or not at all when the queue drained — the next
+            // enqueue resurrects the pull.
+            self.ensure_pull(h);
+        } else {
+            self.arm_nic(h, done);
+        }
     }
 
     // ------------------------------------------------------------------
     // Switch fabric
     // ------------------------------------------------------------------
 
-    fn enqueue_port(&mut self, port: PortId, pkt: Packet) {
+    fn enqueue_port(&mut self, port: PortId, id: PktId) {
         if self.faults_on {
             if let Some(f) = self.port_fault(port) {
                 // Black hole: the packet reached a dead port.
                 self.metrics.fault_drops[f as usize] += 1;
                 if self.trace.is_some() {
-                    let m = self.trace_meta(&pkt);
+                    let m = self.trace_meta(&self.arena[id]);
                     let now = self.now;
                     if let Some(t) = self.trace.as_mut() {
                         t.drop_fault(now, port.0, f, m);
                     }
                 }
+                self.arena.free(id);
                 return;
             }
         }
         let now = self.now;
-        let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
+        let (size, prio8) = {
+            let p = &self.arena[id];
+            (p.size, p.prio)
+        };
+        let prio = (prio8 as usize).min(1);
         let ps = &mut self.ports[port.0 as usize];
-        let accepted = ps.enqueue(now, pkt);
+        // The port rules on the handle + wire size alone; the decision is
+        // applied to the arena-resident packet here.
+        let decision = ps.enqueue(now, id, size, prio8);
         let queued = ps.queued_bytes;
+        let accepted = matches!(decision, Enqueue::Accepted { .. });
+        if let Enqueue::Accepted { mark_ce } = decision {
+            self.arena[id].enq_at = now;
+            if mark_ce {
+                self.arena[id].ce = true;
+            }
+        }
         if let Some(a) = self.audit.as_mut() {
-            a.on_enqueue(now, port.0 as usize, size, prio, queued, accepted);
+            a.on_enqueue(now, port.0 as usize, size.as_u64(), prio, queued, accepted);
         }
         if self.trace.is_some() {
-            let m = self.trace_meta(&pkt);
+            let m = self.trace_meta(&self.arena[id]);
             if let Some(t) = self.trace.as_mut() {
                 if accepted {
                     t.enqueue(now, port.0, queued, m);
@@ -1181,6 +1284,7 @@ impl Sim {
         }
         if !accepted {
             self.metrics.drops += 1;
+            self.arena.free(id);
             return;
         }
         let ps = &mut self.ports[port.0 as usize];
@@ -1198,32 +1302,32 @@ impl Sim {
 
     fn start_tx(&mut self, port: PortId) {
         let now = self.now;
-        let (t_free, t_arrive, pkt) = {
+        let (t_free, t_arrive, id, size) = {
             let ps = &mut self.ports[port.0 as usize];
-            let Some(mut pkt) = ps.dequeue() else {
+            let Some(q) = ps.dequeue() else {
                 return;
             };
-            let tx = ps.rate.tx_time(pkt.size);
+            let tx = ps.rate.tx_time(q.size);
             ps.busy_time += tx;
-            ps.tx_bytes += pkt.size.as_u64();
+            ps.tx_bytes += q.size.as_u64();
             ps.tx_packets += 1;
             let prop = ps.prop;
-            pkt.hop += 1;
             let t_free = now + tx;
             ps.busy_until = t_free;
             ps.wakeup_armed = true;
-            (t_free, t_free + prop, pkt)
+            (t_free, t_free + prop, q.id, q.size)
         };
+        self.arena[id].hop += 1;
         if self.audit.is_some() {
-            let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
+            let prio = (self.arena[id].prio as usize).min(1);
             let queued = self.ports[port.0 as usize].queued_bytes;
             if let Some(a) = self.audit.as_mut() {
-                a.on_dequeue(now, port.0 as usize, size, prio, queued);
+                a.on_dequeue(now, port.0 as usize, size.as_u64(), prio, queued);
             }
         }
         if self.trace.is_some() {
-            let m = self.trace_meta(&pkt);
-            let wait = now.since(pkt.enq_at);
+            let m = self.trace_meta(&self.arena[id]);
+            let wait = now.since(self.arena[id].enq_at);
             if let Some(t) = self.trace.as_mut() {
                 t.wire_start(now, port.0, t_free - now, wait, m);
             }
@@ -1237,7 +1341,7 @@ impl Sim {
         // within-instant service point and flips drop/occupancy decisions
         // whenever events collide on the tx-time grid (see DESIGN.md).
         self.push(t_free, Ev::PortFree(port));
-        self.push(t_arrive, Ev::Arrive(pkt));
+        self.push(t_arrive, Ev::Arrive(id));
     }
 
     fn on_port_free(&mut self, port: PortId) {
@@ -1254,16 +1358,20 @@ impl Sim {
         }
     }
 
-    fn on_arrive(&mut self, pkt: Packet) {
+    fn on_arrive(&mut self, id: PktId) {
+        let pkt = self.arena[id];
         let hops = self.hops(pkt.path);
         if pkt.arrived(hops) {
+            // Terminal hop: the flight is over. Copy out, release the
+            // slot, then hand the receiver the by-value packet.
+            self.arena.free(id);
             match pkt.kind {
                 PktKind::Data => self.rx_data(pkt),
                 PktKind::Ack => self.rx_ack(pkt),
             }
         } else {
             let port = hops[pkt.hop];
-            self.enqueue_port(port, pkt);
+            self.enqueue_port(port, id);
         }
     }
 
@@ -1373,7 +1481,8 @@ impl Sim {
             path: rpath,
             hop: 0,
         };
-        self.send_from_vm(dst_vm, ack);
+        let id = self.arena.alloc(ack);
+        self.send_from_vm(dst_vm, id);
     }
 
     fn etc_txn_done(&mut self, client_vm: u32) {
@@ -1723,21 +1832,22 @@ impl Sim {
         let now = self.now;
         for p in 0..self.port_down.len() {
             let Some(f) = self.port_down[p] else { continue };
-            while let Some(pkt) = self.ports[p].dequeue() {
+            while let Some(q) = self.ports[p].dequeue() {
                 self.metrics.fault_drops[f as usize] += 1;
                 if self.audit.is_some() {
-                    let (size, prio) = (pkt.size.as_u64(), (pkt.prio as usize).min(1));
+                    let prio = (self.arena[q.id].prio as usize).min(1);
                     let queued = self.ports[p].queued_bytes;
                     if let Some(a) = self.audit.as_mut() {
-                        a.on_flush(now, p, size, prio, queued);
+                        a.on_flush(now, p, q.size.as_u64(), prio, queued);
                     }
                 }
                 if self.trace.is_some() {
-                    let m = self.trace_meta(&pkt);
+                    let m = self.trace_meta(&self.arena[q.id]);
                     if let Some(t) = self.trace.as_mut() {
                         t.drop_fault(now, p as u32, f, m);
                     }
                 }
+                self.arena.free(q.id);
             }
         }
     }
@@ -1972,7 +2082,7 @@ impl Sim {
             self.metrics.events_processed += 1;
             self.profile.fired[ev.kind() as usize] += 1;
             match ev {
-                Ev::Arrive(pkt) => self.on_arrive(pkt),
+                Ev::Arrive(id) => self.on_arrive(id),
                 Ev::PortFree(p) => self.on_port_free(p),
                 Ev::NicPull { host, marker } => self.on_nic_pull(host, marker),
                 Ev::Rto { conn, marker } => self.on_rto(conn, marker),

@@ -415,6 +415,7 @@ impl TraceSink {
         fault_windows: Vec<FaultWindow>,
         tenants: usize,
     ) -> TraceLog {
+        let recorded = self.next_seq;
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut dropped = self.global.dropped;
         for r in &self.rings {
@@ -426,8 +427,19 @@ impl TraceSink {
         events.extend(self.global.buf);
         // Record order is the deterministic total order of the trace.
         events.sort_unstable_by_key(|e| e.seq);
+        // Ring accounting must balance: every event ever recorded either
+        // survived in some ring or bumped that ring's eviction counter.
+        // Fault drops recorded while rings are already evicting are the
+        // easy way to break this silently, so it is checked at merge time
+        // on every traced run rather than trusted by inspection.
+        assert_eq!(
+            events.len() as u64 + dropped,
+            recorded,
+            "trace ring accounting broken: retained + dropped != recorded"
+        );
         TraceLog {
             events,
+            recorded,
             dropped,
             port_labels,
             fault_windows,
@@ -444,6 +456,9 @@ impl TraceSink {
 pub struct TraceLog {
     /// Surviving events, sorted by `seq` (global record order).
     pub events: Vec<TraceEvent>,
+    /// Total events ever recorded (`events.len() + dropped` — the ring
+    /// accounting invariant, asserted when the rings are merged).
+    pub recorded: u64,
     /// Events evicted from full rings (0 ⇒ the trace is complete).
     pub dropped: u64,
     /// Display label per port id (switch/NIC ports, then per-host

@@ -1,0 +1,177 @@
+//! Differential tests for the hot-path event diet: coalesced void
+//! emission (`SimConfig::coalesce_voids`) and the idle-pacer
+//! fast-forward (`SimConfig::elide_nic_pulls`).
+//!
+//! Both switches are pure engine-side dietary measures: the wire
+//! schedule — every data frame start, every void chunk an observer sees,
+//! every `done_at` — must be byte-identical across the whole
+//! {coalesce × elide} grid. Only the event counters may move, and they
+//! must move *down*. The flight recorder and the audit layer are the
+//! proof instruments: a re-expansion bug in the coalesced path would
+//! show up as a diverging trace line or a shifted audit counter.
+
+use silo_base::{Bytes, Dur, QueueBackend, Rate, Time};
+use silo_simnet::{
+    AuditConfig, EvKind, FaultPlan, Metrics, Sim, SimConfig, TenantSpec, TenantWorkload,
+    TraceConfig, TransportMode,
+};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn small_topo(servers: usize) -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 1,
+        servers_per_rack: servers,
+        vm_slots_per_server: 6,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+/// A paced mix that produces long void runs (a 500 Mbps hose on a 10 G
+/// link leaves ~95% of each gap void) *and* bulk pressure.
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            vm_hosts: vec![HostId(0), HostId(1)],
+            b: Rate::from_mbps(500),
+            s: Bytes::from_kb(15),
+            bmax: Rate::from_gbps(1),
+            prio: 0,
+            delay: None,
+            workload: TenantWorkload::OldiPeriodic {
+                msg: Bytes::from_kb(15),
+                period: Dur::from_ms(2),
+            },
+        },
+        TenantSpec {
+            vm_hosts: vec![HostId(2), HostId(3)],
+            b: Rate::from_gbps(3),
+            s: Bytes(1500),
+            bmax: Rate::from_gbps(10),
+            prio: 1,
+            delay: None,
+            workload: TenantWorkload::BulkAllToAll {
+                msg: Bytes::from_kb(256),
+            },
+        },
+    ]
+}
+
+fn run_with(coalesce: bool, elide: bool, faults: FaultPlan, observers: bool) -> Metrics {
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(40), 7);
+    cfg.coalesce_voids = coalesce;
+    cfg.elide_nic_pulls = elide;
+    cfg.faults = faults;
+    if observers {
+        cfg.audit = Some(AuditConfig::default());
+        cfg.trace = Some(TraceConfig::default());
+    }
+    Sim::new(small_topo(4), cfg, tenants()).run()
+}
+
+/// Everything an observer can see, in one comparable bundle: physics,
+/// the full flight-recorder log, and the audit layer's event count and
+/// violation counters.
+fn observed(m: &Metrics) -> (String, String, u64, [u64; 8]) {
+    let trace = m.trace.as_ref().expect("traced run").to_jsonl();
+    let audit = m.audit.as_ref().expect("audited run");
+    (
+        m.physics_json(),
+        trace,
+        audit.events_checked,
+        audit.counters(),
+    )
+}
+
+#[test]
+fn event_diet_is_physics_exact_across_the_grid() {
+    // All four corners of {coalesce × elide}, fully observed: the
+    // baseline (both off) is the pre-diet engine; every other corner
+    // must be indistinguishable to physics, trace, and audit.
+    let base = observed(&run_with(false, false, FaultPlan::new(), true));
+    for (coalesce, elide) in [(true, false), (false, true), (true, true)] {
+        let m = run_with(coalesce, elide, FaultPlan::new(), true);
+        let got = observed(&m);
+        assert_eq!(
+            got.0, base.0,
+            "physics diverged at coalesce={coalesce} elide={elide}"
+        );
+        assert_eq!(
+            got.1, base.1,
+            "flight-recorder log diverged at coalesce={coalesce} elide={elide}"
+        );
+        assert_eq!(
+            got.2, base.2,
+            "audit saw a different event count at coalesce={coalesce} elide={elide}"
+        );
+        assert_eq!(
+            got.3, base.3,
+            "audit counters moved at coalesce={coalesce} elide={elide}"
+        );
+    }
+}
+
+#[test]
+fn event_diet_strictly_cuts_dispatches() {
+    // The diet must actually shed events — both pulls (fast-forward
+    // skips the guaranteed no-op pull after each drained batch) and
+    // total dispatches. Observers off: this is the hot-path shape.
+    let fat = run_with(false, false, FaultPlan::new(), false);
+    let lean = run_with(true, true, FaultPlan::new(), false);
+    assert_eq!(fat.physics_json(), lean.physics_json());
+    let pull = EvKind::NicPull as usize;
+    assert!(
+        lean.profile.fired[pull] < fat.profile.fired[pull],
+        "fast-forward must elide pulls ({} vs {})",
+        lean.profile.fired[pull],
+        fat.profile.fired[pull]
+    );
+    assert!(
+        lean.events_processed < fat.events_processed,
+        "the diet must shrink total dispatches ({} vs {})",
+        lean.events_processed,
+        fat.events_processed
+    );
+}
+
+#[test]
+fn event_diet_agrees_across_queue_backends() {
+    // The wheel/heap differential must hold on the dieted engine too —
+    // full canonical serialization, engine counters included.
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(40), 9);
+    cfg.coalesce_voids = true;
+    cfg.elide_nic_pulls = true;
+    cfg.queue = QueueBackend::Wheel;
+    let wheel = Sim::new(small_topo(4), cfg.clone(), tenants()).run();
+    cfg.queue = QueueBackend::Heap;
+    let heap = Sim::new(small_topo(4), cfg, tenants()).run();
+    assert_eq!(wheel.canonical_json(), heap.canonical_json());
+}
+
+#[test]
+fn event_diet_is_physics_exact_under_faults() {
+    // Pacer stall + drift + a link outage: the ugliest interaction
+    // surface. The fast-forward auto-disables under a fault plan (the
+    // stall/drift clamps apply per armed pull), so the elide flag must
+    // be a provable no-op here; coalescing stays on and must still
+    // re-expand identically through the fault-window accounting.
+    let faults = || {
+        FaultPlan::new()
+            .pacer_stall(Time::from_ms(4), Time::from_ms(10), 0)
+            .pacer_drift(Time::from_ms(12), Time::from_ms(20), 1, 4.0)
+            .link_down(Time::from_ms(22), Some(Time::from_ms(28)), 0)
+    };
+    let base = observed(&run_with(false, false, faults(), true));
+    for (coalesce, elide) in [(true, false), (true, true), (false, true)] {
+        let got = observed(&run_with(coalesce, elide, faults(), true));
+        assert_eq!(
+            got, base,
+            "faulted run diverged at coalesce={coalesce} elide={elide}"
+        );
+    }
+}

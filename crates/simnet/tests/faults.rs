@@ -438,6 +438,56 @@ fn overlapping_kill_restore_on_one_link_recovers() {
 }
 
 #[test]
+fn pacer_stall_ending_at_churn_readmit_instant_is_clean() {
+    // Satellite case for audit `conformance_slack` at re-admission
+    // boundaries: a pacer stall on the tenant's own host ends at the
+    // *exact* instant the churned tenant is re-admitted. The stall parks
+    // pre-departure stamped packets in the batcher; at T the NIC releases
+    // them gap-compressed while `reset_vm` refills the reference meters
+    // mid-compression. Whichever of the two same-instant fault edges
+    // dispatches first (plan order decides), the conformance meter must
+    // not double-count slack into a violation — and physics must stay
+    // byte-identical with the audit off.
+    let (stall_from, t) = (Time::from_ms(4), Time::from_ms(10));
+    let (down, up) = (Time::from_ms(6), t);
+    let plans = [
+        // Stall edge pushed before the churn edge...
+        FaultPlan::new()
+            .pacer_stall(stall_from, t, 0)
+            .tenant_churn(0, down, up),
+        // ...and the reverse: readmit dispatches first at T.
+        FaultPlan::new()
+            .tenant_churn(0, down, up)
+            .pacer_stall(stall_from, t, 0),
+    ];
+    for plan in plans {
+        let m = run_audited(plan.clone(), 40);
+        assert_eq!(m.fault_windows.len(), 2);
+        // The re-admitted tenant produces traffic again after T.
+        let after = m
+            .messages
+            .iter()
+            .filter(|r| r.tenant == 0 && Time(r.created.0 + r.latency.0) > t)
+            .count();
+        assert!(after > 0, "tenant must resume after the abutting edges");
+        // Audit purity at the boundary: same plan without the audit layer
+        // is byte-identical.
+        let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(40), 7);
+        cfg.faults = plan;
+        let plain = Sim::new(
+            small_topo(4),
+            cfg,
+            vec![
+                periodic_tenant(&[0, 1], Some(Dur::from_ms(2))),
+                bulk_tenant(&[2, 3], Bytes::from_kb(256)),
+            ],
+        )
+        .run();
+        assert_eq!(plain.canonical_json(), m.canonical_json());
+    }
+}
+
+#[test]
 fn tenant_churn_mid_rto_is_clean() {
     // Kill host 0's access link long enough to strand in-flight data and
     // arm RTO timers, then churn the *victim tenant* down and back while

@@ -164,6 +164,44 @@ fn rings_are_bounded_and_keep_recent_history() {
 }
 
 #[test]
+fn ring_accounting_balances_under_fault_drops_with_evicting_rings() {
+    // Regression for trace-ring accounting under fault drops: force the
+    // rings into eviction *before* a mid-run outage starts recording
+    // DropFault events, then check `retained + dropped == recorded` on
+    // the merged log (the same invariant `TraceSink::finish` asserts, so
+    // a miscount would also abort the run itself).
+    let tiny = TraceConfig {
+        per_host_cap: 32,
+        global_cap: 2,
+    };
+    let faults = FaultPlan::new()
+        .link_down(Time::from_ms(10), Some(Time::from_ms(20)), 0)
+        .port_down(Time::from_ms(25), Some(Time::from_ms(30)), 0);
+    for mode in [TransportMode::Silo, TransportMode::Tcp] {
+        let m = run_cfg(mode, faults.clone(), |cfg| {
+            cfg.trace = Some(tiny.clone());
+        });
+        let log = m.trace.as_ref().expect("log");
+        assert!(
+            log.dropped > 0,
+            "{mode:?}: tiny rings must already be evicting"
+        );
+        assert!(
+            log.count(TraceKind::DropFault) > 0,
+            "{mode:?}: the outage must drop packets after eviction began"
+        );
+        assert_eq!(
+            log.events.len() as u64 + log.dropped,
+            log.recorded,
+            "{mode:?}: retained + dropped != recorded under fault drops"
+        );
+        // The faulted run still perturbs nothing observationally.
+        let off = run_cfg(mode, faults.clone(), |_| {});
+        assert_eq!(off.canonical_json(), m.canonical_json());
+    }
+}
+
+#[test]
 fn streaming_histograms_agree_with_retained_records() {
     let m = run(TransportMode::Silo, false, FaultPlan::new());
     assert_eq!(m.messages_total, m.messages.len() as u64);
