@@ -30,6 +30,13 @@ pub struct Args {
     /// engine, for the CI coalesce-differential (trace-diff) gate.
     /// Physics and observer streams are byte-identical either way.
     pub no_coalesce: bool,
+    /// Within-cell partition count (`SimConfig::shards`); 1 = serial
+    /// engine. Outputs are byte-identical at every value (the CI
+    /// shard-differential gate diffs the traces).
+    pub shards: u32,
+    /// Worker threads for the sharded engine's window-prepare pass
+    /// (`SimConfig::shard_threads`); never affects outputs.
+    pub shard_threads: usize,
 }
 
 impl Default for Args {
@@ -46,6 +53,8 @@ impl Default for Args {
             trace: None,
             trace_perfetto: None,
             no_coalesce: false,
+            shards: 1,
+            shard_threads: 1,
         }
     }
 }
@@ -88,8 +97,12 @@ impl Args {
                 "--threads" => a.threads = val.parse().expect("--threads takes an integer"),
                 "--trace" => a.trace = Some(val.clone()),
                 "--trace-perfetto" => a.trace_perfetto = Some(val.clone()),
+                "--shards" => a.shards = val.parse().expect("--shards takes an integer"),
+                "--shard-threads" => {
+                    a.shard_threads = val.parse().expect("--shard-threads takes an integer")
+                }
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --no-coalesce --trace --trace-perfetto"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --no-coalesce --trace --trace-perfetto --shards --shard-threads"
                 ),
             }
             i += 2;

@@ -25,6 +25,8 @@ fn small_args() -> Args {
         trace: None,
         trace_perfetto: None,
         no_coalesce: false,
+        shards: 1,
+        shard_threads: 1,
     }
 }
 

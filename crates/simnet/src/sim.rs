@@ -13,10 +13,10 @@ use crate::tcp::{MsgBound, TcpConn};
 use crate::trace::{PktMeta, PktTag, TraceSink};
 use rand::rngs::StdRng;
 use silo_base::{
-    exponential, seeded_rng, Bytes, Dur, EvKey, EventQueue, FxHashMap, LogHistogram, Time,
+    exponential, seeded_rng, Bytes, Dur, EvKey, FxHashMap, LogHistogram, ShardedEventQueue, Time,
 };
 use silo_pacer::{Batch, FrameKind, PacedBatcher, TokenBucket, VoidChunks};
-use silo_topology::{HostId, PortId, Topology};
+use silo_topology::{HostId, PartitionMap, PortId, Topology};
 use silo_workload::EtcWorkload;
 
 /// Events the engine dispatches.
@@ -120,10 +120,22 @@ pub struct Sim {
     tenants: Vec<TenantSpec>,
     rng: StdRng,
     now: Time,
-    /// Pending events, ordered by `(time, push sequence)` — the timer
-    /// wheel preserves exactly the old `BinaryHeap<EvEntry>` dequeue
-    /// order (locked down by `silo_base::eventq`'s differential tests).
-    events: EventQueue<Ev>,
+    /// Pending events, ordered by global `(time, push sequence)` — one
+    /// timer wheel per topology partition behind a merge façade that
+    /// reproduces the serial dequeue order exactly at any shard count
+    /// (locked down by `silo_base::shardq`'s differential tests and the
+    /// serial-vs-sharded suite). `cfg.shards == 1` collapses to the
+    /// single-queue fast path.
+    events: ShardedEventQueue<Ev>,
+    /// Rack-contiguous topology partition backing `events` (trivial at
+    /// one shard).
+    part: PartitionMap,
+    /// `part.shards() > 1`: gates owner computation off the serial path.
+    sharded: bool,
+    /// Hosts targeted by a pacer stall/drift fault window — the only
+    /// hosts whose idle-pacer fast-forward must be disabled (the clamp
+    /// lands on *armed* pulls; see `Sim::fast_forward`).
+    nic_fault_targets: Vec<bool>,
     ports: Vec<PortState>,
     conns: Vec<TcpConn>,
     conn_index: FxHashMap<(u32, u32), u32>,
@@ -295,7 +307,14 @@ impl Sim {
                 .collect(),
             ..Metrics::default()
         };
-        let mut events = EventQueue::with_backend(cfg.queue);
+        let part = PartitionMap::build(&topo, cfg.shards as usize);
+        let sharded = part.shards() > 1;
+        let mut events = ShardedEventQueue::new(
+            part.shards(),
+            cfg.queue,
+            part.lookahead(),
+            cfg.shard_threads,
+        );
         let num_hosts = topo.num_hosts();
         let num_switch_ports = topo.num_ports();
         // Topology-derived occupancy bound: at steady state each directed
@@ -304,6 +323,17 @@ impl Sim {
         // connection (≈ VMs² in the worst case, but the wheel only needs a
         // rough pre-size — excess grows organically).
         events.reserve(2 * (num_switch_ports + num_hosts) + 8 * vms.len() + 256);
+        // Per-host narrowing of the idle-pacer fast-forward: only hosts a
+        // pacer stall/drift window actually targets lose the elision.
+        let mut nic_fault_targets = vec![false; num_hosts];
+        for e in &cfg.faults.events {
+            match e.kind {
+                FaultKind::PacerStall { host } | FaultKind::PacerDrift { host, .. } => {
+                    nic_fault_targets[host as usize] = true;
+                }
+                _ => {}
+            }
+        }
         // The audit observer sees the post-mode-mutation tenant curves (an
         // Okto run is audited against the guarantee Okto actually
         // enforces) and the realized fault windows, so violations during a
@@ -345,6 +375,9 @@ impl Sim {
             rng,
             now: Time::ZERO,
             events,
+            part,
+            sharded,
+            nic_fault_targets,
             ports,
             conns: Vec::new(),
             conn_index: FxHashMap::default(),
@@ -381,12 +414,76 @@ impl Sim {
 
     fn push(&mut self, t: Time, ev: Ev) {
         self.profile.scheduled[ev.kind() as usize] += 1;
-        self.events.push(t, ev);
+        let shard = if self.sharded { self.ev_owner(&ev) } else { 0 };
+        self.events.push(shard, t, ev);
     }
 
     fn push_cancelable(&mut self, t: Time, ev: Ev) -> EvKey {
         self.profile.scheduled[ev.kind() as usize] += 1;
-        self.events.push_cancelable(t, ev)
+        let shard = if self.sharded { self.ev_owner(&ev) } else { 0 };
+        self.events.push_cancelable(shard, t, ev)
+    }
+
+    /// Owning partition of a port: switch/NIC ports by the partition map,
+    /// the simulator's synthetic loopback ports (appended after
+    /// `topo.num_ports()`, one per host — a `Sim` convention the map
+    /// doesn't know) by their host.
+    #[inline]
+    fn owner_of_port(&self, p: PortId) -> usize {
+        let nports = self.topo.num_ports();
+        if (p.0 as usize) < nports {
+            self.part.owner_of_port(p)
+        } else {
+            self.part.owner_of_host(p.0 as usize - nports)
+        }
+    }
+
+    /// Owning partition of an event — the shard whose queue holds it.
+    /// Wire events follow the port/host that handles them; workload
+    /// generators follow the VM's host; global coordination events
+    /// (hose epochs, OLDI bursts that fan out tenant-wide, fault
+    /// strikes) are pinned to shard 0.
+    fn ev_owner(&self, ev: &Ev) -> usize {
+        match *ev {
+            Ev::Arrive(id) => {
+                let pkt = &self.arena[id];
+                let hops = self.hops(pkt.path);
+                if pkt.hop < hops.len() {
+                    self.owner_of_port(hops[pkt.hop])
+                } else {
+                    // Terminal arrival: delivered at the receiving host.
+                    let c = &self.conns[pkt.conn as usize];
+                    let h = match pkt.kind {
+                        PktKind::Data => c.dst_host,
+                        PktKind::Ack => c.src_host,
+                    };
+                    self.part.owner_of_host(h.0 as usize)
+                }
+            }
+            Ev::PortFree(p) => self.owner_of_port(p),
+            Ev::NicPull { host, .. } => self.part.owner_of_host(host as usize),
+            Ev::Rto { conn, .. } | Ev::PaceResume { conn } => {
+                let h = self.conns[conn as usize].src_host;
+                self.part.owner_of_host(h.0 as usize)
+            }
+            Ev::EtcArrival { vm } => self
+                .part
+                .owner_of_host(self.vms[vm as usize].host.0 as usize),
+            Ev::BulkStart { src, .. } => self
+                .part
+                .owner_of_host(self.vms[src as usize].host.0 as usize),
+            Ev::Oldi { .. }
+            | Ev::PoissonMsg { .. }
+            | Ev::HoseEpoch
+            | Ev::FaultStart(_)
+            | Ev::FaultEnd(_) => 0,
+        }
+    }
+
+    /// `(cross-partition deliveries, window barriers)` of the sharded
+    /// queue — diagnostics for the differential suites.
+    pub fn shard_stats(&self) -> (u64, u64) {
+        (self.events.mailed(), self.events.barriers())
     }
 
     fn path(&mut self, src: HostId, dst: HostId) -> PathId {
@@ -880,7 +977,8 @@ impl Sim {
             // Re-arming supersedes the pending timer: remove it instead of
             // leaving a tombstone to bloat the queue until it expires.
             if let Some(k) = self.conns[conn as usize].rto_key.take() {
-                if self.events.cancel(k) {
+                let shard = self.rto_shard(conn);
+                if self.events.cancel(shard, k) {
                     self.profile.cancelled[EvKind::Rto as usize] += 1;
                 }
             }
@@ -892,12 +990,25 @@ impl Sim {
     }
 
     fn disarm_rto(&mut self, conn: u32) {
+        let shard = self.rto_shard(conn);
         let c = &mut self.conns[conn as usize];
         c.rto_marker += 1;
         if let Some(k) = c.rto_key.take() {
-            if self.events.cancel(k) {
+            if self.events.cancel(shard, k) {
                 self.profile.cancelled[EvKind::Rto as usize] += 1;
             }
+        }
+    }
+
+    /// Shard whose queue holds connection `conn`'s RTO timer (RTOs are
+    /// always armed on the sender's host partition).
+    #[inline]
+    fn rto_shard(&self, conn: u32) -> usize {
+        if self.sharded {
+            self.part
+                .owner_of_host(self.conns[conn as usize].src_host.0 as usize)
+        } else {
+            0
         }
     }
 
@@ -985,7 +1096,7 @@ impl Sim {
             }
             let host = self.vms[vm as usize].host.0 as usize;
             self.nics[host].batcher.enqueue(stamp, pkt.size, id);
-            if self.fast_forward() {
+            if self.fast_forward(host) {
                 // Enqueue-resurrection: arm (or tighten) the pull only if
                 // the new stamp moves the next batch start earlier.
                 self.ensure_pull(host);
@@ -1050,7 +1161,12 @@ impl Sim {
         };
         if self.cfg.cancel_timers {
             if let Some(k) = self.nics[host].pull_key.take() {
-                if self.events.cancel(k) {
+                let shard = if self.sharded {
+                    self.part.owner_of_host(host)
+                } else {
+                    0
+                };
+                if self.events.cancel(shard, k) {
                     self.profile.cancelled[EvKind::NicPull as usize] += 1;
                 }
             }
@@ -1079,12 +1195,16 @@ impl Sim {
         }
     }
 
-    /// Eligible for the idle-pacer fast-forward? Fault plans disable it:
-    /// stall/drift clamps apply per armed pull, so eliding intermediate
-    /// pulls would move where the clamp lands.
+    /// Eligible for the idle-pacer fast-forward? Per host: a pacer
+    /// stall/drift window targeting this host disables it (stall/drift
+    /// clamps apply per *armed* pull, so eliding intermediate pulls on a
+    /// targeted host would move where the clamp lands), but hosts no
+    /// pacer fault ever touches keep the fast path — link faults and
+    /// tenant churn don't interact with pull elision (their checks run
+    /// on the frames a pull emits, not on the pull's arming).
     #[inline]
-    fn fast_forward(&self) -> bool {
-        self.cfg.elide_nic_pulls && !self.faults_on
+    fn fast_forward(&self, host: usize) -> bool {
+        self.cfg.elide_nic_pulls && !self.nic_fault_targets[host]
     }
 
     fn on_nic_pull(&mut self, host: u32, marker: u64) {
@@ -1219,7 +1339,7 @@ impl Sim {
                 self.nic_drift_gate[h] = self.now + Dur::from_ps(dilated as u64);
             }
         }
-        if self.fast_forward() {
+        if self.fast_forward(h) {
             // Arm directly at the instant the next batch can start: at
             // `done` when data is already due, at the future head stamp
             // (skipping the eager scheme's intermediate empty pull at
@@ -1341,6 +1461,21 @@ impl Sim {
         // within-instant service point and flips drop/occupancy decisions
         // whenever events collide on the tx-time grid (see DESIGN.md).
         self.push(t_free, Ev::PortFree(port));
+        if self.sharded {
+            // This is the one site where a packet crosses a partition cut:
+            // a link whose egress port and next hop live in different
+            // shards (ToR uplinks, by the rack-contiguous partitioning).
+            // The arrival rides the destination's window-barrier mailbox;
+            // conservative lookahead (`t_arrive ≥ now + prop ≥ window
+            // end`) guarantees it is never due inside the current window.
+            let origin = self.owner_of_port(port);
+            let dest = self.ev_owner(&Ev::Arrive(id));
+            if dest != origin {
+                self.profile.scheduled[EvKind::Arrive as usize] += 1;
+                self.events.mail(dest, t_arrive, Ev::Arrive(id));
+                return;
+            }
+        }
         self.push(t_arrive, Ev::Arrive(id));
     }
 
@@ -1901,6 +2036,7 @@ impl Sim {
         }
         self.tenant_up[ti as usize] = false;
         for &ci in &self.tenant_conns[ti as usize].clone() {
+            let shard = self.rto_shard(ci);
             let c = &mut self.conns[ci as usize];
             c.wr_end = c.una; // abandon everything not yet acknowledged
             c.msgs.clear();
@@ -1908,7 +2044,7 @@ impl Sim {
             c.rto_marker += 1; // disarm any pending RTO
             let key = c.rto_key.take();
             if let Some(k) = key {
-                if self.events.cancel(k) {
+                if self.events.cancel(shard, k) {
                     self.profile.cancelled[EvKind::Rto as usize] += 1;
                 }
             }
@@ -1952,7 +2088,8 @@ impl Sim {
             c.rto_marker += 1;
             let key = c.rto_key.take();
             if let Some(k) = key {
-                if self.events.cancel(k) {
+                let shard = self.rto_shard(ci);
+                if self.events.cancel(shard, k) {
                     self.profile.cancelled[EvKind::Rto as usize] += 1;
                 }
             }

@@ -154,12 +154,37 @@ fn event_diet_agrees_across_queue_backends() {
 }
 
 #[test]
+fn fast_forward_narrows_to_fault_targets() {
+    // The fast-forward used to switch off for the whole run the moment a
+    // fault plan existed. It is now withdrawn only on hosts a pacer
+    // stall or drift window actually targets, so under this plan hosts
+    // 2 and 3 must keep the fast path: the faulted run still fires
+    // strictly fewer pulls with the diet on than off.
+    let faults = || {
+        FaultPlan::new()
+            .pacer_stall(Time::from_ms(4), Time::from_ms(10), 0)
+            .pacer_drift(Time::from_ms(12), Time::from_ms(20), 1, 4.0)
+    };
+    let off = run_with(true, false, faults(), false);
+    let on = run_with(true, true, faults(), false);
+    assert_eq!(off.physics_json(), on.physics_json());
+    let pull = EvKind::NicPull as usize;
+    assert!(
+        on.profile.fired[pull] < off.profile.fired[pull],
+        "untargeted hosts must keep the fast path under a fault plan ({} vs {})",
+        on.profile.fired[pull],
+        off.profile.fired[pull]
+    );
+}
+
+#[test]
 fn event_diet_is_physics_exact_under_faults() {
     // Pacer stall + drift + a link outage: the ugliest interaction
-    // surface. The fast-forward auto-disables under a fault plan (the
-    // stall/drift clamps apply per armed pull), so the elide flag must
-    // be a provable no-op here; coalescing stays on and must still
-    // re-expand identically through the fault-window accounting.
+    // surface. The fast-forward is withdrawn per host on the stall/drift
+    // targets (hosts 0 and 1 here) and stays live everywhere else, so
+    // the elide flag must be physics-invisible either way; coalescing
+    // stays on and must still re-expand identically through the
+    // fault-window accounting.
     let faults = || {
         FaultPlan::new()
             .pacer_stall(Time::from_ms(4), Time::from_ms(10), 0)

@@ -1,0 +1,228 @@
+//! Host/switch partitioning for the within-cell sharded simulator.
+//!
+//! A [`PartitionMap`] splits one topology into `shards` disjoint pieces
+//! along *rack* boundaries: a rack's hosts, its host links (both port
+//! directions), and its ToR uplink (both directions) all belong to one
+//! shard, so the only links whose two queue endpoints live in different
+//! shards — the *cut* — are ToR uplinks of racks not owned by shard 0
+//! (aggregation and core egress ports are all pinned to shard 0). Rack
+//! granularity is what makes the cut small and the lookahead non-trivial:
+//! every intra-rack path (`SameRack`: host NIC → ToR down-port) stays
+//! inside one shard, and every cut crossing traverses a full link whose
+//! latency is at least the propagation delay.
+//!
+//! The conservative lookahead exported here is exactly that bound:
+//! `prop_delay` plus the minimum wire time across cut links — and the
+//! minimum wire time is zero, because zero-byte frames (pure ACK stamps)
+//! are transmitted with zero serialization delay. A packet leaving shard
+//! A at time `now` therefore cannot affect shard B before
+//! `now + lookahead`, which is the window bound the sharded event queue
+//! relies on.
+
+use crate::tree::{HostId, PortId, Topology};
+use silo_base::Dur;
+
+/// Rack-contiguous partition of a topology into `shards` pieces, with the
+/// derived conservative lookahead. See the module docs for the ownership
+/// rule and the cut definition.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    shards: usize,
+    /// Owning shard per host.
+    host_owner: Vec<u16>,
+    /// Owning shard per directed port (switch and NIC ports; the
+    /// simulator's synthetic loopback ports are resolved by host instead).
+    port_owner: Vec<u16>,
+    /// ToR uplinks whose rack owner differs from the aggregation owner
+    /// (shard 0) — the partition cut.
+    cut_links: Vec<u32>,
+    /// Conservative lower bound on cross-cut latency.
+    lookahead: Dur,
+}
+
+impl PartitionMap {
+    /// Partition `topo` into (at most) `shards` rack-contiguous pieces.
+    /// `shards` is clamped to `[1, num_racks]`; shard `s` owns racks
+    /// `[s*R/N, (s+1)*R/N)`, which balances within one rack.
+    pub fn build(topo: &Topology, shards: usize) -> PartitionMap {
+        let racks = topo.num_racks();
+        let shards = shards.clamp(1, racks);
+        let rack_owner: Vec<u16> = (0..racks).map(|r| (r * shards / racks) as u16).collect();
+
+        let host_owner: Vec<u16> = (0..topo.num_hosts())
+            .map(|h| rack_owner[topo.rack_of(HostId(h as u32))])
+            .collect();
+
+        let mut port_owner = vec![0u16; topo.num_ports()];
+        for (h, &owner) in host_owner.iter().enumerate() {
+            let link = topo.host_link(HostId(h as u32));
+            port_owner[PortId::up(link).0 as usize] = owner;
+            port_owner[PortId::down(link).0 as usize] = owner;
+        }
+        let mut cut_links = Vec::new();
+        for (r, &owner) in rack_owner.iter().enumerate() {
+            let link = topo.tor_link(r);
+            // Both directions of the ToR uplink run on the rack's shard;
+            // the aggregation side (shard 0) reaches it through the cut.
+            port_owner[PortId::up(link).0 as usize] = owner;
+            port_owner[PortId::down(link).0 as usize] = owner;
+            if owner != 0 {
+                cut_links.push(link.0);
+            }
+        }
+        // Aggregation/core egress ports stay at the default owner 0.
+
+        // Minimum cross-cut latency: propagation plus minimum wire time.
+        // Zero-byte frames (ACK stamps) serialize in zero time, so the
+        // wire-time floor is 0 and propagation alone is the bound.
+        let lookahead = if shards > 1 {
+            topo.params().prop_delay
+        } else {
+            Dur(0)
+        };
+
+        PartitionMap {
+            shards,
+            host_owner,
+            port_owner,
+            cut_links,
+            lookahead,
+        }
+    }
+
+    /// Effective shard count after clamping.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    pub fn owner_of_host(&self, h: usize) -> usize {
+        self.host_owner[h] as usize
+    }
+
+    #[inline]
+    pub fn owner_of_port(&self, p: PortId) -> usize {
+        self.port_owner[p.0 as usize] as usize
+    }
+
+    /// Links whose two queue endpoints live in different shards.
+    pub fn cut_links(&self) -> &[u32] {
+        &self.cut_links
+    }
+
+    /// Conservative minimum latency across any cut link (0 when serial).
+    pub fn lookahead(&self) -> Dur {
+        self.lookahead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    fn topo() -> Topology {
+        Topology::build(TreeParams::ns2_paper())
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let t = topo();
+        let p = PartitionMap::build(&t, 1);
+        assert_eq!(p.shards(), 1);
+        assert!(p.cut_links().is_empty());
+        assert_eq!(p.lookahead(), Dur(0));
+        for h in 0..t.num_hosts() {
+            assert_eq!(p.owner_of_host(h), 0);
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_rack_count() {
+        let t = topo(); // 2 pods × 5 racks = 10 racks
+        assert_eq!(PartitionMap::build(&t, 64).shards(), 10);
+        assert_eq!(PartitionMap::build(&t, 0).shards(), 1);
+    }
+
+    #[test]
+    fn rack_granularity_and_balance() {
+        let t = topo();
+        for shards in [2usize, 4, 5, 10] {
+            let p = PartitionMap::build(&t, shards);
+            assert_eq!(p.shards(), shards);
+            // Every rack is wholly owned and every shard is populated.
+            let mut rack_owners = vec![usize::MAX; t.num_racks()];
+            let mut counts = vec![0usize; shards];
+            for h in 0..t.num_hosts() {
+                let r = t.rack_of(HostId(h as u32));
+                let o = p.owner_of_host(h);
+                if rack_owners[r] == usize::MAX {
+                    rack_owners[r] = o;
+                } else {
+                    assert_eq!(rack_owners[r], o, "rack {r} split across shards");
+                }
+                counts[o] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "empty shard at {shards}");
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(
+                max - min <= t.params().servers_per_rack,
+                "unbalanced: {counts:?}"
+            );
+            // Rack ownership is monotone (contiguous ranges).
+            assert!(rack_owners.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// The operational invariant the simulator relies on: along any
+    /// source→destination port path, ownership changes only at ToR-uplink
+    /// hops (the declared cut) — never at a host link.
+    #[test]
+    fn ownership_changes_only_at_cut_links() {
+        let t = topo();
+        let p = PartitionMap::build(&t, 4);
+        let probe: Vec<u32> = vec![0, 1, 39, 40, 200, 201, 399];
+        for &a in &probe {
+            for &b in &probe {
+                if a == b {
+                    continue;
+                }
+                let ports = t.path_ports(HostId(a), HostId(b));
+                let is_tor = |q: PortId| {
+                    let l = q.link().0 as usize;
+                    l >= t.num_hosts() && l < t.num_hosts() + t.num_racks()
+                };
+                for w in ports.windows(2) {
+                    let (o0, o1) = (p.owner_of_port(w[0]), p.owner_of_port(w[1]));
+                    if o0 != o1 {
+                        assert!(
+                            is_tor(w[0]) || is_tor(w[1]),
+                            "ownership changed off the ToR cut between {:?} and {:?}",
+                            w[0],
+                            w[1]
+                        );
+                    }
+                }
+                // Host NIC port and the host itself always agree.
+                let up = PortId::up(t.host_link(HostId(a)));
+                assert_eq!(p.owner_of_port(up), p.owner_of_host(a as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_links_are_tor_uplinks_of_nonzero_shards() {
+        let t = topo();
+        let p = PartitionMap::build(&t, 5);
+        // 10 racks / 5 shards: racks 0-1 → shard 0, others nonzero.
+        assert_eq!(p.cut_links().len(), 8);
+        for &l in p.cut_links() {
+            let l = l as usize;
+            assert!(
+                l >= t.num_hosts() && l < t.num_hosts() + t.num_racks(),
+                "cut link {l} is not a ToR uplink"
+            );
+        }
+        assert_eq!(p.lookahead(), t.params().prop_delay);
+    }
+}
