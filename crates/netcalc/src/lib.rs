@@ -34,6 +34,7 @@
 //! appropriate (unlike the picosecond-exact simulators).
 
 pub mod bounds;
+pub mod cache;
 pub mod curve;
 pub mod path;
 pub mod port;
@@ -41,6 +42,7 @@ pub mod service;
 pub mod tenant;
 
 pub use bounds::{backlog_bound, drain_time, queue_delay_bound};
+pub use cache::BoundCache;
 pub use curve::{Curve, Line};
 pub use path::{output_bound, path_delay_sfa, path_delay_sum};
 pub use port::{PortCalc, PortVerdict};

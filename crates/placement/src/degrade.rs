@@ -135,23 +135,19 @@ impl SiloPlacer {
             }
             None => return None,
         };
-        let search = self.search_slots();
         let (cand, level) = greedy_place_spread(
             &self.topo,
-            &search,
+            self.search_slots(),
             req.vms,
             max_level,
             req.min_fault_domains,
             &mut |cand, lvl| self.check_candidate(cand, lvl, req).is_some(),
         )?;
-        drop(search);
         let contribs = self
             .check_candidate(&cand, level, req)
             .expect("accepted candidate must re-check");
-        for (p, c) in &contribs {
-            self.loads[p.0 as usize].add(c);
-        }
-        self.slots.alloc(&self.topo, &cand);
+        self.add_contribs(id, &contribs);
+        self.alloc_slots(&cand);
         self.tenants.insert(
             id,
             TenantRecord {
@@ -174,8 +170,17 @@ impl SiloPlacer {
             self.failed.push(link);
             self.failed.sort_unstable();
         }
-        // Phase 1: reclaim every affected tenant at once, so re-admission
-        // sees the full post-failure residual budget.
+        // The dead-host mask is rebuilt once per fault event; every
+        // mutation below (and every admission until the next fault event)
+        // updates it in lockstep instead of cloning.
+        self.rebuild_mask();
+        // Phase 1: reclaim every affected tenant's *reservations* at
+        // once, so re-admission sees the full post-failure residual
+        // bandwidth budget. Slots are NOT bulk-released: a tenant that
+        // ends up downgraded never vacates its hosts, so freeing its
+        // slots up front would let an earlier-id tenant re-place onto
+        // them and double-book the server (a real over-allocation this
+        // crate's differential churn suite caught).
         let affected: Vec<TenantId> = self
             .tenants
             .iter()
@@ -185,23 +190,23 @@ impl SiloPlacer {
         let mut reclaimed: Vec<(TenantId, TenantRecord)> = Vec::new();
         for &t in &affected {
             let rec = self.tenants.remove(&t).expect("affected tenant exists");
-            for (p, c) in &rec.contribs {
-                self.loads[p.0 as usize].sub(c);
-            }
-            self.slots.release(&self.topo, &rec.hosts);
+            self.sub_contribs(t, &rec.contribs);
             reclaimed.push((t, rec));
         }
-        // Phase 2: re-admit in id order; downgrade what no longer fits.
+        // Phase 2: re-admit in id order, releasing and (on downgrade)
+        // re-taking each tenant's slots atomically.
         let mut outcomes = Vec::new();
         for (t, rec) in reclaimed {
+            self.release_slots(&rec.hosts);
             match self.readmit(t, &rec.req) {
                 Some((hosts, span)) => {
                     outcomes.push((t, DegradeOutcome::Replaced { hosts, span }));
                 }
                 None => {
                     let reason = self.reject_reason(&rec.req);
-                    // Best-effort keeps the VMs where they were.
-                    self.slots.alloc(&self.topo, &rec.hosts);
+                    // Best-effort keeps the VMs where they were; the
+                    // release just above guarantees this re-alloc fits.
+                    self.alloc_slots(&rec.hosts);
                     self.degraded.insert(
                         t,
                         DegradedRecord {
@@ -225,6 +230,7 @@ impl SiloPlacer {
     /// back: their guarantees already hold where they are.
     pub fn restore_link(&mut self, link: LinkId) -> FaultReport {
         self.failed.retain(|&l| l != link);
+        self.rebuild_mask();
         let ids: Vec<TenantId> = self.degraded.keys().copied().collect();
         let mut outcomes = Vec::new();
         for t in ids {
@@ -232,9 +238,7 @@ impl SiloPlacer {
             // Cheapest first: original hosts, original span. The slots
             // are still allocated; only the reservations must re-check.
             if let Some(contribs) = self.check_candidate(&rec.hosts, rec.level, &rec.req) {
-                for (p, c) in &contribs {
-                    self.loads[p.0 as usize].add(c);
-                }
+                self.add_contribs(t, &contribs);
                 self.tenants.insert(
                     t,
                     TenantRecord {
@@ -249,14 +253,14 @@ impl SiloPlacer {
             }
             // In-place failed (e.g. re-admitted tenants took the budget):
             // try anywhere.
-            self.slots.release(&self.topo, &rec.hosts);
+            self.release_slots(&rec.hosts);
             match self.readmit(t, &rec.req) {
                 Some((hosts, span)) => {
                     outcomes.push((t, DegradeOutcome::Replaced { hosts, span }));
                 }
                 None => {
                     let reason = self.reject_reason(&rec.req);
-                    self.slots.alloc(&self.topo, &rec.hosts);
+                    self.alloc_slots(&rec.hosts);
                     self.degraded.insert(t, DegradedRecord { reason, ..rec });
                     outcomes.push((t, DegradeOutcome::StillDegraded { reason }));
                 }

@@ -37,12 +37,14 @@ mod load;
 mod locality;
 mod oktopus;
 mod placer;
+mod service;
 mod silo;
 
 pub use degrade::{DegradeOutcome, FaultReport};
 pub use guarantee::{Guarantee, TenantRequest};
-pub use load::{Contribution, PortLoad};
+pub use load::{Contribution, PortLoad, NIC_HEADROOM};
 pub use locality::LocalityPlacer;
 pub use oktopus::OktopusPlacer;
 pub use placer::{Placement, Placer, RejectReason, SlotMap, TenantId};
+pub use service::{AdmissionService, ChurnEvent, Decision, ServiceStats};
 pub use silo::SiloPlacer;

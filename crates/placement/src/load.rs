@@ -3,6 +3,17 @@
 use silo_base::{Bytes, Dur, Rate};
 use silo_netcalc::{backlog_bound, Curve, Line, ServiceCurve};
 
+/// Headroom factor on every sustained-rate admission check: reservations
+/// may claim at most this fraction of a line's rate. A port reserved to
+/// exactly 100% is only *marginally* stable — any real pacer's
+/// quantization makes its queue random-walk upward — so both the NIC
+/// check in `SiloPlacer::check_candidate` and the switch-port check in
+/// [`PortLoad::fits`] keep 3% in reserve. Admission, `degrade`
+/// re-validation, and `reserved_fraction` reporting must all use this one
+/// constant: a tenant admitted at exactly the boundary has to survive a
+/// `fail_link`/`restore_link` re-validation cycle unchanged.
+pub const NIC_HEADROOM: f64 = 0.97;
+
 /// One tenant's traffic contribution at one port, in curve-summary form.
 /// All fields are linear in the tenant, so departures subtract exactly.
 ///
@@ -164,11 +175,10 @@ impl PortLoad {
 
     /// Constraint C1: does the worst case fit the port buffer?
     ///
-    /// Sustained reservations are additionally capped at 97% of the line:
-    /// a port reserved to exactly 100% is only *marginally* stable, and
-    /// any real pacer's quantization makes its queue random-walk upward.
+    /// Sustained reservations are additionally capped at
+    /// [`NIC_HEADROOM`] × line rate (see the constant for why).
     pub fn fits(&self, line: Rate, ingress_cap: Rate, buffer: Bytes) -> bool {
-        if self.rate > line.bytes_per_sec() * 0.97 {
+        if self.rate > line.bytes_per_sec() * NIC_HEADROOM {
             return false;
         }
         match self.backlog(line, ingress_cap) {

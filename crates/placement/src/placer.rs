@@ -55,7 +55,7 @@ pub trait Placer {
 
 /// Free-slot bookkeeping with per-rack/per-pod aggregates so candidate
 /// subtrees without room are skipped in O(1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotMap {
     per_host: Vec<usize>,
     per_rack: Vec<usize>,

@@ -1,0 +1,592 @@
+//! The long-running admission-control service (ROADMAP item 3).
+//!
+//! Production Silo is a cluster manager that admits and evicts tenants
+//! *continuously*; the sweep harness instead calls `SiloPlacer` in one
+//! batch at setup. [`AdmissionService`] closes that gap: it owns a
+//! [`SiloPlacer`] and processes a stream of [`ChurnEvent`]s — tenant
+//! arrivals, departures, link failures and repairs — exactly the way the
+//! batch path would, but with all derived state (per-port netcalc
+//! aggregates, backlog-bound memos, the dead-host slot mask) updated
+//! incrementally on each event instead of recomputed.
+//!
+//! Incremental must mean *identical*, not approximately equal: every
+//! aggregate the placer holds is defined as a left fold over live
+//! tenants in id order (see `SiloPlacer::add_contribs`), so a service
+//! that processed a million admit/evict events holds bit-for-bit the
+//! state of a fresh placer replaying the surviving prefix. The
+//! differential suite (`tests/service_differential.rs`) and
+//! `SiloPlacer::verify_scratch_consistency` enforce this at probe points;
+//! [`AdmissionService::snapshot`] / [`AdmissionService::restore`] round
+//! the same guarantee through a byte-exact serial form (floats travel as
+//! IEEE-754 bit patterns, never decimal).
+
+use crate::degrade::DegradedRecord;
+use crate::guarantee::{Guarantee, TenantRequest};
+use crate::placer::{Placer, RejectReason, TenantId};
+use crate::silo::{SiloPlacer, TenantRecord};
+use crate::FaultReport;
+use silo_base::{Bytes, Dur, Rate};
+use silo_topology::{HostId, Level, LinkId, Topology, TreeParams};
+use std::collections::BTreeMap;
+
+/// One event of a tenant-churn stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// A tenant arrives and requests admission.
+    Admit(TenantRequest),
+    /// The tenant admitted by the `n`-th `Admit` event of the stream
+    /// departs. Referencing the admit *event* rather than a `TenantId`
+    /// lets generators emit departures without knowing admission
+    /// outcomes; evicting a rejected or already-departed admission is a
+    /// recorded no-op.
+    Evict(u32),
+    /// A link fails (`placement::degrade` reclaim-then-readmit sweep).
+    FailLink(LinkId),
+    /// A failed link heals (revalidate-in-place, then re-place).
+    RestoreLink(LinkId),
+}
+
+/// What the service did with one event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    Admitted {
+        tenant: TenantId,
+        hosts: Vec<(HostId, usize)>,
+        span: Level,
+    },
+    Rejected {
+        reason: RejectReason,
+    },
+    Evicted {
+        tenant: TenantId,
+    },
+    /// The eviction referenced a rejected or already-departed admission.
+    EvictNoop,
+    Fault {
+        report: FaultReport,
+    },
+    Heal {
+        report: FaultReport,
+    },
+}
+
+/// Running totals over every event the service has processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub evicted: u64,
+    pub evict_noops: u64,
+    pub faults: u64,
+    pub heals: u64,
+}
+
+/// A `SiloPlacer` driven as a long-running service: applies churn events
+/// one at a time, maps admit-event indices to live tenant ids, and
+/// snapshots/restores its full state byte-exactly.
+pub struct AdmissionService {
+    placer: SiloPlacer,
+    /// Tenant admitted by the n-th `Admit` event, cleared on departure.
+    by_admit: Vec<Option<TenantId>>,
+    stats: ServiceStats,
+}
+
+impl AdmissionService {
+    pub fn new(topo: Topology) -> AdmissionService {
+        AdmissionService {
+            placer: SiloPlacer::new(topo),
+            by_admit: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    pub fn placer(&self) -> &SiloPlacer {
+        &self.placer
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Live (guaranteed) tenants currently placed.
+    pub fn live_tenants(&self) -> usize {
+        self.placer.num_tenants()
+    }
+
+    /// Process one event and report what happened.
+    pub fn apply(&mut self, ev: &ChurnEvent) -> Decision {
+        match *ev {
+            ChurnEvent::Admit(req) => match self.placer.try_place(&req) {
+                Ok(p) => {
+                    self.by_admit.push(Some(p.tenant));
+                    self.stats.admitted += 1;
+                    Decision::Admitted {
+                        tenant: p.tenant,
+                        hosts: p.hosts,
+                        span: p.span,
+                    }
+                }
+                Err(reason) => {
+                    self.by_admit.push(None);
+                    self.stats.rejected += 1;
+                    Decision::Rejected { reason }
+                }
+            },
+            ChurnEvent::Evict(idx) => {
+                match self.by_admit.get(idx as usize).copied().flatten() {
+                    Some(tenant) => {
+                        self.by_admit[idx as usize] = None;
+                        // The tenant may be live or degraded; remove
+                        // handles both.
+                        assert!(self.placer.remove(tenant), "indexed tenant must exist");
+                        self.stats.evicted += 1;
+                        Decision::Evicted { tenant }
+                    }
+                    None => {
+                        self.stats.evict_noops += 1;
+                        Decision::EvictNoop
+                    }
+                }
+            }
+            ChurnEvent::FailLink(l) => {
+                self.stats.faults += 1;
+                Decision::Fault {
+                    report: self.placer.fail_link(l),
+                }
+            }
+            ChurnEvent::RestoreLink(l) => {
+                self.stats.heals += 1;
+                Decision::Heal {
+                    report: self.placer.restore_link(l),
+                }
+            }
+        }
+    }
+
+    /// Serialize the full service state — topology parameters, tenants
+    /// with their placements and port contributions, degraded records,
+    /// the failed-link set, the admit-index map, and counters — into a
+    /// deterministic text form. Floats are emitted as IEEE-754 bit
+    /// patterns, so `restore(snapshot(s)).snapshot() == snapshot(s)`
+    /// byte-for-byte, and the restored placer's derived state (loads,
+    /// slots, caps, locality, mask) is bit-identical to the original's.
+    pub fn snapshot(&self) -> String {
+        let p = &self.placer;
+        let tp = p.topo.params();
+        let mut out = String::with_capacity(4096);
+        out.push_str("silo-admission-snapshot-v1\n");
+        out.push_str(&format!(
+            "topo {} {} {} {} {} {} {} {} {} {}\n",
+            tp.pods,
+            tp.racks_per_pod,
+            tp.servers_per_rack,
+            tp.vm_slots_per_server,
+            tp.host_link.0,
+            f64_hex(tp.tor_oversub),
+            f64_hex(tp.agg_oversub),
+            tp.switch_buffer.0,
+            tp.nic_buffer.0,
+            tp.prop_delay.as_ps(),
+        ));
+        out.push_str(&format!("mtu {}\n", p.mtu.0));
+        out.push_str(&format!("next-id {}\n", p.next_id));
+        out.push_str(&format!("failed {}", p.failed.len()));
+        for l in &p.failed {
+            out.push_str(&format!(" {}", l.0));
+        }
+        out.push('\n');
+        let s = &self.stats;
+        out.push_str(&format!(
+            "stats {} {} {} {} {} {}\n",
+            s.admitted, s.rejected, s.evicted, s.evict_noops, s.faults, s.heals
+        ));
+        let live = self.by_admit.iter().flatten().count();
+        out.push_str(&format!("admits {} {}\n", self.by_admit.len(), live));
+        for (i, t) in self.by_admit.iter().enumerate() {
+            if let Some(t) = t {
+                out.push_str(&format!("admit {} {}\n", i, t.0));
+            }
+        }
+        out.push_str(&format!("tenants {}\n", p.tenants.len()));
+        for (id, rec) in &p.tenants {
+            out.push_str(&format!(
+                "tenant {} {} {} {}\n",
+                id.0,
+                level_code(rec.level),
+                rec.hosts.len(),
+                rec.contribs.len()
+            ));
+            push_request(&mut out, &rec.req);
+            for &(h, k) in &rec.hosts {
+                out.push_str(&format!("host {} {}\n", h.0, k));
+            }
+            for &(port, c) in &rec.contribs {
+                out.push_str(&format!(
+                    "contrib {} {} {} {} {} {}\n",
+                    port.0,
+                    f64_hex(c.rate),
+                    f64_hex(c.burst),
+                    f64_hex(c.burst_rate),
+                    f64_hex(c.mtu_bytes),
+                    u8::from(c.rate_unbounded)
+                ));
+            }
+        }
+        out.push_str(&format!("degraded {}\n", p.degraded.len()));
+        for (id, rec) in &p.degraded {
+            out.push_str(&format!(
+                "victim {} {} {} {}\n",
+                id.0,
+                level_code(rec.level),
+                reason_code(rec.reason),
+                rec.hosts.len()
+            ));
+            push_request(&mut out, &rec.req);
+            for &(h, k) in &rec.hosts {
+                out.push_str(&format!("host {} {}\n", h.0, k));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Rebuild a service from [`AdmissionService::snapshot`] output.
+    pub fn restore(s: &str) -> Result<AdmissionService, String> {
+        let mut cur = Cursor::new(s);
+        cur.keyword("silo-admission-snapshot-v1")?;
+        cur.keyword("topo")?;
+        let params = TreeParams {
+            pods: cur.num::<usize>()?,
+            racks_per_pod: cur.num::<usize>()?,
+            servers_per_rack: cur.num::<usize>()?,
+            vm_slots_per_server: cur.num::<usize>()?,
+            host_link: Rate(cur.num::<u64>()?),
+            tor_oversub: cur.f64_bits()?,
+            agg_oversub: cur.f64_bits()?,
+            switch_buffer: Bytes(cur.num::<u64>()?),
+            nic_buffer: Bytes(cur.num::<u64>()?),
+            prop_delay: Dur::from_ps(cur.num::<u64>()?),
+        };
+        cur.keyword("mtu")?;
+        let mtu = Bytes(cur.num::<u64>()?);
+        cur.keyword("next-id")?;
+        let next_id = cur.num::<u64>()?;
+        cur.keyword("failed")?;
+        let nfailed = cur.num::<usize>()?;
+        let mut failed = Vec::with_capacity(nfailed);
+        for _ in 0..nfailed {
+            failed.push(LinkId(cur.num::<u32>()?));
+        }
+        cur.keyword("stats")?;
+        let stats = ServiceStats {
+            admitted: cur.num::<u64>()?,
+            rejected: cur.num::<u64>()?,
+            evicted: cur.num::<u64>()?,
+            evict_noops: cur.num::<u64>()?,
+            faults: cur.num::<u64>()?,
+            heals: cur.num::<u64>()?,
+        };
+        cur.keyword("admits")?;
+        let nadmits = cur.num::<usize>()?;
+        let nlive = cur.num::<usize>()?;
+        let mut by_admit: Vec<Option<TenantId>> = vec![None; nadmits];
+        for _ in 0..nlive {
+            cur.keyword("admit")?;
+            let i = cur.num::<usize>()?;
+            let t = TenantId(cur.num::<u64>()?);
+            *by_admit
+                .get_mut(i)
+                .ok_or_else(|| format!("admit index {i} out of range"))? = Some(t);
+        }
+        cur.keyword("tenants")?;
+        let ntenants = cur.num::<usize>()?;
+        let mut tenants = BTreeMap::new();
+        for _ in 0..ntenants {
+            cur.keyword("tenant")?;
+            let id = TenantId(cur.num::<u64>()?);
+            let level = level_from(cur.num::<u64>()?)?;
+            let nhosts = cur.num::<usize>()?;
+            let ncontribs = cur.num::<usize>()?;
+            let req = parse_request(&mut cur)?;
+            let mut hosts = Vec::with_capacity(nhosts);
+            for _ in 0..nhosts {
+                cur.keyword("host")?;
+                hosts.push((HostId(cur.num::<u32>()?), cur.num::<usize>()?));
+            }
+            let mut contribs = Vec::with_capacity(ncontribs);
+            for _ in 0..ncontribs {
+                cur.keyword("contrib")?;
+                let port = silo_topology::PortId(cur.num::<u32>()?);
+                contribs.push((
+                    port,
+                    crate::load::Contribution {
+                        rate: cur.f64_bits()?,
+                        burst: cur.f64_bits()?,
+                        burst_rate: cur.f64_bits()?,
+                        mtu_bytes: cur.f64_bits()?,
+                        rate_unbounded: cur.num::<u64>()? != 0,
+                    },
+                ));
+            }
+            tenants.insert(
+                id,
+                TenantRecord {
+                    hosts,
+                    contribs,
+                    req,
+                    level,
+                },
+            );
+        }
+        cur.keyword("degraded")?;
+        let ndegraded = cur.num::<usize>()?;
+        let mut degraded = BTreeMap::new();
+        for _ in 0..ndegraded {
+            cur.keyword("victim")?;
+            let id = TenantId(cur.num::<u64>()?);
+            let level = level_from(cur.num::<u64>()?)?;
+            let reason = reason_from(cur.num::<u64>()?)?;
+            let nhosts = cur.num::<usize>()?;
+            let req = parse_request(&mut cur)?;
+            let mut hosts = Vec::with_capacity(nhosts);
+            for _ in 0..nhosts {
+                cur.keyword("host")?;
+                hosts.push((HostId(cur.num::<u32>()?), cur.num::<usize>()?));
+            }
+            degraded.insert(
+                id,
+                DegradedRecord {
+                    hosts,
+                    req,
+                    level,
+                    reason,
+                },
+            );
+        }
+        cur.keyword("end")?;
+        let topo = Topology::build(params);
+        let placer = SiloPlacer::from_parts(topo, mtu, next_id, failed, tenants, degraded);
+        Ok(AdmissionService {
+            placer,
+            by_admit,
+            stats,
+        })
+    }
+}
+
+fn push_request(out: &mut String, req: &TenantRequest) {
+    let g = &req.guarantee;
+    let delay = match g.delay {
+        Some(d) => d.as_ps().to_string(),
+        None => "-".to_string(),
+    };
+    out.push_str(&format!(
+        "req {} {} {} {} {} {}\n",
+        req.vms, req.min_fault_domains, g.b.0, g.s.0, g.bmax.0, delay
+    ));
+}
+
+fn parse_request(cur: &mut Cursor<'_>) -> Result<TenantRequest, String> {
+    cur.keyword("req")?;
+    let vms = cur.num::<usize>()?;
+    let min_fault_domains = cur.num::<usize>()?;
+    let b = Rate(cur.num::<u64>()?);
+    let s = Bytes(cur.num::<u64>()?);
+    let bmax = Rate(cur.num::<u64>()?);
+    let delay = match cur.token()? {
+        "-" => None,
+        t => Some(Dur::from_ps(
+            t.parse::<u64>()
+                .map_err(|e| format!("bad delay {t:?}: {e}"))?,
+        )),
+    };
+    Ok(TenantRequest {
+        vms,
+        guarantee: Guarantee { b, s, bmax, delay },
+        min_fault_domains,
+    })
+}
+
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn level_code(l: Level) -> u8 {
+    match l {
+        Level::SameHost => 0,
+        Level::SameRack => 1,
+        Level::SamePod => 2,
+        Level::CrossPod => 3,
+    }
+}
+
+fn level_from(c: u64) -> Result<Level, String> {
+    Ok(match c {
+        0 => Level::SameHost,
+        1 => Level::SameRack,
+        2 => Level::SamePod,
+        3 => Level::CrossPod,
+        _ => return Err(format!("bad level code {c}")),
+    })
+}
+
+fn reason_code(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::InsufficientSlots => 0,
+        RejectReason::DelayUnsatisfiable => 1,
+        RejectReason::NetworkUnsatisfiable => 2,
+    }
+}
+
+fn reason_from(c: u64) -> Result<RejectReason, String> {
+    Ok(match c {
+        0 => RejectReason::InsufficientSlots,
+        1 => RejectReason::DelayUnsatisfiable,
+        2 => RejectReason::NetworkUnsatisfiable,
+        _ => return Err(format!("bad reject-reason code {c}")),
+    })
+}
+
+/// Whitespace-token cursor over a snapshot string.
+struct Cursor<'a> {
+    tokens: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            tokens: s.split_whitespace(),
+        }
+    }
+
+    fn token(&mut self) -> Result<&'a str, String> {
+        self.tokens
+            .next()
+            .ok_or_else(|| "unexpected end of snapshot".to_string())
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        let t = self.token()?;
+        if t == kw {
+            Ok(())
+        } else {
+            Err(format!("expected {kw:?}, found {t:?}"))
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&mut self) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let t = self.token()?;
+        t.parse::<T>().map_err(|e| format!("bad number {t:?}: {e}"))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, String> {
+        let t = self.token()?;
+        u64::from_str_radix(t, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("bad f64 bits {t:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::{Bytes, Dur, Rate};
+
+    fn topo() -> Topology {
+        Topology::build(TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            servers_per_rack: 3,
+            vm_slots_per_server: 4,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 1.0,
+            agg_oversub: 1.0,
+            switch_buffer: Bytes::from_kb(360),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        })
+    }
+
+    fn req(vms: usize) -> TenantRequest {
+        TenantRequest::new(vms, Guarantee::class_a())
+    }
+
+    #[test]
+    fn admit_evict_round_trip() {
+        let mut svc = AdmissionService::new(topo());
+        let d0 = svc.apply(&ChurnEvent::Admit(req(2)));
+        assert!(matches!(d0, Decision::Admitted { .. }));
+        let d1 = svc.apply(&ChurnEvent::Evict(0));
+        assert!(matches!(d1, Decision::Evicted { .. }));
+        assert_eq!(svc.apply(&ChurnEvent::Evict(0)), Decision::EvictNoop);
+        assert_eq!(svc.apply(&ChurnEvent::Evict(7)), Decision::EvictNoop);
+        assert_eq!(svc.stats().admitted, 1);
+        assert_eq!(svc.stats().evicted, 1);
+        assert_eq!(svc.stats().evict_noops, 2);
+        assert_eq!(svc.live_tenants(), 0);
+        svc.placer().verify_scratch_consistency().unwrap();
+    }
+
+    #[test]
+    fn snapshot_restores_byte_exactly() {
+        let mut svc = AdmissionService::new(topo());
+        for i in 0..10 {
+            svc.apply(&ChurnEvent::Admit(
+                req(1 + i % 4).with_fault_domains(1 + i % 2),
+            ));
+        }
+        svc.apply(&ChurnEvent::Evict(3));
+        let link = svc.placer().topology().host_link(HostId(0));
+        svc.apply(&ChurnEvent::FailLink(link));
+        let snap = svc.snapshot();
+        let restored = AdmissionService::restore(&snap).expect("snapshot parses");
+        assert_eq!(restored.snapshot(), snap, "round-trip must be byte-exact");
+        restored.placer().verify_scratch_consistency().unwrap();
+        // Derived state bit-identical: bounds and loads agree everywhere.
+        assert_eq!(
+            restored.placer().backlog_bounds(),
+            svc.placer().backlog_bounds()
+        );
+        assert_eq!(
+            restored.placer().failed_links(),
+            svc.placer().failed_links()
+        );
+        assert_eq!(restored.stats(), svc.stats());
+    }
+
+    #[test]
+    fn restored_service_continues_identically() {
+        let mut a = AdmissionService::new(topo());
+        for i in 0..8 {
+            a.apply(&ChurnEvent::Admit(req(1 + i % 3)));
+        }
+        a.apply(&ChurnEvent::Evict(2));
+        let mut b = AdmissionService::restore(&a.snapshot()).unwrap();
+        let link = a.placer().topology().host_link(HostId(1));
+        let tail = [
+            ChurnEvent::FailLink(link),
+            ChurnEvent::Admit(req(2).with_fault_domains(2)),
+            ChurnEvent::RestoreLink(link),
+            ChurnEvent::Evict(0),
+            ChurnEvent::Admit(req(4)),
+        ];
+        for ev in &tail {
+            assert_eq!(a.apply(ev), b.apply(ev), "divergence on {ev:?}");
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(AdmissionService::restore("").is_err());
+        assert!(AdmissionService::restore("silo-admission-snapshot-v2\n").is_err());
+        let mut svc = AdmissionService::new(topo());
+        svc.apply(&ChurnEvent::Admit(req(2)));
+        let snap = svc.snapshot();
+        let truncated = &snap[..snap.len() - 10];
+        assert!(AdmissionService::restore(truncated).is_err());
+    }
+}

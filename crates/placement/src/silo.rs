@@ -1,10 +1,12 @@
 //! Silo's admission control and VM placement manager (paper §4.2.3).
 
 use crate::guarantee::TenantRequest;
-use crate::load::{Contribution, PortLoad};
+use crate::load::{Contribution, PortLoad, NIC_HEADROOM};
 use crate::placer::{greedy_place_spread, Placement, Placer, RejectReason, SlotMap, TenantId};
 use silo_base::{Bytes, Dur};
+use silo_netcalc::BoundCache;
 use silo_topology::{HostId, Level, LinkId, PortId, Topology};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Classification of a directed port by tier and direction, used to find
@@ -107,7 +109,24 @@ pub(crate) struct TenantRecord {
 pub struct SiloPlacer {
     pub(crate) topo: Topology,
     pub(crate) slots: SlotMap,
+    /// Aggregate load per port. Invariant: `loads[p]` is always the
+    /// *left fold*, in index order, of `port_index[p]` — every mutation
+    /// either appends (and folds one more contribution in) or rebuilds
+    /// the fold from scratch, so the accumulated value is bit-identical
+    /// to a from-scratch recomputation at all times (the admit→evict
+    /// exactness the service differential suite asserts).
     pub(crate) loads: Vec<PortLoad>,
+    /// Per-port contribution index: `(tenant, contribution)` entries kept
+    /// sorted by tenant id. Ids are monotone (`next_id`), so ordinary
+    /// admissions append in O(1); only removals and out-of-order inserts
+    /// (fault readmits reusing an old id) rebuild the fold.
+    pub(crate) port_index: Vec<Vec<(TenantId, Contribution)>>,
+    /// Monotone per-port change counters keying `bound_cache`.
+    load_version: Vec<u64>,
+    /// Version-keyed memo of rounded backlog bounds: `backlog_bound`
+    /// recomputes a port's netcalc curve only when the port's load has
+    /// changed since the last query.
+    bound_cache: RefCell<BoundCache>,
     /// Admitted tenants with live guarantees. `BTreeMap` so every sweep
     /// over tenants (failure handling in particular) is in deterministic
     /// id order.
@@ -115,30 +134,193 @@ pub struct SiloPlacer {
     /// Tenants downgraded to best-effort by a failure: they keep their VM
     /// slots but hold no network reservations (see `degrade`).
     pub(crate) degraded: BTreeMap<TenantId, crate::degrade::DegradedRecord>,
-    /// Links currently failed (`degrade::fail_link`); admission refuses
-    /// candidates whose VM pairs would cross any of them.
+    /// Links currently failed (`degrade::fail_link`), sorted; admission
+    /// refuses candidates whose VM pairs would cross any of them.
     pub(crate) failed: Vec<LinkId>,
-    next_id: u64,
+    /// Slot view with dead hosts' free slots masked out, maintained in
+    /// lockstep with `slots` while any access link is failed (`None`
+    /// otherwise). Rebuilt only by `fail_link`/`restore_link`.
+    masked: Option<SlotMap>,
+    /// Times `masked` was rebuilt from scratch (regression counter: must
+    /// track fault events, never admissions).
+    mask_rebuilds: u64,
+    pub(crate) next_id: u64,
     pub(crate) mtu: Bytes,
     caps: TierCaps,
+}
+
+/// The left fold of a port's contribution list from the zero load — the
+/// canonical "from scratch" aggregate `loads[p]` must always bit-equal.
+fn fold_load(list: &[(TenantId, Contribution)]) -> PortLoad {
+    let mut l = PortLoad::default();
+    for (_, c) in list {
+        l.add(c);
+    }
+    l
 }
 
 impl SiloPlacer {
     pub fn new(topo: Topology) -> SiloPlacer {
         let slots = SlotMap::new(&topo);
-        let loads = vec![PortLoad::default(); topo.num_ports()];
+        let ports = topo.num_ports();
         let caps = TierCaps::compute(&topo);
         SiloPlacer {
             topo,
             slots,
-            loads,
+            loads: vec![PortLoad::default(); ports],
+            port_index: vec![Vec::new(); ports],
+            load_version: vec![0; ports],
+            bound_cache: RefCell::new(BoundCache::new(ports)),
             tenants: BTreeMap::new(),
             degraded: BTreeMap::new(),
             failed: Vec::new(),
+            masked: None,
+            mask_rebuilds: 0,
             next_id: 0,
             mtu: Bytes(1500),
             caps,
         }
+    }
+
+    /// Rebuild a placer from its primary state (the snapshot contents):
+    /// slots, loads, the contribution index, and the dead-host mask are
+    /// all derived. Because loads are rebuilt by the same id-order fold
+    /// the incremental paths maintain, the restored placer's float state
+    /// is bit-identical to the original's.
+    pub(crate) fn from_parts(
+        topo: Topology,
+        mtu: Bytes,
+        next_id: u64,
+        mut failed: Vec<LinkId>,
+        tenants: BTreeMap<TenantId, TenantRecord>,
+        degraded: BTreeMap<TenantId, crate::degrade::DegradedRecord>,
+    ) -> SiloPlacer {
+        failed.sort_unstable();
+        let mut p = SiloPlacer::new(topo);
+        p.mtu = mtu;
+        p.next_id = next_id;
+        p.failed = failed;
+        for (&id, rec) in &tenants {
+            p.add_contribs(id, &rec.contribs);
+            p.slots.alloc(&p.topo, &rec.hosts);
+        }
+        for rec in degraded.values() {
+            p.slots.alloc(&p.topo, &rec.hosts);
+        }
+        p.tenants = tenants;
+        p.degraded = degraded;
+        p.rebuild_mask();
+        p.mask_rebuilds = 0;
+        p
+    }
+
+    /// A host whose access link is failed contributes no usable slots.
+    fn host_is_dead(&self, h: HostId) -> bool {
+        !self.failed.is_empty() && self.failed.binary_search(&self.topo.host_link(h)).is_ok()
+    }
+
+    /// Index a tenant's contributions and fold them into the per-port
+    /// aggregates. Appends (the common case: fresh ids are monotone) fold
+    /// one `add` onto the existing value; an out-of-order insert (a fault
+    /// readmit reusing an old id) splices at the sorted position and
+    /// rebuilds the fold so the id-order invariant holds bit-exactly.
+    pub(crate) fn add_contribs(&mut self, id: TenantId, contribs: &[(PortId, Contribution)]) {
+        for &(p, c) in contribs {
+            let i = p.0 as usize;
+            let list = &mut self.port_index[i];
+            match list.last() {
+                Some(&(last, _)) if last > id => {
+                    let pos = list.partition_point(|&(t, _)| t < id);
+                    list.insert(pos, (id, c));
+                    self.loads[i] = fold_load(list);
+                }
+                _ => {
+                    list.push((id, c));
+                    self.loads[i].add(&c);
+                }
+            }
+            self.load_version[i] += 1;
+        }
+    }
+
+    /// Remove a tenant's contributions and rebuild each touched port's
+    /// fold from the surviving entries — the aggregate is then exactly
+    /// what a placer that never saw this tenant would hold (no float
+    /// residue, unlike subtract-and-clamp).
+    pub(crate) fn sub_contribs(&mut self, id: TenantId, contribs: &[(PortId, Contribution)]) {
+        for &(p, _) in contribs {
+            let i = p.0 as usize;
+            let list = &mut self.port_index[i];
+            let pos = list
+                .iter()
+                .position(|&(t, _)| t == id)
+                .expect("contribution is indexed");
+            list.remove(pos);
+            self.loads[i] = fold_load(list);
+            self.load_version[i] += 1;
+        }
+    }
+
+    /// Allocate slots, keeping the dead-host mask in lockstep (dead
+    /// hosts' slots exist only in `slots`: the mask already shows zero
+    /// free there).
+    pub(crate) fn alloc_slots(&mut self, placement: &[(HostId, usize)]) {
+        self.slots.alloc(&self.topo, placement);
+        if self.masked.is_some() {
+            let live: Vec<(HostId, usize)> = placement
+                .iter()
+                .copied()
+                .filter(|&(h, _)| !self.host_is_dead(h))
+                .collect();
+            if let (Some(masked), false) = (self.masked.as_mut(), live.is_empty()) {
+                masked.alloc(&self.topo, &live);
+            }
+        }
+    }
+
+    /// Release slots, keeping the dead-host mask in lockstep (a release
+    /// on a dead host frees real slots, but the mask keeps them hidden
+    /// until the link heals).
+    pub(crate) fn release_slots(&mut self, placement: &[(HostId, usize)]) {
+        self.slots.release(&self.topo, placement);
+        if self.masked.is_some() {
+            let live: Vec<(HostId, usize)> = placement
+                .iter()
+                .copied()
+                .filter(|&(h, _)| !self.host_is_dead(h))
+                .collect();
+            if let (Some(masked), false) = (self.masked.as_mut(), live.is_empty()) {
+                masked.release(&self.topo, &live);
+            }
+        }
+    }
+
+    /// Recompute the dead-host mask from the current failed set. Called
+    /// only by `fail_link`/`restore_link` — every other mutation keeps
+    /// the mask incrementally in lockstep, so admissions under faults
+    /// never clone the `SlotMap` (the regression
+    /// `faulted_admissions_reuse_one_mask` counts rebuilds).
+    pub(crate) fn rebuild_mask(&mut self) {
+        self.masked = None;
+        if self.failed.is_empty() {
+            return;
+        }
+        let dead: Vec<HostId> = (0..self.topo.num_hosts())
+            .map(|h| HostId(h as u32))
+            .filter(|&h| self.host_is_dead(h))
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let mut masked = self.slots.clone();
+        for h in dead {
+            let free = masked.free_host(h);
+            if free > 0 {
+                masked.alloc(&self.topo, &[(h, free)]);
+            }
+        }
+        self.masked = Some(masked);
+        self.mask_rebuilds += 1;
     }
 
     fn port_kind(&self, p: PortId) -> PortKind {
@@ -181,23 +363,11 @@ impl SiloPlacer {
     /// first-fit routes *around* dead servers instead of proposing
     /// candidates the connectivity check must reject (first-fit never
     /// backtracks past a full subtree). Real allocation still goes
-    /// through `self.slots`.
-    pub(crate) fn search_slots(&self) -> std::borrow::Cow<'_, SlotMap> {
-        let dead: Vec<HostId> = (0..self.topo.num_hosts())
-            .map(|h| HostId(h as u32))
-            .filter(|&h| self.failed.contains(&self.topo.host_link(h)))
-            .collect();
-        if dead.is_empty() {
-            return std::borrow::Cow::Borrowed(&self.slots);
-        }
-        let mut masked = self.slots.clone();
-        for h in dead {
-            let free = masked.free_host(h);
-            if free > 0 {
-                masked.alloc(&self.topo, &[(h, free)]);
-            }
-        }
-        std::borrow::Cow::Owned(masked)
+    /// through `self.slots`. The masked view is maintained incrementally
+    /// — this is a borrow, never a clone, no matter how many admissions
+    /// run during an outage.
+    pub(crate) fn search_slots(&self) -> &SlotMap {
+        self.masked.as_ref().unwrap_or(&self.slots)
     }
 
     /// Every VM pair of the candidate can reach each other without
@@ -245,10 +415,9 @@ impl SiloPlacer {
             if info.is_nic {
                 // The NIC queue lives in host memory under the pacer: no
                 // loss is possible, only the sustained rate must fit —
-                // with a small headroom so paced streams at full
-                // reservation stay drainable (a wire reserved to exactly
-                // 100% random-walks its backlog upward).
-                if load.rate > info.rate.bytes_per_sec() * 0.97 {
+                // with the headroom every sustained check shares (see
+                // `NIC_HEADROOM`).
+                if load.rate > info.rate.bytes_per_sec() * NIC_HEADROOM {
                     return None;
                 }
             } else if !load.fits(info.rate, self.topo.ingress_capacity(p), info.buffer) {
@@ -263,9 +432,22 @@ impl SiloPlacer {
     /// backlog bound the admitted tenants' curves imply. Any conformant
     /// packet-level execution must stay under this (verified end-to-end
     /// by `silo-bench`'s `verify_queue_bounds`).
+    ///
+    /// Memoized per port, keyed by the port's load version: repeated
+    /// probes (`backlog_bounds()` between admissions) recompute only the
+    /// ports an admit/evict actually touched. The memoized value is the
+    /// rounded bound, so a hit is bit-identical to a fresh computation.
     pub fn backlog_bound(&self, p: PortId) -> Option<Bytes> {
+        let i = p.0 as usize;
         let info = self.topo.port(p);
-        self.loads[p.0 as usize].backlog(info.rate, self.topo.ingress_capacity(p))
+        self.bound_cache
+            .borrow_mut()
+            .get_or_insert_with(i, self.load_version[i], || {
+                self.loads[i]
+                    .backlog(info.rate, self.topo.ingress_capacity(p))
+                    .map(Bytes::as_u64)
+            })
+            .map(Bytes)
     }
 
     /// [`SiloPlacer::backlog_bound`] for every switch port at once, in
@@ -286,10 +468,12 @@ impl SiloPlacer {
     }
 
     /// Worst-case queueing delay currently reserved at a port (for
-    /// reporting and tests).
+    /// reporting and tests). Derived from the memoized backlog bound —
+    /// identical to `PortLoad::queue_bound`, which divides the same
+    /// rounded backlog by the line rate.
     pub fn queue_bound(&self, p: PortId) -> Option<Dur> {
         let info = self.topo.port(p);
-        self.loads[p.0 as usize].queue_bound(info.rate, self.topo.ingress_capacity(p))
+        self.backlog_bound(p).map(|b| info.rate.tx_time(b))
     }
 
     /// Fraction of a port's line rate reserved by sustained guarantees.
@@ -303,6 +487,116 @@ impl SiloPlacer {
 
     pub fn placement_of(&self, t: TenantId) -> Option<&[(HostId, usize)]> {
         self.tenants.get(&t).map(|r| r.hosts.as_slice())
+    }
+
+    /// The aggregate load currently reserved at a port (diagnostics and
+    /// the differential suites).
+    pub fn port_load(&self, p: PortId) -> PortLoad {
+        self.loads[p.0 as usize]
+    }
+
+    /// Free-slot bookkeeping (per host/rack/pod) for diagnostics.
+    pub fn slot_map(&self) -> &SlotMap {
+        &self.slots
+    }
+
+    /// Times the dead-host mask was rebuilt from scratch. Tracks
+    /// `fail_link`/`restore_link` sweeps only — admissions during an
+    /// outage must never bump this (the satellite-1 regression).
+    pub fn mask_rebuilds(&self) -> u64 {
+        self.mask_rebuilds
+    }
+
+    /// `(hits, misses)` of the backlog-bound memo.
+    pub fn bound_cache_stats(&self) -> (u64, u64) {
+        let c = self.bound_cache.borrow();
+        (c.hits(), c.misses())
+    }
+
+    /// Recompute every piece of incremental state from first principles
+    /// and compare bit-for-bit: port loads against an id-order fold over
+    /// the live tenants, slots against a fresh allocation replay, the
+    /// dead-host mask against a fresh derivation, and the memoized
+    /// backlog bounds against direct netcalc recomputation. `Err`
+    /// describes the first divergence. This is the incremental-vs-scratch
+    /// assertion the admission-service differential gate runs at every
+    /// probe point.
+    pub fn verify_scratch_consistency(&self) -> Result<(), String> {
+        let ports = self.topo.num_ports();
+        // 1. Contribution index + loads vs an id-order fold from scratch.
+        let mut scratch: Vec<Vec<(TenantId, Contribution)>> = vec![Vec::new(); ports];
+        for (&id, rec) in &self.tenants {
+            for &(p, c) in &rec.contribs {
+                scratch[p.0 as usize].push((id, c));
+            }
+        }
+        for (i, scratch_i) in scratch.iter().enumerate() {
+            if *scratch_i != self.port_index[i] {
+                return Err(format!(
+                    "port {i}: contribution index diverged from live tenants \
+                     ({} indexed vs {} expected)",
+                    self.port_index[i].len(),
+                    scratch_i.len()
+                ));
+            }
+            let fold = fold_load(scratch_i);
+            let got = self.loads[i];
+            let bits = |l: &PortLoad| {
+                (
+                    l.rate.to_bits(),
+                    l.burst.to_bits(),
+                    l.burst_rate.to_bits(),
+                    l.mtu_bytes.to_bits(),
+                    l.unbounded,
+                )
+            };
+            if bits(&fold) != bits(&got) {
+                return Err(format!(
+                    "port {i}: incremental load {got:?} != scratch fold {fold:?}"
+                ));
+            }
+        }
+        // 2. Slots vs a fresh allocation replay (live + degraded).
+        let mut slots = SlotMap::new(&self.topo);
+        for rec in self.tenants.values() {
+            slots.alloc(&self.topo, &rec.hosts);
+        }
+        for rec in self.degraded.values() {
+            slots.alloc(&self.topo, &rec.hosts);
+        }
+        if slots != self.slots {
+            return Err("slot map diverged from tenant placements".into());
+        }
+        // 3. Dead-host mask vs a fresh derivation.
+        let dead: Vec<HostId> = (0..self.topo.num_hosts())
+            .map(|h| HostId(h as u32))
+            .filter(|&h| self.host_is_dead(h))
+            .collect();
+        let fresh_mask = if dead.is_empty() {
+            None
+        } else {
+            let mut m = self.slots.clone();
+            for h in dead {
+                let free = m.free_host(h);
+                if free > 0 {
+                    m.alloc(&self.topo, &[(h, free)]);
+                }
+            }
+            Some(m)
+        };
+        if fresh_mask != self.masked {
+            return Err("dead-host mask diverged from fresh derivation".into());
+        }
+        // 4. Memoized bounds vs direct recomputation.
+        for i in 0..ports {
+            let p = PortId(i as u32);
+            let info = self.topo.port(p);
+            let direct = self.loads[i].backlog(info.rate, self.topo.ingress_capacity(p));
+            if self.backlog_bound(p) != direct {
+                return Err(format!("port {i}: cached bound != direct recomputation"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -320,16 +614,14 @@ impl Placer for SiloPlacer {
             }
             None => return Err(RejectReason::DelayUnsatisfiable),
         };
-        let search = self.search_slots();
         let found = greedy_place_spread(
             &self.topo,
-            &search,
+            self.search_slots(),
             n,
             max_level,
             req.min_fault_domains,
             &mut |cand, lvl| self.check_candidate(cand, lvl, req).is_some(),
         );
-        drop(search);
         let Some((cand, level)) = found else {
             return Err(if self.slots.total_free() < n {
                 RejectReason::InsufficientSlots
@@ -340,11 +632,9 @@ impl Placer for SiloPlacer {
         let contribs = self
             .check_candidate(&cand, level, req)
             .expect("accepted candidate must re-check");
-        for (p, c) in &contribs {
-            self.loads[p.0 as usize].add(c);
-        }
-        self.slots.alloc(&self.topo, &cand);
         let id = TenantId(self.next_id);
+        self.add_contribs(id, &contribs);
+        self.alloc_slots(&cand);
         self.next_id += 1;
         self.tenants.insert(
             id,
@@ -364,15 +654,13 @@ impl Placer for SiloPlacer {
 
     fn remove(&mut self, tenant: TenantId) -> bool {
         if let Some(rec) = self.tenants.remove(&tenant) {
-            for (p, c) in &rec.contribs {
-                self.loads[p.0 as usize].sub(c);
-            }
-            self.slots.release(&self.topo, &rec.hosts);
+            self.sub_contribs(tenant, &rec.contribs);
+            self.release_slots(&rec.hosts);
             return true;
         }
         // Degraded tenants hold slots but no reservations.
         if let Some(rec) = self.degraded.remove(&tenant) {
-            self.slots.release(&self.topo, &rec.hosts);
+            self.release_slots(&rec.hosts);
             return true;
         }
         false
@@ -386,6 +674,7 @@ impl Placer for SiloPlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::degrade::DegradeOutcome;
     use crate::guarantee::Guarantee;
     use silo_base::Rate;
     use silo_topology::TreeParams;
@@ -552,6 +841,148 @@ mod tests {
         // slots, not the network, should be the binding constraint here.
         assert_eq!(accepted, 8);
         assert_eq!(p.used_slots(), 32);
+    }
+
+    fn two_rack_topo() -> Topology {
+        Topology::build(TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            servers_per_rack: 3,
+            vm_slots_per_server: 4,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 1.0,
+            agg_oversub: 1.0,
+            switch_buffer: Bytes::from_kb(360),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        })
+    }
+
+    /// Satellite regression: under an active failure, admissions must
+    /// share ONE incrementally-maintained masked slot map, not clone and
+    /// re-mask per admission. `mask_rebuilds` counts the (only) rebuild
+    /// sites — fail/restore — and pointer identity proves no admission
+    /// swapped the map out.
+    #[test]
+    fn faulted_admissions_reuse_one_mask() {
+        let mut p = SiloPlacer::new(two_rack_topo());
+        assert_eq!(p.mask_rebuilds(), 0);
+        // Healthy placer: search map IS the slot map.
+        assert!(std::ptr::eq(p.search_slots(), p.slot_map()));
+
+        let dead = p.topo.host_link(HostId(0));
+        p.fail_link(dead);
+        assert_eq!(p.mask_rebuilds(), 1, "one failure, one rebuild");
+        let masked0: *const SlotMap = p.search_slots();
+        assert!(!std::ptr::eq(p.search_slots(), p.slot_map()));
+
+        // A 1k admit/remove churn while the link is down: the mask must
+        // be updated in place, never rebuilt or replaced.
+        let req = TenantRequest::new(1, Guarantee::class_a());
+        for _ in 0..500 {
+            let placed = p.try_place(&req).expect("plenty of live capacity");
+            assert!(std::ptr::eq(p.search_slots(), masked0));
+            assert!(p.remove(placed.tenant));
+            assert!(std::ptr::eq(p.search_slots(), masked0));
+        }
+        assert_eq!(p.mask_rebuilds(), 1, "churn must not rebuild the mask");
+        // The mask never exposes the dead host.
+        assert_eq!(p.search_slots().free_host(HostId(0)), 0);
+        p.verify_scratch_consistency().unwrap();
+
+        // Healing drops the mask entirely.
+        p.restore_link(dead);
+        assert!(std::ptr::eq(p.search_slots(), p.slot_map()));
+        p.verify_scratch_consistency().unwrap();
+    }
+
+    /// Satellite regression: the NIC headroom check must use the single
+    /// named constant at every site, so a tenant admitted at exactly the
+    /// boundary survives a fail→restore re-validation cycle instead of
+    /// being bounced by a mismatched literal.
+    #[test]
+    fn nic_headroom_boundary_survives_fault_cycle() {
+        let topo = two_rack_topo();
+        let line = topo.params().host_link;
+        let thresh = line.bytes_per_sec() * NIC_HEADROOM;
+        // Largest representable rate whose NIC hose (min(1,1)·B for a
+        // 2-VM spread tenant) sits at or below the headroom boundary.
+        let mut bits = (thresh * 8.0) as u64;
+        while Rate(bits).bytes_per_sec() > thresh {
+            bits -= 1;
+        }
+        let boundary = Guarantee {
+            b: Rate(bits),
+            s: Bytes(1500),
+            bmax: Rate(bits),
+            delay: None,
+        };
+        let req = TenantRequest::new(2, boundary).with_fault_domains(2);
+
+        // Sanity: one notch above the boundary is refused outright.
+        {
+            let mut over = boundary;
+            over.b = Rate(bits + 8); // +1 byte/s
+            over.bmax = over.b;
+            let mut p = SiloPlacer::new(two_rack_topo());
+            assert_eq!(
+                p.try_place(&TenantRequest::new(2, over).with_fault_domains(2)),
+                Err(RejectReason::NetworkUnsatisfiable)
+            );
+        }
+
+        let mut p = SiloPlacer::new(topo);
+        let placed = p.try_place(&req).expect("boundary tenant admits");
+        let tenant = placed.tenant;
+
+        // Fail the link under one of its VMs: the sweep reclaims the
+        // tenant and re-admits it at the same boundary rate on surviving
+        // hosts — which must pass the identical headroom check.
+        let victim_host = placed.hosts[0].0;
+        let report = p.fail_link(p.topo.host_link(victim_host));
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(
+            matches!(&report.outcomes[0], (t, DegradeOutcome::Replaced { .. }) if *t == tenant),
+            "boundary tenant must re-admit, got {:?}",
+            report.outcomes
+        );
+
+        // Healing re-validates; the tenant must still be guaranteed.
+        p.restore_link(p.topo.host_link(victim_host));
+        assert!(p.degraded_tenants().is_empty());
+        assert!(p.placement_of(tenant).is_some());
+        p.verify_scratch_consistency().unwrap();
+    }
+
+    #[test]
+    fn backlog_bounds_are_memoized_per_version() {
+        let mut p = SiloPlacer::new(two_rack_topo());
+        // 5 VMs > 4 slots/server forces multi-host spans, so admissions
+        // actually load switch ports.
+        for _ in 0..4 {
+            p.try_place(&TenantRequest::new(5, Guarantee::class_a()))
+                .unwrap();
+        }
+        let first = p.backlog_bounds();
+        let (h0, m0) = p.bound_cache_stats();
+        let second = p.backlog_bounds();
+        let (h1, m1) = p.bound_cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(m1, m0, "second sweep must not recompute anything");
+        // NIC ports never consult the cache; every switch port must hit.
+        let switch_ports = (0..p.topo.num_ports())
+            .filter(|&i| !p.topo.port(PortId(i as u32)).is_nic)
+            .count() as u64;
+        assert_eq!(h1, h0 + switch_ports, "second sweep all hits");
+        // A new admission bumps versions on the ports it touches; the
+        // next sweep recomputes exactly those.
+        p.try_place(&TenantRequest::new(2, Guarantee::class_a()).with_fault_domains(2))
+            .unwrap();
+        let third = p.backlog_bounds();
+        let (_, m2) = p.bound_cache_stats();
+        assert!(m2 > m1, "touched ports must miss once");
+        p.verify_scratch_consistency().unwrap();
+        assert_eq!(third, p.backlog_bounds());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The tentpole differential gate: the long-running [`AdmissionService`]
+//! must be *indistinguishable* from a from-scratch `SiloPlacer` replay.
+//!
+//! A pinned-seed churn stream (diurnal Poisson arrivals, exponential
+//! lifetimes, a flash crowd, correlated failure bursts) of >10k events is
+//! applied incrementally. At every probe point we:
+//!
+//! 1. audit the incremental placer's internal invariants
+//!    (`verify_scratch_consistency`: loads vs id-order fold, slots vs
+//!    replay, mask vs derivation, memo vs direct computation);
+//! 2. replay the event prefix through a *fresh* service and demand the
+//!    full decision vector, every port's `backlog_bounds()` and
+//!    `reserved_fraction()` (bitwise), and the complete snapshot be
+//!    identical.
+//!
+//! Any drift between the incremental and batch paths — a leaked float, a
+//! stale memo, a mask not updated in lockstep — fails here with the
+//! offending probe index.
+
+use silo_placement::{AdmissionService, ChurnEvent, Placer};
+use silo_topology::{PortId, Topology, TreeParams};
+use silo_workload::churn::{self, ChurnConfig, FailureBurst, FlashCrowd};
+
+fn probe_topo() -> Topology {
+    // 2 pods × 5 racks × 4 servers × 8 slots: big enough for real
+    // contention, small enough to replay from scratch at every probe.
+    Topology::build(TreeParams::ns2_scaled(0.1))
+}
+
+fn probe_stream(topo: &Topology) -> Vec<(f64, ChurnEvent)> {
+    let mut cfg = ChurnConfig::diurnal(0x510_c0de).for_lifetimes(6000);
+    cfg.mean_lifetime_s = 30.0; // most departures land inside the horizon
+    let cfg = cfg
+        .with_flash_crowd(FlashCrowd {
+            at_s: 40.0,
+            dur_s: 15.0,
+            multiplier: 3.0,
+        })
+        .with_failure_burst(FailureBurst {
+            at_s: 60.0,
+            dur_s: 25.0,
+            hosts: 2,
+        })
+        .with_failure_burst(FailureBurst {
+            at_s: 120.0,
+            dur_s: 20.0,
+            hosts: 3,
+        });
+    let evs = churn::generate(topo, &cfg);
+    assert!(
+        evs.len() >= 10_000,
+        "gate needs a 10k-event stream, got {}",
+        evs.len()
+    );
+    evs
+}
+
+fn assert_state_matches(inc: &AdmissionService, fresh: &AdmissionService, probe: usize) {
+    let (a, b) = (inc.placer(), fresh.placer());
+    assert_eq!(
+        a.backlog_bounds(),
+        b.backlog_bounds(),
+        "backlog bounds diverged at probe {probe}"
+    );
+    for p in 0..a.topology().num_ports() {
+        let port = PortId(p as u32);
+        assert_eq!(
+            a.reserved_fraction(port).to_bits(),
+            b.reserved_fraction(port).to_bits(),
+            "reserved_fraction diverged at probe {probe}, port {p}"
+        );
+    }
+    assert_eq!(
+        inc.snapshot(),
+        fresh.snapshot(),
+        "snapshot diverged at probe {probe}"
+    );
+}
+
+#[test]
+fn incremental_service_matches_scratch_replay_over_10k_events() {
+    let topo = probe_topo();
+    let events = probe_stream(&topo);
+
+    let mut svc = AdmissionService::new(topo.clone());
+    let mut decisions = Vec::with_capacity(events.len());
+    let probe_every = events.len() / 6;
+
+    for (i, (_, ev)) in events.iter().enumerate() {
+        decisions.push(svc.apply(ev));
+
+        let at_probe = (i + 1) % probe_every == 0 || i + 1 == events.len();
+        if !at_probe {
+            continue;
+        }
+        svc.placer()
+            .verify_scratch_consistency()
+            .unwrap_or_else(|e| panic!("invariant audit failed at event {i}: {e}"));
+
+        // From-scratch replay of the prefix: decisions and state must be
+        // identical, event for event, bit for bit.
+        let mut fresh = AdmissionService::new(topo.clone());
+        for (j, (_, ev)) in events[..=i].iter().enumerate() {
+            let d = fresh.apply(ev);
+            assert_eq!(
+                d, decisions[j],
+                "decision {j} diverged when replaying prefix 0..={i}"
+            );
+        }
+        assert_state_matches(&svc, &fresh, i);
+    }
+
+    // The stream must actually exercise every path.
+    let s = svc.stats();
+    assert!(s.admitted > 0 && s.rejected > 0, "{s:?}");
+    assert!(s.evicted > 0 && s.evict_noops > 0, "{s:?}");
+    assert!(s.faults > 0 && s.heals > 0, "{s:?}");
+}
+
+#[test]
+fn snapshot_restore_midstream_is_transparent() {
+    let topo = probe_topo();
+    let events = probe_stream(&topo);
+    let mid = events.len() / 2;
+
+    let mut original = AdmissionService::new(topo);
+    for (_, ev) in &events[..mid] {
+        original.apply(ev);
+    }
+
+    // Round-trip at the midpoint is byte-exact…
+    let snap = original.snapshot();
+    let mut restored = AdmissionService::restore(&snap).expect("snapshot parses");
+    assert_eq!(restored.snapshot(), snap, "restore must round-trip bytes");
+    restored.placer().verify_scratch_consistency().unwrap();
+
+    // …and the restored service is behaviorally identical from there on.
+    for (i, (_, ev)) in events[mid..].iter().enumerate() {
+        let a = original.apply(ev);
+        let b = restored.apply(ev);
+        assert_eq!(a, b, "decision diverged {i} events after restore");
+    }
+    assert_eq!(original.snapshot(), restored.snapshot());
+    restored.placer().verify_scratch_consistency().unwrap();
+}

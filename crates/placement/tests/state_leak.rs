@@ -1,0 +1,268 @@
+//! Satellite property gate: evicted tenants must leave NO residue.
+//!
+//! Two placers run the same random interleaving of admissions,
+//! evictions, link failures and restorations — but placer A additionally
+//! admits-and-immediately-evicts transient tenants that placer B never
+//! sees. If eviction is exact, A and B must end every script with
+//! byte-identical per-port loads, identical slot maps (free counts per
+//! host/rack/pod), identical failed-link sets and backlog bounds, and
+//! must have made identical decisions on every common operation.
+//!
+//! This is precisely what the id-order fold invariant in
+//! `SiloPlacer::add_contribs`/`sub_contribs` promises; a placer that
+//! accumulated float residue (the old `add`/`sub`-with-clamp pairing) or
+//! leaked slots fails here with a shrunken counterexample script.
+//!
+//! TenantIds themselves desynchronize (transients consume ids), so only
+//! id-independent state is compared — the relative order of common
+//! tenants is preserved, which keeps fault-sweep outcome sequences
+//! comparable elementwise.
+
+use silo_base::prop::{forall, shrink_vec, Rng, StdRng};
+use silo_base::{Bytes, Dur, Rate};
+use silo_placement::{DegradeOutcome, Guarantee, Placer, SiloPlacer, TenantId, TenantRequest};
+use silo_topology::{HostId, PortId, Topology, TreeParams};
+
+fn topo() -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 2,
+        servers_per_rack: 3,
+        vm_slots_per_server: 4,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(360),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+/// Request templates: a spread of sizes, classes and fault-domain
+/// demands, indexed mod-N by the script.
+fn template(k: u8) -> TenantRequest {
+    match k % 6 {
+        0 => TenantRequest::new(1, Guarantee::class_a()),
+        1 => TenantRequest::new(3, Guarantee::class_a()),
+        2 => TenantRequest::new(2, Guarantee::class_b()).with_fault_domains(2),
+        3 => TenantRequest::new(5, Guarantee::class_a()),
+        4 => TenantRequest::new(4, Guarantee::class_b()),
+        _ => TenantRequest::new(6, Guarantee::class_a()).with_fault_domains(3),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Admit template `k` in BOTH placers (a common tenant).
+    Admit(u8),
+    /// Evict the `i % live`-th common tenant from both placers.
+    Evict(u8),
+    /// Fail host `h % hosts`'s access link in both placers.
+    Fail(u8),
+    /// Restore host `h % hosts`'s access link in both placers.
+    Restore(u8),
+    /// Transient bracket, placer A only: admit each template, then
+    /// immediately evict everything that was admitted. B never sees it —
+    /// afterwards A must be indistinguishable from B.
+    Bracket(Vec<u8>),
+}
+
+/// One placer's view of a script run: its common-tenant id list and the
+/// id-independent trace of what happened.
+struct Run {
+    placer: SiloPlacer,
+    live: Vec<TenantId>,
+    trace: Vec<String>,
+}
+
+impl Run {
+    fn new() -> Run {
+        Run {
+            placer: SiloPlacer::new(topo()),
+            live: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn common(&mut self, op: &Op) {
+        match *op {
+            Op::Admit(k) => match self.placer.try_place(&template(k)) {
+                Ok(p) => {
+                    self.live.push(p.tenant);
+                    self.trace.push(format!("admit {:?}", p.span));
+                }
+                Err(e) => self.trace.push(format!("reject {e:?}")),
+            },
+            Op::Evict(i) => {
+                if self.live.is_empty() {
+                    self.trace.push("evict-noop".into());
+                } else {
+                    let t = self.live.remove(i as usize % self.live.len());
+                    let ok = self.placer.remove(t);
+                    self.trace.push(format!("evict {ok}"));
+                }
+            }
+            Op::Fail(h) => {
+                let host = HostId(h as u32 % self.placer.topology().num_hosts() as u32);
+                let link = self.placer.topology().host_link(host);
+                let report = self.placer.fail_link(link);
+                let outcomes: Vec<&DegradeOutcome> =
+                    report.outcomes.iter().map(|(_, o)| o).collect();
+                self.trace.push(format!("fail {h} {outcomes:?}"));
+            }
+            Op::Restore(h) => {
+                let host = HostId(h as u32 % self.placer.topology().num_hosts() as u32);
+                let link = self.placer.topology().host_link(host);
+                let report = self.placer.restore_link(link);
+                let outcomes: Vec<&DegradeOutcome> =
+                    report.outcomes.iter().map(|(_, o)| o).collect();
+                self.trace.push(format!("restore {h} {outcomes:?}"));
+            }
+            Op::Bracket(_) => unreachable!("brackets are not common ops"),
+        }
+    }
+
+    /// Placer A only: admit the bracket's templates, then evict every
+    /// admitted transient, leaving (if eviction is exact) no trace.
+    fn bracket(&mut self, templates: &[u8]) {
+        let mut transients = Vec::new();
+        for &k in templates {
+            if let Ok(p) = self.placer.try_place(&template(k)) {
+                transients.push(p.tenant);
+            }
+        }
+        for t in transients {
+            assert!(self.placer.remove(t));
+        }
+    }
+}
+
+/// Compare everything about the two placers that does not involve
+/// absolute TenantIds.
+fn assert_indistinguishable(a: &Run, b: &Run) -> Result<(), String> {
+    if a.trace != b.trace {
+        let first = a
+            .trace
+            .iter()
+            .zip(&b.trace)
+            .position(|(x, y)| x != y)
+            .map(|i| {
+                format!(
+                    "first divergence at common op {i}: {:?} vs {:?}",
+                    a.trace[i], b.trace[i]
+                )
+            })
+            .unwrap_or_else(|| format!("trace lengths {} vs {}", a.trace.len(), b.trace.len()));
+        return Err(format!("decision traces diverged: {first}"));
+    }
+    let (pa, pb) = (&a.placer, &b.placer);
+    pa.verify_scratch_consistency()
+        .map_err(|e| format!("placer A inconsistent: {e}"))?;
+    pb.verify_scratch_consistency()
+        .map_err(|e| format!("placer B inconsistent: {e}"))?;
+    if pa.failed_links() != pb.failed_links() {
+        return Err(format!(
+            "failed links diverged: {:?} vs {:?}",
+            pa.failed_links(),
+            pb.failed_links()
+        ));
+    }
+    if pa.slot_map() != pb.slot_map() {
+        return Err("slot maps diverged (leaked or lost slots)".into());
+    }
+    for p in 0..pa.topology().num_ports() {
+        let port = PortId(p as u32);
+        let (la, lb) = (pa.port_load(port), pb.port_load(port));
+        let bits = |l: &silo_placement::PortLoad| {
+            (
+                l.rate.to_bits(),
+                l.burst.to_bits(),
+                l.burst_rate.to_bits(),
+                l.mtu_bytes.to_bits(),
+                l.unbounded,
+            )
+        };
+        if bits(&la) != bits(&lb) {
+            return Err(format!(
+                "port {p} load diverged (float residue?): {la:?} vs {lb:?}"
+            ));
+        }
+    }
+    if pa.backlog_bounds() != pb.backlog_bounds() {
+        return Err("backlog bounds diverged".into());
+    }
+    Ok(())
+}
+
+fn run_script(script: &[Op]) -> Result<(), String> {
+    let mut a = Run::new();
+    let mut b = Run::new();
+    for op in script {
+        match op {
+            Op::Bracket(ts) => a.bracket(ts),
+            common => {
+                a.common(common);
+                b.common(common);
+            }
+        }
+    }
+    assert_indistinguishable(&a, &b)
+}
+
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..10u32) {
+        0..=2 => Op::Admit(rng.random_range(0u32..256) as u8),
+        3..=4 => Op::Evict(rng.random_range(0u32..256) as u8),
+        5 => Op::Fail(rng.random_range(0u32..256) as u8),
+        6 => Op::Restore(rng.random_range(0u32..256) as u8),
+        _ => {
+            let n = rng.random_range(1..4usize);
+            Op::Bracket((0..n).map(|_| rng.random_range(0u32..256) as u8).collect())
+        }
+    }
+}
+
+fn shrink_op(op: &Op) -> Vec<Op> {
+    match op {
+        Op::Bracket(ts) if ts.len() > 1 => (0..ts.len())
+            .map(|i| {
+                let mut s = ts.clone();
+                s.remove(i);
+                Op::Bracket(s)
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn evicted_tenants_leave_no_residue() {
+    forall(
+        "evicted tenants leave no residue",
+        |rng| {
+            let len = rng.random_range(1..24usize);
+            (0..len).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+        },
+        |script| shrink_vec(script, shrink_op),
+        |script| run_script(script),
+    );
+}
+
+/// The pinned, worst-case-shaped script the shrinker would aim for:
+/// transients inside an active failure window.
+#[test]
+fn transients_during_outage_leave_no_residue() {
+    let script = vec![
+        Op::Admit(1),
+        Op::Admit(5),
+        Op::Fail(0),
+        Op::Bracket(vec![0, 3, 2]),
+        Op::Admit(2),
+        Op::Evict(0),
+        Op::Bracket(vec![4]),
+        Op::Restore(0),
+        Op::Bracket(vec![1, 1]),
+        Op::Evict(1),
+    ];
+    run_script(&script).unwrap();
+}

@@ -1,0 +1,304 @@
+//! Tenant-churn streams for the long-running admission service.
+//!
+//! Generates the event mix a cluster manager actually sees: tenants
+//! arriving under a diurnal (sinusoidally modulated) Poisson process,
+//! departing after exponential lifetimes, with optional flash crowds
+//! (short arrival-rate spikes) and correlated failure bursts (several
+//! host links in one rack failing together, then healing). The output is
+//! a time-sorted `Vec<(f64, ChurnEvent)>` ready to feed
+//! `silo_placement::AdmissionService` one event at a time.
+//!
+//! Everything is a pure function of the config (seed included), so two
+//! calls with the same config produce byte-identical streams — the
+//! differential and CI gates depend on that.
+
+use rand::Rng;
+use silo_base::{exponential, seeded_rng};
+use silo_placement::{ChurnEvent, Guarantee, TenantRequest};
+use silo_topology::Topology;
+
+/// A transient arrival-rate spike: between `at_s` and `at_s + dur_s` the
+/// instantaneous arrival rate is multiplied by `multiplier`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowd {
+    pub at_s: f64,
+    pub dur_s: f64,
+    pub multiplier: f64,
+}
+
+/// A correlated failure: `hosts` host links inside one rack fail at
+/// `at_s` and are all restored at `at_s + dur_s`.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureBurst {
+    pub at_s: f64,
+    pub dur_s: f64,
+    pub hosts: usize,
+}
+
+/// Parameters of a churn stream.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    pub seed: u64,
+    /// Stream horizon in (virtual) seconds; no event is emitted past it.
+    pub horizon_s: f64,
+    /// Base arrival rate λ, tenants/second, before diurnal modulation.
+    pub arrivals_per_s: f64,
+    /// Relative amplitude of the sinusoidal diurnal cycle, in [0, 1):
+    /// λ(t) = λ·(1 + A·sin(2πt/T)).
+    pub diurnal_amplitude: f64,
+    /// Period T of the diurnal cycle, seconds.
+    pub diurnal_period_s: f64,
+    /// Mean tenant lifetime (exponential), seconds.
+    pub mean_lifetime_s: f64,
+    /// Mean VMs per tenant (exponential, rounded up, clamped to
+    /// `max_vms`).
+    pub mean_vms: f64,
+    pub max_vms: usize,
+    /// Fraction of tenants requesting the delay-bounded class-A
+    /// guarantee; the rest ask for bandwidth-only class B.
+    pub class_a_frac: f64,
+    /// Fraction of multi-VM tenants that additionally demand spreading
+    /// across ≥2 fault domains.
+    pub spread_frac: f64,
+    pub flash_crowds: Vec<FlashCrowd>,
+    pub failure_bursts: Vec<FailureBurst>,
+}
+
+impl ChurnConfig {
+    /// A plain diurnal arrive/depart workload: one-hour virtual day,
+    /// ±60% swing, tenants living ~90 s, a few VMs each.
+    pub fn diurnal(seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            seed,
+            horizon_s: 3600.0,
+            arrivals_per_s: 30.0,
+            diurnal_amplitude: 0.6,
+            diurnal_period_s: 3600.0,
+            mean_lifetime_s: 90.0,
+            mean_vms: 3.0,
+            max_vms: 16,
+            class_a_frac: 0.75,
+            spread_frac: 0.25,
+            flash_crowds: Vec::new(),
+            failure_bursts: Vec::new(),
+        }
+    }
+
+    /// Scale the horizon so the expected number of tenant lifetimes
+    /// (arrivals) is `n`. The sinusoid integrates to zero over whole
+    /// periods, so E\[arrivals\] ≈ λ·horizon.
+    pub fn for_lifetimes(mut self, n: u64) -> ChurnConfig {
+        self.horizon_s = n as f64 / self.arrivals_per_s;
+        self
+    }
+
+    pub fn with_flash_crowd(mut self, f: FlashCrowd) -> ChurnConfig {
+        assert!(f.multiplier >= 1.0, "flash crowds only raise the rate");
+        self.flash_crowds.push(f);
+        self
+    }
+
+    pub fn with_failure_burst(mut self, f: FailureBurst) -> ChurnConfig {
+        assert!(f.hosts >= 1);
+        self.failure_bursts.push(f);
+        self
+    }
+
+    /// Instantaneous arrival rate at time `t`.
+    fn rate_at(&self, t: f64) -> f64 {
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.diurnal_period_s).sin();
+        let mut r = self.arrivals_per_s * diurnal.max(0.0);
+        for f in &self.flash_crowds {
+            if t >= f.at_s && t < f.at_s + f.dur_s {
+                r *= f.multiplier;
+            }
+        }
+        r
+    }
+
+    /// Upper bound on `rate_at` over the whole horizon (for thinning).
+    fn rate_max(&self) -> f64 {
+        let mut boost = 1.0_f64;
+        for f in &self.flash_crowds {
+            boost = boost.max(f.multiplier);
+        }
+        self.arrivals_per_s * (1.0 + self.diurnal_amplitude) * boost
+    }
+}
+
+/// Generate the full event stream for `cfg` on `topo`, sorted by time
+/// (ties broken by generation order). `Evict(i)` always refers to the
+/// i-th `Admit` of this same stream and always follows it.
+pub fn generate(topo: &Topology, cfg: &ChurnConfig) -> Vec<(f64, ChurnEvent)> {
+    let mut rng = seeded_rng(cfg.seed);
+    let mut events: Vec<(f64, ChurnEvent)> = Vec::new();
+
+    // Tenant arrivals via thinning of a homogeneous λmax process.
+    let lambda_max = cfg.rate_max();
+    assert!(lambda_max > 0.0, "arrival rate must be positive");
+    let mut t = 0.0_f64;
+    let mut admits = 0u32;
+    loop {
+        t += exponential(&mut rng, lambda_max);
+        if t >= cfg.horizon_s {
+            break;
+        }
+        if rng.random::<f64>() * lambda_max > cfg.rate_at(t) {
+            continue; // thinned out
+        }
+        let vms = (exponential(&mut rng, 1.0 / cfg.mean_vms).ceil() as usize).clamp(1, cfg.max_vms);
+        let guarantee = if rng.random_bool(cfg.class_a_frac) {
+            Guarantee::class_a()
+        } else {
+            Guarantee::class_b()
+        };
+        let mut req = TenantRequest::new(vms, guarantee);
+        if vms >= 2 && rng.random_bool(cfg.spread_frac) {
+            req = req.with_fault_domains(2 + rng.random_range(0..vms - 1));
+        }
+        events.push((t, ChurnEvent::Admit(req)));
+        let depart = t + exponential(&mut rng, 1.0 / cfg.mean_lifetime_s);
+        if depart < cfg.horizon_s {
+            events.push((depart, ChurnEvent::Evict(admits)));
+        }
+        admits += 1;
+    }
+
+    // Correlated failures: each burst fails `hosts` host links of one
+    // (seed-chosen) rack together and restores them together. A separate
+    // RNG keeps the arrival stream independent of the burst list.
+    let mut frng = seeded_rng(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xfa17);
+    for f in &cfg.failure_bursts {
+        let rack = frng.random_range(0..topo.num_racks());
+        let in_rack: Vec<_> = topo.hosts_in_rack(rack).collect();
+        let n = f.hosts.min(in_rack.len());
+        for &h in in_rack.iter().take(n) {
+            let link = topo.host_link(h);
+            events.push((f.at_s, ChurnEvent::FailLink(link)));
+            let heal = f.at_s + f.dur_s;
+            if heal < cfg.horizon_s {
+                events.push((heal, ChurnEvent::RestoreLink(link)));
+            }
+        }
+    }
+
+    // Stable by generation order, then sort by time only: equal-time
+    // events keep their emission order, and an Evict can never precede
+    // its Admit (departure gaps are strictly positive).
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_base::{Bytes, Dur, Rate};
+    use silo_topology::TreeParams;
+
+    fn topo() -> Topology {
+        Topology::build(TreeParams {
+            pods: 2,
+            racks_per_pod: 2,
+            servers_per_rack: 4,
+            vm_slots_per_server: 4,
+            host_link: Rate::from_gbps(10),
+            tor_oversub: 1.0,
+            agg_oversub: 2.0,
+            switch_buffer: Bytes::from_kb(360),
+            nic_buffer: Bytes::from_kb(64),
+            prop_delay: Dur::from_ns(500),
+        })
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let topo = topo();
+        let cfg = ChurnConfig::diurnal(42)
+            .for_lifetimes(500)
+            .with_flash_crowd(FlashCrowd {
+                at_s: 5.0,
+                dur_s: 2.0,
+                multiplier: 4.0,
+            })
+            .with_failure_burst(FailureBurst {
+                at_s: 8.0,
+                dur_s: 3.0,
+                hosts: 2,
+            });
+        let a = generate(&topo, &cfg);
+        let b = generate(&topo, &cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.0 == y.0 && x.1 == y.1);
+        }
+        // A different seed must differ somewhere.
+        let mut c2 = cfg.clone();
+        c2.seed = 43;
+        let c = generate(&topo, &c2);
+        assert!(
+            a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.0 != y.0),
+            "different seeds should give different streams"
+        );
+    }
+
+    #[test]
+    fn streams_are_well_formed() {
+        let topo = topo();
+        let cfg = ChurnConfig::diurnal(7)
+            .for_lifetimes(1000)
+            .with_failure_burst(FailureBurst {
+                at_s: 1.0,
+                dur_s: 5.0,
+                hosts: 3,
+            });
+        let evs = generate(&topo, &cfg);
+        let mut admits_seen = 0u32;
+        let mut last_t = 0.0_f64;
+        for (t, ev) in &evs {
+            assert!(*t >= last_t, "events must be time-sorted");
+            assert!(*t < cfg.horizon_s);
+            last_t = *t;
+            match ev {
+                ChurnEvent::Admit(req) => {
+                    assert!(req.vms >= 1 && req.vms <= cfg.max_vms);
+                    assert!(req.min_fault_domains >= 1 && req.min_fault_domains <= req.vms);
+                    admits_seen += 1;
+                }
+                ChurnEvent::Evict(i) => {
+                    assert!(*i < admits_seen, "evict must follow its admit");
+                }
+                ChurnEvent::FailLink(l) | ChurnEvent::RestoreLink(l) => {
+                    assert!((l.0 as usize) < topo.num_links());
+                }
+            }
+        }
+        // Expected arrivals ≈ λ·horizon; allow generous slack.
+        let expect = cfg.arrivals_per_s * cfg.horizon_s;
+        assert!(
+            (admits_seen as f64) > 0.5 * expect && (admits_seen as f64) < 1.5 * expect,
+            "{admits_seen} admits vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_raises_local_rate() {
+        let topo = topo();
+        let base = ChurnConfig::diurnal(9).for_lifetimes(2000);
+        let flash = base.clone().with_flash_crowd(FlashCrowd {
+            at_s: 10.0,
+            dur_s: 10.0,
+            multiplier: 5.0,
+        });
+        let count = |evs: &[(f64, ChurnEvent)]| {
+            evs.iter()
+                .filter(|(t, e)| (10.0..20.0).contains(t) && matches!(e, ChurnEvent::Admit(_)))
+                .count()
+        };
+        let a = count(&generate(&topo, &base));
+        let b = count(&generate(&topo, &flash));
+        assert!(b > 2 * a, "flash window should see a spike: {a} vs {b}");
+    }
+}

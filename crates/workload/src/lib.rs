@@ -12,10 +12,12 @@
 //! All generators draw from a caller-provided RNG so experiments stay
 //! reproducible end to end.
 
+pub mod churn;
 pub mod etc;
 pub mod patterns;
 pub mod poisson;
 
+pub use churn::{ChurnConfig, FailureBurst, FlashCrowd};
 pub use etc::{EtcRequest, EtcWorkload};
 pub use patterns::{all_to_all, all_to_one, permutation_x};
 pub use poisson::PoissonMessages;
