@@ -32,6 +32,6 @@ pub use dist::{exponential, gen_pareto, seeded_rng, GenPareto};
 pub use eventq::{EvKey, EventQueue, QueueBackend};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
-pub use shardq::ShardedEventQueue;
+pub use shardq::{ShardQueueProfile, ShardedEventQueue};
 pub use stats::{Cdf, Histogram, LogHistogram, OnlineStats, Summary};
 pub use units::{Bytes, Dur, Rate, Time};

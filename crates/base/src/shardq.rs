@@ -40,6 +40,7 @@
 
 use crate::eventq::{EvKey, EventQueue, QueueBackend};
 use crate::units::{Dur, Time};
+use std::time::Instant;
 
 /// A cross-partition entry parked until the next window barrier.
 #[derive(Debug)]
@@ -47,6 +48,35 @@ struct MailEntry<E> {
     t: u64,
     seq: u64,
     item: E,
+}
+
+/// Opt-in wall-clock profile of the queue's own work, enabled with
+/// [`ShardedEventQueue::enable_profile`]. Pure host-side observation: it
+/// never changes which entry pops next, so profiled runs stay
+/// byte-identical. Merge time is sampled (every 64th pop) to keep the
+/// `Instant::now` cost off the hot path; barrier drains and prepare
+/// passes are rare and timed fully.
+#[derive(Debug, Clone, Default)]
+pub struct ShardQueueProfile {
+    /// Sampled wall time in the K-way head merge.
+    pub merge_ns: u64,
+    pub merge_samples: u64,
+    /// Window barriers taken.
+    pub barriers: u64,
+    /// Per-shard mailbox drain wall time at barriers.
+    pub drain_ns: Vec<u64>,
+    /// Per-shard `prepare` pre-drain wall time.
+    pub prepare_ns: Vec<u64>,
+}
+
+/// Internal accumulator behind [`ShardQueueProfile`].
+#[derive(Debug)]
+struct ProfState {
+    pops: u64,
+    merge_ns: u64,
+    merge_samples: u64,
+    drain_ns: Vec<u64>,
+    prepare_ns: Vec<u64>,
 }
 
 /// Multi-queue façade over per-partition [`EventQueue`]s with
@@ -80,6 +110,8 @@ pub struct ShardedEventQueue<E> {
     mailed: u64,
     /// Window barriers taken (multi-shard only).
     barriers: u64,
+    /// Wall-clock self-profile accumulators (`None` = off, the default).
+    prof: Option<Box<ProfState>>,
 }
 
 impl<E: Send> ShardedEventQueue<E> {
@@ -104,7 +136,31 @@ impl<E: Send> ShardedEventQueue<E> {
             peak: 0,
             mailed: 0,
             barriers: 0,
+            prof: None,
         }
+    }
+
+    /// Turn on the wall-clock self-profile (see [`ShardQueueProfile`]).
+    pub fn enable_profile(&mut self) {
+        let n = self.queues.len();
+        self.prof = Some(Box::new(ProfState {
+            pops: 0,
+            merge_ns: 0,
+            merge_samples: 0,
+            drain_ns: vec![0; n],
+            prepare_ns: vec![0; n],
+        }));
+    }
+
+    /// Snapshot of the self-profile (`None` unless enabled).
+    pub fn profile(&self) -> Option<ShardQueueProfile> {
+        self.prof.as_ref().map(|p| ShardQueueProfile {
+            merge_ns: p.merge_ns,
+            merge_samples: p.merge_samples,
+            barriers: self.barriers,
+            drain_ns: p.drain_ns.clone(),
+            prepare_ns: p.prepare_ns.clone(),
+        })
     }
 
     pub fn num_shards(&self) -> usize {
@@ -195,6 +251,14 @@ impl<E: Send> ShardedEventQueue<E> {
             return popped;
         }
         loop {
+            // Sampled merge timing: every 64th merge pays two clock reads.
+            let merge_t0 = match self.prof.as_mut() {
+                Some(p) => {
+                    p.pops += 1;
+                    (p.pops & 63 == 0).then(Instant::now)
+                }
+                None => None,
+            };
             // K-way merge: minimal (t, seq) head inside the window wins.
             let mut best: Option<(u64, u64, usize)> = None;
             for (i, q) in self.queues.iter_mut().enumerate() {
@@ -204,6 +268,11 @@ impl<E: Send> ShardedEventQueue<E> {
                         best = Some(cand);
                     }
                 }
+            }
+            if let Some(t0) = merge_t0 {
+                let p = self.prof.as_mut().expect("sampled with profile on");
+                p.merge_ns += t0.elapsed().as_nanos() as u64;
+                p.merge_samples += 1;
             }
             if let Some((t, _, i)) = best {
                 if t < self.window_end {
@@ -218,9 +287,16 @@ impl<E: Send> ShardedEventQueue<E> {
             self.barriers += 1;
             let mut drained = false;
             for (i, mb) in self.mailboxes.iter_mut().enumerate() {
+                if mb.is_empty() {
+                    continue;
+                }
+                let t0 = self.prof.is_some().then(Instant::now);
                 for m in mb.drain(..) {
                     self.queues[i].push_at_seq(Time(m.t), m.seq, m.item);
-                    drained = true;
+                }
+                drained = true;
+                if let (Some(t0), Some(p)) = (t0, self.prof.as_mut()) {
+                    p.drain_ns[i] += t0.elapsed().as_nanos() as u64;
                 }
             }
             if self.live == 0 {
@@ -254,22 +330,47 @@ impl<E: Send> ShardedEventQueue<E> {
     fn run_prepare(&mut self) {
         self.prep_horizon = self.window_end.saturating_add(self.prep_quantum);
         let horizon = Time(self.prep_horizon);
+        // Per-queue spans collected into a scratch vec so the threaded
+        // path can write them from workers, then folded into the profile.
+        let mut spans: Option<Vec<u64>> = self.prof.as_ref().map(|_| vec![0u64; self.queues.len()]);
         if self.threads <= 1 {
-            for q in &mut self.queues {
+            for (i, q) in self.queues.iter_mut().enumerate() {
+                let t0 = spans.is_some().then(Instant::now);
                 q.prepare(horizon);
+                if let (Some(t0), Some(sp)) = (t0, spans.as_mut()) {
+                    sp[i] = t0.elapsed().as_nanos() as u64;
+                }
             }
-            return;
-        }
-        let per = self.queues.len().div_ceil(self.threads);
-        std::thread::scope(|s| {
-            for chunk in self.queues.chunks_mut(per) {
-                s.spawn(move || {
-                    for q in chunk {
-                        q.prepare(horizon);
+        } else {
+            let per = self.queues.len().div_ceil(self.threads);
+            match spans.as_mut() {
+                None => std::thread::scope(|s| {
+                    for chunk in self.queues.chunks_mut(per) {
+                        s.spawn(move || {
+                            for q in chunk {
+                                q.prepare(horizon);
+                            }
+                        });
                     }
-                });
+                }),
+                Some(sp) => std::thread::scope(|s| {
+                    for (qc, sc) in self.queues.chunks_mut(per).zip(sp.chunks_mut(per)) {
+                        s.spawn(move || {
+                            for (q, slot) in qc.iter_mut().zip(sc.iter_mut()) {
+                                let t0 = Instant::now();
+                                q.prepare(horizon);
+                                *slot = t0.elapsed().as_nanos() as u64;
+                            }
+                        });
+                    }
+                }),
             }
-        });
+        }
+        if let (Some(sp), Some(p)) = (spans, self.prof.as_mut()) {
+            for (acc, v) in p.prepare_ns.iter_mut().zip(sp) {
+                *acc += v;
+            }
+        }
     }
 
     /// Live entries across all shards and mailboxes.
@@ -423,6 +524,52 @@ mod tests {
         assert_eq!(q.pop(), Some((Time(150), "direct-later-seq")));
         assert_eq!(q.pop(), None);
         assert_eq!(q.mailed(), 1);
+    }
+
+    /// The profile is pure observation: an enabled-profile queue must pop
+    /// the identical sequence, and a churned multi-shard run must leave
+    /// nonzero merge samples and drain spans behind.
+    #[test]
+    fn profile_is_invisible_and_populated() {
+        let mut rng = seeded_rng(77);
+        let mut plain = ShardedEventQueue::new(4, QueueBackend::Wheel, Dur(LA), 1);
+        let mut profiled = ShardedEventQueue::new(4, QueueBackend::Wheel, Dur(LA), 1);
+        profiled.enable_profile();
+        let mut now = 0u64;
+        for id in 0..20_000u64 {
+            if rng.random::<f64>() < 0.5 || plain.is_empty() {
+                let shard = rng.random_range(0..4);
+                if rng.random::<f64>() < 0.2 {
+                    let t = now + LA + rng.random_range(0..4 * LA);
+                    plain.mail(shard, Time(t), id);
+                    profiled.mail(shard, Time(t), id);
+                } else {
+                    let t = now + rng.random_range(0..4 * LA);
+                    plain.push(shard, Time(t), id);
+                    profiled.push(shard, Time(t), id);
+                }
+            } else {
+                let a = plain.pop();
+                assert_eq!(a, profiled.pop());
+                if let Some((t, _)) = a {
+                    now = t.as_ps();
+                }
+            }
+        }
+        loop {
+            let a = plain.pop();
+            assert_eq!(a, profiled.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(plain.profile().is_none());
+        let p = profiled.profile().expect("profile enabled");
+        assert!(p.merge_samples > 0, "sampled merges must land");
+        assert_eq!(p.barriers, profiled.barriers());
+        assert!(p.drain_ns.iter().any(|&n| n > 0), "mailbox drains timed");
+        assert_eq!(p.drain_ns.len(), 4);
+        assert_eq!(p.prepare_ns.len(), 4);
     }
 
     /// shards=1 must behave exactly like a bare EventQueue (no windows,

@@ -398,6 +398,17 @@ impl LogHistogram {
     pub fn mem_bytes(&self) -> usize {
         self.counts.len() * std::mem::size_of::<u64>()
     }
+
+    /// Reset to empty, keeping the bucket allocation. Lets a caller reuse
+    /// one histogram per window instead of reallocating the bucket array
+    /// (the telemetry recorder does this every sampling interval).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,14 @@ pub struct Args {
     /// Worker threads for the sharded engine's window-prepare pass
     /// (`SimConfig::shard_threads`); never affects outputs.
     pub shard_threads: usize,
+    /// Record windowed telemetry (`SimConfig::telemetry`, 1 ms windows)
+    /// and write the deterministic `silo-telemetry-v1` JSONL to this
+    /// path. Physics are unchanged (the simnet telemetry suite asserts
+    /// byte-identity); only wall-clock and the exported file differ.
+    pub telemetry: Option<String>,
+    /// Also write the OpenMetrics text exposition of the telemetry
+    /// series to this path. Implies telemetry recording.
+    pub telemetry_openmetrics: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +63,8 @@ impl Default for Args {
             no_coalesce: false,
             shards: 1,
             shard_threads: 1,
+            telemetry: None,
+            telemetry_openmetrics: None,
         }
     }
 }
@@ -101,8 +111,10 @@ impl Args {
                 "--shard-threads" => {
                     a.shard_threads = val.parse().expect("--shard-threads takes an integer")
                 }
+                "--telemetry" => a.telemetry = Some(val.clone()),
+                "--telemetry-openmetrics" => a.telemetry_openmetrics = Some(val.clone()),
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --no-coalesce --trace --trace-perfetto --shards --shard-threads"
+                    "unknown flag {other}; known: --scale --seed --duration-ms --runs --occupancy --threads --profile --audit --no-coalesce --trace --trace-perfetto --shards --shard-threads --telemetry --telemetry-openmetrics"
                 ),
             }
             i += 2;
@@ -113,6 +125,11 @@ impl Args {
     /// Flight-recorder tracing requested by any flag?
     pub fn trace_requested(&self) -> bool {
         self.trace.is_some() || self.trace_perfetto.is_some()
+    }
+
+    /// Windowed telemetry requested by any flag?
+    pub fn telemetry_requested(&self) -> bool {
+        self.telemetry.is_some() || self.telemetry_openmetrics.is_some()
     }
 
     /// Threads to use for a sweep of `cells` cells (resolves the `0 =

@@ -68,6 +68,11 @@ struct PhaseResult {
     mask_rebuilds: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// `--telemetry`: windowed admission series as JSONL (hand-rolled in
+    /// the silo-telemetry-v1 style; the latency column is wall clock, so
+    /// unlike the simulator's telemetry this file is *not* deterministic
+    /// and is not subject to the `silo-top diff` gate).
+    telemetry: Option<String>,
 }
 
 fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
@@ -78,34 +83,80 @@ fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[idx] as f64 / 1e3
 }
 
+/// Windows for the `--telemetry` admission series: enough grid to see a
+/// flash crowd or failure burst (each spans 10% of the horizon) without
+/// drowning the file in empty rows.
+const TELEMETRY_WINDOWS: usize = 100;
+
+#[derive(Default, Clone)]
+struct AdmitWindow {
+    admits: u64,
+    rejects: u64,
+    evicts: u64,
+    faults: u64,
+    mask_rebuilds: u64,
+    admit_ns: Vec<u64>,
+}
+
 fn run_phase(
     label: &'static str,
     topo: &Topology,
     cfg: &ChurnConfig,
     probes: usize,
+    telemetry: bool,
 ) -> PhaseResult {
     let events = churn::generate(topo, cfg);
     let mut svc = AdmissionService::new(topo.clone());
     let mut admit_ns: Vec<u64> = Vec::new();
     let mut evict_wall = 0.0f64;
     let probe_every = (events.len() / probes.max(1)).max(1);
+    let mut wins = vec![AdmitWindow::default(); if telemetry { TELEMETRY_WINDOWS } else { 0 }];
+    let mut last_rebuilds = 0u64;
 
     let t0 = Instant::now();
-    for (i, (_, ev)) in events.iter().enumerate() {
+    for (i, (at, ev)) in events.iter().enumerate() {
+        let w = telemetry.then(|| {
+            ((at / cfg.horizon_s * TELEMETRY_WINDOWS as f64) as usize).min(TELEMETRY_WINDOWS - 1)
+        });
         match ev {
             ChurnEvent::Admit(_) => {
                 let t = Instant::now();
-                svc.apply(ev);
-                admit_ns.push(t.elapsed().as_nanos() as u64);
+                let decision = svc.apply(ev);
+                let ns = t.elapsed().as_nanos() as u64;
+                admit_ns.push(ns);
+                if let Some(w) = w {
+                    let win = &mut wins[w];
+                    if matches!(decision, silo_placement::Decision::Admitted { .. }) {
+                        win.admits += 1;
+                    } else {
+                        win.rejects += 1;
+                    }
+                    win.admit_ns.push(ns);
+                }
             }
             ChurnEvent::Evict(_) => {
                 let t = Instant::now();
                 svc.apply(ev);
                 evict_wall += t.elapsed().as_secs_f64();
+                if let Some(w) = w {
+                    wins[w].evicts += 1;
+                }
             }
             _ => {
                 svc.apply(ev);
+                if let Some(w) = w {
+                    if matches!(ev, ChurnEvent::FailLink(_)) {
+                        wins[w].faults += 1;
+                    }
+                }
             }
+        }
+        if let Some(w) = w {
+            // Attribute mask-rebuild deltas to the window whose event
+            // triggered them (the counter only moves inside `apply`).
+            let r = svc.placer().mask_rebuilds();
+            wins[w].mask_rebuilds += r - last_rebuilds;
+            last_rebuilds = r;
         }
         if (i + 1) % probe_every == 0 {
             svc.placer()
@@ -136,6 +187,25 @@ fn run_phase(
     let admit_wall: f64 = admit_ns.iter().map(|&n| n as f64 / 1e9).sum();
     admit_ns.sort_unstable();
     let (hits, misses) = svc.placer().bound_cache_stats();
+    let telemetry_jsonl = telemetry.then(|| {
+        let mut out = format!(
+            "{{\"format\":\"silo-placement-telemetry-v1\",\"windows\":{TELEMETRY_WINDOWS},\"interval_s\":{:.6},\"phase\":\"{label}\"}}\n",
+            cfg.horizon_s / TELEMETRY_WINDOWS as f64
+        );
+        for (w, win) in wins.iter_mut().enumerate() {
+            win.admit_ns.sort_unstable();
+            out.push_str(&format!(
+                "{{\"w\":{w},\"admits\":{},\"rejects\":{},\"evicts\":{},\"faults\":{},\"mask_rebuilds\":{},\"admit_p99_us\":{:.2}}}\n",
+                win.admits,
+                win.rejects,
+                win.evicts,
+                win.faults,
+                win.mask_rebuilds,
+                quantile_us(&win.admit_ns, 0.99)
+            ));
+        }
+        out
+    });
     PhaseResult {
         label,
         events: events.len(),
@@ -153,6 +223,7 @@ fn run_phase(
         mask_rebuilds: svc.placer().mask_rebuilds(),
         cache_hits: hits,
         cache_misses: misses,
+        telemetry: telemetry_jsonl,
     }
 }
 
@@ -192,11 +263,22 @@ fn main() {
         });
     }
 
+    // `--telemetry` records the windowed admission series of the
+    // correlated-failure phase (the one where the mask_rebuilds and
+    // fault series actually move).
+    let telemetry_on = args.telemetry.is_some();
     let phases = [
-        run_phase("diurnal", &topo, &base, 5),
-        run_phase("flash_crowd", &topo, &flash, 5),
-        run_phase("correlated_failure", &topo, &faulted, 5),
+        run_phase("diurnal", &topo, &base, 5, false),
+        run_phase("flash_crowd", &topo, &flash, 5, false),
+        run_phase("correlated_failure", &topo, &faulted, 5, telemetry_on),
     ];
+    if let (Some(path), Some(jsonl)) = (&args.telemetry, &phases[2].telemetry) {
+        std::fs::write(path, jsonl).expect("write placement telemetry jsonl");
+        println!(
+            "admission telemetry ({}): {TELEMETRY_WINDOWS} windows -> {path}",
+            phases[2].label
+        );
+    }
 
     println!(
         "{:<20} {:>9} {:>8} {:>9} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9}",

@@ -21,9 +21,12 @@
 //! 9. `audit/t1`          — default engine with the invariant-audit layer
 //!    on (its wall-clock overhead and counters go into the report);
 //! 10. `trace/t1`         — default engine with the flight recorder on
-//!     (its wall-clock overhead and event counts go into the report).
+//!     (its wall-clock overhead and event counts go into the report);
+//! 11. `telemetry/t1`     — default engine with the windowed telemetry
+//!     recorder on (1 ms windows; its wall-clock overhead goes into the
+//!     report and is asserted under 15%).
 //!
-//! Physical results are asserted byte-identical across all ten phases
+//! Physical results are asserted byte-identical across all eleven phases
 //! (this binary doubles as an end-to-end equivalence check); engine
 //! counters are additionally identical wherever the engine config matches.
 //!
@@ -55,6 +58,11 @@ struct Phase {
     /// Summed flight-recorder counters (zeros unless the phase traces).
     trace_events: u64,
     trace_dropped: u64,
+    /// Summed telemetry window counts (zeros unless the phase records).
+    telemetry_windows: u64,
+    /// Per-tenant latency quantiles of the phase's first cell:
+    /// `(tenant, msgs, p50, p90, p99, max)` in ps.
+    tenant_latency: Vec<(u16, u64, u64, u64, u64, u64)>,
 }
 
 fn run_phase(tag: &str, cells: &[Ns2Cell], args: &Args, eng: EngineOpts, threads: usize) -> Phase {
@@ -95,6 +103,7 @@ fn run_phase_inner(
     let mut peak_sum = 0u64;
     let (mut audit_events, mut audit_violations, mut audit_unattributed) = (0u64, 0u64, 0u64);
     let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
+    let mut telemetry_windows = 0u64;
     for (cell, t) in cells.iter().zip(&timed) {
         let (_, m) = &t.result;
         bench_cells.push(BenchCell {
@@ -115,7 +124,29 @@ fn run_phase_inner(
             trace_events += t.events.len() as u64;
             trace_dropped += t.dropped;
         }
+        if let Some(tl) = &m.telemetry {
+            telemetry_windows += tl.windows;
+        }
     }
+    // Per-tenant latency quantiles from the phase's first cell (the
+    // grid's Silo cell at the base seed) — the streaming histograms are
+    // always on, so this is free.
+    let m0 = &timed[0].result.1;
+    let mut tenant_latency: Vec<(u16, u64, u64, u64, u64, u64)> = (0..m0.latency_hist.len() as u16)
+        .filter_map(|t| {
+            m0.latency_hist(t).filter(|h| !h.is_empty()).map(|h| {
+                (
+                    t,
+                    h.count(),
+                    h.quantile(0.50).unwrap_or(0),
+                    h.quantile(0.90).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                )
+            })
+        })
+        .collect();
+    tenant_latency.sort_by_key(|&(t, _, _, _, p99, _)| (std::cmp::Reverse(p99), t));
     Phase {
         report: BenchReport {
             name: format!("simnet_{}", tag.replace('/', "_")),
@@ -133,6 +164,8 @@ fn run_phase_inner(
         audit_unattributed,
         trace_events,
         trace_dropped,
+        telemetry_windows,
+        tenant_latency,
     }
 }
 
@@ -148,6 +181,9 @@ fn profile_smoke(args: &Args) -> ! {
     };
     let eng = EngineOpts {
         audit: true,
+        telemetry: true,
+        shards: args.shards.max(1),
+        shard_threads: args.shard_threads,
         ..EngineOpts::default()
     };
     let (_, m) = run_ns2_cell_with_engine(&cell, args, eng);
@@ -156,6 +192,14 @@ fn profile_smoke(args: &Args) -> ! {
         args.seed, args.duration_ms, m.events_processed, m.peak_event_queue
     );
     print!("{}", m.profile.to_table());
+    print!(
+        "\n{}",
+        m.telemetry
+            .as_ref()
+            .expect("profile runs telemetry")
+            .self_profile
+            .to_table()
+    );
     // Streaming per-tenant latency histograms: always on, fixed memory,
     // exact min/max/mean with ≤3.2% quantile error (sub_bits = 5). The
     // noisiest tenants by p99 head the list.
@@ -172,9 +216,10 @@ fn profile_smoke(args: &Args) -> ! {
         let h = m.latency_hist(t).unwrap();
         let q = |p: f64| h.quantile(p).unwrap_or(0) as f64 / 1e6;
         println!(
-            "  tenant {t:<3} {:>7} msgs  p50 {:>9.1} us  p99 {:>9.1} us  p99.9 {:>9.1} us  max {:>9.1} us",
+            "  tenant {t:<3} {:>7} msgs  p50 {:>9.1} us  p90 {:>9.1} us  p99 {:>9.1} us  p99.9 {:>9.1} us  max {:>9.1} us",
             h.count(),
             q(0.50),
+            q(0.90),
             q(0.99),
             q(0.999),
             h.max().unwrap_or(0) as f64 / 1e6,
@@ -247,6 +292,10 @@ fn main() {
         trace: true,
         ..wheel
     };
+    let telemetry_eng = EngineOpts {
+        telemetry: true,
+        ..wheel
+    };
     let shard_eng = EngineOpts { shards: 4, ..wheel };
     // Exercise the threaded prepare pass even on a 1-core host (the
     // byte-identity assert is the point; the wall number is caveated in
@@ -278,6 +327,7 @@ fn main() {
     let spawned1 = run_phase_spawned("spawned/t1", &cells, &args, wheel, 1);
     let audit1 = run_phase("audit/t1", &cells, &args, audit_eng, 1);
     let trace1 = run_phase("trace/t1", &cells, &args, trace_eng, 1);
+    let telemetry1 = run_phase("telemetry/t1", &cells, &args, telemetry_eng, 1);
 
     // Physics must not move under any engine config; full canonical
     // results (engine counters included) must not move across backends or
@@ -348,6 +398,18 @@ fn main() {
         "flight recorder changed physical results"
     );
     assert!(trace1.trace_events > 0, "trace phase recorded no events");
+    // The windowed telemetry recorder is the third pure observer:
+    // canonical results byte-identical with it on, and every cell
+    // produced its full window grid.
+    assert_eq!(
+        telemetry1.canonical, wheel1.canonical,
+        "telemetry recorder changed physical results"
+    );
+    assert_eq!(
+        telemetry1.telemetry_windows,
+        args.duration_ms * cells.len() as u64,
+        "every cell must record one window per simulated millisecond"
+    );
 
     let eps = |p: &Phase| p.report.total_events() as f64 / p.report.cell_wall_s();
     let engine_gain = eps(&wheel1) / eps(&heap1);
@@ -378,6 +440,11 @@ fn main() {
     );
     let audit_overhead = audit1.report.cell_wall_s() / wheel1.report.cell_wall_s();
     let trace_overhead = trace1.report.cell_wall_s() / wheel1.report.cell_wall_s();
+    let telemetry_overhead = telemetry1.report.cell_wall_s() / wheel1.report.cell_wall_s();
+    assert!(
+        telemetry_overhead < 1.15,
+        "telemetry at 1 ms windows must stay under 15% wall overhead ({telemetry_overhead:.3}x)"
+    );
 
     let notes = format!(
         "timer cancellation {:.2}x wall-clock over tombstones ({:.2}x on {}; \
@@ -392,8 +459,10 @@ fn main() {
          the spawned pool; \
          invariant audit {:.2}x wall-clock, {} events checked, {} violations \
          ({} unattributed); flight recorder {:.2}x wall-clock, {} events retained \
-         ({} evicted from rings); physics byte-identical across engines, backends, \
-         thread counts, shard counts, diet on/off, audit on/off and trace on/off",
+         ({} evicted from rings); windowed telemetry {:.2}x wall-clock at 1 ms \
+         windows ({} windows recorded); physics byte-identical across engines, \
+         backends, thread counts, shard counts, diet on/off, audit on/off, \
+         trace on/off and telemetry on/off",
         cancel_speedup,
         silo_cancel_speedup,
         wheel1.report.cells[0].label,
@@ -415,7 +484,9 @@ fn main() {
         audit1.audit_unattributed,
         trace_overhead,
         trace1.trace_events,
-        trace1.trace_dropped
+        trace1.trace_dropped,
+        telemetry_overhead,
+        telemetry1.telemetry_windows
     );
 
     let mut out = String::new();
@@ -482,9 +553,40 @@ fn main() {
         "  \"trace_events_retained\": {}, \"trace_events_evicted\": {},\n",
         trace1.trace_events, trace1.trace_dropped
     ));
+    out.push_str(&format!(
+        "  \"telemetry_wall_overhead\": {telemetry_overhead:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"telemetry_windows_recorded\": {},\n",
+        telemetry1.telemetry_windows
+    ));
+    // Per-tenant latency quantiles of the default engine's Silo cell
+    // (worst p99 first) — the JSON face of `--profile`'s histogram table.
+    out.push_str("  \"tenant_latency_us\": [\n");
+    for (i, &(t, msgs, p50, p90, p99, max)) in wheel1.tenant_latency.iter().take(8).enumerate() {
+        out.push_str(&format!(
+            "    {{\"tenant\": {t}, \"msgs\": {msgs}, \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}}{}\n",
+            p50 as f64 / 1e6,
+            p90 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            max as f64 / 1e6,
+            if i + 1 < wheel1.tenant_latency.len().min(8) { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"phases\": [\n");
     let phases = [
-        &heap1, &base1, &nodiet1, &wheel1, &wheeln, &shard1, &shardn, &spawned1, &audit1, &trace1,
+        &heap1,
+        &base1,
+        &nodiet1,
+        &wheel1,
+        &wheeln,
+        &shard1,
+        &shardn,
+        &spawned1,
+        &audit1,
+        &trace1,
+        &telemetry1,
     ];
     for (i, p) in phases.iter().enumerate() {
         for line in p.report.to_json().trim_end().lines() {

@@ -82,10 +82,14 @@ fn main() {
         if args.audit {
             cfg.audit = Some(AuditConfig::default());
         }
-        // Flight-record the ToR-outage scenario (the interesting one:
-        // fault markers, flush drops and recovery all in one window).
+        // Flight-record and/or telemeter the ToR-outage scenario (the
+        // interesting one: fault markers, flush drops, margin collapse
+        // and recovery all in one window).
         if args.trace_requested() && i == 1 {
             cfg.trace = Some(silo_simnet::TraceConfig::default());
+        }
+        if args.telemetry_requested() && i == 1 {
+            cfg.telemetry = Some(silo_simnet::TelemetryConfig::default());
         }
         Sim::new(topo.clone(), cfg, cell_tenants()).run()
     });
@@ -102,9 +106,16 @@ fn main() {
             );
         }
         if let Some(path) = &args.trace_perfetto {
-            std::fs::write(path, log.to_perfetto()).expect("write perfetto json");
+            // Telemetry on too? Splice its counter tracks (per-tenant
+            // goodput and guarantee margin) into the same timeline.
+            let json = log.to_perfetto_with_counters(results[1].telemetry.as_ref());
+            std::fs::write(path, json).expect("write perfetto json");
             println!("perfetto trace -> {path} (open at ui.perfetto.dev)");
         }
+    }
+    if let Some(log) = results[1].telemetry.as_ref() {
+        println!("telemetry scenario: {}", cells[1].label);
+        silo_bench::telemetryfile::write_telemetry_outputs(&args, log);
     }
 
     // With --audit, every scenario also ran under the invariant-audit

@@ -61,6 +61,9 @@ fn main() {
     if args.trace_requested() {
         cfg.trace = Some(TraceConfig::default());
     }
+    if args.telemetry_requested() {
+        cfg.telemetry = Some(silo_simnet::TelemetryConfig::default());
+    }
     let m = Sim::new(topo, cfg, vec![mk(0, c / 2), mk(1, c / 4)]).run();
     if let Some(log) = &m.trace {
         if let Some(path) = &args.trace {
@@ -68,9 +71,13 @@ fn main() {
             println!("trace: {} events -> {path}", log.events.len());
         }
         if let Some(path) = &args.trace_perfetto {
-            std::fs::write(path, log.to_perfetto()).expect("write perfetto json");
+            let json = log.to_perfetto_with_counters(m.telemetry.as_ref());
+            std::fs::write(path, json).expect("write perfetto json");
             println!("perfetto trace -> {path} (open at ui.perfetto.dev)");
         }
+    }
+    if let Some(log) = &m.telemetry {
+        silo_bench::telemetryfile::write_telemetry_outputs(&args, log);
     }
     // BulkAllToAll runs both directions; report per-direction goodput.
     println!(

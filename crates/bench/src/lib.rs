@@ -19,6 +19,7 @@ pub mod ns2;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod telemetryfile;
 pub mod tracefile;
 pub mod verify;
 
@@ -30,6 +31,10 @@ pub use runner::{
 };
 pub use scenario::{
     build_ns2_population, testbed_tenants, NsClass, NsTenant, PlacerKind, TestbedReq,
+};
+pub use telemetryfile::{
+    openmetrics_lint, parse_telemetry, render_top, telemetry_divergence, TelemetryDivergence,
+    TelemetryFile, TelemetryKind, TelemetryRow,
 };
 pub use tracefile::{
     check_perfetto, first_divergence, parse_jsonl, summarize, Divergence, Json, TraceFile, TraceRow,

@@ -94,6 +94,11 @@ pub struct EngineOpts {
     /// sizes). Pure observation like `audit`: physics stay
     /// byte-identical; the log lands in `Metrics::trace`.
     pub trace: bool,
+    /// Attach the windowed telemetry recorder (`SimConfig::telemetry`,
+    /// default 1 ms windows). Pure observation like `audit`/`trace`:
+    /// physics stay byte-identical; the log lands in
+    /// `Metrics::telemetry`.
+    pub telemetry: bool,
     /// Hot-path event diet (`SimConfig::coalesce_voids` +
     /// `SimConfig::elide_nic_pulls`). Off reproduces the pre-diet engine
     /// — one event per void chunk, one pull per batch boundary — for the
@@ -115,6 +120,7 @@ impl Default for EngineOpts {
             cancel_timers: true,
             audit: false,
             trace: false,
+            telemetry: false,
             coalesce: true,
             shards: 1,
             shard_threads: 1,
@@ -168,6 +174,9 @@ pub fn run_ns2_cell_with_engine(
     }
     if eng.trace {
         cfg.trace = Some(silo_simnet::TraceConfig::default());
+    }
+    if eng.telemetry {
+        cfg.telemetry = Some(silo_simnet::TelemetryConfig::default());
     }
     let specs = tenants.iter().map(|t| t.spec.clone()).collect();
     let m = Sim::new(topo, cfg, specs).run();

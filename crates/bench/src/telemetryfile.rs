@@ -1,0 +1,584 @@
+//! Reader side of the windowed-telemetry interchange formats: the
+//! `silo-telemetry-v1` JSONL loader, the first-divergence locator behind
+//! `silo-top diff`, the per-tenant margin/goodput renderer behind
+//! `silo-top show`, and a grammar lint for the OpenMetrics exposition.
+//! The JSON parser lives in [`silo_base::json`] and is re-exported from
+//! [`crate::tracefile`].
+
+use crate::tracefile::Json;
+use std::fmt::Write as _;
+
+/// What one JSONL row describes (the writer emits one global row per
+/// window, one row per tenant, and a sparse row per active port).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryKind {
+    Global {
+        wire_data: u64,
+        wire_void: u64,
+        faults: Vec<u64>,
+    },
+    Tenant {
+        tenant: u64,
+        goodput: u64,
+        completions: u64,
+        p99_ps: Option<u64>,
+        margin_min_ps: Option<i64>,
+        queue_wait_ps: u64,
+        token_wait_ps: u64,
+        rtos: u64,
+    },
+    Port {
+        port: u64,
+        busy_ps: u64,
+        tx_bytes: u64,
+        drops: u64,
+        ce: u64,
+        depth: u64,
+    },
+}
+
+/// One row of a silo-telemetry-v1 file. `raw` keeps the exact source
+/// line for byte-level diff reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRow {
+    pub w: u64,
+    pub kind: TelemetryKind,
+    pub raw: String,
+}
+
+/// A loaded silo-telemetry-v1 file: the header's geometry plus every row
+/// in file order.
+#[derive(Debug, Clone)]
+pub struct TelemetryFile {
+    pub interval_ps: u64,
+    pub windows: u64,
+    pub tenants: u64,
+    pub ports: u64,
+    pub port_labels: Vec<String>,
+    pub rows: Vec<TelemetryRow>,
+}
+
+/// Parse the JSONL interchange format ([`TelemetryLog::to_jsonl`]'s
+/// output): a header object, then window-ordered rows.
+///
+/// [`TelemetryLog::to_jsonl`]: silo_simnet::TelemetryLog::to_jsonl
+pub fn parse_telemetry(text: &str) -> Result<TelemetryFile, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty telemetry file")?;
+    let header = Json::parse(header_line).map_err(|e| format!("header: {e}"))?;
+    match header.get("format").and_then(Json::as_str) {
+        Some("silo-telemetry-v1") => {}
+        other => return Err(format!("not a silo-telemetry-v1 file (format: {other:?})")),
+    }
+    let field = |obj: &Json, line: usize, key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {line}: missing integer field '{key}'"))
+    };
+    let port_labels = header
+        .get("port_labels")
+        .and_then(Json::as_arr)
+        .ok_or("header: missing port_labels array")?
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "header: non-string port label".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut file = TelemetryFile {
+        interval_ps: field(&header, 1, "interval_ps")?,
+        windows: field(&header, 1, "windows")?,
+        tenants: field(&header, 1, "tenants")?,
+        ports: field(&header, 1, "ports")?,
+        port_labels,
+        rows: Vec::new(),
+    };
+    if file.port_labels.len() as u64 != file.ports {
+        return Err(format!(
+            "header claims {} ports but labels {}",
+            file.ports,
+            file.port_labels.len()
+        ));
+    }
+    let mut expect_w = 0u64; // rows arrive window-ordered
+    for (n, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = n + 2;
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let w = field(&v, lineno, "w")?;
+        if w >= file.windows {
+            return Err(format!(
+                "line {lineno}: window {w} outside header's {}",
+                file.windows
+            ));
+        }
+        if w < expect_w.saturating_sub(1) || w > expect_w {
+            return Err(format!("line {lineno}: window {w} out of order"));
+        }
+        expect_w = expect_w.max(w + 1);
+        // Optional sub-fields keep `null` distinct from a real sample.
+        let opt_u64 = |key: &str| v.get(key).and_then(Json::as_u64);
+        let opt_i64 = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .filter(|n| n.fract() == 0.0)
+                .map(|n| n as i64)
+        };
+        let kind = if let Some(tenant) = opt_u64("tenant") {
+            TelemetryKind::Tenant {
+                tenant,
+                goodput: field(&v, lineno, "goodput")?,
+                completions: field(&v, lineno, "completions")?,
+                p99_ps: opt_u64("p99_ps"),
+                margin_min_ps: opt_i64("margin_min_ps"),
+                queue_wait_ps: field(&v, lineno, "queue_wait_ps")?,
+                token_wait_ps: field(&v, lineno, "token_wait_ps")?,
+                rtos: field(&v, lineno, "rtos")?,
+            }
+        } else if let Some(port) = opt_u64("port") {
+            TelemetryKind::Port {
+                port,
+                busy_ps: field(&v, lineno, "busy_ps")?,
+                tx_bytes: field(&v, lineno, "tx_bytes")?,
+                drops: field(&v, lineno, "drops")?,
+                ce: field(&v, lineno, "ce")?,
+                depth: field(&v, lineno, "depth")?,
+            }
+        } else {
+            let faults = v
+                .get("faults")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("line {lineno}: global row without faults array"))?
+                .iter()
+                .map(|f| {
+                    f.as_u64()
+                        .ok_or_else(|| format!("line {lineno}: non-integer fault id"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            TelemetryKind::Global {
+                wire_data: field(&v, lineno, "wire_data")?,
+                wire_void: field(&v, lineno, "wire_void")?,
+                faults,
+            }
+        };
+        file.rows.push(TelemetryRow {
+            w,
+            kind,
+            raw: line.to_string(),
+        });
+    }
+    if expect_w != file.windows {
+        return Err(format!(
+            "header claims {} windows, file holds rows for {expect_w}",
+            file.windows
+        ));
+    }
+    Ok(file)
+}
+
+/// Where two telemetry files first part ways.
+#[derive(Debug, Clone)]
+pub struct TelemetryDivergence {
+    /// Row index (0-based into `rows`) of the first mismatch; equals the
+    /// shorter file's length when one file is a strict prefix.
+    pub index: usize,
+    pub left: Option<TelemetryRow>,
+    pub right: Option<TelemetryRow>,
+}
+
+impl TelemetryDivergence {
+    /// Human-readable report: which window and series split first, and
+    /// both files' raw view of that sample.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let at = |r: &Option<TelemetryRow>| match r {
+            Some(r) => {
+                let series = match &r.kind {
+                    TelemetryKind::Global { .. } => "global".to_string(),
+                    TelemetryKind::Tenant { tenant, .. } => format!("tenant {tenant}"),
+                    TelemetryKind::Port { port, .. } => format!("port {port}"),
+                };
+                format!("window {}  {series}", r.w)
+            }
+            None => "<end of file>".to_string(),
+        };
+        let _ = writeln!(out, "first divergent sample: row {}", self.index);
+        let _ = writeln!(out, "  left:  {}", at(&self.left));
+        let _ = writeln!(out, "  right: {}", at(&self.right));
+        if let (Some(l), Some(r)) = (&self.left, &self.right) {
+            let _ = writeln!(out, "  left raw:  {}", l.raw);
+            let _ = writeln!(out, "  right raw: {}", r.raw);
+        }
+        out
+    }
+}
+
+/// Locate the first sample where two telemetry files disagree
+/// (byte-level on the canonical row encoding). `None` means identical —
+/// including the headers' geometry, which is checked first.
+pub fn telemetry_divergence(
+    a: &TelemetryFile,
+    b: &TelemetryFile,
+) -> Result<Option<TelemetryDivergence>, String> {
+    if (a.interval_ps, a.windows, a.tenants, a.ports)
+        != (b.interval_ps, b.windows, b.tenants, b.ports)
+    {
+        return Err(format!(
+            "incomparable geometries: {}x{} ps / {} tenants / {} ports vs {}x{} ps / {} tenants / {} ports",
+            a.windows, a.interval_ps, a.tenants, a.ports,
+            b.windows, b.interval_ps, b.tenants, b.ports
+        ));
+    }
+    let n = a.rows.len().min(b.rows.len());
+    for i in 0..n {
+        if a.rows[i].raw != b.rows[i].raw {
+            return Ok(Some(TelemetryDivergence {
+                index: i,
+                left: Some(a.rows[i].clone()),
+                right: Some(b.rows[i].clone()),
+            }));
+        }
+    }
+    if a.rows.len() != b.rows.len() {
+        return Ok(Some(TelemetryDivergence {
+            index: n,
+            left: a.rows.get(n).cloned(),
+            right: b.rows.get(n).cloned(),
+        }));
+    }
+    Ok(None)
+}
+
+fn us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// `silo-top show`: per-tenant guarantee headlines, then the per-window
+/// margin/goodput table for every tenant. Fault-overlapped windows are
+/// tagged in the rightmost column; a `!` margin marks a violation (the
+/// window's worst completion finished past its bound).
+pub fn render_top(f: &TelemetryFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} windows x {:.3} ms  |  {} tenants, {} ports",
+        f.windows,
+        f.interval_ps as f64 / 1e9,
+        f.tenants,
+        f.ports
+    );
+    // Gather per-window fault tags and per-tenant series from the rows.
+    let mut faults: Vec<Vec<u64>> = vec![Vec::new(); f.windows as usize];
+    for r in &f.rows {
+        if let TelemetryKind::Global { faults: fs, .. } = &r.kind {
+            faults[r.w as usize] = fs.clone();
+        }
+    }
+    for t in 0..f.tenants {
+        let series: Vec<&TelemetryRow> = f
+            .rows
+            .iter()
+            .filter(|r| matches!(&r.kind, TelemetryKind::Tenant { tenant, .. } if *tenant == t))
+            .collect();
+        let mut goodput = 0u64;
+        let mut compl = 0u64;
+        let mut rtos = 0u64;
+        let mut min_margin: Option<i64> = None;
+        let mut violated = 0u64;
+        for r in &series {
+            if let TelemetryKind::Tenant {
+                goodput: g,
+                completions: c,
+                margin_min_ps,
+                rtos: rt,
+                ..
+            } = &r.kind
+            {
+                goodput += g;
+                compl += c;
+                rtos += rt;
+                if let Some(m) = margin_min_ps {
+                    min_margin = Some(min_margin.map_or(*m, |p| p.min(*m)));
+                    if *m < 0 {
+                        violated += 1;
+                    }
+                }
+            }
+        }
+        let margin = match min_margin {
+            Some(m) => format!("min margin {:.1} us", m as f64 / 1e6),
+            None => "no delay guarantee".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "tenant {t}: {compl} msgs  {:.3} MB  {margin}  violated windows {violated}  rtos {rtos}",
+            goodput as f64 / 1e6
+        );
+    }
+    for t in 0..f.tenants {
+        let _ = writeln!(
+            out,
+            "tenant {t}\n{:>5} {:>12} {:>7} {:>11} {:>12} {:>11} {:>11}  flags",
+            "w", "goodput", "compl", "p99_us", "margin_us", "q_wait_us", "t_wait_us"
+        );
+        for r in &f.rows {
+            let TelemetryKind::Tenant {
+                tenant,
+                goodput,
+                completions,
+                p99_ps,
+                margin_min_ps,
+                queue_wait_ps,
+                token_wait_ps,
+                rtos,
+            } = &r.kind
+            else {
+                continue;
+            };
+            if *tenant != t {
+                continue;
+            }
+            let p99 = p99_ps.map_or("-".to_string(), |p| format!("{:.1}", us(p)));
+            let margin = margin_min_ps.map_or("-".to_string(), |m| {
+                format!("{}{:.1}", if m < 0 { "!" } else { "" }, m as f64 / 1e6)
+            });
+            let mut flags = String::new();
+            if !faults[r.w as usize].is_empty() {
+                let ids: Vec<String> = faults[r.w as usize].iter().map(u64::to_string).collect();
+                flags.push_str(&format!("fault[{}]", ids.join(",")));
+            }
+            if *rtos > 0 {
+                if !flags.is_empty() {
+                    flags.push(' ');
+                }
+                flags.push_str(&format!("rto x{rtos}"));
+            }
+            let _ = writeln!(
+                out,
+                "{:>5} {:>12} {:>7} {:>11} {:>12} {:>11.1} {:>11.1}  {flags}",
+                r.w,
+                goodput,
+                completions,
+                p99,
+                margin,
+                us(*queue_wait_ps),
+                us(*token_wait_ps)
+            );
+        }
+    }
+    out
+}
+
+/// Write the exports requested by `--telemetry` /
+/// `--telemetry-openmetrics` from a finished recording and announce the
+/// paths on stdout — the shared tail of every Args binary that records
+/// telemetry.
+pub fn write_telemetry_outputs(args: &crate::Args, log: &silo_simnet::TelemetryLog) {
+    if let Some(path) = &args.telemetry {
+        std::fs::write(path, log.to_jsonl()).expect("write telemetry jsonl");
+        println!(
+            "telemetry: {} windows x {:.3} ms -> {path} (inspect with silo-top)",
+            log.windows,
+            log.interval.as_ps() as f64 / 1e9
+        );
+    }
+    if let Some(path) = &args.telemetry_openmetrics {
+        std::fs::write(path, log.to_openmetrics()).expect("write openmetrics text");
+        println!("openmetrics exposition -> {path}");
+    }
+}
+
+/// Grammar lint of an OpenMetrics text exposition
+/// ([`TelemetryLog::to_openmetrics`]'s output): every family declares
+/// `# HELP` then `# TYPE ... gauge` before its samples, every sample
+/// line parses as `name[{label="v"}] value timestamp`, and the file ends
+/// with the mandatory `# EOF` terminator.
+///
+/// [`TelemetryLog::to_openmetrics`]: silo_simnet::TelemetryLog::to_openmetrics
+pub fn openmetrics_lint(text: &str) -> Result<usize, String> {
+    if !text.ends_with("# EOF\n") {
+        return Err("missing '# EOF' terminator".into());
+    }
+    let mut declared: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    let mut samples = 0usize;
+    let total_lines = text.lines().count();
+    for (n, line) in text.lines().enumerate() {
+        let lineno = n + 1;
+        if line == "# EOF" {
+            if n + 1 != total_lines {
+                return Err(format!("line {lineno}: content after # EOF"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default();
+            if name.is_empty() || rest.len() == name.len() {
+                return Err(format!("line {lineno}: HELP without name and text"));
+            }
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (name, ty) = (
+                parts.next().unwrap_or_default(),
+                parts.next().unwrap_or_default(),
+            );
+            if ty != "gauge" {
+                return Err(format!("line {lineno}: unsupported metric type '{ty}'"));
+            }
+            if pending_help.take().as_deref() != Some(name) {
+                return Err(format!("line {lineno}: TYPE for '{name}' without its HELP"));
+            }
+            declared.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: unknown comment line"));
+        }
+        // Sample: name[{label="value"}] value timestamp
+        let (series, rest) = match line.find(' ') {
+            Some(i) => (&line[..i], &line[i + 1..]),
+            None => return Err(format!("line {lineno}: sample without value")),
+        };
+        let name = series.split('{').next().unwrap_or_default();
+        if !declared.iter().any(|d| d == name) {
+            return Err(format!(
+                "line {lineno}: sample for undeclared family '{name}'"
+            ));
+        }
+        if let Some(labels) = series.strip_prefix(name) {
+            let well_formed = labels.is_empty()
+                || (labels.starts_with('{')
+                    && labels.ends_with('}')
+                    && labels.contains("=\"")
+                    && labels[1..labels.len() - 1].ends_with('"'));
+            if !well_formed {
+                return Err(format!("line {lineno}: malformed label set '{labels}'"));
+            }
+        }
+        let mut parts = rest.split(' ');
+        let (value, ts) = (
+            parts.next().unwrap_or_default(),
+            parts.next().unwrap_or_default(),
+        );
+        if parts.next().is_some() {
+            return Err(format!("line {lineno}: trailing fields after timestamp"));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: non-numeric value '{value}'"));
+        }
+        if ts.parse::<f64>().is_err() || !ts.contains('.') {
+            return Err(format!(
+                "line {lineno}: timestamp '{ts}' is not fixed-point seconds"
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".into());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(goodput0: u64) -> String {
+        let mut s = String::from(
+            "{\"format\":\"silo-telemetry-v1\",\"interval_ps\":1000000000,\"windows\":2,\"tenants\":1,\"ports\":2,\"port_labels\":[\"nic_p0\",\"sw_p0\"]}\n",
+        );
+        for w in 0..2u64 {
+            s.push_str(&format!(
+                "{{\"w\":{w},\"wire_data\":10,\"wire_void\":0,\"faults\":[]}}\n"
+            ));
+            s.push_str(&format!(
+                "{{\"w\":{w},\"tenant\":0,\"goodput\":{},\"completions\":1,\"p99_ps\":500000,\"margin_min_ps\":-250,\"queue_wait_ps\":7,\"token_wait_ps\":0,\"rtos\":0}}\n",
+                if w == 0 { goodput0 } else { 5 }
+            ));
+        }
+        s.push_str("{\"w\":1,\"port\":1,\"busy_ps\":9,\"tx_bytes\":100,\"drops\":0,\"ce\":0,\"depth\":3}\n");
+        s
+    }
+
+    #[test]
+    fn parse_types_every_row_shape() {
+        let f = parse_telemetry(&mini(42)).unwrap();
+        assert_eq!(f.windows, 2);
+        assert_eq!(f.port_labels, vec!["nic_p0", "sw_p0"]);
+        assert_eq!(f.rows.len(), 5);
+        assert!(matches!(
+            f.rows[1].kind,
+            TelemetryKind::Tenant {
+                goodput: 42,
+                margin_min_ps: Some(-250),
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.rows[4].kind,
+            TelemetryKind::Port { depth: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn header_geometry_is_enforced() {
+        let truncated: String = mini(42).lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(parse_telemetry(&truncated).unwrap_err().contains("windows"));
+        assert!(parse_telemetry("").is_err());
+        assert!(parse_telemetry("{\"format\":\"silo-trace-v1\"}\n").is_err());
+    }
+
+    #[test]
+    fn diff_locates_first_divergent_sample() {
+        let a = parse_telemetry(&mini(42)).unwrap();
+        let b = parse_telemetry(&mini(43)).unwrap();
+        assert!(telemetry_divergence(&a, &a).unwrap().is_none());
+        let d = telemetry_divergence(&a, &b).unwrap().expect("diverges");
+        assert_eq!(d.index, 1);
+        assert!(d.report().contains("window 0  tenant 0"));
+    }
+
+    #[test]
+    fn incomparable_geometries_error_out() {
+        let a = parse_telemetry(&mini(42)).unwrap();
+        let mut b = parse_telemetry(&mini(42)).unwrap();
+        b.interval_ps += 1;
+        assert!(telemetry_divergence(&a, &b).is_err());
+    }
+
+    #[test]
+    fn render_top_headlines_margin_and_flags_violations() {
+        let f = parse_telemetry(&mini(42)).unwrap();
+        let top = render_top(&f);
+        assert!(top.contains("tenant 0: 2 msgs"));
+        assert!(top.contains("min margin -0.0 us"));
+        assert!(top.contains("violated windows 2"));
+        assert!(top.contains("!-0.0"), "violation flag: {top}");
+    }
+
+    #[test]
+    fn openmetrics_lint_accepts_the_grammar_and_rejects_breakage() {
+        let good = "# HELP silo_goodput_bytes help text\n# TYPE silo_goodput_bytes gauge\nsilo_goodput_bytes{tenant=\"0\"} 42 0.001000\n# EOF\n";
+        assert_eq!(openmetrics_lint(good), Ok(1));
+        assert!(openmetrics_lint("silo_x 1 0.1\n# EOF\n")
+            .unwrap_err()
+            .contains("undeclared"));
+        assert!(openmetrics_lint(&good.replace("# EOF\n", ""))
+            .unwrap_err()
+            .contains("EOF"));
+        assert!(openmetrics_lint(&good.replace(" 0.001000", ""))
+            .unwrap_err()
+            .contains("timestamp"));
+        assert!(
+            openmetrics_lint(&good.replace("# TYPE silo_goodput_bytes gauge\n", ""))
+                .unwrap_err()
+                .contains("undeclared")
+        );
+    }
+}

@@ -285,11 +285,31 @@ pub fn check_perfetto(
                     fault_markers += 1;
                 }
             }
+            "C" => {
+                // Telemetry counter samples: need a timestamp and at
+                // least one numeric arg (the counter value).
+                let ts_ok = match e.get("ts") {
+                    Some(Json::Num(_)) => true,
+                    Some(Json::Str(s)) => s.parse::<f64>().is_ok(),
+                    _ => false,
+                };
+                if !ts_ok {
+                    return Err(format!("event {i}: counter without numeric ts"));
+                }
+                match e.get("args") {
+                    Some(Json::Obj(kv)) if !kv.is_empty() => {}
+                    _ => return Err(format!("event {i}: counter without args")),
+                }
+            }
             other => return Err(format!("event {i}: unknown ph '{other}'")),
         }
     }
-    if process_names != 3 {
-        return Err(format!("expected 3 process tracks, found {process_names}"));
+    // 3 recorder tracks, plus a 4th when telemetry counters are spliced
+    // in (`to_perfetto_with_counters`).
+    if process_names != 3 && process_names != 4 {
+        return Err(format!(
+            "expected 3 or 4 process tracks, found {process_names}"
+        ));
     }
     if spans == 0 {
         return Err("no duration spans in trace".into());

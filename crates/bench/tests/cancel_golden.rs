@@ -27,6 +27,8 @@ fn small_args() -> Args {
         no_coalesce: false,
         shards: 1,
         shard_threads: 1,
+        telemetry: None,
+        telemetry_openmetrics: None,
     }
 }
 

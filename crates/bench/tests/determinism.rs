@@ -48,6 +48,8 @@ fn small_args(threads: usize) -> Args {
         no_coalesce: false,
         shards: 1,
         shard_threads: 1,
+        telemetry: None,
+        telemetry_openmetrics: None,
     }
 }
 

@@ -1,0 +1,182 @@
+//! Golden tests for `silo-top`: the telemetry diff must pinpoint *the
+//! exact window and series* where two almost-identical runs part ways —
+//! a perturbed fault schedule diverges in the window holding the fault
+//! edge, and a seed change diverges exactly where a by-hand scan says it
+//! does. Plus the `show` renderer's headlines and the OpenMetrics lint
+//! against real exports, and the Perfetto counter splice validating
+//! alongside the flight recorder's spans.
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use silo_bench::telemetryfile::{
+    openmetrics_lint, parse_telemetry, render_top, telemetry_divergence, TelemetryKind,
+};
+use silo_bench::tracefile::check_perfetto;
+use silo_simnet::{
+    FaultPlan, Metrics, Sim, SimConfig, TelemetryConfig, TenantSpec, TenantWorkload, TraceConfig,
+    TransportMode,
+};
+use silo_topology::{HostId, Topology, TreeParams};
+
+fn topo() -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 1,
+        servers_per_rack: 2,
+        vm_slots_per_server: 2,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 1.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![TenantSpec {
+        vm_hosts: vec![HostId(0), HostId(1)],
+        b: Rate::from_mbps(500),
+        s: Bytes::from_kb(15),
+        bmax: Rate::from_gbps(1),
+        prio: 0,
+        // A delay guarantee so the margin series populates.
+        delay: Some(Dur::from_ms(1)),
+        // Poisson draws make the schedule seed-sensitive (the seed-change
+        // golden test depends on it).
+        workload: TenantWorkload::OldiAllToOne {
+            msg_mean: Bytes::from_kb(15),
+            interval: Dur::from_ms(2),
+        },
+    }]
+}
+
+fn telemetered_run(seed: u64, faults: FaultPlan, trace: bool) -> Metrics {
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(20), seed);
+    cfg.faults = faults;
+    cfg.telemetry = Some(TelemetryConfig::default());
+    if trace {
+        cfg.trace = Some(TraceConfig::default());
+    }
+    Sim::new(topo(), cfg, tenants()).run()
+}
+
+fn jsonl(seed: u64, faults: FaultPlan) -> String {
+    telemetered_run(seed, faults, false)
+        .telemetry
+        .expect("telemetered run")
+        .to_jsonl()
+}
+
+#[test]
+fn identical_runs_have_no_divergence() {
+    let a = parse_telemetry(&jsonl(7, FaultPlan::new())).expect("parse");
+    let b = parse_telemetry(&jsonl(7, FaultPlan::new())).expect("parse");
+    assert!(telemetry_divergence(&a, &b).expect("comparable").is_none());
+}
+
+#[test]
+fn perturbed_fault_schedule_diverges_in_the_fault_window() {
+    // Same seed, same physics until t = 10 ms — then run A's link dies
+    // 200 µs earlier than run B's. The first divergent sample must land
+    // in window 9 or 10 (the windows the perturbation straddles), never
+    // earlier.
+    let t0 = Time::from_ms(10);
+    let t1 = Time::from_ms(15);
+    let a = parse_telemetry(&jsonl(7, FaultPlan::new().link_down(t0, Some(t1), 0))).expect("parse");
+    let b = parse_telemetry(&jsonl(
+        7,
+        FaultPlan::new().link_down(t0 - Dur::from_us(200), Some(t1), 0),
+    ))
+    .expect("parse");
+    let d = telemetry_divergence(&a, &b)
+        .expect("comparable")
+        .expect("series must diverge");
+    assert!(d.index > 0, "runs agree before the perturbation");
+    let left = d.left.as_ref().expect("both files cover the window");
+    assert!(
+        left.w == 9 || left.w == 10,
+        "divergence must sit in the perturbed fault's window, got {}",
+        left.w
+    );
+    for r in &a.rows[..d.index] {
+        assert!(r.w <= left.w, "no earlier window may differ");
+    }
+    let report = d.report();
+    assert!(report.contains(&format!("window {}", left.w)));
+    assert!(report.contains("left raw:"));
+}
+
+#[test]
+fn seed_change_diverges_exactly_where_a_hand_scan_says() {
+    let a = parse_telemetry(&jsonl(7, FaultPlan::new())).expect("parse");
+    let b = parse_telemetry(&jsonl(8, FaultPlan::new())).expect("parse");
+    let d = telemetry_divergence(&a, &b)
+        .expect("comparable")
+        .expect("different seeds diverge");
+    let hand = a
+        .rows
+        .iter()
+        .zip(b.rows.iter())
+        .position(|(x, y)| x.raw != y.raw)
+        .unwrap_or_else(|| a.rows.len().min(b.rows.len()));
+    assert_eq!(d.index, hand, "diff must agree with an exhaustive scan");
+}
+
+#[test]
+fn show_renders_margins_and_fault_flags() {
+    let f = parse_telemetry(&jsonl(
+        7,
+        FaultPlan::new().link_down(Time::from_ms(8), Some(Time::from_ms(12)), 0),
+    ))
+    .expect("parse");
+    let top = render_top(&f);
+    assert!(top.contains("20 windows x 1.000 ms"), "{top}");
+    assert!(
+        top.contains("min margin"),
+        "guaranteed tenant headline: {top}"
+    );
+    assert!(
+        top.contains("fault[0]"),
+        "outage windows must be flagged: {top}"
+    );
+    // The flagged windows are exactly the grid windows the fault overlaps.
+    let fault_rows: Vec<u64> = f
+        .rows
+        .iter()
+        .filter_map(|r| match &r.kind {
+            TelemetryKind::Global { faults, .. } if !faults.is_empty() => Some(r.w),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fault_rows, vec![8, 9, 10, 11, 12]);
+}
+
+#[test]
+fn openmetrics_export_passes_the_lint() {
+    let m = telemetered_run(7, FaultPlan::new(), false);
+    let om = m.telemetry.expect("telemetered run").to_openmetrics();
+    let samples = openmetrics_lint(&om).expect("export must satisfy its own grammar");
+    assert!(
+        samples > 100,
+        "20 windows of series should emit plenty of samples"
+    );
+}
+
+#[test]
+fn perfetto_counter_splice_stays_structurally_valid() {
+    let m = telemetered_run(
+        7,
+        FaultPlan::new().link_down(Time::from_ms(8), Some(Time::from_ms(12)), 0),
+        true,
+    );
+    let tel = m.telemetry.as_ref().expect("telemetered run");
+    let trace = m.trace.as_ref().expect("traced run");
+    let spliced = trace.to_perfetto_with_counters(Some(tel));
+    check_perfetto(&spliced, true, true).expect("splice keeps the export valid");
+    assert!(spliced.contains("\"ph\":\"C\""), "counter tracks present");
+    assert!(spliced.contains("telemetry counters"));
+    // Counter events are additive: the splice never rewrites the
+    // recorder's own stream.
+    let plain = trace.to_perfetto();
+    assert!(spliced.len() > plain.len());
+}

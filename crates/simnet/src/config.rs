@@ -3,6 +3,7 @@
 
 use crate::audit::AuditConfig;
 use crate::faults::FaultPlan;
+use crate::telemetry::TelemetryConfig;
 use crate::trace::TraceConfig;
 use silo_base::{Bytes, Dur, QueueBackend, Rate};
 use silo_topology::HostId;
@@ -233,6 +234,13 @@ pub struct SimConfig {
     /// [`crate::Metrics::trace`]. Same discipline as `audit`: pure
     /// observation, physical outputs byte-identical either way.
     pub trace: Option<TraceConfig>,
+    /// Windowed telemetry ([`TelemetryConfig`]). `None` (the default)
+    /// records nothing; `Some` samples per-tenant/per-port time series on
+    /// a fixed sim-time grid plus a wall-clock engine self-profile,
+    /// exported via [`crate::Metrics::telemetry`]. Same discipline as
+    /// `audit`/`trace`: pure observation, physical outputs byte-identical
+    /// either way.
+    pub telemetry: Option<TelemetryConfig>,
     /// Cap on retained per-message records in [`crate::Metrics`]. `None`
     /// (the default) keeps every record — fine for experiment runs that
     /// post-process them, unbounded memory for long sweeps. `Some(cap)`
@@ -278,6 +286,7 @@ impl SimConfig {
             faults: FaultPlan::default(),
             audit: None,
             trace: None,
+            telemetry: None,
             msg_record_cap: None,
         }
     }

@@ -34,6 +34,7 @@ pub mod packet;
 pub mod port;
 pub mod sim;
 pub mod tcp;
+pub mod telemetry;
 pub mod trace;
 
 pub use audit::{AuditConfig, AuditKind, AuditReport, AuditViolation};
@@ -41,4 +42,5 @@ pub use config::{SimConfig, TenantSpec, TenantWorkload, TransportMode};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, PlanBounds, FAULTPLAN_FORMAT};
 pub use metrics::{EvKind, EventProfile, FaultWindow, Metrics, MsgRecord, TenantStats, Violation};
 pub use sim::Sim;
+pub use telemetry::{SelfProfile, TelemetryConfig, TelemetryLog, TelemetrySink, TenantWindow};
 pub use trace::{PktTag, TraceConfig, TraceEvent, TraceKind, TraceLog};

@@ -1,6 +1,7 @@
 //! Simulation results: per-message records and per-tenant aggregates.
 
 use crate::audit::AuditReport;
+use crate::telemetry::TelemetryLog;
 use crate::trace::TraceLog;
 use silo_base::{Dur, LogHistogram, Summary, Time};
 
@@ -250,6 +251,10 @@ pub struct Metrics {
     /// Same serialization discipline as `audit`: never part of the
     /// fingerprint (it has its own exporters — see [`TraceLog`]).
     pub trace: Option<TraceLog>,
+    /// Windowed telemetry; `Some` iff the run set `SimConfig::telemetry`.
+    /// Same serialization discipline as `audit`/`trace`: never part of
+    /// the fingerprint (it has its own exporters — see [`TelemetryLog`]).
+    pub telemetry: Option<TelemetryLog>,
     /// Every message ever completed, including those dropped by
     /// `SimConfig::msg_record_cap`. Equals `messages.len()` when no cap
     /// is set. Excluded from the serializations (engine bookkeeping).

@@ -10,6 +10,7 @@ use crate::metrics::{
 use crate::packet::{Packet, PathId, PktArena, PktId, PktKind};
 use crate::port::{Enqueue, PhantomQueue, PortState};
 use crate::tcp::{MsgBound, TcpConn};
+use crate::telemetry::TelemetrySink;
 use crate::trace::{PktMeta, PktTag, TraceSink};
 use rand::rngs::StdRng;
 use silo_base::{
@@ -192,6 +193,11 @@ pub struct Sim {
     /// Flight recorder (`Some` iff `cfg.trace` is set). Same discipline
     /// as `audit`: pure observation, zero behavioural effect.
     trace: Option<TraceSink>,
+    /// Windowed telemetry recorder (`Some` iff `cfg.telemetry` is set).
+    /// Same discipline as `audit`/`trace`: pure observation — its
+    /// sim-time series are derived from values the engine already
+    /// computed, and its self-profile reads only the host wall clock.
+    telemetry: Option<TelemetrySink>,
 }
 
 impl Sim {
@@ -368,6 +374,12 @@ impl Sim {
             )
         });
         let trace = cfg.trace.as_ref().map(|tc| TraceSink::new(tc, num_hosts));
+        let telemetry = cfg.telemetry.as_ref().map(|tc| {
+            // The queue's own wall-clock profile rides along with the
+            // engine self-profile (both pure observation).
+            events.enable_profile();
+            TelemetrySink::new(tc, cfg.duration, ntenants, ports.len(), part.shards())
+        });
         Sim {
             topo,
             cfg,
@@ -403,6 +415,7 @@ impl Sim {
             tenant_up: vec![true; ntenants],
             audit,
             trace,
+            telemetry,
             // ACKs are modeled as a zero-cost control channel. Charging
             // their ~4% wire share would structurally oversubscribe NICs
             // whose capacity admission filled with data guarantees — an
@@ -1043,6 +1056,13 @@ impl Sim {
                 t.rto_fire(armed, now, host, conn, tenant);
             }
         }
+        if self.telemetry.is_some() {
+            let tenant = self.conns[conn as usize].tenant;
+            let now = self.now;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.rto(now, tenant);
+            }
+        }
         let mss = self.cfg.mss() as f64;
         self.conns[conn as usize].on_rto(mss);
         // Go-back-N: nxt was rewound; try_send re-emits from una.
@@ -1092,6 +1112,13 @@ impl Sim {
                 let now = self.now;
                 if let Some(t) = self.trace.as_mut() {
                     t.token_wait(now, vm, stamp - now, m);
+                }
+            }
+            if self.telemetry.is_some() && pkt.kind == PktKind::Data && stamp > self.now {
+                let tenant = self.vms[vm as usize].tenant;
+                let (now, wait) = (self.now, stamp - self.now);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.token_wait(now, tenant, wait);
                 }
             }
             let host = self.vms[vm as usize].host.0 as usize;
@@ -1242,6 +1269,16 @@ impl Sim {
         self.nics[h].busy_until = batch.done_at;
         self.metrics.wire_data_bytes += batch.data_bytes().as_u64();
         self.metrics.wire_void_bytes += batch.void_bytes().as_u64();
+        if self.telemetry.is_some() {
+            let (now, data, void) = (
+                self.now,
+                batch.data_bytes().as_u64(),
+                batch.void_bytes().as_u64(),
+            );
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.wire_bytes(now, data, void);
+            }
+        }
         // NIC wire accounting on the host's uplink port (utilization).
         let up = PortId::up(self.topo.host_link(HostId(host))).0 as usize;
         self.ports[up].busy_time += batch.done_at - batch.frames[0].start;
@@ -1402,6 +1439,10 @@ impl Sim {
                 }
             }
         }
+        if let Some(tel) = self.telemetry.as_mut() {
+            let mark_ce = matches!(decision, Enqueue::Accepted { mark_ce: true });
+            tel.port_enqueue(now, port.0 as usize, queued, accepted, mark_ce);
+        }
         if !accepted {
             self.metrics.drops += 1;
             self.arena.free(id);
@@ -1450,6 +1491,27 @@ impl Sim {
             let wait = now.since(self.arena[id].enq_at);
             if let Some(t) = self.trace.as_mut() {
                 t.wire_start(now, port.0, t_free - now, wait, m);
+            }
+        }
+        if self.telemetry.is_some() {
+            let queued_after = self.ports[port.0 as usize].queued_bytes;
+            let wait = now.since(self.arena[id].enq_at);
+            let is_data = self.arena[id].kind == PktKind::Data;
+            let tenant = self.conns[self.arena[id].conn as usize].tenant;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.port_tx(
+                    now,
+                    port.0 as usize,
+                    t_free - now,
+                    size.as_u64(),
+                    queued_after,
+                );
+                if is_data {
+                    // Head-of-line wait attribution, data packets only —
+                    // the trace layer's `wire_start` wait, summed per
+                    // tenant per window.
+                    tel.queue_wait(now, tenant, wait);
+                }
             }
         }
         // The PortFree is always materialized, even when nothing is queued
@@ -1545,6 +1607,12 @@ impl Sim {
             (done, c.dst_vm, c.src_vm, c.prio, c.rpath, c.tenant, adv)
         };
         self.vms[dst_vm as usize].rx_epoch_bytes += adv;
+        if adv > 0 {
+            let now = self.now;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.goodput(now, tenant, adv);
+            }
+        }
         let same_host = self.conns[conn as usize].src_host == self.conns[conn as usize].dst_host;
         let dst_host = self.conns[conn as usize].dst_host.0;
         for m in &completions {
@@ -1573,11 +1641,19 @@ impl Sim {
                     ts.msg_done(created, now, dst_host, tenant, size);
                 }
             }
+            let bound_opt = self.tenants[tenant as usize].latency_bound(Bytes(m.size));
+            if self.telemetry.is_some() {
+                let now = self.now;
+                let margin = bound_opt.map(|b| b.as_ps() as i64 - latency.as_ps() as i64);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.msg_done(now, tenant, latency.as_ps(), margin);
+                }
+            }
             // Guarantee check: a tenant with a delay guarantee must see
             // every message inside its §4.1 bound; anything late is a
             // violation, attributed to an overlapping fault if one is
             // scheduled. (`delay: None` — all legacy configs — skips.)
-            if let Some(bound) = self.tenants[tenant as usize].latency_bound(Bytes(m.size)) {
+            if let Some(bound) = bound_opt {
                 if latency > bound {
                     let fault = self.attribute_fault(m.created, self.now);
                     self.metrics.violations.push(Violation {
@@ -1984,6 +2060,12 @@ impl Sim {
                 }
                 self.arena.free(q.id);
             }
+            if self.telemetry.is_some() {
+                let queued_now = self.ports[p].queued_bytes;
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.port_flush(now, p, queued_now);
+                }
+            }
         }
     }
 
@@ -2211,13 +2293,28 @@ impl Sim {
             }
         }
         let horizon = Time::ZERO + self.cfg.duration;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.wall_start();
+        }
         while let Some((t, ev)) = self.events.pop() {
             if t > horizon {
                 break;
             }
             self.now = t;
             self.metrics.events_processed += 1;
-            self.profile.fired[ev.kind() as usize] += 1;
+            let kind = ev.kind() as usize;
+            self.profile.fired[kind] += 1;
+            // Sampled dispatch self-profile: every 64th event pays two
+            // clock reads, attributed to the owning shard by the same map
+            // that routes the event. Wall-clock only — never sim state.
+            let ticked = self
+                .telemetry
+                .as_mut()
+                .is_some_and(|tel| tel.dispatch_tick());
+            let sample = ticked.then(|| {
+                let shard = if self.sharded { self.ev_owner(&ev) } else { 0 };
+                (shard, std::time::Instant::now())
+            });
             match ev {
                 Ev::Arrive(id) => self.on_arrive(id),
                 Ev::PortFree(p) => self.on_port_free(p),
@@ -2241,6 +2338,15 @@ impl Sim {
                 Ev::FaultStart(i) => self.on_fault_start(i),
                 Ev::FaultEnd(i) => self.on_fault_end(i),
             }
+            if let Some((shard, t0)) = sample {
+                let ns = t0.elapsed().as_nanos() as u64;
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.dispatch_span(kind, shard, ns);
+                }
+            }
+        }
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.wall_end();
         }
     }
 
@@ -2307,7 +2413,7 @@ impl Sim {
             let early: u64 = self.nics.iter().map(|n| n.batcher.early_releases()).sum();
             self.metrics.audit = Some(a.finish(early));
         }
-        if let Some(ts) = self.trace.take() {
+        if self.trace.is_some() || self.telemetry.is_some() {
             // Port labels: switch/NIC ports first (matching PortId), then
             // the per-host vswitch loopbacks appended by `Sim::new`.
             let mut labels: Vec<String> = (0..self.topo.num_ports())
@@ -2322,11 +2428,18 @@ impl Sim {
             for h in 0..self.topo.num_hosts() {
                 labels.push(format!("lo_h{h}"));
             }
-            self.metrics.trace = Some(ts.finish(
-                labels,
-                self.metrics.fault_windows.clone(),
-                self.tenants.len(),
-            ));
+            if let Some(ts) = self.trace.take() {
+                self.metrics.trace = Some(ts.finish(
+                    labels.clone(),
+                    self.metrics.fault_windows.clone(),
+                    self.tenants.len(),
+                ));
+            }
+            if let Some(tel) = self.telemetry.take() {
+                let qprof = self.events.profile();
+                self.metrics.telemetry =
+                    Some(tel.finish(labels, &self.metrics.fault_windows, qprof));
+            }
         }
         self.metrics.clone()
     }

@@ -1,0 +1,925 @@
+//! Windowed telemetry: deterministic time-series of how close every
+//! tenant ran to its guarantee, plus a wall-clock self-profile of the
+//! engine itself.
+//!
+//! The end-of-run [`crate::Metrics`] totals say *whether* a tenant met
+//! its `{B, S, d}` bound; the flight recorder says what one packet did.
+//! Neither shows the *trajectory* — how the guarantee margin eroded as a
+//! fault window opened, or which windows burned the margin on queueing
+//! versus pacer token waits. [`TelemetrySink`] samples that trajectory on
+//! a fixed sim-time grid (`TelemetryConfig::interval`, default 1 ms):
+//!
+//! * **per tenant, per window** — goodput bytes, message completions,
+//!   p99-within-window latency (via a per-window [`LogHistogram`]), the
+//!   minimum guarantee margin `d_bound − latency` over the window's
+//!   completions, and the window's wait attribution: switch-queue
+//!   head-of-line wait vs pacer token wait (the same two causes the
+//!   flight recorder distinguishes), with realized fault windows mapped
+//!   onto the grid at the end of the run;
+//! * **per port, per window** — busy time of transmissions started in
+//!   the window, tx bytes, tail drops, CE marks, and the queue depth at
+//!   the window edge (the last depth observed before the boundary);
+//! * **globally, per window** — wire data/void bytes from the pacer's
+//!   NIC batches.
+//!
+//! Same discipline as `audit` and `trace`: the sink is pure observation.
+//! It never mutates engine state, draws randomness, or schedules events,
+//! so a telemetry-on run is byte-identical to a telemetry-off run
+//! (`tests/telemetry_identical.rs`), and every series is conservative:
+//! the sum over windows equals the end-of-run `Metrics` total bit-exactly
+//! (the conservation suite in `tests/telemetry_identical.rs`) — the
+//! windowed analogue of the
+//! trace rings' `retained + dropped == recorded`.
+//!
+//! The **self-profile** is the one deliberately non-deterministic part:
+//! wall-clock spans for the sharded engine's K-way merge, barrier
+//! mailbox drains and `prepare` pre-drains (from
+//! [`silo_base::shardq::ShardQueueProfile`]) plus sampled per-event-kind
+//! dispatch time attributed to the owning shard. It is kept out of the
+//! deterministic exports ([`TelemetryLog::to_jsonl`] /
+//! [`TelemetryLog::to_openmetrics`]) and rendered separately
+//! ([`SelfProfile::to_table`]), so `silo-top diff` on two same-seed runs
+//! is always byte-clean.
+
+use crate::metrics::{EvKind, FaultWindow, LATENCY_HIST_SUB_BITS};
+use silo_base::shardq::ShardQueueProfile;
+use silo_base::{Dur, LogHistogram, Time};
+use std::time::Instant;
+
+/// Configuration of the windowed recorder.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Sim-time width of one sampling window. Every counter is
+    /// attributed to the window containing its dispatch instant; the
+    /// final window is clamped to the horizon, so events at exactly
+    /// `duration` land in the last window rather than opening a new one.
+    pub interval: Dur,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            interval: Dur::from_ms(1),
+        }
+    }
+}
+
+/// One tenant's sample for one window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantWindow {
+    /// Delivered stream bytes (sum of per-segment delivery advances —
+    /// the same quantity `Metrics::goodput` totals).
+    pub goodput_bytes: u64,
+    /// Messages fully delivered in this window.
+    pub completions: u64,
+    /// p99 of completion latencies inside the window (ps), `None` when
+    /// nothing completed. Quantized by the shared `LogHistogram`
+    /// resolution ([`LATENCY_HIST_SUB_BITS`]).
+    pub p99_latency_ps: Option<u64>,
+    /// Minimum of `latency_bound − latency` over the window's
+    /// completions (ps; negative ⇒ a guarantee violation completed in
+    /// this window). `None` without a delay guarantee or completions.
+    pub margin_min_ps: Option<i64>,
+    /// Switch-queue head-of-line wait of data packets that started
+    /// transmission in this window (ps, summed).
+    pub queue_wait_ps: u64,
+    /// Pacer token wait of data packets stamped in this window (ps,
+    /// summed) — time the token buckets held a packet past `now`.
+    pub token_wait_ps: u64,
+    /// RTO timers that fired for this tenant's connections.
+    pub rtos: u64,
+}
+
+/// One port's sample for one window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortWindow {
+    /// Transmission time of packets whose wire slot *started* in this
+    /// window (ps). A transmission spanning a boundary is attributed
+    /// whole to its start window, so `busy_ps / interval` can
+    /// transiently exceed 1.
+    pub busy_ps: u64,
+    pub tx_bytes: u64,
+    /// Tail drops (buffer full) — sums bit-exactly to `Metrics::drops`.
+    pub drops: u64,
+    /// ECN CE marks applied at enqueue.
+    pub ce_marks: u64,
+    /// Queued bytes at the window's trailing edge (last observed depth).
+    pub depth_bytes: u64,
+}
+
+/// Global (per-run) sample for one window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalWindow {
+    pub wire_data_bytes: u64,
+    pub wire_void_bytes: u64,
+}
+
+/// Wall-clock self-profile of the engine, aggregated per shard. All
+/// values are host wall time — **not** deterministic, and therefore
+/// excluded from the deterministic exports.
+#[derive(Debug, Clone, Default)]
+pub struct SelfProfile {
+    /// Total wall time of the dispatch loop (`Sim::run_inner`).
+    pub wall_ns: u64,
+    /// Sampled wall time in the sharded queue's K-way head merge
+    /// (every 64th pop; 0 in single-shard runs, which skip the merge).
+    pub merge_ns: u64,
+    pub merge_samples: u64,
+    /// Window barriers taken by the sharded queue.
+    pub barriers: u64,
+    /// Per-shard mailbox drain wall time at barriers.
+    pub drain_ns: Vec<u64>,
+    /// Per-shard `prepare` pre-drain wall time.
+    pub prepare_ns: Vec<u64>,
+    /// Per-shard, per-event-kind dispatch wall time (sampled: every 64th
+    /// dispatched event is timed; sums are raw sampled time, not scaled).
+    pub dispatch_ns: Vec<[u64; EvKind::COUNT]>,
+    /// Sample counts matching `dispatch_ns`.
+    pub dispatch_samples: Vec<[u64; EvKind::COUNT]>,
+}
+
+impl SelfProfile {
+    /// Total sampled dispatch time across shards and kinds.
+    pub fn dispatch_total_ns(&self) -> u64 {
+        self.dispatch_ns.iter().map(|a| a.iter().sum::<u64>()).sum()
+    }
+
+    /// One shard's instrumented span total (drain + prepare + sampled
+    /// dispatch). Each term is wall time measured on the dispatch
+    /// thread, so the per-shard sums are bounded by `wall_ns` whenever
+    /// prepare runs inline (`shard_threads == 1`).
+    pub fn shard_total_ns(&self, shard: usize) -> u64 {
+        self.drain_ns.get(shard).copied().unwrap_or(0)
+            + self.prepare_ns.get(shard).copied().unwrap_or(0)
+            + self
+                .dispatch_ns
+                .get(shard)
+                .map(|a| a.iter().sum::<u64>())
+                .unwrap_or(0)
+    }
+
+    /// Aligned text table for `--profile` output and the DESIGN.md
+    /// ROADMAP-item-1 baseline.
+    pub fn to_table(&self) -> String {
+        let shards = self.dispatch_ns.len().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "engine self-profile: wall {:.3} ms, merge {:.3} ms sampled ({} samples), {} barriers\n",
+            self.wall_ns as f64 / 1e6,
+            self.merge_ns as f64 / 1e6,
+            self.merge_samples,
+            self.barriers
+        ));
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>14} {:>12}  top event kinds (sampled us)\n",
+            "shard", "drain_us", "prepare_us", "dispatch_us", "samples"
+        ));
+        for s in 0..shards {
+            let d = self.dispatch_ns.get(s).copied().unwrap_or_default();
+            let n = self.dispatch_samples.get(s).copied().unwrap_or_default();
+            let mut kinds: Vec<(usize, u64)> = d.iter().copied().enumerate().collect();
+            kinds.sort_by_key(|&(i, v)| (std::cmp::Reverse(v), i));
+            let top: Vec<String> = kinds
+                .iter()
+                .take(3)
+                .filter(|&&(_, v)| v > 0)
+                .map(|&(i, v)| format!("{} {:.1}", EvKind::ALL[i].label(), v as f64 / 1e3))
+                .collect();
+            out.push_str(&format!(
+                "{:<8} {:>12.1} {:>12.1} {:>14.1} {:>12}  {}\n",
+                s,
+                self.drain_ns.get(s).copied().unwrap_or(0) as f64 / 1e3,
+                self.prepare_ns.get(s).copied().unwrap_or(0) as f64 / 1e3,
+                d.iter().sum::<u64>() as f64 / 1e3,
+                n.iter().sum::<u64>(),
+                top.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Accumulator for the open window of one tenant.
+struct TenantAcc {
+    win: TenantWindow,
+    hist: LogHistogram,
+}
+
+/// The recorder attached to a running [`crate::Sim`] (`Some` iff
+/// `SimConfig::telemetry` is set). Hook methods are called from the
+/// dispatch loop with the current sim time; dispatch time is monotone,
+/// so windows close lazily as time first crosses each boundary.
+pub struct TelemetrySink {
+    interval_ps: u64,
+    /// Total windows covering `[0, duration]` (the last clamps to the
+    /// horizon).
+    nwindows: u64,
+    /// Currently open window index.
+    cur: u64,
+    /// First instant past the open window (`u64::MAX` once the final
+    /// window is open) — the hot-path hooks compare against this instead
+    /// of dividing on every call.
+    cur_end_ps: u64,
+    tacc: Vec<TenantAcc>,
+    pacc: Vec<PortWindow>,
+    gacc: GlobalWindow,
+    /// Last observed queued-bytes per port (carried across windows for
+    /// the depth-at-edge series).
+    last_queued: Vec<u64>,
+    tenant_series: Vec<Vec<TenantWindow>>,
+    port_series: Vec<Vec<PortWindow>>,
+    global_series: Vec<GlobalWindow>,
+    // ---- self-profile (wall clock; never touches sim state) ----
+    wall_start: Option<Instant>,
+    wall_ns: u64,
+    ev_count: u64,
+    dispatch_ns: Vec<[u64; EvKind::COUNT]>,
+    dispatch_samples: Vec<[u64; EvKind::COUNT]>,
+}
+
+impl TelemetrySink {
+    pub fn new(
+        cfg: &TelemetryConfig,
+        duration: Dur,
+        ntenants: usize,
+        nports: usize,
+        nshards: usize,
+    ) -> TelemetrySink {
+        let interval_ps = cfg.interval.as_ps().max(1);
+        let nwindows = duration.as_ps().div_ceil(interval_ps).max(1);
+        TelemetrySink {
+            interval_ps,
+            nwindows,
+            cur: 0,
+            cur_end_ps: if nwindows == 1 { u64::MAX } else { interval_ps },
+            tacc: (0..ntenants)
+                .map(|_| TenantAcc {
+                    win: TenantWindow::default(),
+                    hist: LogHistogram::new(LATENCY_HIST_SUB_BITS),
+                })
+                .collect(),
+            pacc: vec![PortWindow::default(); nports],
+            gacc: GlobalWindow::default(),
+            last_queued: vec![0; nports],
+            tenant_series: vec![Vec::new(); ntenants],
+            port_series: vec![Vec::new(); nports],
+            global_series: Vec::new(),
+            wall_start: None,
+            wall_ns: 0,
+            ev_count: 0,
+            dispatch_ns: vec![[0; EvKind::COUNT]; nshards.max(1)],
+            dispatch_samples: vec![[0; EvKind::COUNT]; nshards.max(1)],
+        }
+    }
+
+    /// Window containing `t`, clamped so the horizon edge lands in the
+    /// final window instead of opening one past it.
+    #[inline]
+    fn window_of(&self, t: Time) -> u64 {
+        (t.as_ps() / self.interval_ps).min(self.nwindows - 1)
+    }
+
+    /// Close every window strictly before `t`'s. The common case — `t`
+    /// still inside the open window — is one compare; hooks fire several
+    /// times per event, so the division lives only on the cold path.
+    #[inline]
+    fn advance(&mut self, t: Time) {
+        if t.as_ps() >= self.cur_end_ps {
+            self.advance_slow(t);
+        }
+    }
+
+    #[cold]
+    fn advance_slow(&mut self, t: Time) {
+        let w = self.window_of(t);
+        while self.cur < w {
+            self.close_current();
+        }
+        self.cur_end_ps = if self.cur + 1 >= self.nwindows {
+            // Final window: it absorbs everything up to the horizon.
+            u64::MAX
+        } else {
+            (self.cur + 1) * self.interval_ps
+        };
+    }
+
+    fn close_current(&mut self) {
+        for (acc, series) in self.tacc.iter_mut().zip(self.tenant_series.iter_mut()) {
+            let mut win = std::mem::take(&mut acc.win);
+            if !acc.hist.is_empty() {
+                win.p99_latency_ps = acc.hist.quantile(0.99);
+                acc.hist.clear();
+            }
+            series.push(win);
+        }
+        for ((acc, series), &depth) in self
+            .pacc
+            .iter_mut()
+            .zip(self.port_series.iter_mut())
+            .zip(self.last_queued.iter())
+        {
+            let mut win = std::mem::take(acc);
+            win.depth_bytes = depth;
+            series.push(win);
+        }
+        self.global_series.push(std::mem::take(&mut self.gacc));
+        self.cur += 1;
+    }
+
+    // ---- sim-time hooks (all deterministic counters) ----
+
+    pub fn goodput(&mut self, now: Time, tenant: u16, bytes: u64) {
+        self.advance(now);
+        self.tacc[tenant as usize].win.goodput_bytes += bytes;
+    }
+
+    /// A message completed: `margin_ps` is `bound − latency` when the
+    /// tenant has a delay guarantee.
+    pub fn msg_done(&mut self, now: Time, tenant: u16, latency_ps: u64, margin_ps: Option<i64>) {
+        self.advance(now);
+        let acc = &mut self.tacc[tenant as usize];
+        acc.win.completions += 1;
+        acc.hist.record(latency_ps);
+        if let Some(m) = margin_ps {
+            acc.win.margin_min_ps = Some(match acc.win.margin_min_ps {
+                Some(prev) => prev.min(m),
+                None => m,
+            });
+        }
+    }
+
+    pub fn queue_wait(&mut self, now: Time, tenant: u16, wait: Dur) {
+        self.advance(now);
+        self.tacc[tenant as usize].win.queue_wait_ps += wait.as_ps();
+    }
+
+    pub fn token_wait(&mut self, now: Time, tenant: u16, wait: Dur) {
+        self.advance(now);
+        self.tacc[tenant as usize].win.token_wait_ps += wait.as_ps();
+    }
+
+    pub fn rto(&mut self, now: Time, tenant: u16) {
+        self.advance(now);
+        self.tacc[tenant as usize].win.rtos += 1;
+    }
+
+    /// An enqueue decision at `port`: `queued` is the post-decision
+    /// depth, `accepted == false` is a tail drop.
+    pub fn port_enqueue(
+        &mut self,
+        now: Time,
+        port: usize,
+        queued: u64,
+        accepted: bool,
+        mark_ce: bool,
+    ) {
+        self.advance(now);
+        self.last_queued[port] = queued;
+        let acc = &mut self.pacc[port];
+        if !accepted {
+            acc.drops += 1;
+        } else if mark_ce {
+            acc.ce_marks += 1;
+        }
+    }
+
+    /// A transmission started at `port`; `queued_after` is the depth
+    /// after the head was dequeued.
+    pub fn port_tx(&mut self, now: Time, port: usize, tx: Dur, bytes: u64, queued_after: u64) {
+        self.advance(now);
+        self.last_queued[port] = queued_after;
+        let acc = &mut self.pacc[port];
+        acc.busy_ps += tx.as_ps();
+        acc.tx_bytes += bytes;
+    }
+
+    /// A fault flushed `port`'s queue down to `queued_now` (depth series
+    /// only; the lost packets are fault drops, not tail drops).
+    pub fn port_flush(&mut self, now: Time, port: usize, queued_now: u64) {
+        self.advance(now);
+        self.last_queued[port] = queued_now;
+    }
+
+    /// One NIC batch went on the wire.
+    pub fn wire_bytes(&mut self, now: Time, data: u64, void: u64) {
+        self.advance(now);
+        self.gacc.wire_data_bytes += data;
+        self.gacc.wire_void_bytes += void;
+    }
+
+    // ---- self-profile hooks (wall clock only) ----
+
+    /// Mark the start of the dispatch loop.
+    pub fn wall_start(&mut self) {
+        self.wall_start = Some(Instant::now());
+    }
+
+    /// Mark the end of the dispatch loop.
+    pub fn wall_end(&mut self) {
+        if let Some(t0) = self.wall_start.take() {
+            self.wall_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Per-event tick; returns whether this dispatch should be timed
+    /// (every 64th — two clock reads per sample; at ~32 ns a read the
+    /// amortized cost is ~1 ns/event, well inside the overhead budget).
+    #[inline]
+    pub fn dispatch_tick(&mut self) -> bool {
+        self.ev_count += 1;
+        self.ev_count & 63 == 0
+    }
+
+    /// Record one sampled dispatch span.
+    #[inline]
+    pub fn dispatch_span(&mut self, kind: usize, shard: usize, ns: u64) {
+        self.dispatch_ns[shard][kind] += ns;
+        self.dispatch_samples[shard][kind] += 1;
+    }
+
+    /// Flush the remaining windows and assemble the log. `shardq` is the
+    /// sharded queue's own wall-clock profile when one was collected.
+    pub fn finish(
+        mut self,
+        port_labels: Vec<String>,
+        fault_windows: &[FaultWindow],
+        shardq: Option<ShardQueueProfile>,
+    ) -> TelemetryLog {
+        while self.cur < self.nwindows {
+            self.close_current();
+        }
+        // Map realized fault windows onto the grid: a fault overlaps
+        // window w = [w·iv, (w+1)·iv) when it starts before the window's
+        // end and ends at-or-after its start — the at-or-after keeps a
+        // fault healing exactly on a boundary attributed to the window
+        // whose first instant it still covered, and gives zero-length
+        // strike-and-heal faults exactly one window.
+        let mut window_faults: Vec<Vec<u32>> = vec![Vec::new(); self.nwindows as usize];
+        for fw in fault_windows {
+            let first = fw.start.as_ps() / self.interval_ps;
+            for w in first..self.nwindows {
+                let ws = w * self.interval_ps;
+                if fw.end.as_ps() < ws && fw.start.as_ps() < ws {
+                    break;
+                }
+                if fw.start.as_ps() < (w + 1) * self.interval_ps && fw.end.as_ps() >= ws {
+                    window_faults[w as usize].push(fw.fault);
+                }
+            }
+        }
+        let mut profile = SelfProfile {
+            wall_ns: self.wall_ns,
+            dispatch_ns: self.dispatch_ns,
+            dispatch_samples: self.dispatch_samples,
+            ..SelfProfile::default()
+        };
+        if let Some(q) = shardq {
+            profile.merge_ns = q.merge_ns;
+            profile.merge_samples = q.merge_samples;
+            profile.barriers = q.barriers;
+            profile.drain_ns = q.drain_ns;
+            profile.prepare_ns = q.prepare_ns;
+        }
+        TelemetryLog {
+            interval: Dur(self.interval_ps),
+            windows: self.nwindows,
+            tenants: self.tenant_series,
+            ports: self.port_series,
+            global: self.global_series,
+            window_faults,
+            port_labels,
+            self_profile: profile,
+        }
+    }
+}
+
+/// Fixed-point microseconds (6 decimals = ps precision), the same
+/// deterministic timestamp format the Perfetto trace exporter uses.
+fn us(t_ps: u64) -> String {
+    format!("{}.{:06}", t_ps / 1_000_000, t_ps % 1_000_000)
+}
+
+/// Fixed-point seconds (6 decimals = µs precision) for OpenMetrics
+/// timestamps.
+fn secs(t_ps: u64) -> String {
+    format!(
+        "{}.{:06}",
+        t_ps / 1_000_000_000_000,
+        (t_ps % 1_000_000_000_000) / 1_000_000
+    )
+}
+
+/// A finished telemetry recording: every series fully materialized
+/// (`windows` entries each), plus the wall-clock self-profile.
+#[derive(Debug, Clone)]
+pub struct TelemetryLog {
+    pub interval: Dur,
+    pub windows: u64,
+    /// `[tenant][window]`.
+    pub tenants: Vec<Vec<TenantWindow>>,
+    /// `[port][window]` (switch/NIC ports first, then loopbacks —
+    /// matching `port_labels`).
+    pub ports: Vec<Vec<PortWindow>>,
+    /// `[window]`.
+    pub global: Vec<GlobalWindow>,
+    /// Fault indices overlapping each window (empty without a plan).
+    pub window_faults: Vec<Vec<u32>>,
+    pub port_labels: Vec<String>,
+    /// Wall-clock engine profile — excluded from the deterministic
+    /// exports below.
+    pub self_profile: SelfProfile,
+}
+
+impl TelemetryLog {
+    // ---- conservation sums (the cross-check the test suite pins) ----
+
+    pub fn sum_goodput(&self, tenant: usize) -> u64 {
+        self.tenants[tenant].iter().map(|w| w.goodput_bytes).sum()
+    }
+    pub fn sum_completions(&self, tenant: usize) -> u64 {
+        self.tenants[tenant].iter().map(|w| w.completions).sum()
+    }
+    pub fn sum_rtos(&self) -> u64 {
+        self.tenants
+            .iter()
+            .flat_map(|t| t.iter().map(|w| w.rtos))
+            .sum()
+    }
+    pub fn sum_drops(&self) -> u64 {
+        self.ports
+            .iter()
+            .flat_map(|p| p.iter().map(|w| w.drops))
+            .sum()
+    }
+    pub fn sum_wire_data(&self) -> u64 {
+        self.global.iter().map(|w| w.wire_data_bytes).sum()
+    }
+    pub fn sum_wire_void(&self) -> u64 {
+        self.global.iter().map(|w| w.wire_void_bytes).sum()
+    }
+
+    /// Deterministic `silo-telemetry-v1` JSONL: a header object, then
+    /// for each window a global line, one line per tenant, and one line
+    /// per port with any activity (ports are sparse; all-zero port
+    /// windows are elided to keep files proportional to traffic).
+    pub fn to_jsonl(&self) -> String {
+        let mut out =
+            String::with_capacity(128 * self.windows as usize * (self.tenants.len() + 2) + 4096);
+        out.push_str(&format!(
+            "{{\"format\":\"silo-telemetry-v1\",\"interval_ps\":{},\"windows\":{},\"tenants\":{},\"ports\":{},\"port_labels\":[",
+            self.interval.as_ps(),
+            self.windows,
+            self.tenants.len(),
+            self.ports.len(),
+        ));
+        for (i, l) in self.port_labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{l}\""));
+        }
+        out.push_str("]}\n");
+        fn opt_u64(v: Option<u64>) -> String {
+            v.map_or("null".to_string(), |x| x.to_string())
+        }
+        fn opt_i64(v: Option<i64>) -> String {
+            v.map_or("null".to_string(), |x| x.to_string())
+        }
+        for w in 0..self.windows as usize {
+            let g = &self.global[w];
+            out.push_str(&format!(
+                "{{\"w\":{w},\"wire_data\":{},\"wire_void\":{},\"faults\":[",
+                g.wire_data_bytes, g.wire_void_bytes
+            ));
+            for (i, f) in self.window_faults[w].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&f.to_string());
+            }
+            out.push_str("]}\n");
+            for (t, series) in self.tenants.iter().enumerate() {
+                let s = &series[w];
+                out.push_str(&format!(
+                    "{{\"w\":{w},\"tenant\":{t},\"goodput\":{},\"completions\":{},\"p99_ps\":{},\"margin_min_ps\":{},\"queue_wait_ps\":{},\"token_wait_ps\":{},\"rtos\":{}}}\n",
+                    s.goodput_bytes,
+                    s.completions,
+                    opt_u64(s.p99_latency_ps),
+                    opt_i64(s.margin_min_ps),
+                    s.queue_wait_ps,
+                    s.token_wait_ps,
+                    s.rtos,
+                ));
+            }
+            for (p, series) in self.ports.iter().enumerate() {
+                let s = &series[w];
+                if *s == PortWindow::default() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{{\"w\":{w},\"port\":{p},\"busy_ps\":{},\"tx_bytes\":{},\"drops\":{},\"ce\":{},\"depth\":{}}}\n",
+                    s.busy_ps, s.tx_bytes, s.drops, s.ce_marks, s.depth_bytes,
+                ));
+            }
+        }
+        out
+    }
+
+    /// OpenMetrics text exposition: one gauge family per series, samples
+    /// timestamped at the window's trailing edge in seconds. Tenant
+    /// families emit every window (burn-rate analyses need the zeros);
+    /// port families elide all-zero samples. Ends with the mandatory
+    /// `# EOF`.
+    pub fn to_openmetrics(&self) -> String {
+        /// One gauge family: metric name, help text, and the window
+        /// field it samples.
+        type Family<W> = (&'static str, &'static str, fn(&W) -> u64);
+        let mut out = String::new();
+        let end = |w: usize| secs(((w as u64) + 1) * self.interval.as_ps());
+        // Tenant families.
+        let tenant_u64: [Family<TenantWindow>; 5] = [
+            (
+                "silo_goodput_bytes",
+                "delivered stream bytes per window",
+                |s| s.goodput_bytes,
+            ),
+            (
+                "silo_completions",
+                "messages fully delivered per window",
+                |s| s.completions,
+            ),
+            (
+                "silo_queue_wait_ps",
+                "switch-queue head-of-line wait per window (ps)",
+                |s| s.queue_wait_ps,
+            ),
+            (
+                "silo_token_wait_ps",
+                "pacer token wait per window (ps)",
+                |s| s.token_wait_ps,
+            ),
+            ("silo_rtos", "RTO fires per window", |s| s.rtos),
+        ];
+        for (name, help, get) in tenant_u64 {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (t, series) in self.tenants.iter().enumerate() {
+                for (w, s) in series.iter().enumerate() {
+                    out.push_str(&format!("{name}{{tenant=\"{t}\"}} {} {}\n", get(s), end(w)));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP silo_p99_latency_ps p99 completion latency within the window (ps)\n# TYPE silo_p99_latency_ps gauge\n",
+        );
+        for (t, series) in self.tenants.iter().enumerate() {
+            for (w, s) in series.iter().enumerate() {
+                if let Some(p) = s.p99_latency_ps {
+                    out.push_str(&format!(
+                        "silo_p99_latency_ps{{tenant=\"{t}\"}} {p} {}\n",
+                        end(w)
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP silo_margin_min_ps minimum guarantee margin d_bound - latency within the window (ps)\n# TYPE silo_margin_min_ps gauge\n",
+        );
+        for (t, series) in self.tenants.iter().enumerate() {
+            for (w, s) in series.iter().enumerate() {
+                if let Some(m) = s.margin_min_ps {
+                    out.push_str(&format!(
+                        "silo_margin_min_ps{{tenant=\"{t}\"}} {m} {}\n",
+                        end(w)
+                    ));
+                }
+            }
+        }
+        // Port families (sparse).
+        let port_u64: [Family<PortWindow>; 5] = [
+            (
+                "silo_port_busy_ps",
+                "wire time of transmissions started in the window (ps)",
+                |s| s.busy_ps,
+            ),
+            ("silo_port_tx_bytes", "bytes transmitted per window", |s| {
+                s.tx_bytes
+            }),
+            ("silo_port_drops", "tail drops per window", |s| s.drops),
+            ("silo_port_ce_marks", "ECN CE marks per window", |s| {
+                s.ce_marks
+            }),
+            (
+                "silo_port_depth_bytes",
+                "queued bytes at the window edge",
+                |s| s.depth_bytes,
+            ),
+        ];
+        for (name, help, get) in port_u64 {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (p, series) in self.ports.iter().enumerate() {
+                let label = &self.port_labels[p];
+                for (w, s) in series.iter().enumerate() {
+                    let v = get(s);
+                    if v != 0 {
+                        out.push_str(&format!("{name}{{port=\"{label}\"}} {v} {}\n", end(w)));
+                    }
+                }
+            }
+        }
+        for (name, help, get) in [
+            (
+                "silo_wire_data_bytes",
+                "pacer data bytes on host links per window",
+                (|g: &GlobalWindow| g.wire_data_bytes) as fn(&GlobalWindow) -> u64,
+            ),
+            (
+                "silo_wire_void_bytes",
+                "pacer void bytes on host links per window",
+                |g| g.wire_void_bytes,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (w, g) in self.global.iter().enumerate() {
+                out.push_str(&format!("{name} {} {}\n", get(g), end(w)));
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// Append this log's Perfetto counter tracks (`"ph":"C"`, pid 4) to
+    /// an event stream under construction — the hook
+    /// [`crate::trace::TraceLog::to_perfetto_with_counters`] uses to
+    /// splice telemetry into the flight-recorder export. Counters are
+    /// emitted at each window's trailing edge.
+    pub fn write_perfetto_counters(&self, out: &mut String, first: &mut bool) {
+        let mut push = |out: &mut String, s: String| {
+            if !std::mem::take(first) {
+                out.push_str(",\n");
+            }
+            out.push_str(&s);
+        };
+        push(
+            out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":4,\"tid\":0,\"args\":{\"name\":\"telemetry counters\"}}".to_string(),
+        );
+        for (t, series) in self.tenants.iter().enumerate() {
+            let has_margin = series.iter().any(|s| s.margin_min_ps.is_some());
+            for (w, s) in series.iter().enumerate() {
+                let ts = us(((w as u64) + 1) * self.interval.as_ps());
+                push(
+                    out,
+                    format!(
+                        "{{\"name\":\"tenant{t} goodput\",\"ph\":\"C\",\"pid\":4,\"tid\":{t},\"ts\":{ts},\"args\":{{\"bytes\":{}}}}}",
+                        s.goodput_bytes
+                    ),
+                );
+                if has_margin {
+                    // Margin in ns keeps Perfetto's counter value integral
+                    // while preserving sign (negative = violation).
+                    let m = s.margin_min_ps.map(|m| m / 1000);
+                    if let Some(m) = m {
+                        push(
+                            out,
+                            format!(
+                                "{{\"name\":\"tenant{t} margin_ns\",\"ph\":\"C\",\"pid\":4,\"tid\":{t},\"ts\":{ts},\"args\":{{\"ns\":{m}}}}}",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Standalone Perfetto JSON of just the counter tracks.
+    pub fn to_perfetto(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        self.write_perfetto_counters(&mut out, &mut first);
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(windows: u64, interval_ms: u64) -> TelemetrySink {
+        TelemetrySink::new(
+            &TelemetryConfig {
+                interval: Dur::from_ms(interval_ms),
+            },
+            Dur::from_ms(windows * interval_ms),
+            2,
+            3,
+            1,
+        )
+    }
+
+    #[test]
+    fn windows_close_lazily_and_conserve() {
+        let mut s = sink(4, 1);
+        s.goodput(Time::from_us(100), 0, 1000);
+        s.goodput(Time::from_us(1500), 0, 500); // window 1
+        s.msg_done(Time::from_us(1600), 0, 7_000_000, Some(-250));
+        s.msg_done(Time::from_us(3999), 1, 1_000_000, None);
+        s.rto(Time::from_ms(4), 1); // horizon edge clamps into window 3
+        let log = s.finish(vec!["a".into(), "b".into(), "c".into()], &[], None);
+        assert_eq!(log.windows, 4);
+        assert_eq!(log.tenants[0].len(), 4);
+        assert_eq!(log.sum_goodput(0), 1500);
+        assert_eq!(log.tenants[0][0].goodput_bytes, 1000);
+        assert_eq!(log.tenants[0][1].goodput_bytes, 500);
+        assert_eq!(log.tenants[0][1].completions, 1);
+        assert_eq!(log.tenants[0][1].margin_min_ps, Some(-250));
+        assert!(log.tenants[0][1].p99_latency_ps.is_some());
+        assert_eq!(log.tenants[1][3].completions, 1);
+        assert_eq!(
+            log.tenants[1][3].rtos, 1,
+            "horizon edge lands in the last window"
+        );
+        assert_eq!(log.sum_rtos(), 1);
+    }
+
+    #[test]
+    fn port_depth_carries_across_empty_windows() {
+        let mut s = sink(3, 1);
+        s.port_enqueue(Time::from_us(10), 1, 3000, true, false);
+        s.port_enqueue(Time::from_us(20), 1, 4500, true, true);
+        s.port_enqueue(Time::from_us(30), 1, 4500, false, false); // tail drop
+        s.port_tx(Time::from_us(40), 1, Dur::from_us(1), 1500, 3000);
+        let log = s.finish(vec!["a".into(), "b".into(), "c".into()], &[], None);
+        assert_eq!(log.ports[1][0].drops, 1);
+        assert_eq!(log.ports[1][0].ce_marks, 1);
+        assert_eq!(log.ports[1][0].tx_bytes, 1500);
+        // Depth at every later edge carries the last observation.
+        assert_eq!(log.ports[1][0].depth_bytes, 3000);
+        assert_eq!(log.ports[1][2].depth_bytes, 3000);
+        assert_eq!(log.sum_drops(), 1);
+    }
+
+    #[test]
+    fn fault_windows_map_onto_the_grid() {
+        let s = sink(5, 1);
+        let fw = |f, a_us, b_us| FaultWindow {
+            fault: f,
+            label: "x".into(),
+            start: Time::from_us(a_us),
+            end: Time::from_us(b_us),
+        };
+        let log = s.finish(
+            vec!["a".into(), "b".into(), "c".into()],
+            &[fw(0, 1500, 3500), fw(1, 2000, 2000), fw(2, 0, 1000)],
+            None,
+        );
+        // Fault 0 spans windows 1..=3; zero-length fault 1 gets exactly
+        // one window; fault 2 ends exactly on the w1 boundary and is
+        // still attributed to w1 (its first instant was covered).
+        assert_eq!(log.window_faults[0], vec![2]);
+        assert_eq!(log.window_faults[1], vec![0, 2]);
+        assert_eq!(log.window_faults[2], vec![0, 1]);
+        assert_eq!(log.window_faults[3], vec![0]);
+        assert!(log.window_faults[4].is_empty());
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_sparse_on_ports() {
+        let mut s = sink(2, 1);
+        s.goodput(Time::from_us(10), 0, 42);
+        s.port_enqueue(Time::from_us(10), 2, 100, true, false);
+        let log = s.finish(vec!["a".into(), "b".into(), "c".into()], &[], None);
+        let a = log.to_jsonl();
+        let b = log.to_jsonl();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"format\":\"silo-telemetry-v1\""));
+        // 1 header + 2 global + 2*2 tenant + port 2 in both windows
+        // (depth carries) = 9 lines.
+        assert_eq!(a.lines().count(), 9);
+        assert!(a.contains("\"goodput\":42"));
+        assert!(a.contains("\"depth\":100"));
+    }
+
+    #[test]
+    fn openmetrics_ends_with_eof_and_timestamps_are_fixed_point() {
+        let mut s = sink(2, 1);
+        s.goodput(Time::from_us(10), 0, 42);
+        let log = s.finish(vec!["a".into(), "b".into(), "c".into()], &[], None);
+        let om = log.to_openmetrics();
+        assert!(om.ends_with("# EOF\n"));
+        assert!(om.contains("silo_goodput_bytes{tenant=\"0\"} 42 0.001000\n"));
+        assert!(om.contains("# TYPE silo_goodput_bytes gauge"));
+    }
+
+    #[test]
+    fn perfetto_counters_are_well_formed() {
+        let mut s = sink(1, 1);
+        s.msg_done(Time::from_us(10), 0, 5_000_000, Some(2_000_000));
+        let log = s.finish(vec!["a".into(), "b".into(), "c".into()], &[], None);
+        let p = log.to_perfetto();
+        assert!(p.contains("\"ph\":\"C\""));
+        assert!(p.contains("tenant0 margin_ns"));
+        assert!(p.contains("\"ns\":2000"));
+        assert!(p.contains("telemetry counters"));
+    }
+}

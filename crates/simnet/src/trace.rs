@@ -516,6 +516,16 @@ impl TraceLog {
     /// (the format's unit), emitted at fixed 6-decimal (= picosecond)
     /// precision so the export is deterministic.
     pub fn to_perfetto(&self) -> String {
+        self.to_perfetto_with_counters(None)
+    }
+
+    /// Same export with a telemetry log's counter tracks (pid 4) spliced
+    /// into the event stream — one file shows packet lifecycles and the
+    /// windowed per-tenant goodput/margin series on a shared time axis.
+    pub fn to_perfetto_with_counters(
+        &self,
+        telemetry: Option<&crate::telemetry::TelemetryLog>,
+    ) -> String {
         fn us(t: u64) -> String {
             format!("{}.{:06}", t / 1_000_000, t % 1_000_000)
         }
@@ -606,6 +616,9 @@ impl TraceLog {
                     ),
                 );
             }
+        }
+        if let Some(tel) = telemetry {
+            tel.write_perfetto_counters(&mut out, &mut first);
         }
         out.push_str("\n]}\n");
         out

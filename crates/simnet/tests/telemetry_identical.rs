@@ -1,0 +1,290 @@
+//! Differential and conservation suite for the windowed telemetry layer
+//! (`SimConfig::telemetry`).
+//!
+//! Telemetry is pure observation, and this suite is the proof: a
+//! telemetry-on run must be byte-identical to a telemetry-off run in
+//! every other observer (canonical metrics, flight-recorder log, audit
+//! counters) across transports, shard counts and fault plans; and every
+//! series must be *conservative* — the sum over windows equals the
+//! end-of-run `Metrics` total bit-exactly, the windowed analogue of the
+//! trace rings' `retained + dropped == recorded`.
+
+use silo_base::{Bytes, Dur, Rate, Time};
+use silo_simnet::{
+    AuditConfig, FaultPlan, Metrics, Sim, SimConfig, TelemetryConfig, TenantSpec, TenantWorkload,
+    TraceConfig, TransportMode,
+};
+use silo_topology::{HostId, Topology, TreeParams};
+
+/// Four racks of four servers (the shard suite's topology): enough racks
+/// for a real 4-way partition and an oversubscribed ToR uplink so the
+/// cut links actually queue.
+fn racked_topo() -> Topology {
+    Topology::build(TreeParams {
+        pods: 1,
+        racks_per_pod: 4,
+        servers_per_rack: 4,
+        vm_slots_per_server: 6,
+        host_link: Rate::from_gbps(10),
+        tor_oversub: 2.0,
+        agg_oversub: 1.0,
+        switch_buffer: Bytes::from_kb(312),
+        nic_buffer: Bytes::from_kb(64),
+        prop_delay: Dur::from_ns(500),
+    })
+}
+
+/// Rack-straddling tenants; the OLDI group carries a delay guarantee so
+/// the margin series is exercised.
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            vm_hosts: vec![HostId(0), HostId(5), HostId(10)],
+            b: Rate::from_mbps(500),
+            s: Bytes::from_kb(15),
+            bmax: Rate::from_gbps(1),
+            prio: 0,
+            delay: Some(Dur::from_ms(1)),
+            workload: TenantWorkload::OldiPeriodic {
+                msg: Bytes::from_kb(15),
+                period: Dur::from_ms(2),
+            },
+        },
+        TenantSpec {
+            vm_hosts: vec![HostId(2), HostId(6), HostId(11), HostId(15)],
+            b: Rate::from_gbps(3),
+            s: Bytes(1500),
+            bmax: Rate::from_gbps(10),
+            prio: 1,
+            delay: None,
+            workload: TenantWorkload::BulkAllToAll {
+                msg: Bytes::from_kb(256),
+            },
+        },
+    ]
+}
+
+fn faults() -> FaultPlan {
+    FaultPlan::new()
+        .pacer_stall(Time::from_ms(4), Time::from_ms(8), 5)
+        .link_down(Time::from_ms(10), Some(Time::from_ms(15)), 2)
+}
+
+fn run(
+    mode: TransportMode,
+    shards: u32,
+    telemetry: bool,
+    plan: FaultPlan,
+    observers: bool,
+) -> Metrics {
+    let mut cfg = SimConfig::new(mode, Dur::from_ms(20), 7);
+    cfg.shards = shards;
+    cfg.faults = plan;
+    if telemetry {
+        cfg.telemetry = Some(TelemetryConfig::default());
+    }
+    if observers {
+        cfg.audit = Some(AuditConfig::default());
+        cfg.trace = Some(TraceConfig::default());
+    }
+    Sim::new(racked_topo(), cfg, tenants()).run()
+}
+
+/// Everything the other observers can see, in one comparable bundle.
+fn observed(m: &Metrics) -> (String, String, u64, [u64; 8]) {
+    let trace = m.trace.as_ref().expect("traced run").to_jsonl();
+    let audit = m.audit.as_ref().expect("audited run");
+    (
+        m.canonical_json(),
+        trace,
+        audit.events_checked,
+        audit.counters(),
+    )
+}
+
+#[test]
+fn telemetry_observes_without_perturbing_physics() {
+    for mode in [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Dctcp,
+    ] {
+        for shards in [1u32, 4] {
+            for plan in [FaultPlan::new(), faults()] {
+                let off = observed(&run(mode, shards, false, plan.clone(), true));
+                let m = run(mode, shards, true, plan, true);
+                let on = observed(&m);
+                assert_eq!(
+                    on, off,
+                    "telemetry moved an observer: mode={mode:?} shards={shards}"
+                );
+                let log = m.telemetry.as_ref().expect("telemetry-on run");
+                assert_eq!(log.windows, 20, "20 ms at 1 ms windows");
+                assert!(
+                    log.tenants
+                        .iter()
+                        .any(|s| s.iter().any(|w| w.completions > 0)),
+                    "mode={mode:?}: some window must complete messages"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn telemetry_stays_out_of_serializations() {
+    let m = run(TransportMode::Silo, 1, true, FaultPlan::new(), false);
+    assert!(
+        !m.canonical_json().contains("telemetry"),
+        "telemetry must not enter the fingerprint"
+    );
+    assert!(!m.physics_json().contains("telemetry"));
+}
+
+/// Sum-of-windows == end-of-run totals, bit-exactly, for every series
+/// with a `Metrics` counterpart — across all transports, with and
+/// without faults.
+#[test]
+fn every_series_conserves_the_end_of_run_totals() {
+    for mode in [
+        TransportMode::Silo,
+        TransportMode::Tcp,
+        TransportMode::Dctcp,
+    ] {
+        for plan in [FaultPlan::new(), faults()] {
+            let m = run(mode, 1, true, plan, false);
+            let log = m.telemetry.as_ref().expect("telemetry log");
+            for t in 0..2 {
+                assert_eq!(
+                    log.sum_goodput(t),
+                    m.goodput[t],
+                    "goodput drifted: mode={mode:?} tenant={t}"
+                );
+                assert_eq!(
+                    log.sum_completions(t),
+                    m.latency_hist(t as u16).expect("hist").count(),
+                    "completions drifted: mode={mode:?} tenant={t}"
+                );
+            }
+            assert_eq!(log.sum_drops(), m.drops, "drops drifted: mode={mode:?}");
+            assert_eq!(
+                log.sum_wire_data(),
+                m.wire_data_bytes,
+                "wire data drifted: mode={mode:?}"
+            );
+            assert_eq!(
+                log.sum_wire_void(),
+                m.wire_void_bytes,
+                "wire void drifted: mode={mode:?}"
+            );
+            assert_eq!(log.sum_rtos(), m.rtos, "rtos drifted: mode={mode:?}");
+            assert!(m.goodput.iter().sum::<u64>() > 0, "vacuous run");
+            assert!(m.wire_data_bytes > 0 || mode != TransportMode::Silo);
+        }
+    }
+}
+
+/// Sharding must not move a single windowed sample: the deterministic
+/// JSONL of a 4-shard run equals the serial run's byte-for-byte.
+#[test]
+fn windowed_series_are_shard_invariant() {
+    for plan in [FaultPlan::new(), faults()] {
+        let serial = run(TransportMode::Silo, 1, true, plan.clone(), false);
+        let sharded = run(TransportMode::Silo, 4, true, plan, false);
+        assert_eq!(
+            serial.telemetry.as_ref().expect("log").to_jsonl(),
+            sharded.telemetry.as_ref().expect("log").to_jsonl(),
+        );
+    }
+}
+
+/// The margin series actually bites: the guaranteed tenant's windows
+/// carry margins, and a ToR outage mid-run produces fault-attributed
+/// windows overlapping the realized fault interval.
+#[test]
+fn margins_and_fault_attribution_populate() {
+    let m = run(TransportMode::Silo, 1, true, faults(), false);
+    let log = m.telemetry.as_ref().expect("log");
+    assert!(
+        log.tenants[0].iter().any(|w| w.margin_min_ps.is_some()),
+        "delay-guaranteed tenant must produce margin samples"
+    );
+    assert!(
+        log.tenants[1].iter().all(|w| w.margin_min_ps.is_none()),
+        "tenant without a guarantee has no margin"
+    );
+    // link_down spans [10 ms, 15 ms) → windows 10..=15 at 1 ms (the heal
+    // edge lands exactly on the window-15 boundary and stays attributed).
+    let tagged: Vec<usize> = (0..log.windows as usize)
+        .filter(|&w| !log.window_faults[w].is_empty())
+        .collect();
+    assert!(
+        tagged.contains(&10) && tagged.contains(&14),
+        "outage windows must be fault-tagged, got {tagged:?}"
+    );
+    assert!(
+        !tagged.contains(&2),
+        "pre-stall window must stay clean, got {tagged:?}"
+    );
+}
+
+/// Engine self-profile smoke (ROADMAP item 1 baseline): under 4 shards
+/// the merge, barrier-drain and dispatch spans are all nonzero, and the
+/// instrumented time never exceeds the dispatch loop's wall time.
+#[test]
+fn self_profile_spans_are_nonzero_and_bounded() {
+    let m = run(TransportMode::Silo, 4, true, FaultPlan::new(), false);
+    let p = &m.telemetry.as_ref().expect("log").self_profile;
+    assert!(p.wall_ns > 0, "dispatch loop must be timed");
+    assert!(p.barriers > 0, "4-shard run must hit window barriers");
+    assert!(p.merge_samples > 0, "sampled merges must land");
+    assert!(p.merge_ns > 0, "merge span must accumulate");
+    assert!(
+        p.drain_ns.iter().any(|&n| n > 0),
+        "cross-rack traffic must time mailbox drains"
+    );
+    assert!(p.dispatch_total_ns() > 0, "dispatch spans must accumulate");
+    assert_eq!(p.dispatch_ns.len(), 4, "per-shard dispatch attribution");
+    assert!(
+        p.dispatch_ns
+            .iter()
+            .filter(|a| a.iter().sum::<u64>() > 0)
+            .count()
+            >= 2,
+        "dispatch time must attribute to multiple shards"
+    );
+    // Every span is measured inline on the dispatch thread
+    // (shard_threads=1), so the instrumented total is bounded by wall.
+    let instrumented: u64 = (0..4).map(|s| p.shard_total_ns(s)).sum::<u64>() + p.merge_ns;
+    assert!(
+        instrumented <= p.wall_ns,
+        "instrumented {instrumented} ns exceeds wall {} ns",
+        p.wall_ns
+    );
+    // The serial engine keeps the loop timed but never merges or drains.
+    let serial = run(TransportMode::Silo, 1, true, FaultPlan::new(), false);
+    let sp = &serial.telemetry.as_ref().expect("log").self_profile;
+    assert!(sp.wall_ns > 0);
+    assert_eq!(sp.barriers, 0);
+    assert_eq!(sp.merge_samples, 0);
+}
+
+/// Window geometry follows the config: a non-default interval yields
+/// ceil(duration/interval) windows and the exports carry it.
+#[test]
+fn interval_is_configurable() {
+    let mut cfg = SimConfig::new(TransportMode::Silo, Dur::from_ms(20), 7);
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: Dur::from_us(250),
+    });
+    let m = Sim::new(racked_topo(), cfg, tenants()).run();
+    let log = m.telemetry.as_ref().expect("log");
+    assert_eq!(log.windows, 80);
+    assert_eq!(log.interval, Dur::from_us(250));
+    assert!(log.to_jsonl().starts_with(
+        "{\"format\":\"silo-telemetry-v1\",\"interval_ps\":250000000,\"windows\":80,"
+    ));
+    let om = log.to_openmetrics();
+    assert!(om.ends_with("# EOF\n"));
+    assert!(om.contains("silo_goodput_bytes{tenant=\"0\"}"));
+}
